@@ -1,0 +1,137 @@
+// Benchmark harness for the reproduction experiments E1–E9 (DESIGN.md
+// §4, results recorded in EXPERIMENTS.md) plus per-primitive micro
+// benchmarks. The paper has no tables or figures, so each experiment
+// regenerates one of its quantitative claims; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce every table (quick scale; cmd/expsweep -full for the
+// full-scale versions).
+package svssba_test
+
+import (
+	"fmt"
+	"testing"
+
+	"svssba"
+	"svssba/internal/exp"
+	"svssba/internal/trace"
+)
+
+var quick = exp.Scale{Quick: true}
+
+// benchTable runs one experiment per benchmark invocation and logs its
+// table.
+func benchTable(b *testing.B, run func(exp.Scale) *trace.Table) {
+	b.Helper()
+	var tb *trace.Table
+	for i := 0; i < b.N; i++ {
+		tb = run(quick)
+	}
+	b.Log("\n" + tb.String())
+}
+
+func BenchmarkE1_ABATermination(b *testing.B) { benchTable(b, exp.E1) }
+func BenchmarkE2_RoundsVsN(b *testing.B)      { benchTable(b, exp.E2) }
+func BenchmarkE3_CoinQuality(b *testing.B)    { benchTable(b, exp.E3) }
+func BenchmarkE4_ShunBound(b *testing.B)      { benchTable(b, exp.E4) }
+func BenchmarkE5_MsgComplexity(b *testing.B)  { benchTable(b, exp.E5) }
+func BenchmarkE6_Resilience(b *testing.B)     { benchTable(b, exp.E6) }
+func BenchmarkE7_Example1(b *testing.B)       { benchTable(b, exp.E7) }
+func BenchmarkE8_DMMAblation(b *testing.B)    { benchTable(b, exp.E8) }
+func BenchmarkE9_LatencySeries(b *testing.B)  { benchTable(b, exp.E9) }
+
+// BenchmarkAgreement measures one full agreement run end to end,
+// reporting protocol-level metrics alongside wall time.
+func BenchmarkAgreement(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var msgs, bytes, rounds float64
+			for i := 0; i < b.N; i++ {
+				res, err := svssba.Run(svssba.Config{N: n, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Agreed {
+					b.Fatal("agreement failed")
+				}
+				msgs += float64(res.Messages)
+				bytes += float64(res.Bytes)
+				rounds += float64(res.MaxRound)
+			}
+			nIter := float64(b.N)
+			b.ReportMetric(msgs/nIter, "msgs/op")
+			b.ReportMetric(bytes/nIter, "wirebytes/op")
+			b.ReportMetric(rounds/nIter, "rounds/op")
+		})
+	}
+}
+
+// BenchmarkCommonCoin measures one shunning-common-coin invocation.
+func BenchmarkCommonCoin(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				res, err := svssba.RunCoin(svssba.CoinConfig{N: n, Seed: int64(i), Rounds: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.RoundResults) != 1 {
+					b.Fatal("coin did not complete")
+				}
+				msgs += float64(res.Messages)
+			}
+			b.ReportMetric(msgs/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkSVSS measures one SVSS share+reconstruct session.
+func BenchmarkSVSS(b *testing.B) {
+	for _, n := range []int{4, 7, 10} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				res, err := svssba.RunSVSS(svssba.SVSSConfig{N: n, Seed: int64(i), Secret: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Outputs) < n {
+					b.Fatal("svss did not complete")
+				}
+				msgs += float64(res.Messages)
+			}
+			b.ReportMetric(msgs/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkBaselines measures the prior-work protocols on the same
+// workload for comparison.
+func BenchmarkBaselines(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  svssba.Config
+	}{
+		{name: "localcoin_n4", cfg: svssba.Config{N: 4, Protocol: svssba.ProtocolLocalCoin}},
+		{name: "localcoin_n10", cfg: svssba.Config{N: 10, Protocol: svssba.ProtocolLocalCoin}},
+		{name: "benor_n7t1", cfg: svssba.Config{N: 7, T: 1, Protocol: svssba.ProtocolBenOr}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				cfg := c.cfg
+				cfg.Seed = int64(i)
+				cfg.MaxSteps = 50_000_000
+				res, err := svssba.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.MaxRound)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds/op")
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Command expsweep regenerates every reproduction experiment (E1–E9 of
+// DESIGN.md §4) and prints the tables recorded in EXPERIMENTS.md.
+//
+//	expsweep           # quick scale (minutes)
+//	expsweep -full     # full scale (tens of minutes)
+//	expsweep -only E4  # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"svssba/internal/exp"
+	"svssba/internal/trace"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "run full-scale experiments")
+		only = flag.String("only", "", "run a single experiment (E1..E9)")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Quick: !*full}
+	experiments := []struct {
+		name string
+		run  func(exp.Scale) *trace.Table
+	}{
+		{name: "E1", run: exp.E1},
+		{name: "E2", run: exp.E2},
+		{name: "E3", run: exp.E3},
+		{name: "E4", run: exp.E4},
+		{name: "E5", run: exp.E5},
+		{name: "E6", run: exp.E6},
+		{name: "E7", run: exp.E7},
+		{name: "E8", run: exp.E8},
+		{name: "E9", run: exp.E9},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		start := time.Now()
+		tb := e.run(scale)
+		fmt.Println(tb.String())
+		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "expsweep: unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

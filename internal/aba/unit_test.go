@@ -1,0 +1,223 @@
+package aba_test
+
+import (
+	"testing"
+
+	"svssba/internal/aba"
+	"svssba/internal/sim"
+	"svssba/internal/testutil"
+)
+
+// countKind tallies sent payloads of one kind.
+func countKind(msgs []sim.Message, kind string) int {
+	c := 0
+	for _, m := range msgs {
+		if m.Payload.Kind() == kind {
+			c++
+		}
+	}
+	return c
+}
+
+// lastVotes extracts the distinct (step, value) pairs broadcast.
+func votesSent(msgs []sim.Message) map[[2]uint8]int {
+	out := make(map[[2]uint8]int)
+	for _, m := range msgs {
+		if v, ok := m.Payload.(aba.Vote); ok {
+			out[[2]uint8{v.Step, v.Value}]++
+		}
+	}
+	return out
+}
+
+func TestUnitProposeBroadcastsBVal(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	eng := aba.New(1, coinStub{}, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	votes := votesSent(ctx.Sent)
+	if votes[[2]uint8{1, 1}] != 4 {
+		t.Errorf("BVAL(1) sends = %d, want 4 (one per process)", votes[[2]uint8{1, 1}])
+	}
+}
+
+func TestUnitBValRelayAtTPlus1(t *testing.T) {
+	// n=4, t=1: after t+1 = 2 distinct BVAL(0) arrivals, a process that
+	// proposed 1 must relay BVAL(0) too.
+	ctx := testutil.NewCtx(1, 4, 1)
+	eng := aba.New(1, coinStub{}, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Drain()
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 0}})
+	if votes := votesSent(ctx.Sent); votes[[2]uint8{1, 0}] != 0 {
+		t.Error("relayed after a single BVAL")
+	}
+	eng.OnMessage(ctx, sim.Message{From: 3, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 0}})
+	if votes := votesSent(ctx.Sent); votes[[2]uint8{1, 0}] != 4 {
+		t.Errorf("BVAL(0) relays = %d, want 4", votes[[2]uint8{1, 0}])
+	}
+}
+
+func TestUnitAuxAfterBinValues(t *testing.T) {
+	// 2t+1 = 3 distinct BVAL(1) puts 1 into bin_values and triggers AUX.
+	ctx := testutil.NewCtx(1, 4, 1)
+	eng := aba.New(1, coinStub{}, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 1}})
+	}
+	if got := countKind(ctx.Sent, aba.KindAux); got != 4 {
+		t.Errorf("AUX sends = %d, want 4", got)
+	}
+}
+
+func TestUnitDuplicateVotesIgnored(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	eng := aba.New(1, coinStub{}, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Drain()
+	// The same sender repeating BVAL(0) must not reach the t+1 relay bar.
+	for i := 0; i < 5; i++ {
+		eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 0}})
+	}
+	if votes := votesSent(ctx.Sent); votes[[2]uint8{1, 0}] != 0 {
+		t.Error("duplicate senders triggered a relay")
+	}
+}
+
+func TestUnitDecideAmplification(t *testing.T) {
+	// t+1 matching DECIDEs are an alternative decision path; n-t allow
+	// halting.
+	ctx := testutil.NewCtx(1, 4, 1)
+	decided := -1
+	eng := aba.New(1, coinStub{}, func(_ sim.Context, v int) { decided = v })
+	if err := eng.Propose(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Decide{Value: 1}})
+	if decided != -1 {
+		t.Fatal("decided from a single DECIDE")
+	}
+	eng.OnMessage(ctx, sim.Message{From: 3, To: 1, Payload: aba.Decide{Value: 1}})
+	if decided != 1 {
+		t.Fatalf("decided = %d, want 1 after t+1 DECIDEs", decided)
+	}
+	if eng.Halted() {
+		t.Fatal("halted before n-t DECIDEs")
+	}
+	eng.OnMessage(ctx, sim.Message{From: 4, To: 1, Payload: aba.Decide{Value: 1}})
+	if !eng.Halted() {
+		t.Fatal("not halted after n-t DECIDEs")
+	}
+	// A halted engine ignores further traffic.
+	before := len(ctx.Sent)
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Vote{Step: 1, Round: 5, Value: 0}})
+	if len(ctx.Sent) != before {
+		t.Error("halted engine still sending")
+	}
+}
+
+func TestUnitGarbageMessagesIgnored(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	eng := aba.New(1, coinStub{}, nil)
+	if err := eng.Propose(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Drain()
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Vote{Step: 9, Round: 1, Value: 0}})
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 7}})
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Conf{Round: 1, Mask: 0}})
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Conf{Round: 1, Mask: 9}})
+	eng.OnMessage(ctx, sim.Message{From: 2, To: 1, Payload: aba.Decide{Value: 5}})
+	if len(ctx.Sent) != 0 {
+		t.Errorf("garbage provoked %d sends", len(ctx.Sent))
+	}
+	if _, ok := eng.Decided(); ok {
+		t.Error("garbage caused a decision")
+	}
+}
+
+// coinCapture records coin start requests.
+type coinCapture struct {
+	rounds []uint64
+}
+
+func (c *coinCapture) Start(_ sim.Context, r uint64) { c.rounds = append(c.rounds, r) }
+
+func TestUnitCoinRequestedOnlyAfterConfQuorum(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	cc := &coinCapture{}
+	eng := aba.New(1, cc, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the round to the CONF stage: 3 BVAL(1), then 3 AUX(1).
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 1}})
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Vote{Step: 2, Round: 1, Value: 1}})
+	}
+	if len(cc.rounds) != 0 {
+		t.Fatal("coin requested before CONF quorum")
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Conf{Round: 1, Mask: 2}})
+	}
+	if len(cc.rounds) != 1 || cc.rounds[0] != 1 {
+		t.Fatalf("coin requests = %v, want [1]", cc.rounds)
+	}
+	// Unanimous vals {1} + coin 1 => decide 1 and enter round 2.
+	decidedBefore, _ := eng.Decided()
+	_ = decidedBefore
+	eng.OnCoin(ctx, 1, 1)
+	if v, ok := eng.Decided(); !ok || v != 1 {
+		t.Fatalf("decided = %v,%v want 1,true", v, ok)
+	}
+	if eng.Round() != 2 {
+		t.Errorf("round = %d, want 2", eng.Round())
+	}
+}
+
+func TestUnitCoinMismatchAdoptsValueWithoutDeciding(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	cc := &coinCapture{}
+	eng := aba.New(1, cc, nil)
+	if err := eng.Propose(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Vote{Step: 1, Round: 1, Value: 1}})
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Vote{Step: 2, Round: 1, Value: 1}})
+	}
+	for _, from := range []sim.ProcID{1, 2, 3} {
+		eng.OnMessage(ctx, sim.Message{From: from, To: 1, Payload: aba.Conf{Round: 1, Mask: 2}})
+	}
+	eng.OnCoin(ctx, 1, 0) // coin disagrees with the unanimous value
+	if _, ok := eng.Decided(); ok {
+		t.Fatal("decided despite coin mismatch")
+	}
+	if eng.Round() != 2 {
+		t.Errorf("round = %d, want 2", eng.Round())
+	}
+	// Round 2 must start with estimate 1 (the unanimous value), i.e. a
+	// BVAL(1) burst for round 2.
+	found := false
+	for _, m := range ctx.Sent {
+		if v, ok := m.Payload.(aba.Vote); ok && v.Step == 1 && v.Round == 2 && v.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("round 2 did not start with the adopted estimate")
+	}
+}

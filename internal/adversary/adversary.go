@@ -1,0 +1,179 @@
+// Package adversary provides composable Byzantine behaviours for the
+// protocol stack. A behaviour configures outbound tampering on a
+// core.Stack: the process runs the honest state machines but corrupts,
+// drops or equivocates selected traffic — the standard way to model
+// "arbitrarily malicious" processes while keeping them message-compatible
+// enough to attack the interesting code paths (a process that only
+// babbles is filtered out trivially).
+//
+// Behaviours compose: Apply chains all send and broadcast tampers.
+package adversary
+
+import (
+	"svssba/internal/aba"
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// Behavior mutates outbound traffic of one process.
+type Behavior struct {
+	// Name identifies the behaviour in experiment tables.
+	Name string
+	// Send rewrites or drops a direct message (nil = pass-through).
+	Send core.SendTamper
+	// Bcast rewrites or drops a broadcast value (nil = pass-through).
+	Bcast core.BcastTamper
+}
+
+// Apply installs the chained behaviours on the stack.
+func Apply(st *core.Stack, behaviors ...Behavior) {
+	var sends []core.SendTamper
+	var bcasts []core.BcastTamper
+	for _, b := range behaviors {
+		if b.Send != nil {
+			sends = append(sends, b.Send)
+		}
+		if b.Bcast != nil {
+			bcasts = append(bcasts, b.Bcast)
+		}
+	}
+	if len(sends) > 0 {
+		st.Node.SetSendTamper(func(ctx sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			for _, f := range sends {
+				var keep bool
+				p, keep = f(ctx, to, p)
+				if !keep {
+					return nil, false
+				}
+			}
+			return p, true
+		})
+	}
+	if len(bcasts) > 0 {
+		st.Node.SetBcastTamper(func(ctx sim.Context, tag proto.Tag, value []byte) ([]byte, bool) {
+			for _, f := range bcasts {
+				var keep bool
+				value, keep = f(ctx, tag, value)
+				if !keep {
+					return nil, false
+				}
+			}
+			return value, true
+		})
+	}
+}
+
+// Silent drops every outbound message and broadcast (a fail-stop process
+// that still consumes input).
+func Silent() Behavior {
+	return Behavior{
+		Name:  "silent",
+		Send:  func(sim.Context, sim.ProcID, sim.Payload) (sim.Payload, bool) { return nil, false },
+		Bcast: func(sim.Context, proto.Tag, []byte) ([]byte, bool) { return nil, false },
+	}
+}
+
+// RValLiar corrupts the process's MW-SVSS reconstruct-phase value
+// broadcasts by a fixed offset — the attack shape of the paper's
+// Example 1, and the canonical way to (attempt to) break Weak Binding.
+func RValLiar(offset uint64) Behavior {
+	return Behavior{
+		Name: "rval-liar",
+		Bcast: func(_ sim.Context, tag proto.Tag, value []byte) ([]byte, bool) {
+			if tag.Proto == proto.ProtoMW && tag.Step == mwsvss.StepRVal {
+				if v, ok := mwsvss.DecodeElem(value); ok {
+					return mwsvss.EncodeElem(v.Add(field.New(offset))), true
+				}
+			}
+			return value, true
+		},
+	}
+}
+
+// EchoLiar corrupts the private echo values of MW-SVSS share step 2,
+// sabotaging confirmations so the liar is excluded from L sets.
+func EchoLiar(offset uint64) Behavior {
+	return Behavior{
+		Name: "echo-liar",
+		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if e, ok := p.(mwsvss.Echo); ok {
+				return mwsvss.Echo{MW: e.MW, Val: e.Val.Add(field.New(offset))}, true
+			}
+			return p, true
+		},
+	}
+}
+
+// DealCorruptor corrupts the SVSS row/column polynomials this process
+// deals to the given victims (a faulty SVSS dealer).
+func DealCorruptor(victims map[sim.ProcID]bool) Behavior {
+	return Behavior{
+		Name: "deal-corruptor",
+		Send: func(_ sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			d, ok := p.(svss.Deal)
+			if !ok || !victims[to] {
+				return p, true
+			}
+			row := make([]field.Element, len(d.RowPts))
+			col := make([]field.Element, len(d.ColPts))
+			for i := range d.RowPts {
+				row[i] = d.RowPts[i].Add(field.New(uint64(i + 1)))
+			}
+			for i := range d.ColPts {
+				col[i] = d.ColPts[i].Add(field.New(uint64(2*i + 1)))
+			}
+			return svss.Deal{Session: d.Session, RowPts: row, ColPts: col}, true
+		},
+	}
+}
+
+// VoteFlipper inverts every outgoing agreement vote and confirmation.
+func VoteFlipper() Behavior {
+	return Behavior{
+		Name: "vote-flipper",
+		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			switch v := p.(type) {
+			case aba.Vote:
+				return aba.Vote{Step: v.Step, Round: v.Round, Value: 1 - v.Value}, true
+			case aba.Conf:
+				return aba.Conf{Round: v.Round, Mask: 3 - v.Mask&3}, true
+			}
+			return p, true
+		},
+	}
+}
+
+// VoteEquivocator sends opposite vote values to even- and odd-numbered
+// peers (the classic split attack on voting protocols).
+func VoteEquivocator() Behavior {
+	return Behavior{
+		Name: "vote-equivocator",
+		Send: func(_ sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if v, ok := p.(aba.Vote); ok && to%2 == 0 {
+				return aba.Vote{Step: v.Step, Round: v.Round, Value: 1 - v.Value}, true
+			}
+			return p, true
+		},
+	}
+}
+
+// MuteKinds drops outbound messages of the given payload kinds.
+func MuteKinds(kinds ...string) Behavior {
+	set := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return Behavior{
+		Name: "mute",
+		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if set[p.Kind()] {
+				return nil, false
+			}
+			return p, true
+		},
+	}
+}

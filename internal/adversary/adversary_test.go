@@ -1,0 +1,118 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"svssba/internal/aba"
+	"svssba/internal/adversary"
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/testutil"
+)
+
+// capture runs a stack's tamper chain against a payload directly.
+func sendThrough(t *testing.T, st *core.Stack, p sim.Payload, to sim.ProcID) []sim.Message {
+	t.Helper()
+	ctx := testutil.NewCtx(1, 4, 1)
+	nw := sim.NewNetwork(4, 1, 1)
+	if err := nw.Register(st.Node); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctx
+	// Use the node's Init wrapper to get a tampering context.
+	st.Node.AddInit(func(c sim.Context) { c.Send(to, p) })
+	fake := testutil.NewCtx(1, 4, 1)
+	st.Node.Init(fake)
+	return fake.Sent
+}
+
+func TestSilentDropsEverything(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.Silent())
+	sent := sendThrough(t, st, aba.Vote{Step: 1, Round: 1, Value: 1}, 2)
+	if len(sent) != 0 {
+		t.Errorf("silent sent %d messages", len(sent))
+	}
+}
+
+func TestVoteFlipperFlips(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.VoteFlipper())
+	sent := sendThrough(t, st, aba.Vote{Step: 1, Round: 1, Value: 1}, 2)
+	if len(sent) != 1 {
+		t.Fatalf("sent %d", len(sent))
+	}
+	v, ok := sent[0].Payload.(aba.Vote)
+	if !ok || v.Value != 0 {
+		t.Errorf("payload %v", sent[0].Payload)
+	}
+}
+
+func TestVoteEquivocatorSplitsByParity(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.VoteEquivocator())
+	even := sendThrough(t, st, aba.Vote{Step: 1, Round: 1, Value: 1}, 2)
+	st2 := core.NewStack(1, nil)
+	adversary.Apply(st2, adversary.VoteEquivocator())
+	odd := sendThrough(t, st2, aba.Vote{Step: 1, Round: 1, Value: 1}, 3)
+	if even[0].Payload.(aba.Vote).Value != 0 {
+		t.Error("even peer not flipped")
+	}
+	if odd[0].Payload.(aba.Vote).Value != 1 {
+		t.Error("odd peer flipped")
+	}
+}
+
+func TestEchoLiarOffsetsEchoes(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.EchoLiar(5))
+	in := mwsvss.Echo{MW: proto.MWID{}, Val: field.New(10)}
+	sent := sendThrough(t, st, in, 2)
+	got := sent[0].Payload.(mwsvss.Echo)
+	if got.Val != field.New(15) {
+		t.Errorf("val = %v, want 15", got.Val)
+	}
+}
+
+func TestMuteKindsDropsSelected(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.MuteKinds(aba.KindBVal))
+	if sent := sendThrough(t, st, aba.Vote{Step: 1, Round: 1, Value: 1}, 2); len(sent) != 0 {
+		t.Error("muted kind sent")
+	}
+	st2 := core.NewStack(1, nil)
+	adversary.Apply(st2, adversary.MuteKinds(aba.KindBVal))
+	if sent := sendThrough(t, st2, aba.Vote{Step: 2, Round: 1, Value: 1}, 2); len(sent) != 1 {
+		t.Error("unmuted kind dropped")
+	}
+}
+
+func TestBehaviorsCompose(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.VoteFlipper(), adversary.MuteKinds(aba.KindAux))
+	// BVAL: flipped, kept. AUX: dropped.
+	if sent := sendThrough(t, st, aba.Vote{Step: 1, Round: 1, Value: 0}, 2); len(sent) != 1 ||
+		sent[0].Payload.(aba.Vote).Value != 1 {
+		t.Error("compose: bval not flipped")
+	}
+	st2 := core.NewStack(1, nil)
+	adversary.Apply(st2, adversary.VoteFlipper(), adversary.MuteKinds(aba.KindAux))
+	if sent := sendThrough(t, st2, aba.Vote{Step: 2, Round: 1, Value: 0}, 2); len(sent) != 0 {
+		t.Error("compose: aux not dropped")
+	}
+}
+
+func TestRValLiarAltersBroadcastValue(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.RValLiar(7))
+	fake := testutil.NewCtx(1, 4, 1)
+	tag := proto.Tag{Proto: proto.ProtoMW, Step: mwsvss.StepRVal, A: 2}
+	st.Node.Broadcast(fake, tag, mwsvss.EncodeElem(field.New(100)))
+	// The WRB type-1 fan-out carries the corrupted value.
+	if len(fake.Sent) != 4 {
+		t.Fatalf("sent %d", len(fake.Sent))
+	}
+}

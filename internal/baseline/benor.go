@@ -1,0 +1,273 @@
+// Package baseline implements the three prior-work protocols the paper's
+// introduction compares against:
+//
+//   - Ben-Or's randomized agreement [1] with purely local coins: almost
+//     surely terminating but requires n > 5t, and exponential expected
+//     round count;
+//   - a Bracha-style local-coin agreement [3]: optimally resilient
+//     (n > 3t) and almost surely terminating, but the expected number of
+//     rounds grows exponentially in n because termination waits for all
+//     processes' independent local coins to collide (implemented as the
+//     same voting layer as the main protocol with the common coin
+//     replaced by local flips, which isolates exactly the coin's
+//     contribution);
+//   - a Canetti–Rabin-style protocol [4]: optimally resilient and
+//     polynomial, but built on an AVSS/common-coin with failure
+//     probability ε > 0, hence *not* almost-surely terminating
+//     (implemented as an ideal common coin whose invocations fail,
+//     globally and permanently, with probability ε).
+package baseline
+
+import (
+	"fmt"
+
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Ben-Or message kinds.
+const (
+	KindBenOr = "benor/msg"
+
+	// ValueQuestion is phase 2's "?" (no supermajority seen).
+	ValueQuestion uint8 = 2
+)
+
+// BenOrMsg is a phase-1 report or phase-2 proposal.
+type BenOrMsg struct {
+	Phase uint8 // 1 or 2
+	Round uint64
+	Value uint8 // 0, 1 or ValueQuestion (phase 2 only)
+}
+
+var _ proto.Marshaler = BenOrMsg{}
+
+// Kind implements sim.Payload.
+func (BenOrMsg) Kind() string { return KindBenOr }
+
+// Size implements sim.Payload.
+func (BenOrMsg) Size() int { return 1 + 8 + 1 }
+
+// MarshalTo implements proto.Marshaler.
+func (m BenOrMsg) MarshalTo(w *proto.Writer) {
+	w.U8(m.Phase)
+	w.U64(m.Round)
+	w.U8(m.Value)
+}
+
+// RegisterCodec registers baseline message decoding.
+func RegisterCodec(c *proto.Codec) {
+	c.Register(KindBenOr, func(r *proto.Reader) (sim.Payload, error) {
+		return BenOrMsg{Phase: r.U8(), Round: r.U64(), Value: r.U8()}, r.Err()
+	})
+}
+
+// DecideFunc observes a decision.
+type DecideFunc func(ctx sim.Context, value int)
+
+type benorRound struct {
+	sent1, sent2 bool
+	recv1        map[sim.ProcID]uint8
+	recv2        map[sim.ProcID]uint8
+	finished     bool
+}
+
+// BenOr runs Ben-Or's 1983 protocol for one process. It is safe and live
+// only for n > 5t; with n <= 5t it may stall or disagree, which is
+// exactly what experiment E6 demonstrates.
+type BenOr struct {
+	self     sim.ProcID
+	onDecide DecideFunc
+
+	rounds   map[uint64]*benorRound
+	current  uint64
+	est      uint8
+	started  bool
+	decided  bool
+	decision uint8
+
+	// MaxRounds bounds participation so simulations of stalled or
+	// unlucky executions terminate; 0 means unbounded.
+	MaxRounds uint64
+}
+
+// NewBenOr returns a Ben-Or engine for process self.
+func NewBenOr(self sim.ProcID, onDecide DecideFunc) *BenOr {
+	return &BenOr{
+		self:     self,
+		onDecide: onDecide,
+		rounds:   make(map[uint64]*benorRound),
+	}
+}
+
+// Decided reports the local decision, if any.
+func (e *BenOr) Decided() (int, bool) {
+	if !e.decided {
+		return 0, false
+	}
+	return int(e.decision), true
+}
+
+// Round returns the current round number.
+func (e *BenOr) Round() uint64 { return e.current }
+
+func (e *BenOr) round(r uint64) *benorRound {
+	rd, ok := e.rounds[r]
+	if !ok {
+		rd = &benorRound{
+			recv1: make(map[sim.ProcID]uint8),
+			recv2: make(map[sim.ProcID]uint8),
+		}
+		e.rounds[r] = rd
+	}
+	return rd
+}
+
+// Propose starts the protocol with a binary input.
+func (e *BenOr) Propose(ctx sim.Context, value int) error {
+	if value != 0 && value != 1 {
+		return fmt.Errorf("benor: input %d is not binary", value)
+	}
+	if e.started {
+		return fmt.Errorf("benor: already proposed")
+	}
+	e.started = true
+	e.est = uint8(value)
+	e.enter(ctx, 1)
+	return nil
+}
+
+func (e *BenOr) enter(ctx sim.Context, r uint64) {
+	if e.MaxRounds > 0 && r > e.MaxRounds {
+		return
+	}
+	e.current = r
+	rd := e.round(r)
+	if !rd.sent1 {
+		rd.sent1 = true
+		e.sendAll(ctx, BenOrMsg{Phase: 1, Round: r, Value: e.est})
+	}
+	e.advance(ctx, rd, r)
+}
+
+func (e *BenOr) sendAll(ctx sim.Context, m BenOrMsg) {
+	for q := 1; q <= ctx.N(); q++ {
+		ctx.Send(sim.ProcID(q), m)
+	}
+}
+
+// OnMessage handles Ben-Or messages.
+func (e *BenOr) OnMessage(ctx sim.Context, m sim.Message) {
+	p, ok := m.Payload.(BenOrMsg)
+	if !ok || p.Value > ValueQuestion {
+		return
+	}
+	rd := e.round(p.Round)
+	switch p.Phase {
+	case 1:
+		if p.Value > 1 {
+			return
+		}
+		if _, dup := rd.recv1[m.From]; dup {
+			return
+		}
+		rd.recv1[m.From] = p.Value
+	case 2:
+		if _, dup := rd.recv2[m.From]; dup {
+			return
+		}
+		rd.recv2[m.From] = p.Value
+	default:
+		return
+	}
+	e.advance(ctx, rd, p.Round)
+}
+
+func (e *BenOr) advance(ctx sim.Context, rd *benorRound, r uint64) {
+	if !e.started || r != e.current || rd.finished {
+		return
+	}
+	n, t := ctx.N(), ctx.T()
+
+	// Phase 1 -> 2: after n-t reports, propose a supermajority value.
+	if rd.sent1 && !rd.sent2 && len(rd.recv1) >= n-t {
+		counts := [2]int{}
+		for _, v := range rd.recv1 {
+			counts[v]++
+		}
+		prop := ValueQuestion
+		for v := uint8(0); v <= 1; v++ {
+			if 2*counts[v] > n+t {
+				prop = v
+			}
+		}
+		rd.sent2 = true
+		e.sendAll(ctx, BenOrMsg{Phase: 2, Round: r, Value: prop})
+	}
+
+	// Phase 2 -> next round: adopt a supported proposal, decide on a
+	// strong quorum, otherwise flip a local coin.
+	if rd.sent2 && len(rd.recv2) >= n-t {
+		rd.finished = true
+		counts := [2]int{}
+		for _, v := range rd.recv2 {
+			if v <= 1 {
+				counts[v]++
+			}
+		}
+		switch {
+		case 2*counts[0] > n+t:
+			e.decideValue(ctx, 0)
+			e.est = 0
+		case 2*counts[1] > n+t:
+			e.decideValue(ctx, 1)
+			e.est = 1
+		case counts[0] > t:
+			e.est = 0
+		case counts[1] > t:
+			e.est = 1
+		default:
+			e.est = uint8(ctx.Rand().Intn(2)) // local coin
+		}
+		e.enter(ctx, r+1)
+	}
+}
+
+func (e *BenOr) decideValue(ctx sim.Context, v uint8) {
+	if e.decided {
+		return
+	}
+	e.decided = true
+	e.decision = v
+	if e.onDecide != nil {
+		e.onDecide(ctx, int(v))
+	}
+}
+
+// BenOrNode adapts the engine to sim.Handler.
+type BenOrNode struct {
+	Eng   *BenOr
+	input int
+}
+
+var _ sim.Handler = (*BenOrNode)(nil)
+
+// NewBenOrNode wraps a Ben-Or engine proposing input at start.
+func NewBenOrNode(self sim.ProcID, input int, onDecide DecideFunc) *BenOrNode {
+	return &BenOrNode{Eng: NewBenOr(self, onDecide), input: input}
+}
+
+// ID implements sim.Handler.
+func (n *BenOrNode) ID() sim.ProcID { return n.Eng.self }
+
+// Init implements sim.Handler.
+func (n *BenOrNode) Init(ctx sim.Context) {
+	// Propose cannot fail here: the input is validated at construction
+	// call sites and the engine is fresh.
+	_ = n.Eng.Propose(ctx, n.input)
+}
+
+// Deliver implements sim.Handler.
+func (n *BenOrNode) Deliver(ctx sim.Context, m sim.Message) {
+	n.Eng.OnMessage(ctx, m)
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"svssba/internal/aba"
+	"svssba/internal/sim"
+)
+
+// localCoin satisfies aba.CoinPort with independent per-process flips —
+// the Bracha-style baseline: safe at n > 3t, but processes only make
+// progress in rounds where enough independent flips collide, so the
+// expected round count grows exponentially with n.
+type localCoin struct {
+	eng *aba.Engine
+}
+
+// Start implements aba.CoinPort by answering immediately with a local
+// random bit.
+func (l *localCoin) Start(ctx sim.Context, r uint64) {
+	l.eng.OnCoin(ctx, r, ctx.Rand().Intn(2))
+}
+
+// LocalCoinNode runs the main protocol's voting layer (BV/AUX/CONF) with
+// the common coin replaced by local flips. Comparing it against the full
+// stack isolates exactly the contribution of the SVSS-based common coin.
+type LocalCoinNode struct {
+	Eng *aba.Engine
+
+	self  sim.ProcID
+	input int
+}
+
+var _ sim.Handler = (*LocalCoinNode)(nil)
+
+// NewLocalCoinNode builds a local-coin agreement process.
+func NewLocalCoinNode(self sim.ProcID, input int, onDecide DecideFunc) *LocalCoinNode {
+	n := &LocalCoinNode{self: self, input: input}
+	lc := &localCoin{}
+	n.Eng = aba.New(self, lc, func(ctx sim.Context, v int) {
+		if onDecide != nil {
+			onDecide(ctx, v)
+		}
+	})
+	lc.eng = n.Eng
+	return n
+}
+
+// ID implements sim.Handler.
+func (n *LocalCoinNode) ID() sim.ProcID { return n.self }
+
+// Init implements sim.Handler.
+func (n *LocalCoinNode) Init(ctx sim.Context) {
+	_ = n.Eng.Propose(ctx, n.input)
+}
+
+// Deliver implements sim.Handler.
+func (n *LocalCoinNode) Deliver(ctx sim.Context, m sim.Message) {
+	n.Eng.OnMessage(ctx, m)
+}
+
+// epsCoin satisfies aba.CoinPort with an *ideal shared* coin whose
+// invocations fail — globally and permanently — with probability eps.
+// This models the Canetti–Rabin construction, whose AVSS (and therefore
+// whose coin) terminates only with probability 1-ε: runs that draw a
+// failing round never decide.
+type epsCoin struct {
+	eng  *aba.Engine
+	eps  float64
+	seed int64
+}
+
+// Start implements aba.CoinPort.
+func (c *epsCoin) Start(ctx sim.Context, r uint64) {
+	// All processes derive the same per-round randomness, modeling an
+	// ideal common coin with a global failure event.
+	rng := rand.New(rand.NewSource(c.seed ^ int64(r*0x9e3779b9)))
+	if rng.Float64() < c.eps {
+		return // the coin protocol never terminates this round
+	}
+	c.eng.OnCoin(ctx, r, rng.Intn(2))
+}
+
+// EpsCoinNode runs the voting layer over the ε-failing ideal coin.
+type EpsCoinNode struct {
+	Eng *aba.Engine
+
+	self  sim.ProcID
+	input int
+}
+
+var _ sim.Handler = (*EpsCoinNode)(nil)
+
+// NewEpsCoinNode builds an agreement process whose common coin fails
+// with probability eps per round (seed must be shared by all processes
+// of the run).
+func NewEpsCoinNode(self sim.ProcID, input int, eps float64, seed int64, onDecide DecideFunc) *EpsCoinNode {
+	n := &EpsCoinNode{self: self, input: input}
+	ec := &epsCoin{eps: eps, seed: seed}
+	n.Eng = aba.New(self, ec, func(ctx sim.Context, v int) {
+		if onDecide != nil {
+			onDecide(ctx, v)
+		}
+	})
+	ec.eng = n.Eng
+	return n
+}
+
+// ID implements sim.Handler.
+func (n *EpsCoinNode) ID() sim.ProcID { return n.self }
+
+// Init implements sim.Handler.
+func (n *EpsCoinNode) Init(ctx sim.Context) {
+	_ = n.Eng.Propose(ctx, n.input)
+}
+
+// Deliver implements sim.Handler.
+func (n *EpsCoinNode) Deliver(ctx sim.Context, m sim.Message) {
+	n.Eng.OnMessage(ctx, m)
+}

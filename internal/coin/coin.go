@@ -1,0 +1,383 @@
+// Package coin implements the Shunning Common Coin (SCC) of paper §5
+// (Definition 2): a protocol in which every invocation either behaves as
+// a (1/4, 1/4)-common coin — for each σ ∈ {0,1}, with probability at
+// least 1/4 all nonfaulty processes output σ — or causes some nonfaulty
+// process to shun a newly detected faulty process. Since shunning can
+// happen at most t(n−t) times, only O(n²) coin invocations can ever
+// fail, which is what makes the agreement protocol almost-surely
+// terminating with polynomial expected round count.
+//
+// Construction (the Canetti–Rabin coin over SVSS; see DESIGN.md §3.4 for
+// the substitution notes):
+//
+//  1. For a coin round r, every process i SVSS-shares n lottery secrets
+//     s_{i,1..n} drawn from [0, n^4); s_{i,j} is "attached to" process j.
+//  2. When the first t+1 sharings attached to itself complete, process j
+//     reliably broadcasts its attach set A_j (t+1 dealers). Process j's
+//     lottery value is V_j = Σ_{k∈A_j} s_{k,j} mod n^4 — fixed by SVSS
+//     Binding when the sharings completed, uniform and unknown to the
+//     adversary by SVSS Hiding (A_j contains at least one honest dealer).
+//  3. Process i "verifies" j once it received A_j and locally completed
+//     the share phases of all sharings in A_j. Verified parties feed the
+//     three-round gather protocol, whose outputs contain a large common
+//     core fixed before any reconstruction starts.
+//  4. On gather output U_i, process i broadcasts a reconstruct
+//     announcement (so every honest process joins the reconstructions —
+//     SVSS Termination requires all nonfaulty to begin R) and
+//     reconstructs V_j for every j ∈ U_i. It outputs the parity of the
+//     minimum (V_j, j) pair. If the global minimum lands in the common
+//     core (probability ≥ (n−t)/n), all processes output the same
+//     parity; the parity is uniform, giving ≥ 1/4 per value of σ.
+//
+// A ⊥ sub-output (possible only when binding was broken, i.e. a shun
+// already happened) excludes that party from the minimum; such rounds
+// fall under the second clause of SCC Correctness.
+package coin
+
+import (
+	"sort"
+
+	"svssba/internal/field"
+	"svssba/internal/gather"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// Broadcast steps (Proto = proto.ProtoCoin; Tag.A carries the round).
+const (
+	// StepAttach announces a process's attach set A_j.
+	StepAttach uint8 = 1
+	// StepRecon announces a gather output, instructing everyone to join
+	// the reconstructions it references.
+	StepRecon uint8 = 2
+)
+
+// Host is what the engine needs from its process.
+type Host interface {
+	Self() sim.ProcID
+	Broadcast(ctx sim.Context, tag proto.Tag, value []byte)
+}
+
+// SVSSPort is the slice of the SVSS engine the coin drives.
+type SVSSPort interface {
+	Share(ctx sim.Context, sid proto.SessionID, secret field.Element) error
+	Reconstruct(ctx sim.Context, sid proto.SessionID)
+}
+
+// CoinFunc receives the coin output for a round.
+type CoinFunc func(ctx sim.Context, round uint64, bit int)
+
+// SessionFor returns the SVSS session id of dealer k's secret attached
+// to target j in coin round r.
+func SessionFor(k sim.ProcID, r uint64, j sim.ProcID) proto.SessionID {
+	return proto.SessionID{Dealer: k, Kind: proto.KindCoin, Round: r, Index: uint32(j)}
+}
+
+type round struct {
+	r       uint64
+	started bool
+
+	// completion order of dealers per target (share phases done locally)
+	doneDealers map[sim.ProcID][]sim.ProcID
+	doneSet     map[proto.SessionID]bool
+
+	attachSent bool
+	attach     map[sim.ProcID][]sim.ProcID // accepted attach sets
+	verified   map[sim.ProcID]bool
+
+	gathered   []sim.ProcID
+	haveGather bool
+
+	reconTargets map[sim.ProcID]bool // targets whose sessions to open
+	reconStarted map[sim.ProcID]bool // targets we invoked R for
+	outs         map[proto.SessionID]svss.Output
+
+	done bool
+	bit  int
+}
+
+// Engine runs the common-coin protocol; one instance per process serves
+// all rounds.
+type Engine struct {
+	host   Host
+	sv     SVSSPort
+	gat    *gather.Engine
+	onCoin CoinFunc
+	rounds map[uint64]*round
+}
+
+// New returns a coin engine. The gather engine's broadcasts must be
+// routed to Gather().OnBroadcast, SVSS completion events for KindCoin
+// sessions to OnSVSSShareComplete/OnSVSSReconComplete, and ProtoCoin
+// broadcasts to OnBroadcast (core.NewStack wires all of this).
+func New(host Host, sv SVSSPort, onCoin CoinFunc) *Engine {
+	e := &Engine{
+		host:   host,
+		sv:     sv,
+		onCoin: onCoin,
+		rounds: make(map[uint64]*round),
+	}
+	e.gat = gather.New(host, e.onGather)
+	return e
+}
+
+// Gather exposes the inner gather engine for broadcast routing.
+func (e *Engine) Gather() *gather.Engine { return e.gat }
+
+func (e *Engine) round(r uint64) *round {
+	rd, ok := e.rounds[r]
+	if !ok {
+		rd = &round{
+			r:            r,
+			doneDealers:  make(map[sim.ProcID][]sim.ProcID),
+			doneSet:      make(map[proto.SessionID]bool),
+			attach:       make(map[sim.ProcID][]sim.ProcID),
+			verified:     make(map[sim.ProcID]bool),
+			reconTargets: make(map[sim.ProcID]bool),
+			reconStarted: make(map[sim.ProcID]bool),
+			outs:         make(map[proto.SessionID]svss.Output),
+		}
+		e.rounds[r] = rd
+	}
+	return rd
+}
+
+// Done reports whether the round's coin has been output locally.
+func (e *Engine) Done(r uint64) bool {
+	rd, ok := e.rounds[r]
+	return ok && rd.done
+}
+
+// Bit returns the coin output for a finished round.
+func (e *Engine) Bit(r uint64) (int, bool) {
+	rd, ok := e.rounds[r]
+	if !ok || !rd.done {
+		return 0, false
+	}
+	return rd.bit, true
+}
+
+// lotteryMod returns u = n^4, the lottery range.
+func lotteryMod(n int) uint64 {
+	u := uint64(n)
+	return u * u * u * u
+}
+
+// Start begins coin round r: share one lottery secret attached to every
+// process (step 1). Idempotent.
+func (e *Engine) Start(ctx sim.Context, r uint64) {
+	rd := e.round(r)
+	if rd.started {
+		return
+	}
+	rd.started = true
+	u := lotteryMod(ctx.N())
+	for j := 1; j <= ctx.N(); j++ {
+		secret := field.New(uint64(ctx.Rand().Int63n(int64(u))))
+		// Errors cannot occur: we are the dealer and the session is new.
+		_ = e.sv.Share(ctx, SessionFor(e.host.Self(), r, sim.ProcID(j)), secret)
+	}
+	e.advance(ctx, rd)
+}
+
+func tag(r uint64, step uint8) proto.Tag {
+	return proto.Tag{Proto: proto.ProtoCoin, Step: step, A: uint32(r)}
+}
+
+// OnSVSSShareComplete records a locally completed coin sharing (dealer
+// sid.Dealer, target sid.Index).
+func (e *Engine) OnSVSSShareComplete(ctx sim.Context, sid proto.SessionID) {
+	rd := e.round(sid.Round)
+	if rd.doneSet[sid] {
+		return
+	}
+	rd.doneSet[sid] = true
+	target := sim.ProcID(sid.Index)
+	rd.doneDealers[target] = append(rd.doneDealers[target], sid.Dealer)
+	e.advance(ctx, rd)
+}
+
+// OnSVSSReconComplete records a reconstructed lottery share.
+func (e *Engine) OnSVSSReconComplete(ctx sim.Context, sid proto.SessionID, out svss.Output) {
+	rd := e.round(sid.Round)
+	if _, dup := rd.outs[sid]; dup {
+		return
+	}
+	rd.outs[sid] = out
+	e.advance(ctx, rd)
+}
+
+// OnBroadcast handles attach and reconstruct announcements.
+func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
+	rd := e.round(uint64(t.A))
+	switch t.Step {
+	case StepAttach:
+		if _, dup := rd.attach[origin]; dup {
+			return
+		}
+		set, ok := decodeProcs(value, ctx.N())
+		if !ok || len(set) != ctx.T()+1 {
+			return
+		}
+		rd.attach[origin] = set
+	case StepRecon:
+		set, ok := decodeProcs(value, ctx.N())
+		if !ok {
+			return
+		}
+		for _, j := range set {
+			rd.reconTargets[j] = true
+		}
+	default:
+		return
+	}
+	e.advance(ctx, rd)
+}
+
+// advance re-evaluates the monotone conditions of a round.
+func (e *Engine) advance(ctx sim.Context, rd *round) {
+	self := e.host.Self()
+	t := ctx.T()
+
+	// Step 2: announce our attach set after t+1 sharings attached to us.
+	if !rd.attachSent && len(rd.doneDealers[self]) >= t+1 {
+		rd.attachSent = true
+		mine := make([]sim.ProcID, t+1)
+		copy(mine, rd.doneDealers[self][:t+1])
+		e.host.Broadcast(ctx, tag(rd.r, StepAttach), encodeProcs(mine))
+	}
+
+	// Step 3: verify parties whose attached sharings completed locally.
+	for j, set := range rd.attach {
+		if rd.verified[j] {
+			continue
+		}
+		ok := true
+		for _, k := range set {
+			if !rd.doneSet[SessionFor(k, rd.r, j)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rd.verified[j] = true
+			e.gat.Verify(ctx, rd.r, j)
+		}
+	}
+
+	// Step 4: open the lottery values of every reconstruct target whose
+	// attach set we know — but never before our own gather output.
+	// Gating the reveal on the local gather keeps every lottery value
+	// hidden until the first honest process has gathered, at which point
+	// the common core is already fixed; an early (possibly forged)
+	// reconstruct announcement therefore cannot leak values the
+	// adversary could use to steer verification adaptively.
+	if rd.haveGather {
+		for j := range rd.reconTargets {
+			if rd.reconStarted[j] {
+				continue
+			}
+			set, ok := rd.attach[j]
+			if !ok {
+				continue
+			}
+			rd.reconStarted[j] = true
+			for _, k := range set {
+				e.sv.Reconstruct(ctx, SessionFor(k, rd.r, j))
+			}
+		}
+	}
+
+	e.tryFinish(ctx, rd)
+}
+
+// onGather receives the gathered set for a round.
+func (e *Engine) onGather(ctx sim.Context, r uint64, set []sim.ProcID) {
+	rd := e.round(r)
+	if rd.haveGather {
+		return
+	}
+	rd.haveGather = true
+	rd.gathered = set
+	// Announce so every honest process joins these reconstructions (SVSS
+	// Termination requires all nonfaulty processes to begin R).
+	e.host.Broadcast(ctx, tag(r, StepRecon), encodeProcs(set))
+	for _, j := range set {
+		rd.reconTargets[j] = true
+	}
+	e.advance(ctx, rd)
+}
+
+// tryFinish outputs the coin once every lottery value of the gathered
+// set is available.
+func (e *Engine) tryFinish(ctx sim.Context, rd *round) {
+	if !rd.haveGather || rd.done {
+		return
+	}
+	u := lotteryMod(ctx.N())
+	bestVal := uint64(0)
+	bestProc := sim.ProcID(0)
+	found := false
+	for _, j := range rd.gathered {
+		set := rd.attach[j]
+		if set == nil {
+			return // verified implies known, but guard anyway
+		}
+		sum := uint64(0)
+		bottom := false
+		for _, k := range set {
+			out, ok := rd.outs[SessionFor(k, rd.r, j)]
+			if !ok {
+				return // still reconstructing
+			}
+			if out.Bottom {
+				bottom = true
+				break
+			}
+			sum = (sum + out.Value.Uint64()%u) % u
+		}
+		if bottom {
+			continue // binding was broken: a shun occurred; skip party
+		}
+		if !found || sum < bestVal || (sum == bestVal && j < bestProc) {
+			found = true
+			bestVal = sum
+			bestProc = j
+		}
+	}
+	rd.done = true
+	if found {
+		rd.bit = int(bestVal % 2)
+	} else {
+		rd.bit = 0 // all parties excluded: shun-waived round
+	}
+	if e.onCoin != nil {
+		e.onCoin(ctx, rd.r, rd.bit)
+	}
+}
+
+func encodeProcs(ps []sim.ProcID) []byte {
+	sorted := make([]sim.ProcID, len(ps))
+	copy(sorted, ps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var w proto.Writer
+	w.Procs(sorted)
+	return w.Bytes()
+}
+
+func decodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
+	r := proto.NewReader(b)
+	ps := r.Procs()
+	if r.Close() != nil {
+		return nil, false
+	}
+	seen := make(map[sim.ProcID]bool, len(ps))
+	for _, p := range ps {
+		if p < 1 || int(p) > n || seen[p] {
+			return nil, false
+		}
+		seen[p] = true
+	}
+	return ps, true
+}

@@ -1,0 +1,171 @@
+package coin_test
+
+import (
+	"testing"
+
+	"svssba/internal/core"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+type proc struct {
+	id      sim.ProcID
+	stack   *core.Stack
+	coins   map[uint64]int
+	shunned []sim.ProcID
+}
+
+type cluster struct {
+	nw    *sim.Network
+	procs map[sim.ProcID]*proc
+	n     int
+}
+
+func newCluster(t *testing.T, n, tf int, seed int64, opts ...sim.NetworkOption) *cluster {
+	t.Helper()
+	c := &cluster{
+		nw:    sim.NewNetwork(n, tf, seed, opts...),
+		procs: make(map[sim.ProcID]*proc, n),
+		n:     n,
+	}
+	for i := 1; i <= n; i++ {
+		p := &proc{id: sim.ProcID(i), coins: make(map[uint64]int)}
+		p.stack = core.NewStack(p.id, func(j sim.ProcID, _ proto.MWID) {
+			p.shunned = append(p.shunned, j)
+		})
+		p.stack.OnCoin(func(_ sim.Context, round uint64, bit int) {
+			p.coins[round] = bit
+		})
+		c.procs[p.id] = p
+		if err := c.nw.Register(p.stack.Node); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+func (c *cluster) startRound(t *testing.T, r uint64, who []sim.ProcID) {
+	t.Helper()
+	for _, i := range who {
+		p := c.procs[i]
+		if err := c.nw.Inject(i, func(ctx sim.Context) {
+			p.stack.Coin.Start(ctx, r)
+		}); err != nil {
+			t.Fatalf("inject start %d: %v", i, err)
+		}
+	}
+}
+
+func (c *cluster) allDone(r uint64, who []sim.ProcID) bool {
+	for _, i := range who {
+		if _, ok := c.procs[i].coins[r]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *cluster) mustReach(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	if _, err := c.nw.RunUntil(cond, 200_000_000); err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if !cond() {
+		t.Fatalf("%s: network quiesced before condition held", what)
+	}
+}
+
+func ids(from, to int) []sim.ProcID {
+	out := make([]sim.ProcID, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, sim.ProcID(i))
+	}
+	return out
+}
+
+// TestCoinTerminatesAndOftenAgrees runs several coin rounds on an honest
+// cluster: every round must terminate at every process (SCC Termination),
+// and the empirical distribution must satisfy the Correctness property
+// Pr[all output sigma] >= 1/4 for each sigma (Definition 2).
+func TestCoinTerminatesAndOftenAgrees(t *testing.T) {
+	const rounds = 24
+	all := ids(1, 4)
+	all0, all1, split := 0, 0, 0
+	for seed := int64(0); seed < rounds; seed++ {
+		c := newCluster(t, 4, 1, seed)
+		c.startRound(t, 1, all)
+		c.mustReach(t, "coin round", func() bool { return c.allDone(1, all) })
+		counts := [2]int{}
+		for _, i := range all {
+			counts[c.procs[i].coins[1]]++
+		}
+		switch {
+		case counts[0] == len(all):
+			all0++
+		case counts[1] == len(all):
+			all1++
+		default:
+			split++
+		}
+		for _, i := range all {
+			if len(c.procs[i].shunned) != 0 {
+				t.Errorf("seed %d: shun in honest run", seed)
+			}
+		}
+	}
+	t.Logf("coin outcomes over %d honest rounds: all0=%d all1=%d split=%d", rounds, all0, all1, split)
+	// In honest runs the gathered sets coincide, so splits should be
+	// nonexistent and both sides should appear with frequency >= 1/4 up
+	// to sampling noise. With 24 rounds, require at least 3 each.
+	if split != 0 {
+		t.Errorf("honest coin split %d times", split)
+	}
+	if all0 < 3 || all1 < 3 {
+		t.Errorf("coin badly biased: all0=%d all1=%d", all0, all1)
+	}
+}
+
+// TestCoinWithSilentFaults: the coin must terminate with t processes
+// crashed from the start.
+func TestCoinWithSilentFaults(t *testing.T) {
+	c := newCluster(t, 4, 1, 7)
+	c.nw.Crash(4)
+	live := ids(1, 3)
+	c.startRound(t, 1, live)
+	c.mustReach(t, "coin with crash", func() bool { return c.allDone(1, live) })
+	// All live processes agree here because their gathered sets coincide
+	// in this schedule-free crash case... they must at least terminate.
+	for _, i := range live {
+		if _, ok := c.procs[i].coins[1]; !ok {
+			t.Errorf("process %d missing coin", i)
+		}
+	}
+}
+
+// TestCoinSequentialRounds runs two rounds back to back at every process
+// and checks both terminate (session ordering must not deadlock the DMM).
+func TestCoinSequentialRounds(t *testing.T) {
+	c := newCluster(t, 4, 1, 9)
+	all := ids(1, 4)
+	c.startRound(t, 1, all)
+	c.mustReach(t, "round 1", func() bool { return c.allDone(1, all) })
+	c.startRound(t, 2, all)
+	c.mustReach(t, "round 2", func() bool { return c.allDone(2, all) })
+}
+
+// TestCoinAgreementLargerCluster samples one round at n=7.
+func TestCoinAgreementLargerCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=7 coin is heavy")
+	}
+	all := ids(1, 7)
+	c := newCluster(t, 7, 2, 11)
+	c.startRound(t, 1, all)
+	c.mustReach(t, "n7 coin", func() bool { return c.allDone(1, all) })
+	first := c.procs[1].coins[1]
+	for _, i := range all {
+		if c.procs[i].coins[1] != first {
+			t.Errorf("disagreement at %d", i)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package coin_test
+
+import (
+	"testing"
+
+	"svssba/internal/adversary"
+	"svssba/internal/sim"
+)
+
+// TestCoinShunOrAgreeUnderLiar exercises the SCC Correctness disjunction
+// (Definition 2) under an active reconstruction liar: every invocation
+// either lands a common bit at all honest processes, or some honest
+// process shuns the liar.
+func TestCoinShunOrAgreeUnderLiar(t *testing.T) {
+	agreeRuns, shunRuns := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		c := newCluster(t, 4, 1, seed)
+		adversary.Apply(c.procs[4].stack, adversary.RValLiar(3))
+		honest := ids(1, 3)
+		c.startRound(t, 1, ids(1, 4))
+		c.mustReach(t, "coin under liar", func() bool { return c.allDone(1, honest) })
+		// Drain so late contradictions surface.
+		if _, err := c.nw.Run(200_000_000); err != nil {
+			t.Fatalf("seed %d: drain: %v", seed, err)
+		}
+		bits := make(map[int]bool)
+		for _, i := range honest {
+			bits[c.procs[i].coins[1]] = true
+		}
+		shuns := 0
+		for _, i := range honest {
+			for _, j := range c.procs[i].shunned {
+				if j != 4 {
+					t.Fatalf("seed %d: honest %d shunned honest %d", seed, i, j)
+				}
+				shuns++
+			}
+		}
+		if len(bits) > 1 && shuns == 0 {
+			t.Fatalf("seed %d: coin disagreement without shunning", seed)
+		}
+		if len(bits) == 1 {
+			agreeRuns++
+		}
+		if shuns > 0 {
+			shunRuns++
+		}
+	}
+	t.Logf("liar runs: agreed=%d/8 shunned=%d/8", agreeRuns, shunRuns)
+	if agreeRuns == 0 {
+		t.Error("coin never agreed under liar")
+	}
+}
+
+// TestCoinTerminatesWithSilentByzantine: a silent (receive-only) process
+// must not block coin termination for the others.
+func TestCoinTerminatesWithSilentByzantine(t *testing.T) {
+	c := newCluster(t, 4, 1, 5)
+	adversary.Apply(c.procs[2].stack, adversary.Silent())
+	honest := []sim.ProcID{1, 3, 4}
+	c.startRound(t, 1, honest)
+	c.mustReach(t, "coin with silent process", func() bool { return c.allDone(1, honest) })
+}

@@ -1,0 +1,209 @@
+// Package core assembles the paper's protocol stack into a per-process
+// engine: a Node owns the reliable-broadcast engine (Appendix A), the DMM
+// protocol (§3.3), and a routing table that dispatches filtered events to
+// the registered protocol layers (MW-SVSS §3.2, SVSS §4, common coin and
+// agreement §5).
+//
+// Message flow on delivery:
+//
+//	sim message ──> D_i discard (DMM step 4)
+//	      │
+//	      ├── WRB/RB internal message ──> rb.Engine ──> accept event
+//	      │        accept ──> observer hooks (DMM steps 2/3)
+//	      │               ──> DMM filter (delay/park, step 5)
+//	      │               ──> broadcast handler by tag.Proto
+//	      │
+//	      └── direct protocol message
+//	               ──> DMM filter when payload carries a session
+//	               ──> direct handler by payload kind
+//
+// After every delivery, parked events whose delay condition cleared are
+// drained and dispatched in park order.
+package core
+
+import (
+	"svssba/internal/dmm"
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+)
+
+// BroadcastHandler consumes an RB-accepted broadcast.
+type BroadcastHandler func(ctx sim.Context, origin sim.ProcID, tag proto.Tag, value []byte)
+
+// ObserverHandler inspects an accepted broadcast before filtering (used
+// for DMM expectation resolution, which must not be delayed).
+type ObserverHandler func(origin sim.ProcID, tag proto.Tag, value []byte)
+
+// DirectHandler consumes a direct protocol message.
+type DirectHandler func(ctx sim.Context, m sim.Message)
+
+// InitFunc runs when the process initializes.
+type InitFunc func(ctx sim.Context)
+
+// Node is the per-process protocol host. It implements sim.Handler and
+// the Host interfaces of the protocol packages.
+type Node struct {
+	id        sim.ProcID
+	rbEng     *rb.Engine
+	dmmSt     *dmm.DMM
+	direct    map[string]DirectHandler
+	bcast     map[uint8]BroadcastHandler
+	observers map[uint8][]ObserverHandler
+	inits     []InitFunc
+
+	sendTamper  SendTamper
+	bcastTamper BcastTamper
+}
+
+var _ sim.Handler = (*Node)(nil)
+
+// NewNode creates a protocol host for process id. onShun observes D_i
+// additions (may be nil).
+func NewNode(id sim.ProcID, onShun dmm.ShunFunc) *Node {
+	n := &Node{
+		id:        id,
+		direct:    make(map[string]DirectHandler),
+		bcast:     make(map[uint8]BroadcastHandler),
+		observers: make(map[uint8][]ObserverHandler),
+	}
+	n.dmmSt = dmm.New(id, onShun)
+	n.rbEng = rb.New(id, n.onRBAccept)
+	return n
+}
+
+// ID implements sim.Handler.
+func (n *Node) ID() sim.ProcID { return n.id }
+
+// Self implements the protocol Host interfaces.
+func (n *Node) Self() sim.ProcID { return n.id }
+
+// DMM returns the process's detection and message management state.
+func (n *Node) DMM() *dmm.DMM { return n.dmmSt }
+
+// Broadcast reliably broadcasts value under tag (origin = this process).
+func (n *Node) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
+	if n.bcastTamper != nil {
+		out, keep := n.bcastTamper(ctx, tag, value)
+		if !keep {
+			return
+		}
+		value = out
+	}
+	n.rbEng.Broadcast(n.wrap(ctx), tag, value)
+}
+
+// HandleDirect routes direct messages of the given payload kind.
+func (n *Node) HandleDirect(kind string, h DirectHandler) {
+	n.direct[kind] = h
+}
+
+// HandleBroadcast routes accepted broadcasts of the given tag namespace.
+func (n *Node) HandleBroadcast(protoNS uint8, h BroadcastHandler) {
+	n.bcast[protoNS] = h
+}
+
+// ObserveBroadcast registers a pre-filter observer for a tag namespace.
+func (n *Node) ObserveBroadcast(protoNS uint8, h ObserverHandler) {
+	n.observers[protoNS] = append(n.observers[protoNS], h)
+}
+
+// AddInit registers an initialization function (e.g. start dealing).
+func (n *Node) AddInit(f InitFunc) { n.inits = append(n.inits, f) }
+
+// Init implements sim.Handler.
+func (n *Node) Init(ctx sim.Context) {
+	ctx = n.wrap(ctx)
+	for _, f := range n.inits {
+		f(ctx)
+	}
+	n.drain(ctx)
+}
+
+// Deliver implements sim.Handler.
+func (n *Node) Deliver(ctx sim.Context, m sim.Message) {
+	ctx = n.wrap(ctx)
+	// DMM step 4: any message sent by a process in D_i is discarded.
+	if n.dmmSt.IsFaulty(m.From) {
+		return
+	}
+	if n.rbEng.Handle(ctx, m) {
+		n.drain(ctx)
+		return
+	}
+	n.dispatchDirect(ctx, m)
+	n.drain(ctx)
+}
+
+func (n *Node) dispatchDirect(ctx sim.Context, m sim.Message) {
+	s, sessioned := m.Payload.(dmm.Sessioned)
+	if !sessioned {
+		n.deliverDirect(ctx, m)
+		return
+	}
+	ev := dmm.Event{
+		Class: dmm.ClassDirect,
+		From:  m.From,
+		Ref:   s.SessionRef(),
+		Msg:   m,
+	}
+	if n.dmmSt.Filter(ev) == dmm.Forward {
+		n.deliverDirect(ctx, m)
+	}
+}
+
+func (n *Node) deliverDirect(ctx sim.Context, m sim.Message) {
+	if h, ok := n.direct[m.Payload.Kind()]; ok {
+		h(ctx, m)
+	}
+}
+
+// onRBAccept receives accepted broadcasts from the RB engine.
+func (n *Node) onRBAccept(ctx sim.Context, a rb.Accept) {
+	if n.dmmSt.IsFaulty(a.Origin) {
+		return
+	}
+	// Expectation resolution (DMM steps 2/3) runs before filtering.
+	for _, obs := range n.observers[a.Tag.Proto] {
+		obs(a.Origin, a.Tag, a.Value)
+	}
+	if a.Tag.Session.IsZero() {
+		n.deliverBcast(ctx, a.Origin, a.Tag, a.Value)
+		return
+	}
+	ev := dmm.Event{
+		Class: dmm.ClassBroadcast,
+		From:  a.Origin,
+		Ref:   proto.MWID{Session: a.Tag.Session, Key: a.Tag.MW},
+		Tag:   a.Tag,
+		Value: a.Value,
+	}
+	if n.dmmSt.Filter(ev) == dmm.Forward {
+		n.deliverBcast(ctx, a.Origin, a.Tag, a.Value)
+	}
+}
+
+func (n *Node) deliverBcast(ctx sim.Context, origin sim.ProcID, tag proto.Tag, value []byte) {
+	if h, ok := n.bcast[tag.Proto]; ok {
+		h(ctx, origin, tag, value)
+	}
+}
+
+// drain dispatches parked events whose delay cleared; dispatching may
+// clear more, so it loops to a fixed point.
+func (n *Node) drain(ctx sim.Context) {
+	for {
+		ready := n.dmmSt.TakeReady()
+		if len(ready) == 0 {
+			return
+		}
+		for _, ev := range ready {
+			switch ev.Class {
+			case dmm.ClassDirect:
+				n.deliverDirect(ctx, ev.Msg)
+			case dmm.ClassBroadcast:
+				n.deliverBcast(ctx, ev.From, ev.Tag, ev.Value)
+			}
+		}
+	}
+}

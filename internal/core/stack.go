@@ -1,0 +1,152 @@
+package core
+
+import (
+	"svssba/internal/aba"
+	"svssba/internal/coin"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// AttachMWSVSS creates a standalone MW-SVSS engine hosted on n and wires
+// its direct-message, broadcast and observer routes. Use NewStack for the
+// full protocol stack.
+func AttachMWSVSS(n *Node, cb mwsvss.Callbacks) *mwsvss.Engine {
+	eng := mwsvss.New(n, cb)
+	for _, kind := range []string{
+		mwsvss.KindDealVals,
+		mwsvss.KindDealPoly,
+		mwsvss.KindDealMod,
+		mwsvss.KindEcho,
+		mwsvss.KindModValue,
+	} {
+		n.HandleDirect(kind, eng.OnMessage)
+	}
+	n.HandleBroadcast(proto.ProtoMW, eng.OnBroadcast)
+	n.ObserveBroadcast(proto.ProtoMW, eng.ObserveBroadcast)
+	return eng
+}
+
+// SVSSConsumer receives completion events for SVSS sessions of one kind.
+type SVSSConsumer struct {
+	ShareComplete func(ctx sim.Context, sid proto.SessionID)
+	ReconComplete func(ctx sim.Context, sid proto.SessionID, out svss.Output)
+}
+
+// MWConsumer receives completion events for standalone (KindMW) MW-SVSS
+// sessions.
+type MWConsumer struct {
+	ShareComplete func(ctx sim.Context, id proto.MWID)
+	ReconComplete func(ctx sim.Context, id proto.MWID, out mwsvss.Output)
+}
+
+// Stack is the full per-process protocol stack of the paper: Node (RB +
+// DMM + routing), the MW-SVSS engine, and the SVSS engine. The coin and
+// agreement layers attach on top via ConsumeSVSS.
+type Stack struct {
+	Node *Node
+	MW   *mwsvss.Engine
+	SVSS *svss.Engine
+	Coin *coin.Engine
+	ABA  *aba.Engine
+
+	mwConsumer    MWConsumer
+	svssConsumers map[proto.SessionKind]SVSSConsumer
+	onDecide      func(ctx sim.Context, value int)
+	onCoin        func(ctx sim.Context, round uint64, bit int)
+}
+
+// NewStack builds the protocol stack for process id. onShun may be nil.
+func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID)) *Stack {
+	st := &Stack{
+		Node:          NewNode(id, onShun),
+		svssConsumers: make(map[proto.SessionKind]SVSSConsumer),
+	}
+
+	st.MW = AttachMWSVSS(st.Node, mwsvss.Callbacks{
+		ShareComplete: func(ctx sim.Context, mid proto.MWID) {
+			if mid.Session.Kind == proto.KindMW {
+				if st.mwConsumer.ShareComplete != nil {
+					st.mwConsumer.ShareComplete(ctx, mid)
+				}
+				return
+			}
+			st.SVSS.OnMWShareComplete(ctx, mid)
+		},
+		ReconstructComplete: func(ctx sim.Context, mid proto.MWID, out mwsvss.Output) {
+			if mid.Session.Kind == proto.KindMW {
+				if st.mwConsumer.ReconComplete != nil {
+					st.mwConsumer.ReconComplete(ctx, mid, out)
+				}
+				return
+			}
+			st.SVSS.OnMWReconComplete(ctx, mid, out)
+		},
+	})
+
+	st.SVSS = svss.New(st.Node, st.MW, svss.Callbacks{
+		ShareComplete: func(ctx sim.Context, sid proto.SessionID) {
+			if c, ok := st.svssConsumers[sid.Kind]; ok && c.ShareComplete != nil {
+				c.ShareComplete(ctx, sid)
+			}
+		},
+		ReconstructComplete: func(ctx sim.Context, sid proto.SessionID, out svss.Output) {
+			if c, ok := st.svssConsumers[sid.Kind]; ok && c.ReconComplete != nil {
+				c.ReconComplete(ctx, sid, out)
+			}
+		},
+	})
+	st.Node.HandleDirect(svss.KindDeal, st.SVSS.OnMessage)
+	st.Node.HandleBroadcast(proto.ProtoSVSS, st.SVSS.OnBroadcast)
+
+	// Common coin (§5) over SVSS, and binary agreement over the coin.
+	st.Coin = coin.New(st.Node, st.SVSS, func(ctx sim.Context, round uint64, bit int) {
+		if st.onCoin != nil {
+			st.onCoin(ctx, round, bit)
+		}
+		st.ABA.OnCoin(ctx, round, bit)
+	})
+	st.ABA = aba.New(id, st.Coin, func(ctx sim.Context, v int) {
+		if st.onDecide != nil {
+			st.onDecide(ctx, v)
+		}
+	})
+	st.Node.HandleBroadcast(proto.ProtoCoin, st.Coin.OnBroadcast)
+	st.Node.HandleBroadcast(proto.ProtoGather, st.Coin.Gather().OnBroadcast)
+	st.ConsumeSVSS(proto.KindCoin, SVSSConsumer{
+		ShareComplete: st.Coin.OnSVSSShareComplete,
+		ReconComplete: st.Coin.OnSVSSReconComplete,
+	})
+	for _, kind := range []string{aba.KindBVal, aba.KindAux, aba.KindConf, aba.KindDecide} {
+		st.Node.HandleDirect(kind, st.ABA.OnMessage)
+	}
+	return st
+}
+
+// OnDecide registers an observer for the local agreement decision.
+func (st *Stack) OnDecide(fn func(ctx sim.Context, value int)) { st.onDecide = fn }
+
+// OnCoin registers an observer for local coin outputs.
+func (st *Stack) OnCoin(fn func(ctx sim.Context, round uint64, bit int)) { st.onCoin = fn }
+
+// NewCodec returns a codec covering every protocol message in the stack
+// (used by the live runtime and the codec round-trip tests).
+func NewCodec() *proto.Codec {
+	c := proto.NewCodec()
+	rb.RegisterCodec(c)
+	mwsvss.RegisterCodec(c)
+	svss.RegisterCodec(c)
+	aba.RegisterCodec(c)
+	return c
+}
+
+// ConsumeSVSS routes completion events of SVSS sessions of the given
+// kind (replacing any previous consumer for that kind).
+func (st *Stack) ConsumeSVSS(kind proto.SessionKind, c SVSSConsumer) {
+	st.svssConsumers[kind] = c
+}
+
+// ConsumeMW routes completion events of standalone MW-SVSS sessions.
+func (st *Stack) ConsumeMW(c MWConsumer) { st.mwConsumer = c }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// SendTamper rewrites or drops an outgoing direct message. It returns the
+// payload to send (possibly modified) and whether to send at all. Used to
+// build Byzantine processes as "honest logic plus outbound corruption".
+type SendTamper func(ctx sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool)
+
+// BcastTamper rewrites or drops an outgoing reliable-broadcast value
+// before it enters RB (the corrupted value is then broadcast
+// consistently, which is exactly how a faulty-but-careful process evades
+// RB-level detection, as in the paper's Example 1).
+type BcastTamper func(ctx sim.Context, tag proto.Tag, value []byte) ([]byte, bool)
+
+// SetSendTamper installs a direct-send interceptor. All sends made by
+// protocol engines hosted on this node pass through it (including RB
+// internal traffic).
+func (n *Node) SetSendTamper(t SendTamper) { n.sendTamper = t }
+
+// SetBcastTamper installs a broadcast-value interceptor applied in
+// Node.Broadcast before the value enters RB.
+func (n *Node) SetBcastTamper(t BcastTamper) { n.bcastTamper = t }
+
+// tamperCtx wraps a sim.Context so sends pass through the node's tamper.
+type tamperCtx struct {
+	sim.Context
+	node *Node
+}
+
+func (c tamperCtx) Send(to sim.ProcID, p sim.Payload) {
+	out, keep := c.node.sendTamper(c.Context, to, p)
+	if !keep {
+		return
+	}
+	c.Context.Send(to, out)
+}
+
+// wrap returns ctx unchanged for honest nodes, or a tampering context
+// when a send interceptor is installed.
+func (n *Node) wrap(ctx sim.Context) sim.Context {
+	if n.sendTamper == nil {
+		return ctx
+	}
+	if _, already := ctx.(tamperCtx); already {
+		return ctx
+	}
+	return tamperCtx{Context: ctx, node: n}
+}

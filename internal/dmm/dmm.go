@@ -1,0 +1,447 @@
+// Package dmm implements the paper's Detection and Message Management
+// protocol (DMM, §3.3). One DMM instance runs per process, indefinitely,
+// concurrently with all VSS invocations. It decides, for every incoming
+// protocol event, whether to
+//
+//   - discard it (sender is in D_i, the set of processes i knows to be
+//     faulty — DMM step 4),
+//   - delay it (the sender has an unresolved ACK_i/DEAL_i expectation from
+//     a session that precedes the event's session in the →_i partial
+//     order — DMM step 5), or
+//   - forward it to the protocol.
+//
+// Expectations are created by MW-SVSS share steps 3 and 7, resolved by the
+// reconstruct-phase value broadcasts (DMM steps 2 and 3), and removed
+// wholesale by share step 8. A broadcast that contradicts an expectation
+// adds its sender to D_i — this is how processes come to shun faulty
+// processes, possibly without ever being aware of it (a process whose
+// expectation is never resolved simply keeps delaying the sender's newer
+// sessions forever).
+//
+// The →_i partial order is maintained exactly as defined in §2: session a
+// precedes session b at process i iff i completed the reconstruct protocol
+// of a before it began the share protocol of b. Begin/complete events are
+// stamped with a per-process logical clock.
+package dmm
+
+import (
+	"fmt"
+
+	"svssba/internal/field"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Source says which expectation array a tuple lives in.
+type Source uint8
+
+// Expectation sources.
+const (
+	// SourceACK marks tuples of ACK_i: i is the MW dealer of the session
+	// and expects Sender to broadcast "f_Target(Sender) = Value" during
+	// reconstruction (added by share step 7).
+	SourceACK Source = iota + 1
+	// SourceDEAL marks tuples of DEAL_i: i expects Sender to broadcast
+	// "f_i(Sender) = Value" during reconstruction of the session (added by
+	// share step 3).
+	SourceDEAL
+)
+
+// Expectation is one tuple of ACK_i or DEAL_i in the unified shape
+// (sender, target polynomial index, session, value).
+type Expectation struct {
+	Sender  sim.ProcID
+	Target  sim.ProcID
+	Session proto.MWID
+	Value   field.Element
+	Source  Source
+}
+
+func (e Expectation) String() string {
+	src := "ACK"
+	if e.Source == SourceDEAL {
+		src = "DEAL"
+	}
+	return fmt.Sprintf("%s{%d->f_%d@%s=%v}", src, e.Sender, e.Target, e.Session, e.Value)
+}
+
+type expectKey struct {
+	sender  sim.ProcID
+	target  sim.ProcID
+	session proto.MWID
+	source  Source
+}
+
+// EventClass distinguishes parked event payload shapes for the host.
+type EventClass uint8
+
+// Event classes.
+const (
+	// ClassDirect is a point-to-point protocol message.
+	ClassDirect EventClass = iota + 1
+	// ClassBroadcast is an RB-accepted broadcast.
+	ClassBroadcast
+)
+
+// Event is a filterable protocol event. From is the sender (direct) or
+// broadcast origin; Ref is the VSS session the event belongs to. The
+// remaining fields are opaque to the DMM and interpreted by the host when
+// the event is forwarded or released.
+type Event struct {
+	Class  EventClass
+	From   sim.ProcID
+	Ref    proto.MWID
+	Msg    sim.Message // ClassDirect
+	Tag    proto.Tag   // ClassBroadcast
+	Value  []byte      // ClassBroadcast
+	parkAt int64
+}
+
+// Action is the filtering decision for an event.
+type Action uint8
+
+// Filtering decisions.
+const (
+	// Forward delivers the event to the protocol now.
+	Forward Action = iota + 1
+	// Parked holds the event inside the DMM until it stops being delayed.
+	Parked
+	// Discarded drops the event permanently (sender in D_i).
+	Discarded
+)
+
+// ShunFunc observes additions to D_i (for metrics and tests).
+type ShunFunc func(detected sim.ProcID, session proto.MWID)
+
+// DMM is the per-process detection and message management state.
+type DMM struct {
+	self    sim.ProcID
+	clock   int64
+	began   map[proto.MWID]int64
+	redone  map[proto.MWID]int64
+	faulty  map[sim.ProcID]bool
+	expect  map[expectKey]field.Element
+	perProc map[sim.ProcID]map[expectKey]struct{}
+	// perPair counts pending expectations per (sender, session);
+	// staleBySender indexes, per sender, the completed-reconstruct
+	// sessions that still have pending expectations (with their
+	// completion stamps). The delay predicate of Filter only involves
+	// stale sessions, which are empty in fault-free runs, so indexing
+	// them keeps filtering O(1) on the hot path.
+	perPair       map[senderSession]int
+	staleBySender map[sim.ProcID]map[proto.MWID]int64
+	bySession     map[proto.MWID]map[sim.ProcID]int
+	parked        []Event
+	onShun        ShunFunc
+	disabled      bool
+
+	// Detections counts D_i additions; Resolved counts matched
+	// expectations; Contradictions counts mismatched broadcasts.
+	Detections     int
+	Resolved       int
+	Contradictions int
+}
+
+// senderSession keys pending-expectation counts.
+type senderSession struct {
+	sender  sim.ProcID
+	session proto.MWID
+}
+
+// New returns the DMM protocol state for process self.
+func New(self sim.ProcID, onShun ShunFunc) *DMM {
+	return &DMM{
+		self:          self,
+		began:         make(map[proto.MWID]int64),
+		redone:        make(map[proto.MWID]int64),
+		faulty:        make(map[sim.ProcID]bool),
+		expect:        make(map[expectKey]field.Element),
+		perProc:       make(map[sim.ProcID]map[expectKey]struct{}),
+		perPair:       make(map[senderSession]int),
+		staleBySender: make(map[sim.ProcID]map[proto.MWID]int64),
+		bySession:     make(map[proto.MWID]map[sim.ProcID]int),
+		onShun:        onShun,
+	}
+}
+
+// Self returns the owning process id.
+func (d *DMM) Self() sim.ProcID { return d.self }
+
+// tick advances the local logical clock.
+func (d *DMM) tick() int64 {
+	d.clock++
+	return d.clock
+}
+
+// BeginShare stamps the moment i begins the share protocol of a session
+// (first local participation). Idempotent.
+func (d *DMM) BeginShare(ref proto.MWID) {
+	if _, ok := d.began[ref]; !ok {
+		d.began[ref] = d.tick()
+	}
+}
+
+// CompleteReconstruct stamps the moment i completes the reconstruct
+// protocol of a session. Idempotent.
+func (d *DMM) CompleteReconstruct(ref proto.MWID) {
+	if _, ok := d.redone[ref]; ok {
+		return
+	}
+	stamp := d.tick()
+	d.redone[ref] = stamp
+	// Any expectations still pending in this session are now stale: the
+	// senders' newer sessions must be delayed (DMM step 5).
+	for sender, cnt := range d.bySession[ref] {
+		if cnt > 0 {
+			d.addStale(sender, ref, stamp)
+		}
+	}
+}
+
+func (d *DMM) addStale(sender sim.ProcID, session proto.MWID, stamp int64) {
+	m, ok := d.staleBySender[sender]
+	if !ok {
+		m = make(map[proto.MWID]int64)
+		d.staleBySender[sender] = m
+	}
+	m[session] = stamp
+}
+
+func (d *DMM) pairInc(sender sim.ProcID, session proto.MWID) {
+	d.perPair[senderSession{sender, session}]++
+	m, ok := d.bySession[session]
+	if !ok {
+		m = make(map[sim.ProcID]int)
+		d.bySession[session] = m
+	}
+	m[sender]++
+	if stamp, done := d.redone[session]; done {
+		d.addStale(sender, session, stamp)
+	}
+}
+
+func (d *DMM) pairDec(sender sim.ProcID, session proto.MWID) {
+	k := senderSession{sender, session}
+	d.perPair[k]--
+	if d.perPair[k] <= 0 {
+		delete(d.perPair, k)
+		if m, ok := d.staleBySender[sender]; ok {
+			delete(m, session)
+			if len(m) == 0 {
+				delete(d.staleBySender, sender)
+			}
+		}
+	}
+	if m, ok := d.bySession[session]; ok {
+		m[sender]--
+		if m[sender] <= 0 {
+			delete(m, sender)
+			if len(m) == 0 {
+				delete(d.bySession, session)
+			}
+		}
+	}
+}
+
+// Precedes reports a →_i b: i completed reconstruct of a before beginning
+// share of b (paper §2).
+func (d *DMM) Precedes(a, b proto.MWID) bool {
+	ra, ok := d.redone[a]
+	if !ok {
+		return false
+	}
+	bb, ok := d.began[b]
+	if !ok {
+		// b has not begun; processing an event of b now would begin it
+		// now, which is after every stamped completion.
+		return true
+	}
+	return ra < bb
+}
+
+// IsFaulty reports whether j is in D_i.
+func (d *DMM) IsFaulty(j sim.ProcID) bool { return !d.disabled && d.faulty[j] }
+
+// FaultySet returns a copy of D_i.
+func (d *DMM) FaultySet() []sim.ProcID {
+	out := make([]sim.ProcID, 0, len(d.faulty))
+	for j := range d.faulty {
+		out = append(out, j)
+	}
+	return out
+}
+
+// markFaulty adds j to D_i (DMM steps 2/3, mismatch branch).
+func (d *DMM) markFaulty(j sim.ProcID, session proto.MWID) {
+	if d.faulty[j] {
+		return
+	}
+	d.faulty[j] = true
+	d.Detections++
+	if d.onShun != nil {
+		d.onShun(j, session)
+	}
+}
+
+// Expect installs an expectation tuple (share steps 3 and 7). A duplicate
+// (same key) keeps the first value.
+func (d *DMM) Expect(e Expectation) {
+	k := expectKey{sender: e.Sender, target: e.Target, session: e.Session, source: e.Source}
+	if _, dup := d.expect[k]; dup {
+		return
+	}
+	d.expect[k] = e.Value
+	m, ok := d.perProc[e.Sender]
+	if !ok {
+		m = make(map[expectKey]struct{})
+		d.perProc[e.Sender] = m
+	}
+	m[k] = struct{}{}
+	d.pairInc(e.Sender, e.Session)
+}
+
+// DropDealExpectations removes every DEAL_i tuple of the given session
+// (share step 8: i is not in the moderator's set M̂, so nobody will ever
+// broadcast shares of f_i for this session).
+func (d *DMM) DropDealExpectations(session proto.MWID) {
+	for k := range d.expect {
+		if k.session == session && k.source == SourceDEAL {
+			d.removeKey(k)
+		}
+	}
+}
+
+func (d *DMM) removeKey(k expectKey) {
+	if _, ok := d.expect[k]; !ok {
+		return
+	}
+	delete(d.expect, k)
+	if m, ok := d.perProc[k.sender]; ok {
+		delete(m, k)
+		if len(m) == 0 {
+			delete(d.perProc, k.sender)
+		}
+	}
+	d.pairDec(k.sender, k.session)
+}
+
+// Disable turns the DMM into a pass-through (no detection, no delaying,
+// no discarding) — the ablation mode of experiment E8, which shows that
+// without shunning the adversary can keep ruining sessions forever.
+func (d *DMM) Disable() { d.disabled = true }
+
+// ObserveValueBroadcast runs DMM steps 2 and 3 on a reconstruct-phase
+// value broadcast: origin RB-broadcast "f_target(origin) = value" in the
+// given session. Matching expectations are resolved; a contradiction adds
+// origin to D_i. Runs unconditionally on receipt (resolution is DMM
+// bookkeeping, not protocol action, and must not itself be delayed).
+func (d *DMM) ObserveValueBroadcast(origin sim.ProcID, session proto.MWID, target sim.ProcID, value field.Element) {
+	if d.disabled {
+		return
+	}
+	for _, src := range []Source{SourceACK, SourceDEAL} {
+		k := expectKey{sender: origin, target: target, session: session, source: src}
+		want, ok := d.expect[k]
+		if !ok {
+			continue
+		}
+		if want == value {
+			d.Resolved++
+			d.removeKey(k)
+		} else {
+			d.Contradictions++
+			d.markFaulty(origin, session)
+		}
+	}
+}
+
+// PendingFrom reports whether any expectation from j is outstanding.
+func (d *DMM) PendingFrom(j sim.ProcID) bool {
+	return len(d.perProc[j]) > 0
+}
+
+// PendingCount returns the number of outstanding expectations.
+func (d *DMM) PendingCount() int { return len(d.expect) }
+
+// StaleExpectations returns expectations whose session already completed
+// reconstruction locally — each is an implicit shun in progress (the
+// sender's newer sessions are being delayed indefinitely).
+func (d *DMM) StaleExpectations() []Expectation {
+	var out []Expectation
+	for k, v := range d.expect {
+		if _, done := d.redone[k.session]; done {
+			out = append(out, Expectation{
+				Sender: k.sender, Target: k.target, Session: k.session,
+				Value: v, Source: k.source,
+			})
+		}
+	}
+	return out
+}
+
+// shouldDelay implements DMM step 5: delay an event of session ref from j
+// if some expectation from j belongs to a session that →_i-precedes ref.
+// Only sessions that completed reconstruction can precede anything, and
+// those are indexed in staleBySender, so the common case is O(1).
+func (d *DMM) shouldDelay(j sim.ProcID, ref proto.MWID) bool {
+	stale := d.staleBySender[j]
+	if len(stale) == 0 {
+		return false
+	}
+	begin, begun := d.began[ref]
+	for _, stamp := range stale {
+		if !begun || stamp < begin {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter decides an event's fate; Parked events are held internally and
+// surface later through TakeReady.
+func (d *DMM) Filter(ev Event) Action {
+	if d.disabled {
+		return Forward
+	}
+	if d.faulty[ev.From] {
+		return Discarded
+	}
+	if d.shouldDelay(ev.From, ev.Ref) {
+		ev.parkAt = d.tick()
+		d.parked = append(d.parked, ev)
+		return Parked
+	}
+	return Forward
+}
+
+// TakeReady returns parked events that are no longer delayed, in park
+// order. Events from processes meanwhile added to D_i are discarded.
+// Hosts call this after every delivery so releases happen promptly.
+func (d *DMM) TakeReady() []Event {
+	if len(d.parked) == 0 {
+		return nil
+	}
+	var ready []Event
+	kept := d.parked[:0]
+	for _, ev := range d.parked {
+		switch {
+		case d.faulty[ev.From]:
+			// drop
+		case d.shouldDelay(ev.From, ev.Ref):
+			kept = append(kept, ev)
+		default:
+			ready = append(ready, ev)
+		}
+	}
+	d.parked = kept
+	return ready
+}
+
+// ParkedCount returns how many events are currently delayed.
+func (d *DMM) ParkedCount() int { return len(d.parked) }
+
+// Sessioned is implemented by direct protocol payloads that belong to a
+// VSS session; the host uses it to route them through the DMM filter.
+type Sessioned interface {
+	SessionRef() proto.MWID
+}

@@ -1,0 +1,78 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"svssba/internal/exp"
+)
+
+var quick = exp.Scale{Quick: true}
+
+// TestE7TableShape runs the deterministic Example 1 replay and checks
+// every row observes its expectation.
+func TestE7TableShape(t *testing.T) {
+	tb := exp.E7(quick)
+	out := tb.String()
+	if tb.Len() != 5 {
+		t.Fatalf("rows = %d, want 5\n%s", tb.Len(), out)
+	}
+	for _, want := range []string{"42", "10042", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+	// Expected and observed columns must match on the headline rows.
+	if strings.Count(out, "false") != 2 { // one expected + one observed "false"
+		t.Errorf("pre-completion detection mismatch:\n%s", out)
+	}
+}
+
+// TestE4BoundHolds re-runs the shun-bound experiment and asserts the
+// cumulative pair count never exceeds t(n−t).
+func TestE4BoundHolds(t *testing.T) {
+	tb := exp.E4(quick)
+	if tb.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	out := tb.String()
+	if strings.Contains(out, "stuck") {
+		t.Fatalf("session runner stuck:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n")[3:] {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			continue
+		}
+		if fields[2] > fields[3] { // lexicographic works for single digits
+			t.Errorf("shun pairs exceed bound: %s", line)
+		}
+	}
+}
+
+// TestE8AblationContrast asserts the DMM-off row ruins strictly more
+// sessions than the DMM-on row.
+func TestE8AblationContrast(t *testing.T) {
+	tb := exp.E8(quick)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("table too small:\n%s", out)
+	}
+	var onRuined, offRuined string
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[1] == "on" {
+			onRuined = fields[2]
+		}
+		if len(fields) == 4 && fields[1] == "off" {
+			offRuined = fields[2]
+		}
+	}
+	if onRuined == "" || offRuined == "" {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if !(onRuined < offRuined) { // single digits: lexicographic = numeric
+		t.Errorf("ablation contrast missing: on=%s off=%s", onRuined, offRuined)
+	}
+}

@@ -1,0 +1,148 @@
+// Package field implements arithmetic in the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime).
+//
+// The paper requires a finite field F with |F| > n over which the dealer
+// draws random degree-t polynomials (Section 3.2). Any prime field larger
+// than the process count works; 2^61-1 is chosen because multiplication
+// reduces with two shift-adds on 64-bit words, elements fit in a single
+// uint64, and the field is comfortably large enough for the coin lottery
+// values of Section 5 to avoid collisions.
+package field
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Modulus is the field characteristic p = 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// Element is a field element in canonical form (0 <= e < Modulus).
+type Element uint64
+
+// Zero and One are the additive and multiplicative identities.
+const (
+	Zero Element = 0
+	One  Element = 1
+)
+
+// New returns the element congruent to v modulo p.
+func New(v uint64) Element {
+	return Element(reduce64(v))
+}
+
+// NewInt returns the element congruent to v modulo p, accepting negatives.
+func NewInt(v int64) Element {
+	if v >= 0 {
+		return New(uint64(v))
+	}
+	// -v may overflow for MinInt64; handle via modular arithmetic.
+	m := uint64(-(v + 1)) + 1 // |v| without overflow
+	return New(m).Neg()
+}
+
+// Rand returns a uniformly random field element drawn from r.
+func Rand(r *rand.Rand) Element {
+	// Rejection sampling over 61-bit values keeps the distribution uniform.
+	for {
+		v := r.Uint64() >> 3 // 61 random bits
+		if v < Modulus {
+			return Element(v)
+		}
+	}
+}
+
+// Uint64 returns the canonical representative of e.
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e == 0 }
+
+// Add returns e + o in GF(p).
+func (e Element) Add(o Element) Element {
+	s := uint64(e) + uint64(o)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns e - o in GF(p).
+func (e Element) Sub(o Element) Element {
+	if e >= o {
+		return e - o
+	}
+	return e + Element(Modulus) - o
+}
+
+// Neg returns -e in GF(p).
+func (e Element) Neg() Element {
+	if e == 0 {
+		return 0
+	}
+	return Element(Modulus) - e
+}
+
+// Mul returns e * o in GF(p).
+func (e Element) Mul(o Element) Element {
+	hi, lo := bits.Mul64(uint64(e), uint64(o))
+	return Element(reduce128(hi, lo))
+}
+
+// Square returns e^2 in GF(p).
+func (e Element) Square() Element { return e.Mul(e) }
+
+// Pow returns e^k in GF(p) by square-and-multiply.
+func (e Element) Pow(k uint64) Element {
+	result := One
+	base := e
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Square()
+		k >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of e. Inverting zero returns zero;
+// callers that can receive zero must check IsZero first.
+func (e Element) Inv() Element {
+	if e == 0 {
+		return 0
+	}
+	// Fermat: e^(p-2) = e^-1 for prime p.
+	return e.Pow(Modulus - 2)
+}
+
+// Div returns e / o. Division by zero returns zero (see Inv).
+func (e Element) Div(o Element) Element { return e.Mul(o.Inv()) }
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// reduce64 reduces a full 64-bit value modulo p.
+func reduce64(v uint64) uint64 {
+	// v = hi*2^61 + lo with hi < 8.
+	v = (v >> 61) + (v & Modulus)
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return v
+}
+
+// reduce128 reduces a 128-bit product modulo p = 2^61 - 1.
+func reduce128(hi, lo uint64) uint64 {
+	// x = hi*2^64 + lo = (hi*8 + lo>>61)*2^61 + (lo & p).
+	// Since 2^61 ≡ 1 (mod p), x ≡ (hi<<3 | lo>>61) + (lo & p).
+	h := hi<<3 | lo>>61
+	l := lo & Modulus
+	s := h + l // h < 2^61 for inputs < p, so no overflow
+	s = (s >> 61) + (s & Modulus)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return s
+}

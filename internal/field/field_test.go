@@ -1,0 +1,236 @@
+package field
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	tests := []struct {
+		give uint64
+		want Element
+	}{
+		{give: 0, want: 0},
+		{give: 1, want: 1},
+		{give: Modulus - 1, want: Element(Modulus - 1)},
+		{give: Modulus, want: 0},
+		{give: Modulus + 1, want: 1},
+		{give: ^uint64(0), want: Element(reduce64(^uint64(0)))},
+	}
+	for _, tt := range tests {
+		if got := New(tt.give); got != tt.want {
+			t.Errorf("New(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestNewIntNegatives(t *testing.T) {
+	tests := []struct {
+		give int64
+		want Element
+	}{
+		{give: -1, want: Element(Modulus - 1)},
+		{give: -5, want: Element(Modulus - 5)},
+		{give: 5, want: 5},
+		{give: 0, want: 0},
+	}
+	for _, tt := range tests {
+		if got := NewInt(tt.give); got != tt.want {
+			t.Errorf("NewInt(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAddSubIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := Rand(r), Rand(r)
+		if got := a.Add(b).Sub(b); got != a {
+			t.Fatalf("(%v+%v)-%v = %v, want %v", a, b, b, got, a)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a := Rand(r)
+		if got := a.Add(a.Neg()); got != 0 {
+			t.Fatalf("%v + (-%v) = %v, want 0", a, a, got)
+		}
+	}
+	if Zero.Neg() != Zero {
+		t.Error("Neg(0) != 0")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, want Element
+	}{
+		{a: 0, b: 123, want: 0},
+		{a: 1, b: 123, want: 123},
+		{a: 2, b: Element(Modulus - 1), want: Element(Modulus - 2)},
+		{a: Element(Modulus - 1), b: Element(Modulus - 1), want: 1},
+		{a: 1 << 30, b: 1 << 31, want: 1}, // 2^61 ≡ 1 mod p
+	}
+	for _, tt := range tests {
+		if got := tt.a.Mul(tt.b); got != tt.want {
+			t.Errorf("%v * %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := Rand(r)
+		if a.IsZero() {
+			continue
+		}
+		if got := a.Mul(a.Inv()); got != One {
+			t.Fatalf("%v * %v^-1 = %v, want 1", a, a, got)
+		}
+	}
+	if Zero.Inv() != Zero {
+		t.Error("Inv(0) should return 0 by convention")
+	}
+}
+
+func TestPow(t *testing.T) {
+	a := New(7)
+	want := One
+	for k := uint64(0); k < 20; k++ {
+		if got := a.Pow(k); got != want {
+			t.Fatalf("7^%d = %v, want %v", k, got, want)
+		}
+		want = want.Mul(a)
+	}
+	// Fermat's little theorem: a^(p-1) = 1.
+	if got := a.Pow(Modulus - 1); got != One {
+		t.Errorf("7^(p-1) = %v, want 1", got)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if got := New(9).Div(Zero); got != Zero {
+		t.Errorf("9/0 = %v, want 0 by convention", got)
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		if v := Rand(r); uint64(v) >= Modulus {
+			t.Fatalf("Rand produced out-of-range element %v", v)
+		}
+	}
+}
+
+// randElem adapts Rand for testing/quick generators.
+func randElem(r *rand.Rand) Element { return Rand(r) }
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randElem(r))
+			}
+		},
+	}
+
+	t.Run("AddCommutative", func(t *testing.T) {
+		if err := quick.Check(func(a, b Element) bool {
+			return a.Add(b) == b.Add(a)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("AddAssociative", func(t *testing.T) {
+		if err := quick.Check(func(a, b, c Element) bool {
+			return a.Add(b).Add(c) == a.Add(b.Add(c))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("MulCommutative", func(t *testing.T) {
+		if err := quick.Check(func(a, b Element) bool {
+			return a.Mul(b) == b.Mul(a)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("MulAssociative", func(t *testing.T) {
+		if err := quick.Check(func(a, b, c Element) bool {
+			return a.Mul(b).Mul(c) == a.Mul(b.Mul(c))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("Distributive", func(t *testing.T) {
+		if err := quick.Check(func(a, b, c Element) bool {
+			return a.Mul(b.Add(c)) == a.Mul(b).Add(a.Mul(c))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("SubIsAddNeg", func(t *testing.T) {
+		if err := quick.Check(func(a, b Element) bool {
+			return a.Sub(b) == a.Add(b.Neg())
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("MulMatchesBigIntFreeReference", func(t *testing.T) {
+		// Reference multiplication via repeated 32-bit split:
+		// a*b mod p computed with 4 partial products reduced eagerly.
+		ref := func(a, b Element) Element {
+			aLo, aHi := uint64(a)&0xffffffff, uint64(a)>>32
+			bLo, bHi := uint64(b)&0xffffffff, uint64(b)>>32
+			// a*b = aHi*bHi*2^64 + (aHi*bLo+aLo*bHi)*2^32 + aLo*bLo
+			p := New(aHi * bHi)
+			two32 := New(1 << 32)
+			p = p.Mul(two32).Add(New(aHi * bLo)).Add(New(aLo * bHi))
+			p = p.Mul(two32).Add(New(aLo * bLo))
+			return p
+		}
+		if err := quick.Check(func(a, b Element) bool {
+			return a.Mul(b) == ref(a, b)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("InvIsInverse", func(t *testing.T) {
+		if err := quick.Check(func(a Element) bool {
+			if a.IsZero() {
+				return true
+			}
+			return a.Mul(a.Inv()) == One
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	x, y := Rand(r), Rand(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	x := Rand(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x.Inv().Add(One)
+	}
+	_ = x
+}

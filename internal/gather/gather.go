@@ -1,0 +1,243 @@
+// Package gather implements the three-round common-core ("gather")
+// protocol that is implicit in the Canetti–Rabin common coin (paper §5,
+// citing [6] Fig 5-9): every party broadcasts a set of verified parties;
+// parties echo quorums of validated sets twice more. The construction
+// ensures that the output sets of nonfaulty parties contain a large
+// common core that is fixed before the first nonfaulty party outputs —
+// which is what lets the coin's lottery values be chosen independently
+// of which parties end up in everyone's output set.
+//
+// The engine is generic over "verification": the layer above (the coin)
+// calls Verify(round, j) as parties become locally verified, and the
+// engine re-evaluates pending sets monotonically.
+//
+// Rounds within the engine:
+//
+//	G1: broadcast S_i, a snapshot of the local verified set (>= n-t).
+//	G2: after validating n-t G1 sets (S_j fully verified locally),
+//	    broadcast A_i = that set of senders.
+//	G3: after validating n-t G2 sets (A_j subset of own validated G1
+//	    senders), broadcast B_i = that set of senders.
+//	Out: after validating n-t G3 sets (B_j subset of own validated G2
+//	    senders), output the union of all validated G1 sets.
+package gather
+
+import (
+	"sort"
+
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Broadcast steps.
+const (
+	StepG1 uint8 = 1
+	StepG2 uint8 = 2
+	StepG3 uint8 = 3
+)
+
+// Host is what the engine needs from its process.
+type Host interface {
+	Self() sim.ProcID
+	Broadcast(ctx sim.Context, tag proto.Tag, value []byte)
+}
+
+// OutputFunc receives the gathered set for a round.
+type OutputFunc func(ctx sim.Context, round uint64, set []sim.ProcID)
+
+type round struct {
+	id uint64
+
+	verified map[sim.ProcID]bool
+	g1Sent   bool
+
+	g1Sets map[sim.ProcID][]sim.ProcID // received S_j
+	r1     map[sim.ProcID]bool         // validated G1 senders
+	g2Sent bool
+
+	g2Sets map[sim.ProcID][]sim.ProcID // received A_j
+	r2     map[sim.ProcID]bool         // validated G2 senders
+	g3Sent bool
+
+	g3Sets map[sim.ProcID][]sim.ProcID // received B_j
+	r3     map[sim.ProcID]bool         // validated G3 senders
+
+	done bool
+}
+
+// Engine runs gather instances keyed by round number.
+type Engine struct {
+	host   Host
+	out    OutputFunc
+	rounds map[uint64]*round
+}
+
+// New returns a gather engine delivering outputs to out.
+func New(host Host, out OutputFunc) *Engine {
+	return &Engine{host: host, out: out, rounds: make(map[uint64]*round)}
+}
+
+func (e *Engine) round(r uint64) *round {
+	rd, ok := e.rounds[r]
+	if !ok {
+		rd = &round{
+			id:       r,
+			verified: make(map[sim.ProcID]bool),
+			g1Sets:   make(map[sim.ProcID][]sim.ProcID),
+			r1:       make(map[sim.ProcID]bool),
+			g2Sets:   make(map[sim.ProcID][]sim.ProcID),
+			r2:       make(map[sim.ProcID]bool),
+			g3Sets:   make(map[sim.ProcID][]sim.ProcID),
+			r3:       make(map[sim.ProcID]bool),
+		}
+		e.rounds[r] = rd
+	}
+	return rd
+}
+
+// Done reports whether the round has produced its output.
+func (e *Engine) Done(r uint64) bool {
+	rd, ok := e.rounds[r]
+	return ok && rd.done
+}
+
+// Verify marks j as locally verified for the round and re-evaluates.
+func (e *Engine) Verify(ctx sim.Context, r uint64, j sim.ProcID) {
+	rd := e.round(r)
+	if rd.verified[j] {
+		return
+	}
+	rd.verified[j] = true
+	e.advance(ctx, rd)
+}
+
+func tag(r uint64, step uint8) proto.Tag {
+	return proto.Tag{Proto: proto.ProtoGather, Step: step, A: uint32(r)}
+}
+
+// OnBroadcast handles G1/G2/G3 broadcasts.
+func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
+	rd := e.round(uint64(t.A))
+	set, ok := decodeProcs(value, ctx.N())
+	if !ok || len(set) < ctx.N()-ctx.T() {
+		return
+	}
+	switch t.Step {
+	case StepG1:
+		if _, dup := rd.g1Sets[origin]; !dup {
+			rd.g1Sets[origin] = set
+		}
+	case StepG2:
+		if _, dup := rd.g2Sets[origin]; !dup {
+			rd.g2Sets[origin] = set
+		}
+	case StepG3:
+		if _, dup := rd.g3Sets[origin]; !dup {
+			rd.g3Sets[origin] = set
+		}
+	default:
+		return
+	}
+	e.advance(ctx, rd)
+}
+
+// advance re-evaluates all monotone conditions for the round.
+func (e *Engine) advance(ctx sim.Context, rd *round) {
+	nt := ctx.N() - ctx.T()
+
+	// Send G1 once enough parties are verified.
+	if !rd.g1Sent && len(rd.verified) >= nt {
+		rd.g1Sent = true
+		e.host.Broadcast(ctx, tag(rd.id, StepG1), encodeProcs(setToSlice(rd.verified)))
+	}
+
+	// Validate G1 sets: every member verified locally.
+	for j, set := range rd.g1Sets {
+		if rd.r1[j] {
+			continue
+		}
+		if allIn(set, rd.verified) {
+			rd.r1[j] = true
+		}
+	}
+	if !rd.g2Sent && len(rd.r1) >= nt {
+		rd.g2Sent = true
+		e.host.Broadcast(ctx, tag(rd.id, StepG2), encodeProcs(setToSlice(rd.r1)))
+	}
+
+	// Validate G2 sets: every member's G1 set validated locally.
+	for j, set := range rd.g2Sets {
+		if rd.r2[j] {
+			continue
+		}
+		if allIn(set, rd.r1) {
+			rd.r2[j] = true
+		}
+	}
+	if !rd.g3Sent && len(rd.r2) >= nt {
+		rd.g3Sent = true
+		e.host.Broadcast(ctx, tag(rd.id, StepG3), encodeProcs(setToSlice(rd.r2)))
+	}
+
+	// Validate G3 sets; output once a quorum is validated.
+	for j, set := range rd.g3Sets {
+		if rd.r3[j] {
+			continue
+		}
+		if allIn(set, rd.r2) {
+			rd.r3[j] = true
+		}
+	}
+	if !rd.done && len(rd.r3) >= nt {
+		rd.done = true
+		union := make(map[sim.ProcID]bool)
+		for j := range rd.r1 {
+			for _, m := range rd.g1Sets[j] {
+				union[m] = true
+			}
+		}
+		if e.out != nil {
+			e.out(ctx, rd.id, setToSlice(union))
+		}
+	}
+}
+
+func allIn(set []sim.ProcID, in map[sim.ProcID]bool) bool {
+	for _, p := range set {
+		if !in[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func setToSlice(set map[sim.ProcID]bool) []sim.ProcID {
+	out := make([]sim.ProcID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func encodeProcs(ps []sim.ProcID) []byte {
+	var w proto.Writer
+	w.Procs(ps)
+	return w.Bytes()
+}
+
+func decodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
+	r := proto.NewReader(b)
+	ps := r.Procs()
+	if r.Close() != nil {
+		return nil, false
+	}
+	seen := make(map[sim.ProcID]bool, len(ps))
+	for _, p := range ps {
+		if p < 1 || int(p) > n || seen[p] {
+			return nil, false
+		}
+		seen[p] = true
+	}
+	return ps, true
+}

@@ -1,0 +1,185 @@
+package gather_test
+
+import (
+	"testing"
+
+	"svssba/internal/gather"
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+	"svssba/internal/testutil"
+)
+
+// node wires a gather engine over an RB engine.
+type node struct {
+	id     sim.ProcID
+	rbEng  *rb.Engine
+	eng    *gather.Engine
+	output []sim.ProcID
+}
+
+type host struct{ n *node }
+
+func (h host) Self() sim.ProcID { return h.n.id }
+func (h host) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
+	h.n.rbEng.Broadcast(ctx, tag, value)
+}
+
+func newNode(id sim.ProcID) *node {
+	n := &node{id: id}
+	n.eng = gather.New(host{n: n}, func(_ sim.Context, _ uint64, set []sim.ProcID) {
+		n.output = set
+	})
+	n.rbEng = rb.New(id, func(ctx sim.Context, a rb.Accept) {
+		if a.Tag.Proto == proto.ProtoGather {
+			n.eng.OnBroadcast(ctx, a.Origin, a.Tag, a.Value)
+		}
+	})
+	return n
+}
+
+// verifyGossip models the spreading of verification: in the real coin,
+// a party verified at one honest process is eventually verified at all
+// (RB'd attach sets + SVSS share termination).
+type verifyGossip struct {
+	Party sim.ProcID
+}
+
+func (verifyGossip) Kind() string { return "test/verify-gossip" }
+func (verifyGossip) Size() int    { return 2 }
+
+// runGather executes one gather round where process p initially verifies
+// the parties listed in verified[p]; verification then spreads to every
+// process with asynchronous delays.
+func runGather(t *testing.T, n, tf int, seed int64, verified map[sim.ProcID][]sim.ProcID,
+	crash []sim.ProcID) map[sim.ProcID][]sim.ProcID {
+	t.Helper()
+	nw := sim.NewNetwork(n, tf, seed)
+	nodes := make(map[sim.ProcID]*node, n)
+	for i := 1; i <= n; i++ {
+		id := sim.ProcID(i)
+		nd := newNode(id)
+		nodes[id] = nd
+		vs := verified[id]
+		handler := testutil.NewNode(id, func(ctx sim.Context) {
+			for _, j := range vs {
+				nd.eng.Verify(ctx, 1, j)
+				for q := 1; q <= ctx.N(); q++ {
+					ctx.Send(sim.ProcID(q), verifyGossip{Party: j})
+				}
+			}
+		}, func(ctx sim.Context, m sim.Message) {
+			if g, ok := m.Payload.(verifyGossip); ok {
+				nd.eng.Verify(ctx, 1, g.Party)
+				return
+			}
+			nd.rbEng.Handle(ctx, m)
+		})
+		if err := nw.Register(handler); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+	}
+	for _, c := range crash {
+		nw.Crash(c)
+	}
+	if _, err := nw.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make(map[sim.ProcID][]sim.ProcID)
+	for id, nd := range nodes {
+		out[id] = nd.output
+	}
+	return out
+}
+
+func all(n int) []sim.ProcID {
+	out := make([]sim.ProcID, n)
+	for i := range out {
+		out[i] = sim.ProcID(i + 1)
+	}
+	return out
+}
+
+func TestGatherAllVerifiedOutputsQuorum(t *testing.T) {
+	// G1 sets snapshot as soon as n-t parties are verified, so outputs
+	// contain at least n-t parties (not necessarily all n).
+	verified := map[sim.ProcID][]sim.ProcID{1: all(4), 2: all(4), 3: all(4), 4: all(4)}
+	outs := runGather(t, 4, 1, 1, verified, nil)
+	for id, set := range outs {
+		if len(set) < 3 {
+			t.Errorf("process %d output %v, want >= n-t parties", id, set)
+		}
+	}
+}
+
+// TestGatherCommonCore checks the core property over many randomized
+// schedules: every honest output contains a common set of size >= n-t.
+func TestGatherCommonCore(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		// Processes verify overlapping but distinct quorums.
+		verified := map[sim.ProcID][]sim.ProcID{
+			1: {1, 2, 3},
+			2: {2, 3, 4},
+			3: {1, 3, 4},
+			4: {1, 2, 4},
+		}
+		outs := runGather(t, 4, 1, seed, verified, nil)
+		// Intersect all outputs.
+		counts := make(map[sim.ProcID]int)
+		parties := 0
+		for _, set := range outs {
+			if set == nil {
+				t.Fatalf("seed %d: some process did not output", seed)
+			}
+			parties++
+			for _, p := range set {
+				counts[p]++
+			}
+		}
+		core := 0
+		for _, c := range counts {
+			if c == parties {
+				core++
+			}
+		}
+		if core < 3 { // n-t = 3
+			t.Errorf("seed %d: common core %d < n-t", seed, core)
+		}
+	}
+}
+
+// Verification spreads monotonically: a process that starts verifying
+// fewer than n-t parties cannot broadcast G1, but others' verification
+// never regresses and gather still completes for processes that can.
+func TestGatherWithCrashedProcess(t *testing.T) {
+	verified := map[sim.ProcID][]sim.ProcID{
+		1: {1, 2, 3},
+		2: {1, 2, 3},
+		3: {1, 2, 3},
+	}
+	outs := runGather(t, 4, 1, 3, verified, []sim.ProcID{4})
+	for _, id := range []sim.ProcID{1, 2, 3} {
+		if len(outs[id]) < 3 {
+			t.Errorf("process %d output %v", id, outs[id])
+		}
+	}
+}
+
+func TestGatherIgnoresInvalidSets(t *testing.T) {
+	// A G1 broadcast with an undersized or malformed set must be ignored.
+	ctx := testutil.NewCtx(1, 4, 1)
+	nd := newNode(1)
+	tag := proto.Tag{Proto: proto.ProtoGather, Step: 1, A: 1}
+	nd.eng.OnBroadcast(ctx, 2, tag, []byte{0xff, 0xff}) // malformed
+	nd.eng.OnBroadcast(ctx, 2, tag, nil)                // empty
+	if nd.eng.Done(1) {
+		t.Error("round done from garbage")
+	}
+}
+
+func TestGatherDoneReporting(t *testing.T) {
+	nd := newNode(1)
+	if nd.eng.Done(5) {
+		t.Error("unknown round reported done")
+	}
+}

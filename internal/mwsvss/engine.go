@@ -1,0 +1,559 @@
+package mwsvss
+
+import (
+	"fmt"
+	"sort"
+
+	"svssba/internal/dmm"
+	"svssba/internal/field"
+	"svssba/internal/poly"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Host is what the engine needs from its process: identity, reliable
+// broadcast, and the DMM layer. internal/core.Node implements it.
+type Host interface {
+	Self() sim.ProcID
+	Broadcast(ctx sim.Context, tag proto.Tag, value []byte)
+	DMM() *dmm.DMM
+}
+
+// Output is the result of reconstruct protocol R': a field value or ⊥.
+type Output struct {
+	Value  field.Element
+	Bottom bool
+}
+
+// String implements fmt.Stringer.
+func (o Output) String() string {
+	if o.Bottom {
+		return "⊥"
+	}
+	return o.Value.String()
+}
+
+// Callbacks notify the layer above (SVSS, tests) of instance progress.
+type Callbacks struct {
+	// ShareComplete fires when S' step 9 completes locally.
+	ShareComplete func(ctx sim.Context, id proto.MWID)
+	// ReconstructComplete fires when R' step 4 outputs locally.
+	ReconstructComplete func(ctx sim.Context, id proto.MWID, out Output)
+}
+
+// rval is a buffered reconstruct-phase broadcast: origin claims its share
+// of f_target is Val.
+type rval struct {
+	origin sim.ProcID
+	target sim.ProcID
+	val    field.Element
+}
+
+// instance holds the per-instance state of one process.
+type instance struct {
+	id proto.MWID
+
+	// Dealer-only state (step 1).
+	dealerPolys []poly.Poly // f_1..f_n at index 0..n-1
+	isDealing   bool
+
+	// Moderator-only state (steps 5-6).
+	modSecret    field.Element
+	modSecretSet bool
+	modF         poly.Poly
+	modFSet      bool
+	modVals      map[sim.ProcID]field.Element // f̂^j_0 from j
+	modM         map[sim.ProcID]bool          // M being built
+	mBroadcast   bool
+
+	// Share-phase participant state (steps 2-4, 8-9).
+	vals      []field.Element // f̂^j_1..f̂^j_n from the dealer
+	valsSet   bool
+	myPoly    poly.Poly // f̂_j
+	myPolySet bool
+	sentStep2 bool
+	echoVal   map[sim.ProcID]field.Element // f̂^l_j from l (first per l)
+	ackFrom   map[sim.ProcID]bool          // RB-accepted acks
+	dealSet   map[sim.ProcID]bool          // live L_j (step 3)
+	lSnapshot []sim.ProcID                 // broadcast L_j (step 4)
+	lDone     bool
+	lSets     map[sim.ProcID][]sim.ProcID // accepted L̂_l per origin l
+	mSet      []sim.ProcID                // accepted M̂
+	mKnown    bool
+	dealerOK  bool // dealer broadcast its OK (step 7)
+	okKnown   bool // OK accepted (step 9)
+	shareDone bool
+	dropDone  bool // step 8 executed
+
+	// Reconstruct state (R' steps 1-4).
+	reconWanted  bool
+	reconStarted bool
+	rvalsPending []rval                      // accepted but not yet qualified
+	rvalSeen     map[[2]sim.ProcID]bool      // (origin,target) first-only
+	kSets        map[sim.ProcID][]poly.Point // K_{j,l}
+	fBar         map[sim.ProcID]poly.Poly    // interpolated f̄_l
+	fBarSet      map[sim.ProcID]bool
+	reconDone    bool
+}
+
+var debugRecon = false
+
+// Engine runs all MW-SVSS instances of one process.
+type Engine struct {
+	host  Host
+	cb    Callbacks
+	insts map[proto.MWID]*instance
+}
+
+// New returns an MW-SVSS engine for the host process.
+func New(host Host, cb Callbacks) *Engine {
+	return &Engine{host: host, cb: cb, insts: make(map[proto.MWID]*instance)}
+}
+
+func (e *Engine) inst(id proto.MWID) *instance {
+	in, ok := e.insts[id]
+	if !ok {
+		in = &instance{
+			id:       id,
+			modVals:  make(map[sim.ProcID]field.Element),
+			modM:     make(map[sim.ProcID]bool),
+			echoVal:  make(map[sim.ProcID]field.Element),
+			ackFrom:  make(map[sim.ProcID]bool),
+			dealSet:  make(map[sim.ProcID]bool),
+			lSets:    make(map[sim.ProcID][]sim.ProcID),
+			rvalSeen: make(map[[2]sim.ProcID]bool),
+			kSets:    make(map[sim.ProcID][]poly.Point),
+			fBar:     make(map[sim.ProcID]poly.Poly),
+			fBarSet:  make(map[sim.ProcID]bool),
+		}
+		e.insts[id] = in
+		e.host.DMM().BeginShare(id)
+	}
+	return in
+}
+
+// Instance reports whether the engine has state for id (for tests).
+func (e *Engine) Instance(id proto.MWID) bool {
+	_, ok := e.insts[id]
+	return ok
+}
+
+// ShareDone reports whether S' completed locally for id.
+func (e *Engine) ShareDone(id proto.MWID) bool {
+	in, ok := e.insts[id]
+	return ok && in.shareDone
+}
+
+// ReconDone reports whether R' completed locally for id.
+func (e *Engine) ReconDone(id proto.MWID) bool {
+	in, ok := e.insts[id]
+	return ok && in.reconDone
+}
+
+// tag builds an MW-SVSS broadcast tag for this instance.
+func tag(id proto.MWID, step uint8, a uint32) proto.Tag {
+	return proto.Tag{Proto: proto.ProtoMW, Session: id.Session, MW: id.Key, Step: step, A: a}
+}
+
+// Share runs share step 1: the calling process must be the instance
+// dealer; it draws f, f_1..f_n and distributes shares.
+func (e *Engine) Share(ctx sim.Context, id proto.MWID, secret field.Element) error {
+	if id.Key.Dealer != e.host.Self() {
+		return fmt.Errorf("mwsvss: process %d is not dealer of %s", e.host.Self(), id)
+	}
+	in := e.inst(id)
+	if in.isDealing {
+		return fmt.Errorf("mwsvss: instance %s already dealt", id)
+	}
+	in.isDealing = true
+
+	n, t := ctx.N(), ctx.T()
+	rng := ctx.Rand()
+	f := poly.NewRandom(rng, t, secret)
+	in.dealerPolys = make([]poly.Poly, n)
+	for l := 1; l <= n; l++ {
+		in.dealerPolys[l-1] = poly.NewRandom(rng, t, f.EvalUint(uint64(l)))
+	}
+	for j := 1; j <= n; j++ {
+		vals := make([]field.Element, n)
+		for l := 1; l <= n; l++ {
+			vals[l-1] = in.dealerPolys[l-1].EvalUint(uint64(j))
+		}
+		ctx.Send(sim.ProcID(j), DealVals{MW: id, Vals: vals})
+	}
+	for l := 1; l <= n; l++ {
+		ctx.Send(sim.ProcID(l), DealPoly{MW: id, Shares: in.dealerPolys[l-1].EvalRange(t + 1)})
+	}
+	ctx.Send(id.Key.Moderator, DealMod{MW: id, Shares: f.EvalRange(t + 1)})
+	return nil
+}
+
+// SetModeratorSecret provides the moderator's input s' (the calling
+// process must be the instance moderator).
+func (e *Engine) SetModeratorSecret(ctx sim.Context, id proto.MWID, s field.Element) error {
+	if id.Key.Moderator != e.host.Self() {
+		return fmt.Errorf("mwsvss: process %d is not moderator of %s", e.host.Self(), id)
+	}
+	in := e.inst(id)
+	in.modSecret = s
+	in.modSecretSet = true
+	e.advance(ctx, in)
+	return nil
+}
+
+// Reconstruct begins protocol R' for id. If the share phase has not
+// completed locally yet, reconstruction starts as soon as it does.
+func (e *Engine) Reconstruct(ctx sim.Context, id proto.MWID) {
+	in := e.inst(id)
+	in.reconWanted = true
+	e.advance(ctx, in)
+}
+
+// OnMessage handles the direct (non-broadcast) MW-SVSS messages.
+func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
+	switch p := m.Payload.(type) {
+	case DealVals:
+		in := e.inst(p.MW)
+		// Step 2 precondition: the values must come from the dealer.
+		if m.From != p.MW.Key.Dealer || in.valsSet || len(p.Vals) != ctx.N() {
+			return
+		}
+		in.vals = p.Vals
+		in.valsSet = true
+		e.advance(ctx, in)
+	case DealPoly:
+		in := e.inst(p.MW)
+		if m.From != p.MW.Key.Dealer || in.myPolySet || len(p.Shares) != ctx.T()+1 {
+			return
+		}
+		f, err := poly.InterpolateFromShares(p.Shares, ctx.T())
+		if err != nil {
+			return
+		}
+		in.myPoly = f
+		in.myPolySet = true
+		e.advance(ctx, in)
+	case DealMod:
+		if p.MW.Key.Moderator != e.host.Self() {
+			return
+		}
+		in := e.inst(p.MW)
+		if m.From != p.MW.Key.Dealer || in.modFSet || len(p.Shares) != ctx.T()+1 {
+			return
+		}
+		f, err := poly.InterpolateFromShares(p.Shares, ctx.T())
+		if err != nil {
+			return
+		}
+		in.modF = f
+		in.modFSet = true
+		e.advance(ctx, in)
+	case Echo:
+		in := e.inst(p.MW)
+		if _, dup := in.echoVal[m.From]; dup {
+			return
+		}
+		in.echoVal[m.From] = p.Val
+		e.advance(ctx, in)
+	case ModValue:
+		if p.MW.Key.Moderator != e.host.Self() {
+			return
+		}
+		in := e.inst(p.MW)
+		if _, dup := in.modVals[m.From]; dup {
+			return
+		}
+		in.modVals[m.From] = p.Val
+		e.advance(ctx, in)
+	}
+}
+
+// ObserveBroadcast is the pre-filter hook: it runs DMM steps 2/3 on
+// reconstruct-phase value broadcasts before any delay/park decision.
+func (e *Engine) ObserveBroadcast(origin sim.ProcID, t proto.Tag, value []byte) {
+	if t.Step != StepRVal {
+		return
+	}
+	v, ok := DecodeElem(value)
+	if !ok {
+		return
+	}
+	id := proto.MWID{Session: t.Session, Key: t.MW}
+	e.host.DMM().ObserveValueBroadcast(origin, id, sim.ProcID(t.A), v)
+}
+
+// OnBroadcast handles RB-accepted MW-SVSS broadcasts.
+func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
+	id := proto.MWID{Session: t.Session, Key: t.MW}
+	in := e.inst(id)
+	switch t.Step {
+	case StepAck:
+		in.ackFrom[origin] = true
+	case StepL:
+		if _, dup := in.lSets[origin]; dup {
+			return
+		}
+		ps, ok := DecodeProcs(value, ctx.N())
+		if !ok {
+			return
+		}
+		in.lSets[origin] = ps
+	case StepM:
+		if origin != id.Key.Moderator || in.mKnown {
+			return
+		}
+		ps, ok := DecodeProcs(value, ctx.N())
+		if !ok {
+			return
+		}
+		in.mSet = ps
+		in.mKnown = true
+	case StepOK:
+		if origin != id.Key.Dealer {
+			return
+		}
+		in.okKnown = true
+	case StepRVal:
+		target := sim.ProcID(t.A)
+		if target < 1 || int(target) > ctx.N() {
+			return
+		}
+		key := [2]sim.ProcID{origin, target}
+		if in.rvalSeen[key] {
+			return
+		}
+		v, ok := DecodeElem(value)
+		if !ok {
+			return
+		}
+		in.rvalSeen[key] = true
+		in.rvalsPending = append(in.rvalsPending, rval{origin: origin, target: target, val: v})
+	}
+	e.advance(ctx, in)
+}
+
+// advance re-evaluates every enabled protocol step for the instance.
+func (e *Engine) advance(ctx sim.Context, in *instance) {
+	self := e.host.Self()
+	n, t := ctx.N(), ctx.T()
+
+	// Step 2: echo dealer values and RB an ack.
+	if in.valsSet && in.myPolySet && !in.sentStep2 {
+		in.sentStep2 = true
+		for l := 1; l <= n; l++ {
+			ctx.Send(sim.ProcID(l), Echo{MW: in.id, Val: in.vals[l-1]})
+		}
+		e.host.Broadcast(ctx, tag(in.id, StepAck, 0), nil)
+	}
+
+	// Step 3: admit confirmers into the live L set and install DEAL
+	// expectations. Stops once L_j is broadcast (the snapshot names the
+	// processes whose public confirmation we await).
+	if in.myPolySet && !in.lDone {
+		for l, v := range in.echoVal {
+			if in.dealSet[l] || !in.ackFrom[l] {
+				continue
+			}
+			if v != in.myPoly.EvalUint(uint64(l)) {
+				continue
+			}
+			in.dealSet[l] = true
+			e.host.DMM().Expect(dmm.Expectation{
+				Sender:  l,
+				Target:  self,
+				Session: in.id,
+				Value:   v,
+				Source:  dmm.SourceDEAL,
+			})
+		}
+	}
+
+	// Step 4: broadcast the snapshot L_j and send f̂_j(0) to the
+	// moderator.
+	if !in.lDone && len(in.dealSet) >= n-t {
+		in.lDone = true
+		in.lSnapshot = sortedProcs(in.dealSet)
+		e.host.Broadcast(ctx, tag(in.id, StepL, 0), EncodeProcs(in.lSnapshot))
+		ctx.Send(in.id.Key.Moderator, ModValue{MW: in.id, Val: in.myPoly.Secret()})
+	}
+
+	// Steps 5-6 (moderator): admit j into M when every check passes, then
+	// broadcast M once it reaches n-t.
+	if in.id.Key.Moderator == self && in.modSecretSet && in.modFSet &&
+		in.modF.Secret() == in.modSecret && !in.mBroadcast {
+		for j, v0 := range in.modVals {
+			if in.modM[j] {
+				continue
+			}
+			lset, ok := in.lSets[j]
+			if !ok || v0 != in.modF.EvalUint(uint64(j)) {
+				continue
+			}
+			if !allAcked(in, lset) {
+				continue
+			}
+			in.modM[j] = true
+		}
+		if len(in.modM) >= n-t {
+			in.mBroadcast = true
+			e.host.Broadcast(ctx, tag(in.id, StepM, 0), EncodeProcs(sortedProcs(in.modM)))
+		}
+	}
+
+	// Step 7 (dealer): once M̂, every L̂_j (j ∈ M̂) and their acks are in,
+	// install ACK expectations and broadcast OK.
+	if in.id.Key.Dealer == self && in.isDealing && in.mKnown && !in.dealerOK &&
+		e.lSetsComplete(in) {
+		in.dealerOK = true
+		for _, j := range in.mSet {
+			for _, l := range in.lSets[j] {
+				e.host.DMM().Expect(dmm.Expectation{
+					Sender:  l,
+					Target:  j,
+					Session: in.id,
+					Value:   in.dealerPolys[j-1].EvalUint(uint64(l)),
+					Source:  dmm.SourceACK,
+				})
+			}
+		}
+		e.host.Broadcast(ctx, tag(in.id, StepOK, 0), nil)
+	}
+
+	// Step 8: if the moderator's set excludes us, drop our DEAL
+	// expectations for this session.
+	if in.mKnown && !in.dropDone && !procsContain(in.mSet, self) {
+		in.dropDone = true
+		e.host.DMM().DropDealExpectations(in.id)
+	}
+
+	// Step 9: completion of S'.
+	if !in.shareDone && in.okKnown && in.mKnown && e.lSetsComplete(in) {
+		in.shareDone = true
+		if e.cb.ShareComplete != nil {
+			e.cb.ShareComplete(ctx, in.id)
+		}
+	}
+
+	// R' step 1: reveal our shares of every monitored polynomial we
+	// confirmed (we appear in L̂_l for l ∈ M̂).
+	if in.reconWanted && in.shareDone && !in.reconStarted {
+		in.reconStarted = true
+		if in.valsSet {
+			for _, l := range in.mSet {
+				if procsContain(in.lSets[l], self) {
+					e.host.Broadcast(ctx, tag(in.id, StepRVal, uint32(l)), EncodeElem(in.vals[l-1]))
+				}
+			}
+		}
+	}
+
+	// R' step 2: qualify buffered value broadcasts into the K sets.
+	if in.mKnown {
+		kept := in.rvalsPending[:0]
+		for _, rv := range in.rvalsPending {
+			if !procsContain(in.mSet, rv.target) {
+				continue // target outside M̂: irrelevant forever
+			}
+			lset, ok := in.lSets[rv.target]
+			if !ok {
+				kept = append(kept, rv) // L̂_target still in flight
+				continue
+			}
+			if !procsContain(lset, rv.origin) {
+				continue // never qualifies: origin not a confirmer
+			}
+			in.kSets[rv.target] = append(in.kSets[rv.target], poly.Point{
+				X: field.New(uint64(rv.origin)),
+				Y: rv.val,
+			})
+		}
+		in.rvalsPending = kept
+	}
+
+	// R' step 3: interpolate f̄_l from the first t+1 qualified points.
+	for l, pts := range in.kSets {
+		if in.fBarSet[l] || len(pts) < t+1 {
+			continue
+		}
+		f, err := poly.Interpolate(pts[:t+1])
+		if err != nil {
+			continue
+		}
+		in.fBar[l] = f
+		in.fBarSet[l] = true
+	}
+
+	// R' step 4: once every f̄_l (l ∈ M̂) is known, interpolate f̄ and
+	// output f̄(0), or ⊥ when no degree-t polynomial fits.
+	if in.reconStarted && !in.reconDone && in.mKnown && len(in.mSet) > 0 {
+		ready := true
+		pts := make([]poly.Point, 0, len(in.mSet))
+		for _, l := range in.mSet {
+			if !in.fBarSet[l] {
+				ready = false
+				break
+			}
+			pts = append(pts, poly.Point{X: field.New(uint64(l)), Y: in.fBar[l].Secret()})
+		}
+		if ready {
+			in.reconDone = true
+			out := Output{Bottom: true}
+			if f, ok, err := poly.InterpolateDegree(pts, t); err == nil && ok {
+				out = Output{Value: f.Secret()}
+			}
+			if debugRecon {
+				fmt.Printf("DBG recon self=%d pts=%v ksets=%v out=%v\n", self, pts, in.kSets, out)
+			}
+			e.host.DMM().CompleteReconstruct(in.id)
+			if e.cb.ReconstructComplete != nil {
+				e.cb.ReconstructComplete(ctx, in.id, out)
+			}
+		}
+	}
+}
+
+// lSetsComplete reports whether M̂ is known, every L̂_j for j ∈ M̂ has been
+// accepted, and every member of each such L̂_j has acked (the shared
+// condition of steps 7 and 9).
+func (e *Engine) lSetsComplete(in *instance) bool {
+	if !in.mKnown {
+		return false
+	}
+	for _, j := range in.mSet {
+		lset, ok := in.lSets[j]
+		if !ok {
+			return false
+		}
+		if !allAcked(in, lset) {
+			return false
+		}
+	}
+	return true
+}
+
+func allAcked(in *instance, ps []sim.ProcID) bool {
+	for _, p := range ps {
+		if !in.ackFrom[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedProcs(set map[sim.ProcID]bool) []sim.ProcID {
+	out := make([]sim.ProcID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func procsContain(ps []sim.ProcID, p sim.ProcID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

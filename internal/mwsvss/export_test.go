@@ -1,0 +1,26 @@
+package mwsvss
+
+import (
+	"fmt"
+
+	"svssba/internal/proto"
+)
+
+// SetDebugRecon toggles reconstruction debugging (tests only).
+func SetDebugRecon(v bool) { debugRecon = v }
+
+// DumpState prints an instance's internal progress (tests only).
+func (e *Engine) DumpState(id proto.MWID) string {
+	in, ok := e.insts[id]
+	if !ok {
+		return "no instance"
+	}
+	ks := map[int]int{}
+	for l, pts := range in.kSets {
+		ks[int(l)] = len(pts)
+	}
+	return fmt.Sprintf(
+		"valsSet=%v polySet=%v lDone=%v L=%v mKnown=%v M=%v ok=%v shareDone=%v reconStarted=%v reconDone=%v kSets=%v pendingRV=%d fBarSet=%v",
+		in.valsSet, in.myPolySet, in.lDone, in.lSnapshot, in.mKnown, in.mSet,
+		in.okKnown, in.shareDone, in.reconStarted, in.reconDone, ks, len(in.rvalsPending), in.fBarSet)
+}

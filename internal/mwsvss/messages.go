@@ -1,0 +1,263 @@
+// Package mwsvss implements Moderated Weak Shunning Verifiable Secret
+// Sharing (MW-SVSS) — the share protocol S' and reconstruct protocol R'
+// of paper §3.2, driven by the DMM protocol of §3.3.
+//
+// One Engine per process runs any number of MW-SVSS instances, each
+// identified by a proto.MWID (parent VSS session plus dealer, moderator
+// and slot). The dealer shares a secret s; the moderator holds its own
+// input s' and certifies during the share phase that the dealt value is
+// s'; reconstruction outputs either the bound value r or ⊥ (weak
+// binding). When neither validity nor weak binding can be enforced, some
+// nonfaulty process permanently shuns a newly detected faulty process via
+// the DMM layer.
+package mwsvss
+
+import (
+	"sort"
+
+	"svssba/internal/dmm"
+	"svssba/internal/field"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Broadcast steps within proto.Tag for MW-SVSS.
+const (
+	// StepAck is the RB "ack" of share step 2.
+	StepAck uint8 = 1
+	// StepL is the RB broadcast of the set L_j (share step 4).
+	StepL uint8 = 2
+	// StepM is the moderator's RB broadcast of the set M (share step 6).
+	StepM uint8 = 3
+	// StepOK is the dealer's RB broadcast (share step 7).
+	StepOK uint8 = 4
+	// StepRVal is the reconstruct-phase value broadcast (R' step 1); the
+	// tag's A field carries the polynomial index l.
+	StepRVal uint8 = 5
+)
+
+// Payload kinds.
+const (
+	KindDealVals = "mw/dealvals"
+	KindDealPoly = "mw/dealpoly"
+	KindDealMod  = "mw/dealmod"
+	KindEcho     = "mw/echo"
+	KindModValue = "mw/modvalue"
+)
+
+// DealVals is share step 1: the dealer sends process j the values
+// f_1(j), ..., f_n(j).
+type DealVals struct {
+	MW   proto.MWID
+	Vals []field.Element
+}
+
+var _ proto.Marshaler = DealVals{}
+var _ dmm.Sessioned = DealVals{}
+
+// Kind implements sim.Payload.
+func (DealVals) Kind() string { return KindDealVals }
+
+// Size implements sim.Payload.
+func (m DealVals) Size() int { return mwidSize + proto.ElemsSize(len(m.Vals)) }
+
+// SessionRef implements dmm.Sessioned.
+func (m DealVals) SessionRef() proto.MWID { return m.MW }
+
+// MarshalTo implements proto.Marshaler.
+func (m DealVals) MarshalTo(w *proto.Writer) {
+	marshalMWID(w, m.MW)
+	w.Elems(m.Vals)
+}
+
+// DealPoly is share step 1: the dealer sends process l the values
+// f_l(1), ..., f_l(t+1), from which l reconstructs its monitored
+// polynomial f_l.
+type DealPoly struct {
+	MW     proto.MWID
+	Shares []field.Element
+}
+
+var _ proto.Marshaler = DealPoly{}
+var _ dmm.Sessioned = DealPoly{}
+
+// Kind implements sim.Payload.
+func (DealPoly) Kind() string { return KindDealPoly }
+
+// Size implements sim.Payload.
+func (m DealPoly) Size() int { return mwidSize + proto.ElemsSize(len(m.Shares)) }
+
+// SessionRef implements dmm.Sessioned.
+func (m DealPoly) SessionRef() proto.MWID { return m.MW }
+
+// MarshalTo implements proto.Marshaler.
+func (m DealPoly) MarshalTo(w *proto.Writer) {
+	marshalMWID(w, m.MW)
+	w.Elems(m.Shares)
+}
+
+// DealMod is share step 1: the dealer sends the moderator the values
+// f(1), ..., f(t+1), from which the moderator reconstructs f.
+type DealMod struct {
+	MW     proto.MWID
+	Shares []field.Element
+}
+
+var _ proto.Marshaler = DealMod{}
+var _ dmm.Sessioned = DealMod{}
+
+// Kind implements sim.Payload.
+func (DealMod) Kind() string { return KindDealMod }
+
+// Size implements sim.Payload.
+func (m DealMod) Size() int { return mwidSize + proto.ElemsSize(len(m.Shares)) }
+
+// SessionRef implements dmm.Sessioned.
+func (m DealMod) SessionRef() proto.MWID { return m.MW }
+
+// MarshalTo implements proto.Marshaler.
+func (m DealMod) MarshalTo(w *proto.Writer) {
+	marshalMWID(w, m.MW)
+	w.Elems(m.Shares)
+}
+
+// Echo is share step 2: process j sends process l the value
+// f̂^j_l = f_l(j) it received from the dealer (l's polynomial evaluated
+// at the sender).
+type Echo struct {
+	MW  proto.MWID
+	Val field.Element
+}
+
+var _ proto.Marshaler = Echo{}
+var _ dmm.Sessioned = Echo{}
+
+// Kind implements sim.Payload.
+func (Echo) Kind() string { return KindEcho }
+
+// Size implements sim.Payload.
+func (m Echo) Size() int { return mwidSize + 8 }
+
+// SessionRef implements dmm.Sessioned.
+func (m Echo) SessionRef() proto.MWID { return m.MW }
+
+// MarshalTo implements proto.Marshaler.
+func (m Echo) MarshalTo(w *proto.Writer) {
+	marshalMWID(w, m.MW)
+	w.Elem(m.Val)
+}
+
+// ModValue is share step 4: process j sends the moderator f̂_j(0), its
+// share of the information needed to compute the secret.
+type ModValue struct {
+	MW  proto.MWID
+	Val field.Element
+}
+
+var _ proto.Marshaler = ModValue{}
+var _ dmm.Sessioned = ModValue{}
+
+// Kind implements sim.Payload.
+func (ModValue) Kind() string { return KindModValue }
+
+// Size implements sim.Payload.
+func (m ModValue) Size() int { return mwidSize + 8 }
+
+// SessionRef implements dmm.Sessioned.
+func (m ModValue) SessionRef() proto.MWID { return m.MW }
+
+// MarshalTo implements proto.Marshaler.
+func (m ModValue) MarshalTo(w *proto.Writer) {
+	marshalMWID(w, m.MW)
+	w.Elem(m.Val)
+}
+
+// mwidSize is the encoded size of a proto.MWID: session(15) + key(5).
+const mwidSize = 15 + 5
+
+func marshalMWID(w *proto.Writer, id proto.MWID) {
+	w.Proc(id.Session.Dealer)
+	w.U8(uint8(id.Session.Kind))
+	w.U64(id.Session.Round)
+	w.U32(id.Session.Index)
+	w.Proc(id.Key.Dealer)
+	w.Proc(id.Key.Moderator)
+	w.U8(id.Key.Slot)
+}
+
+func readMWID(r *proto.Reader) proto.MWID {
+	var id proto.MWID
+	id.Session.Dealer = r.Proc()
+	id.Session.Kind = proto.SessionKind(r.U8())
+	id.Session.Round = r.U64()
+	id.Session.Index = r.U32()
+	id.Key.Dealer = r.Proc()
+	id.Key.Moderator = r.Proc()
+	id.Key.Slot = r.U8()
+	return id
+}
+
+// RegisterCodec registers MW-SVSS message decoding.
+func RegisterCodec(c *proto.Codec) {
+	c.Register(KindDealVals, func(r *proto.Reader) (sim.Payload, error) {
+		return DealVals{MW: readMWID(r), Vals: r.Elems()}, r.Err()
+	})
+	c.Register(KindDealPoly, func(r *proto.Reader) (sim.Payload, error) {
+		return DealPoly{MW: readMWID(r), Shares: r.Elems()}, r.Err()
+	})
+	c.Register(KindDealMod, func(r *proto.Reader) (sim.Payload, error) {
+		return DealMod{MW: readMWID(r), Shares: r.Elems()}, r.Err()
+	})
+	c.Register(KindEcho, func(r *proto.Reader) (sim.Payload, error) {
+		return Echo{MW: readMWID(r), Val: r.Elem()}, r.Err()
+	})
+	c.Register(KindModValue, func(r *proto.Reader) (sim.Payload, error) {
+		return ModValue{MW: readMWID(r), Val: r.Elem()}, r.Err()
+	})
+}
+
+// EncodeProcs canonically encodes a process set for RB value equality
+// (sorted ascending).
+func EncodeProcs(ps []sim.ProcID) []byte {
+	sorted := make([]sim.ProcID, len(ps))
+	copy(sorted, ps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var w proto.Writer
+	w.Procs(sorted)
+	return w.Bytes()
+}
+
+// DecodeProcs decodes a process set, rejecting ids outside 1..n and
+// duplicates.
+func DecodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
+	r := proto.NewReader(b)
+	ps := r.Procs()
+	if r.Close() != nil {
+		return nil, false
+	}
+	seen := make(map[sim.ProcID]bool, len(ps))
+	for _, p := range ps {
+		if p < 1 || int(p) > n || seen[p] {
+			return nil, false
+		}
+		seen[p] = true
+	}
+	return ps, true
+}
+
+// EncodeElem encodes a single field element broadcast value.
+func EncodeElem(e field.Element) []byte {
+	var w proto.Writer
+	w.Elem(e)
+	return w.Bytes()
+}
+
+// DecodeElem decodes a single field element broadcast value.
+func DecodeElem(b []byte) (field.Element, bool) {
+	r := proto.NewReader(b)
+	e := r.Elem()
+	if r.Close() != nil {
+		return field.Zero, false
+	}
+	return e, true
+}

@@ -1,0 +1,341 @@
+// Package poly implements univariate and bivariate polynomials over GF(p)
+// as used by the MW-SVSS and SVSS protocols.
+//
+// MW-SVSS (paper §3.2) deals n+1 random degree-t univariate polynomials
+// f, f_1..f_n with f(0) = s and f_l(0) = f(l). SVSS (paper §4) deals a
+// random degree-t bivariate polynomial f(x,y) with f(0,0) = s and hands
+// process j its row g_j(y) = f(j,y) and column h_j(x) = f(x,j).
+// Reconstruction interpolates degree-t polynomials from t+1 points and
+// verifies any surplus points for consistency.
+package poly
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"svssba/internal/field"
+)
+
+// ErrNotEnoughPoints is returned when fewer than degree+1 points are given.
+var ErrNotEnoughPoints = errors.New("poly: not enough points to interpolate")
+
+// ErrDuplicateX is returned when two points share an x coordinate.
+var ErrDuplicateX = errors.New("poly: duplicate x coordinate")
+
+// Poly is a univariate polynomial; Coef[i] is the coefficient of x^i.
+// The zero value is the zero polynomial.
+type Poly struct {
+	Coef []field.Element
+}
+
+// Point is an evaluation point (X, Y) with Y = f(X).
+type Point struct {
+	X, Y field.Element
+}
+
+// NewRandom returns a uniformly random polynomial of the given degree whose
+// constant term is fixed to secret. Degree must be >= 0.
+func NewRandom(r *rand.Rand, degree int, secret field.Element) Poly {
+	coef := make([]field.Element, degree+1)
+	coef[0] = secret
+	for i := 1; i <= degree; i++ {
+		coef[i] = field.Rand(r)
+	}
+	return Poly{Coef: coef}
+}
+
+// FromCoefficients builds a polynomial from low-to-high coefficients.
+// The slice is copied.
+func FromCoefficients(coef []field.Element) Poly {
+	c := make([]field.Element, len(coef))
+	copy(c, coef)
+	return Poly{Coef: c}
+}
+
+// Degree returns the nominal degree (len(Coef)-1); -1 for the empty poly.
+func (p Poly) Degree() int { return len(p.Coef) - 1 }
+
+// Eval evaluates p at x using Horner's rule.
+func (p Poly) Eval(x field.Element) field.Element {
+	var acc field.Element
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(p.Coef[i])
+	}
+	return acc
+}
+
+// EvalUint evaluates p at the field element for integer x.
+func (p Poly) EvalUint(x uint64) field.Element { return p.Eval(field.New(x)) }
+
+// Secret returns p(0), the shared secret by the paper's convention.
+func (p Poly) Secret() field.Element {
+	if len(p.Coef) == 0 {
+		return field.Zero
+	}
+	return p.Coef[0]
+}
+
+// EvalRange returns p evaluated at x = 1..k (the share vector the dealer
+// sends so receivers can reconstruct p; paper §3.2 step 1).
+func (p Poly) EvalRange(k int) []field.Element {
+	out := make([]field.Element, k)
+	for i := 1; i <= k; i++ {
+		out[i-1] = p.EvalUint(uint64(i))
+	}
+	return out
+}
+
+// Equal reports whether p and q evaluate identically (compares canonical
+// coefficients up to trailing zeros).
+func (p Poly) Equal(q Poly) bool {
+	n := len(p.Coef)
+	if len(q.Coef) > n {
+		n = len(q.Coef)
+	}
+	for i := 0; i < n; i++ {
+		var a, b field.Element
+		if i < len(p.Coef) {
+			a = p.Coef[i]
+		}
+		if i < len(q.Coef) {
+			b = q.Coef[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (p Poly) String() string {
+	if len(p.Coef) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, c := range p.Coef {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%v*x^%d", c, i)
+	}
+	return b.String()
+}
+
+// Interpolate returns the unique polynomial of degree < len(points) through
+// the given points (Lagrange interpolation). Errors on duplicate x values
+// or an empty slice.
+func Interpolate(points []Point) (Poly, error) {
+	n := len(points)
+	if n == 0 {
+		return Poly{}, ErrNotEnoughPoints
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if points[i].X == points[j].X {
+				return Poly{}, ErrDuplicateX
+			}
+		}
+	}
+	coef := make([]field.Element, n)
+	// Accumulate y_i * L_i(x) where L_i is the i-th Lagrange basis poly.
+	basis := make([]field.Element, 0, n)
+	for i := 0; i < n; i++ {
+		// numerator poly: prod_{j != i} (x - x_j), built incrementally.
+		basis = basis[:0]
+		basis = append(basis, field.One)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// multiply basis by (x - x_j)
+			basis = append(basis, field.Zero)
+			for k := len(basis) - 1; k >= 1; k-- {
+				basis[k] = basis[k-1].Sub(basis[k].Mul(points[j].X))
+			}
+			basis[0] = basis[0].Mul(points[j].X).Neg()
+		}
+		// denominator: prod_{j != i} (x_i - x_j)
+		den := field.One
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			den = den.Mul(points[i].X.Sub(points[j].X))
+		}
+		scale := points[i].Y.Div(den)
+		for k := 0; k < len(basis); k++ {
+			coef[k] = coef[k].Add(basis[k].Mul(scale))
+		}
+	}
+	return Poly{Coef: coef}, nil
+}
+
+// InterpolateDegree interpolates a polynomial of degree at most degree from
+// the given points and verifies that every surplus point lies on it. It
+// returns ok=false if the points are not consistent with a single
+// degree-bounded polynomial. This is the acceptance rule of reconstruct
+// steps R' (paper §3.2 step 4) and R (paper §4 step 3).
+func InterpolateDegree(points []Point, degree int) (Poly, bool, error) {
+	if len(points) < degree+1 {
+		return Poly{}, false, ErrNotEnoughPoints
+	}
+	p, err := Interpolate(points[:degree+1])
+	if err != nil {
+		return Poly{}, false, err
+	}
+	for _, pt := range points[degree+1:] {
+		if p.Eval(pt.X) != pt.Y {
+			return Poly{}, false, nil
+		}
+	}
+	return p, true, nil
+}
+
+// Bivariate is a polynomial f(x,y) of degree at most T in each variable.
+// Coef[i][j] is the coefficient of x^i y^j.
+type Bivariate struct {
+	T    int
+	Coef [][]field.Element
+}
+
+// NewRandomBivariate returns a random bivariate polynomial of degree t in
+// each variable with f(0,0) = secret (paper §4 share step 1, footnote 2).
+func NewRandomBivariate(r *rand.Rand, t int, secret field.Element) Bivariate {
+	coef := make([][]field.Element, t+1)
+	for i := range coef {
+		coef[i] = make([]field.Element, t+1)
+		for j := range coef[i] {
+			coef[i][j] = field.Rand(r)
+		}
+	}
+	coef[0][0] = secret
+	return Bivariate{T: t, Coef: coef}
+}
+
+// Eval evaluates f at (x, y).
+func (b Bivariate) Eval(x, y field.Element) field.Element {
+	var acc field.Element
+	for i := b.T; i >= 0; i-- {
+		// inner poly in y for this power of x
+		var row field.Element
+		for j := b.T; j >= 0; j-- {
+			row = row.Mul(y).Add(b.Coef[i][j])
+		}
+		acc = acc.Mul(x).Add(row)
+	}
+	return acc
+}
+
+// EvalUint evaluates f at integer coordinates.
+func (b Bivariate) EvalUint(x, y uint64) field.Element {
+	return b.Eval(field.New(x), field.New(y))
+}
+
+// Secret returns f(0,0).
+func (b Bivariate) Secret() field.Element {
+	if len(b.Coef) == 0 || len(b.Coef[0]) == 0 {
+		return field.Zero
+	}
+	return b.Coef[0][0]
+}
+
+// Row returns g_j(y) = f(j, y) as a univariate polynomial in y.
+func (b Bivariate) Row(j uint64) Poly {
+	x := field.New(j)
+	coef := make([]field.Element, b.T+1)
+	for jy := 0; jy <= b.T; jy++ {
+		// coefficient of y^jy: sum_i Coef[i][jy] * x^i
+		var c field.Element
+		for i := b.T; i >= 0; i-- {
+			c = c.Mul(x).Add(b.Coef[i][jy])
+		}
+		coef[jy] = c
+	}
+	return Poly{Coef: coef}
+}
+
+// Col returns h_j(x) = f(x, j) as a univariate polynomial in x.
+func (b Bivariate) Col(j uint64) Poly {
+	y := field.New(j)
+	coef := make([]field.Element, b.T+1)
+	for ix := 0; ix <= b.T; ix++ {
+		var c field.Element
+		for jy := b.T; jy >= 0; jy-- {
+			c = c.Mul(y).Add(b.Coef[ix][jy])
+		}
+		coef[ix] = c
+	}
+	return Poly{Coef: coef}
+}
+
+// InterpolateFromShares reconstructs a degree-t polynomial from shares at
+// x = 1..len(shares) (the inverse of EvalRange).
+func InterpolateFromShares(shares []field.Element, degree int) (Poly, error) {
+	pts := make([]Point, len(shares))
+	for i, y := range shares {
+		pts[i] = Point{X: field.New(uint64(i + 1)), Y: y}
+	}
+	p, ok, err := InterpolateDegree(pts, degree)
+	if err != nil {
+		return Poly{}, err
+	}
+	if !ok {
+		return Poly{}, fmt.Errorf("poly: shares inconsistent with degree %d", degree)
+	}
+	return p, nil
+}
+
+// Equal reports whether two bivariate polynomials are identical.
+func (b Bivariate) Equal(o Bivariate) bool {
+	if b.T != o.T {
+		return false
+	}
+	for i := range b.Coef {
+		for j := range b.Coef[i] {
+			if b.Coef[i][j] != o.Coef[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BivariateFromRows builds the unique bivariate polynomial f of degree t
+// in each variable such that f(xs[i], y) = rows[i](y), from exactly t+1
+// distinct rows of degree at most t. This is the reconstruction step of
+// the SVSS output rule (paper §4, R step 3).
+func BivariateFromRows(xs []field.Element, rows []Poly, t int) (Bivariate, error) {
+	if len(xs) != t+1 || len(rows) != t+1 {
+		return Bivariate{}, fmt.Errorf("poly: need exactly %d rows, have %d", t+1, len(xs))
+	}
+	coef := make([][]field.Element, t+1)
+	for i := range coef {
+		coef[i] = make([]field.Element, t+1)
+	}
+	pts := make([]Point, t+1)
+	for j := 0; j <= t; j++ {
+		// Interpolate the coefficient of y^j across rows.
+		for i := 0; i <= t; i++ {
+			var cij field.Element
+			if j < len(rows[i].Coef) {
+				cij = rows[i].Coef[j]
+			}
+			pts[i] = Point{X: xs[i], Y: cij}
+		}
+		cj, err := Interpolate(pts)
+		if err != nil {
+			return Bivariate{}, err
+		}
+		for i := 0; i <= t; i++ {
+			var v field.Element
+			if i < len(cj.Coef) {
+				v = cj.Coef[i]
+			}
+			coef[i][j] = v
+		}
+	}
+	return Bivariate{T: t, Coef: coef}, nil
+}

@@ -1,0 +1,317 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"svssba/internal/field"
+)
+
+func TestEvalKnown(t *testing.T) {
+	// p(x) = 3 + 2x + x^2
+	p := FromCoefficients([]field.Element{field.New(3), field.New(2), field.New(1)})
+	tests := []struct {
+		giveX uint64
+		want  field.Element
+	}{
+		{giveX: 0, want: field.New(3)},
+		{giveX: 1, want: field.New(6)},
+		{giveX: 2, want: field.New(11)},
+		{giveX: 10, want: field.New(123)},
+	}
+	for _, tt := range tests {
+		if got := p.EvalUint(tt.giveX); got != tt.want {
+			t.Errorf("p(%d) = %v, want %v", tt.giveX, got, tt.want)
+		}
+	}
+}
+
+func TestNewRandomFixesSecret(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for deg := 0; deg < 8; deg++ {
+		s := field.Rand(r)
+		p := NewRandom(r, deg, s)
+		if p.Secret() != s {
+			t.Errorf("degree %d: secret = %v, want %v", deg, p.Secret(), s)
+		}
+		if p.Degree() != deg {
+			t.Errorf("degree = %d, want %d", p.Degree(), deg)
+		}
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for deg := 0; deg < 10; deg++ {
+		p := NewRandom(r, deg, field.Rand(r))
+		pts := make([]Point, deg+1)
+		for i := range pts {
+			x := field.New(uint64(i + 7))
+			pts[i] = Point{X: x, Y: p.Eval(x)}
+		}
+		q, err := Interpolate(pts)
+		if err != nil {
+			t.Fatalf("interpolate: %v", err)
+		}
+		if !p.Equal(q) {
+			t.Errorf("degree %d: round trip mismatch\n p=%v\n q=%v", deg, p, q)
+		}
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	if _, err := Interpolate(nil); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("empty: err = %v, want ErrNotEnoughPoints", err)
+	}
+	dup := []Point{{X: field.New(1), Y: field.New(2)}, {X: field.New(1), Y: field.New(3)}}
+	if _, err := Interpolate(dup); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("dup: err = %v, want ErrDuplicateX", err)
+	}
+}
+
+func TestInterpolateDegreeConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := NewRandom(r, 3, field.New(42))
+	pts := make([]Point, 8)
+	for i := range pts {
+		x := field.New(uint64(i + 1))
+		pts[i] = Point{X: x, Y: p.Eval(x)}
+	}
+
+	got, ok, err := InterpolateDegree(pts, 3)
+	if err != nil || !ok {
+		t.Fatalf("consistent points rejected: ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(p) {
+		t.Error("reconstructed polynomial differs")
+	}
+
+	// Corrupt one surplus point: must be detected.
+	pts[7].Y = pts[7].Y.Add(field.One)
+	if _, ok, err := InterpolateDegree(pts, 3); err != nil || ok {
+		t.Errorf("corrupted surplus point accepted: ok=%v err=%v", ok, err)
+	}
+
+	if _, _, err := InterpolateDegree(pts[:3], 3); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("too few points: err = %v, want ErrNotEnoughPoints", err)
+	}
+}
+
+func TestEvalRangeMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := NewRandom(r, 4, field.Rand(r))
+	vals := p.EvalRange(9)
+	for i, v := range vals {
+		if want := p.EvalUint(uint64(i + 1)); v != want {
+			t.Errorf("EvalRange[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestInterpolateFromShares(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := NewRandom(r, 2, field.New(99))
+	shares := p.EvalRange(3)
+	q, err := InterpolateFromShares(shares, 2)
+	if err != nil {
+		t.Fatalf("InterpolateFromShares: %v", err)
+	}
+	if !q.Equal(p) {
+		t.Error("share round trip mismatch")
+	}
+	// Inconsistent shares must error.
+	bad := p.EvalRange(4)
+	bad[3] = bad[3].Add(field.One)
+	if _, err := InterpolateFromShares(bad, 2); err == nil {
+		t.Error("inconsistent shares accepted")
+	}
+}
+
+func TestBivariateSecretAndEval(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	s := field.New(1234)
+	b := NewRandomBivariate(r, 3, s)
+	if b.Secret() != s {
+		t.Errorf("secret = %v, want %v", b.Secret(), s)
+	}
+	if got := b.EvalUint(0, 0); got != s {
+		t.Errorf("f(0,0) = %v, want %v", got, s)
+	}
+}
+
+func TestBivariateRowColConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	b := NewRandomBivariate(r, 4, field.Rand(r))
+	for j := uint64(1); j <= 6; j++ {
+		g := b.Row(j) // g_j(y) = f(j, y)
+		h := b.Col(j) // h_j(x) = f(x, j)
+		for k := uint64(0); k <= 6; k++ {
+			if got, want := g.EvalUint(k), b.EvalUint(j, k); got != want {
+				t.Fatalf("g_%d(%d) = %v, want f(%d,%d)=%v", j, k, got, j, k, want)
+			}
+			if got, want := h.EvalUint(k), b.EvalUint(k, j); got != want {
+				t.Fatalf("h_%d(%d) = %v, want f(%d,%d)=%v", j, k, got, k, j, want)
+			}
+		}
+	}
+}
+
+// The SVSS cross-check invariant: h_k(l) = f(l,k) = g_l(k) for all k,l.
+func TestBivariateCrossCheckInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	b := NewRandomBivariate(r, 2, field.Rand(r))
+	for k := uint64(1); k <= 5; k++ {
+		for l := uint64(1); l <= 5; l++ {
+			hk := b.Col(k)
+			gl := b.Row(l)
+			if hk.EvalUint(l) != gl.EvalUint(k) {
+				t.Fatalf("h_%d(%d) != g_%d(%d)", k, l, l, k)
+			}
+		}
+	}
+}
+
+func TestQuickPolyProperties(t *testing.T) {
+	type gen struct {
+		deg    int
+		secret field.Element
+		seed   int64
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(gen{
+				deg:    1 + r.Intn(6),
+				secret: field.Rand(r),
+				seed:   r.Int63(),
+			})
+		},
+	}
+
+	t.Run("InterpolationIsIdentityOnSharePoints", func(t *testing.T) {
+		if err := quick.Check(func(g gen) bool {
+			r := rand.New(rand.NewSource(g.seed))
+			p := NewRandom(r, g.deg, g.secret)
+			shares := p.EvalRange(g.deg + 1)
+			q, err := InterpolateFromShares(shares, g.deg)
+			return err == nil && q.Equal(p) && q.Secret() == g.secret
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("AnyTPlus1PointsDetermineSecret", func(t *testing.T) {
+		if err := quick.Check(func(g gen) bool {
+			r := rand.New(rand.NewSource(g.seed))
+			p := NewRandom(r, g.deg, g.secret)
+			// pick deg+1 random distinct nonzero x values
+			xs := r.Perm(20)[:g.deg+1]
+			pts := make([]Point, 0, g.deg+1)
+			for _, x := range xs {
+				fx := field.New(uint64(x + 1))
+				pts = append(pts, Point{X: fx, Y: p.Eval(fx)})
+			}
+			q, err := Interpolate(pts)
+			return err == nil && q.Secret() == g.secret
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("BivariateRowsLieOnSurface", func(t *testing.T) {
+		if err := quick.Check(func(g gen) bool {
+			r := rand.New(rand.NewSource(g.seed))
+			b := NewRandomBivariate(r, g.deg, g.secret)
+			j := uint64(1 + r.Intn(10))
+			k := uint64(1 + r.Intn(10))
+			return b.Row(j).EvalUint(k) == b.EvalUint(j, k) &&
+				b.Col(j).EvalUint(k) == b.EvalUint(k, j)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("SecretRecoverableFromRowConstants", func(t *testing.T) {
+		// f(0,0) is the constant term of the polynomial x -> f(x,0),
+		// which interpolates from the row secrets g_j(0) = f(j,0).
+		if err := quick.Check(func(g gen) bool {
+			r := rand.New(rand.NewSource(g.seed))
+			b := NewRandomBivariate(r, g.deg, g.secret)
+			pts := make([]Point, g.deg+1)
+			for i := range pts {
+				j := uint64(i + 1)
+				pts[i] = Point{X: field.New(j), Y: b.Row(j).Secret()}
+			}
+			q, err := Interpolate(pts)
+			return err == nil && q.Secret() == g.secret
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func BenchmarkInterpolateDeg10(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	p := NewRandom(r, 10, field.Rand(r))
+	pts := make([]Point, 11)
+	for i := range pts {
+		x := field.New(uint64(i + 1))
+		pts[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Interpolate(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBivariateFromRowsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for deg := 1; deg <= 5; deg++ {
+		b := NewRandomBivariate(r, deg, field.Rand(r))
+		xs := make([]field.Element, deg+1)
+		rows := make([]Poly, deg+1)
+		for i := 0; i <= deg; i++ {
+			j := uint64(i + 2) // arbitrary distinct row indices
+			xs[i] = field.New(j)
+			rows[i] = b.Row(j)
+		}
+		got, err := BivariateFromRows(xs, rows, deg)
+		if err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+		if !got.Equal(b) {
+			t.Errorf("deg %d: reconstruction mismatch", deg)
+		}
+	}
+}
+
+func TestBivariateFromRowsWrongCount(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	b := NewRandomBivariate(r, 2, field.Rand(r))
+	xs := []field.Element{field.New(1)}
+	rows := []Poly{b.Row(1)}
+	if _, err := BivariateFromRows(xs, rows, 2); err == nil {
+		t.Error("accepted too few rows")
+	}
+}
+
+func TestBivariateEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a := NewRandomBivariate(r, 2, field.New(5))
+	if !a.Equal(a) {
+		t.Error("not self-equal")
+	}
+	b := NewRandomBivariate(r, 2, field.New(5))
+	if a.Equal(b) {
+		t.Error("distinct random polys compare equal")
+	}
+	c := NewRandomBivariate(r, 3, field.New(5))
+	if a.Equal(c) {
+		t.Error("different degrees compare equal")
+	}
+}

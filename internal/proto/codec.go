@@ -1,0 +1,77 @@
+package proto
+
+import (
+	"fmt"
+
+	"svssba/internal/sim"
+)
+
+// Marshaler is implemented by payloads that can write themselves to a
+// Writer. Every protocol message in this repository implements it; the
+// analytic Size() of each payload must equal the marshaled length (codec
+// tests enforce this).
+type Marshaler interface {
+	sim.Payload
+	MarshalTo(w *Writer)
+}
+
+// DecodeFunc reconstructs a payload from a Reader.
+type DecodeFunc func(r *Reader) (sim.Payload, error)
+
+// Codec is a kind-dispatched binary codec for protocol payloads. It
+// implements sim.Codec so the live runtime can round-trip every message
+// through the wire format.
+type Codec struct {
+	decoders map[string]DecodeFunc
+}
+
+var _ sim.Codec = (*Codec)(nil)
+
+// NewCodec returns an empty codec; protocol packages contribute their
+// message types via their RegisterCodec functions.
+func NewCodec() *Codec {
+	return &Codec{decoders: make(map[string]DecodeFunc)}
+}
+
+// Register adds a decoder for the given payload kind. Registering the
+// same kind twice is a programming error and is reported on Decode.
+func (c *Codec) Register(kind string, dec DecodeFunc) {
+	c.decoders[kind] = dec
+}
+
+// Encode implements sim.Codec.
+func (c *Codec) Encode(p sim.Payload) ([]byte, error) {
+	m, ok := p.(Marshaler)
+	if !ok {
+		return nil, fmt.Errorf("proto: payload %q does not implement Marshaler", p.Kind())
+	}
+	var w Writer
+	kind := p.Kind()
+	w.U16(uint16(len(kind)))
+	w.buf = append(w.buf, kind...)
+	m.MarshalTo(&w)
+	return w.Bytes(), nil
+}
+
+// Decode implements sim.Codec.
+func (c *Codec) Decode(b []byte) (sim.Payload, error) {
+	r := NewReader(b)
+	kl := int(r.U16())
+	kb := r.take(kl)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("proto: decode kind: %w", r.Err())
+	}
+	kind := string(kb)
+	dec, ok := c.decoders[kind]
+	if !ok {
+		return nil, fmt.Errorf("proto: no decoder for kind %q", kind)
+	}
+	p, err := dec(r)
+	if err != nil {
+		return nil, fmt.Errorf("proto: decode %q: %w", kind, err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("proto: decode %q: %w", kind, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"svssba/internal/field"
+	"svssba/internal/sim"
+)
+
+// ErrShortBuffer is returned when decoding runs past the end of input.
+var ErrShortBuffer = errors.New("proto: short buffer")
+
+// ErrTrailingBytes is returned when decoding leaves unread input.
+var ErrTrailingBytes = errors.New("proto: trailing bytes")
+
+// Writer builds a length-prefixed little-endian binary encoding.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded length.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Proc appends a process id as uint16.
+func (w *Writer) Proc(p sim.ProcID) { w.U16(uint16(p)) }
+
+// Elem appends a field element (8 bytes).
+func (w *Writer) Elem(e field.Element) { w.U64(e.Uint64()) }
+
+// Elems appends a length-prefixed slice of field elements.
+func (w *Writer) Elems(es []field.Element) {
+	w.U16(uint16(len(es)))
+	for _, e := range es {
+		w.Elem(e)
+	}
+}
+
+// Procs appends a length-prefixed slice of process ids.
+func (w *Writer) Procs(ps []sim.ProcID) {
+	w.U16(uint16(len(ps)))
+	for _, p := range ps {
+		w.Proc(p)
+	}
+}
+
+// VarBytes appends a length-prefixed byte slice.
+func (w *Writer) VarBytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// ElemsSize returns the encoded size of a field-element slice.
+func ElemsSize(n int) int { return 2 + 8*n }
+
+// ProcsSize returns the encoded size of a proc-id slice.
+func ProcsSize(n int) int { return 2 + 2*n }
+
+// VarBytesSize returns the encoded size of a byte slice.
+func VarBytesSize(n int) int { return 4 + n }
+
+// Reader decodes a Writer encoding with a sticky error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Close verifies the input was fully consumed.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Proc reads a process id.
+func (r *Reader) Proc() sim.ProcID { return sim.ProcID(r.U16()) }
+
+// Elem reads a field element.
+func (r *Reader) Elem() field.Element { return field.New(r.U64()) }
+
+// Elems reads a length-prefixed field-element slice.
+func (r *Reader) Elems() []field.Element {
+	n := int(r.U16())
+	if r.err != nil || n > r.Remaining()/8 {
+		if r.err == nil {
+			r.err = ErrShortBuffer
+		}
+		return nil
+	}
+	es := make([]field.Element, n)
+	for i := range es {
+		es[i] = r.Elem()
+	}
+	return es
+}
+
+// Procs reads a length-prefixed proc-id slice.
+func (r *Reader) Procs() []sim.ProcID {
+	n := int(r.U16())
+	if r.err != nil || n > r.Remaining()/2 {
+		if r.err == nil {
+			r.err = ErrShortBuffer
+		}
+		return nil
+	}
+	ps := make([]sim.ProcID, n)
+	for i := range ps {
+		ps[i] = r.Proc()
+	}
+	return ps
+}
+
+// VarBytes reads a length-prefixed byte slice (copied).
+func (r *Reader) VarBytes() []byte {
+	n := int(r.U32())
+	if r.err != nil || n > r.Remaining() {
+		if r.err == nil {
+			r.err = ErrShortBuffer
+		}
+		return nil
+	}
+	b := r.take(n)
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,176 @@
+// Package rb implements t-tolerant Reliable Broadcast — Bracha's echo
+// broadcast — exactly as specified in Appendix A.2 of the paper:
+//
+//  1. The dealer sends (s, 1) to all processes using Weak Reliable
+//     Broadcast (WRB).
+//  2. If process i accepts message r from the dealer using WRB, then
+//     process i sends (r, 3) to all processes.
+//  3. If process i receives at least t+1 distinct type 3 messages with the
+//     same value r, then process i sends (r, 3) to all processes.
+//  4. If process i receives at least n−t distinct type 3 messages with the
+//     same value r, then it accepts the value r.
+//
+// Properties (n > 3t): weak termination and correctness inherited from
+// WRB, plus Termination — if some nonfaulty process completes the
+// protocol, then all nonfaulty processes eventually complete it.
+//
+// Every "X broadcasts m using RB" step of the MW-SVSS, SVSS, coin and
+// agreement protocols runs through an Engine instance of this package.
+package rb
+
+import (
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/wrb"
+)
+
+// KindType3 is the payload kind of the echo message.
+const KindType3 = "rb/type3"
+
+// Msg is the RB type 3 (echo) message; types 1 and 2 belong to WRB.
+type Msg struct {
+	Origin sim.ProcID
+	Tag    proto.Tag
+	Value  []byte
+}
+
+var _ proto.Marshaler = Msg{}
+
+// Kind implements sim.Payload.
+func (m Msg) Kind() string { return KindType3 }
+
+// Size implements sim.Payload.
+func (m Msg) Size() int {
+	return 2 + proto.TagSize() + proto.VarBytesSize(len(m.Value))
+}
+
+// MarshalTo implements proto.Marshaler.
+func (m Msg) MarshalTo(w *proto.Writer) {
+	w.Proc(m.Origin)
+	m.Tag.MarshalTo(w)
+	w.VarBytes(m.Value)
+}
+
+func decodeMsg(r *proto.Reader) (sim.Payload, error) {
+	var m Msg
+	m.Origin = r.Proc()
+	m.Tag = proto.ReadTag(r)
+	m.Value = r.VarBytes()
+	return m, r.Err()
+}
+
+// RegisterCodec registers RB and WRB message decoding.
+func RegisterCodec(c *proto.Codec) {
+	wrb.RegisterCodec(c)
+	c.Register(KindType3, decodeMsg)
+}
+
+// Accept is the output event of one RB instance: origin RB-broadcast
+// value under tag, and this process accepted it.
+type Accept struct {
+	Origin sim.ProcID
+	Tag    proto.Tag
+	Value  []byte
+}
+
+// AcceptFunc consumes accept events.
+type AcceptFunc func(ctx sim.Context, a Accept)
+
+type instKey struct {
+	origin sim.ProcID
+	tag    proto.Tag
+}
+
+type instance struct {
+	sentType3 bool
+	voted     map[sim.ProcID]bool
+	counts    map[string]int
+	accepted  bool
+}
+
+// Engine runs all RB instances for one process.
+type Engine struct {
+	self     sim.ProcID
+	weak     *wrb.Engine
+	insts    map[instKey]*instance
+	onAccept AcceptFunc
+}
+
+// New returns an RB engine for process self delivering accepts to
+// onAccept.
+func New(self sim.ProcID, onAccept AcceptFunc) *Engine {
+	e := &Engine{
+		self:     self,
+		insts:    make(map[instKey]*instance),
+		onAccept: onAccept,
+	}
+	e.weak = wrb.New(self, e.onWRBAccept)
+	return e
+}
+
+// Broadcast reliably broadcasts value under tag with this process as
+// dealer (step 1: WRB the value).
+func (e *Engine) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
+	e.weak.Broadcast(ctx, tag, value)
+}
+
+func (e *Engine) inst(k instKey) *instance {
+	in, ok := e.insts[k]
+	if !ok {
+		in = &instance{
+			voted:  make(map[sim.ProcID]bool),
+			counts: make(map[string]int),
+		}
+		e.insts[k] = in
+	}
+	return in
+}
+
+// onWRBAccept is step 2: echo the WRB-accepted value as type 3.
+func (e *Engine) onWRBAccept(ctx sim.Context, a wrb.Accept) {
+	in := e.inst(instKey{origin: a.Origin, tag: a.Tag})
+	e.sendType3(ctx, in, a.Origin, a.Tag, a.Value)
+}
+
+func (e *Engine) sendType3(ctx sim.Context, in *instance, origin sim.ProcID, tag proto.Tag, value []byte) {
+	if in.sentType3 {
+		return
+	}
+	in.sentType3 = true
+	m := Msg{Origin: origin, Tag: tag, Value: value}
+	for p := 1; p <= ctx.N(); p++ {
+		ctx.Send(sim.ProcID(p), m)
+	}
+}
+
+// Handle processes a message if it belongs to RB or its WRB subroutine,
+// reporting whether it was consumed.
+func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
+	if e.weak.Handle(ctx, m) {
+		return true
+	}
+	msg, ok := m.Payload.(Msg)
+	if !ok {
+		return false
+	}
+	k := instKey{origin: msg.Origin, tag: msg.Tag}
+	in := e.inst(k)
+	if in.voted[m.From] {
+		return true
+	}
+	in.voted[m.From] = true
+	v := string(msg.Value)
+	in.counts[v]++
+	// Step 3: amplify after t+1 matching echoes.
+	if in.counts[v] >= ctx.T()+1 {
+		e.sendType3(ctx, in, msg.Origin, msg.Tag, msg.Value)
+	}
+	// Step 4: accept after n−t matching echoes.
+	if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
+		in.accepted = true
+		if e.onAccept != nil {
+			e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
+		}
+	}
+	return true
+}

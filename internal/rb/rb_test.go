@@ -1,0 +1,263 @@
+package rb
+
+import (
+	"fmt"
+	"testing"
+
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/testutil"
+	"svssba/internal/wrb"
+)
+
+var testTag = proto.Tag{Proto: proto.ProtoRB, Step: 1}
+
+type harness struct {
+	nw       *sim.Network
+	accepted map[sim.ProcID][]string
+	honest   []sim.ProcID
+}
+
+func newHarness(t *testing.T, n, tf int, seed int64, dealer sim.ProcID, value string,
+	faulty map[sim.ProcID]func(id sim.ProcID) sim.Handler) *harness {
+	t.Helper()
+	h := &harness{
+		nw:       sim.NewNetwork(n, tf, seed),
+		accepted: make(map[sim.ProcID][]string),
+	}
+	for p := 1; p <= n; p++ {
+		id := sim.ProcID(p)
+		if mk, ok := faulty[id]; ok {
+			if err := h.nw.Register(mk(id)); err != nil {
+				t.Fatalf("register faulty %d: %v", id, err)
+			}
+			continue
+		}
+		h.honest = append(h.honest, id)
+		eng := New(id, func(ctx sim.Context, a Accept) {
+			h.accepted[id] = append(h.accepted[id], string(a.Value))
+		})
+		var onInit func(sim.Context)
+		if id == dealer {
+			onInit = func(ctx sim.Context) { eng.Broadcast(ctx, testTag, []byte(value)) }
+		}
+		node := testutil.NewNode(id, onInit, func(ctx sim.Context, m sim.Message) {
+			eng.Handle(ctx, m)
+		})
+		if err := h.nw.Register(node); err != nil {
+			t.Fatalf("register %d: %v", id, err)
+		}
+	}
+	return h
+}
+
+func (h *harness) run(t *testing.T) {
+	t.Helper()
+	if _, err := h.nw.Run(2_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestHonestDealerAllAccept(t *testing.T) {
+	for _, cfg := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}} {
+		t.Run(fmt.Sprintf("n%d_t%d", cfg.n, cfg.t), func(t *testing.T) {
+			h := newHarness(t, cfg.n, cfg.t, 1, 1, "v", nil)
+			h.run(t)
+			for _, id := range h.honest {
+				if got := h.accepted[id]; len(got) != 1 || got[0] != "v" {
+					t.Errorf("process %d accepted %v, want [v]", id, got)
+				}
+			}
+		})
+	}
+}
+
+// equivocator sends WRB type-1 "a" to odd processes and "b" to even ones,
+// then stays silent.
+type equivocator struct {
+	id sim.ProcID
+}
+
+func (d *equivocator) ID() sim.ProcID { return d.id }
+
+func (d *equivocator) Init(ctx sim.Context) {
+	for p := 1; p <= ctx.N(); p++ {
+		v := "a"
+		if p%2 == 0 {
+			v = "b"
+		}
+		ctx.Send(sim.ProcID(p), wrb.Msg{Origin: d.id, Tag: testTag, Phase: 1, Value: []byte(v)})
+	}
+}
+
+func (d *equivocator) Deliver(sim.Context, sim.Message) {}
+
+// TestRBTotality is the paper's Termination property: for every schedule,
+// either no honest process accepts, or every honest process accepts the
+// same single value.
+func TestRBTotalityUnderEquivocation(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		faulty := map[sim.ProcID]func(sim.ProcID) sim.Handler{
+			2: func(id sim.ProcID) sim.Handler { return &equivocator{id: id} },
+		}
+		h := newHarness(t, 4, 1, seed, 0, "", faulty)
+		h.run(t)
+		counts := make(map[string]int)
+		accepters := 0
+		for _, id := range h.honest {
+			if len(h.accepted[id]) > 1 {
+				t.Fatalf("seed %d: process %d accepted twice", seed, id)
+			}
+			if len(h.accepted[id]) == 1 {
+				accepters++
+				counts[h.accepted[id][0]]++
+			}
+		}
+		if len(counts) > 1 {
+			t.Fatalf("seed %d: distinct values accepted: %v", seed, counts)
+		}
+		if accepters != 0 && accepters != len(h.honest) {
+			t.Fatalf("seed %d: only %d of %d honest accepted (totality violated)",
+				seed, accepters, len(h.honest))
+		}
+	}
+}
+
+// echoForger injects forged type-3 echoes for a value nobody broadcast.
+type echoForger struct {
+	id sim.ProcID
+}
+
+func (d *echoForger) ID() sim.ProcID { return d.id }
+
+func (d *echoForger) Init(ctx sim.Context) {
+	for p := 1; p <= ctx.N(); p++ {
+		ctx.Send(sim.ProcID(p), Msg{Origin: 1, Tag: testTag, Value: []byte("forged")})
+	}
+}
+
+func (d *echoForger) Deliver(sim.Context, sim.Message) {}
+
+func TestForgedEchoesCannotDefeatCorrectness(t *testing.T) {
+	// Dealer 1 is honest with value "v"; process 4 forges echoes for
+	// "forged". t+1=2 > 1 forger, so "forged" can never reach t+1 echoes
+	// from distinct processes, let alone n-t.
+	for seed := int64(0); seed < 30; seed++ {
+		faulty := map[sim.ProcID]func(sim.ProcID) sim.Handler{
+			4: func(id sim.ProcID) sim.Handler { return &echoForger{id: id} },
+		}
+		h := newHarness(t, 4, 1, seed, 1, "v", faulty)
+		h.run(t)
+		for _, id := range h.honest {
+			if got := h.accepted[id]; len(got) != 1 || got[0] != "v" {
+				t.Fatalf("seed %d: process %d accepted %v, want [v]", seed, id, got)
+			}
+		}
+	}
+}
+
+func TestUnitAmplificationAfterTPlus1(t *testing.T) {
+	// After t+1 distinct echoes for v, the engine echoes v itself even if
+	// WRB never accepted (step 3).
+	ctx := testutil.NewCtx(1, 4, 1)
+	e := New(1, nil)
+	e.Handle(ctx, sim.Message{From: 2, To: 1, Payload: Msg{Origin: 3, Tag: testTag, Value: []byte("v")}})
+	if len(ctx.Sent) != 0 {
+		t.Fatal("echoed after a single type 3")
+	}
+	e.Handle(ctx, sim.Message{From: 3, To: 1, Payload: Msg{Origin: 3, Tag: testTag, Value: []byte("v")}})
+	sent := ctx.Drain()
+	if len(sent) != 4 {
+		t.Fatalf("sent %d messages after t+1 echoes, want 4", len(sent))
+	}
+	for _, m := range sent {
+		e3, ok := m.Payload.(Msg)
+		if !ok || string(e3.Value) != "v" {
+			t.Fatalf("unexpected amplification payload %v", m.Payload)
+		}
+	}
+}
+
+func TestUnitAcceptAfterNMinusT(t *testing.T) {
+	ctx := testutil.NewCtx(1, 4, 1)
+	var accepts []Accept
+	e := New(1, func(_ sim.Context, a Accept) { accepts = append(accepts, a) })
+	for _, from := range []sim.ProcID{2, 3, 4} {
+		e.Handle(ctx, sim.Message{From: from, To: 1, Payload: Msg{Origin: 3, Tag: testTag, Value: []byte("v")}})
+	}
+	if len(accepts) != 1 || string(accepts[0].Value) != "v" {
+		t.Fatalf("accepts = %v", accepts)
+	}
+	// Further echoes must not re-accept.
+	e.Handle(ctx, sim.Message{From: 1, To: 1, Payload: Msg{Origin: 3, Tag: testTag, Value: []byte("v")}})
+	if len(accepts) != 1 {
+		t.Fatal("accepted twice")
+	}
+}
+
+func TestUnitMixedValuesDoNotAccumulate(t *testing.T) {
+	ctx := testutil.NewCtx(1, 5, 1)
+	var accepts []Accept
+	e := New(1, func(_ sim.Context, a Accept) { accepts = append(accepts, a) })
+	vals := []string{"a", "b", "c", "d"}
+	for i, from := range []sim.ProcID{2, 3, 4, 5} {
+		e.Handle(ctx, sim.Message{From: from, To: 1, Payload: Msg{Origin: 3, Tag: testTag, Value: []byte(vals[i])}})
+	}
+	if len(accepts) != 0 {
+		t.Fatalf("accepted from mixed echoes: %v", accepts)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := proto.NewCodec()
+	RegisterCodec(c)
+	msgs := []sim.Payload{
+		Msg{Origin: 2, Tag: testTag, Value: []byte("xyz")},
+		wrb.Msg{Origin: 2, Tag: testTag, Phase: 1, Value: []byte("v")},
+		wrb.Msg{Origin: 2, Tag: testTag, Phase: 2, Value: nil},
+	}
+	for _, in := range msgs {
+		b, err := c.Encode(in)
+		if err != nil {
+			t.Fatalf("encode %s: %v", in.Kind(), err)
+		}
+		if want := in.Size() + 2 + len(in.Kind()); len(b) != want {
+			t.Errorf("%s: encoded %d bytes, Size()+hdr = %d", in.Kind(), len(b), want)
+		}
+		if _, err := c.Decode(b); err != nil {
+			t.Fatalf("decode %s: %v", in.Kind(), err)
+		}
+	}
+}
+
+func BenchmarkRBBroadcast(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			tf := (n - 1) / 3
+			for i := 0; i < b.N; i++ {
+				accepted := 0
+				nw := sim.NewNetwork(n, tf, int64(i))
+				for p := 1; p <= n; p++ {
+					id := sim.ProcID(p)
+					eng := New(id, func(sim.Context, Accept) { accepted++ })
+					var onInit func(sim.Context)
+					if id == 1 {
+						onInit = func(ctx sim.Context) { eng.Broadcast(ctx, testTag, []byte("v")) }
+					}
+					node := testutil.NewNode(id, onInit, func(ctx sim.Context, m sim.Message) {
+						eng.Handle(ctx, m)
+					})
+					if err := nw.Register(node); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := nw.Run(10_000_000); err != nil {
+					b.Fatal(err)
+				}
+				if accepted != n {
+					b.Fatalf("accepted = %d, want %d", accepted, n)
+				}
+			}
+		})
+	}
+}

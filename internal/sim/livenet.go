@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Codec encodes payloads for the wire. LiveNet round-trips every message
+// through it when one is installed, so the live runtime exercises the real
+// encoding paths.
+type Codec interface {
+	Encode(p Payload) ([]byte, error)
+	Decode(b []byte) (Payload, error)
+}
+
+// LiveNet runs the same Handlers as Network but with one goroutine per
+// process, real (randomized) delivery delays, and optional wire encoding.
+// It demonstrates that the protocol state machines are runtime-agnostic;
+// integration tests run it under the race detector.
+type LiveNet struct {
+	n, t     int
+	maxDelay time.Duration
+	codec    Codec
+
+	procs map[ProcID]Handler
+	boxes map[ProcID]*mailbox
+	rands map[ProcID]*rand.Rand
+
+	mu      sync.Mutex
+	stats   *Stats
+	seq     uint64
+	started bool
+	stopped bool
+	errs    []error
+	start   time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// LiveOption configures a LiveNet.
+type LiveOption interface{ applyLive(*LiveNet) }
+
+type liveCodecOption struct{ c Codec }
+
+func (o liveCodecOption) applyLive(l *LiveNet) { l.codec = o.c }
+
+// WithCodec installs a wire codec (every message is encoded and decoded).
+func WithCodec(c Codec) LiveOption { return liveCodecOption{c: c} }
+
+type liveDelayOption struct{ d time.Duration }
+
+func (o liveDelayOption) applyLive(l *LiveNet) { l.maxDelay = o.d }
+
+// WithMaxDelay sets the maximum random per-message delay (default 2ms).
+func WithMaxDelay(d time.Duration) LiveOption { return liveDelayOption{d: d} }
+
+// NewLiveNet creates a live runtime for n processes tolerating t faults.
+func NewLiveNet(n, t int, seed int64, opts ...LiveOption) *LiveNet {
+	l := &LiveNet{
+		n:        n,
+		t:        t,
+		maxDelay: 2 * time.Millisecond,
+		procs:    make(map[ProcID]Handler, n),
+		boxes:    make(map[ProcID]*mailbox, n),
+		rands:    make(map[ProcID]*rand.Rand, n),
+		stats:    newStats(),
+		stop:     make(chan struct{}),
+	}
+	master := rand.New(rand.NewSource(seed))
+	for p := 1; p <= n; p++ {
+		l.rands[ProcID(p)] = rand.New(rand.NewSource(master.Int63()))
+	}
+	for _, o := range opts {
+		o.applyLive(l)
+	}
+	return l
+}
+
+// Register adds a process; must be called before Start.
+func (l *LiveNet) Register(h Handler) error {
+	id := h.ID()
+	if id < 1 || int(id) > l.n {
+		return fmt.Errorf("sim: process id %d out of range 1..%d", id, l.n)
+	}
+	if _, dup := l.procs[id]; dup {
+		return fmt.Errorf("sim: process %d registered twice", id)
+	}
+	l.procs[id] = h
+	return nil
+}
+
+// Start launches all process goroutines and runs Init on each.
+func (l *LiveNet) Start() error {
+	if len(l.procs) != l.n {
+		return fmt.Errorf("sim: %d of %d processes registered", len(l.procs), l.n)
+	}
+	l.mu.Lock()
+	if l.started {
+		l.mu.Unlock()
+		return fmt.Errorf("sim: LiveNet already started")
+	}
+	l.started = true
+	l.start = time.Now()
+	l.mu.Unlock()
+
+	for p := 1; p <= l.n; p++ {
+		id := ProcID(p)
+		box := newMailbox()
+		l.boxes[id] = box
+		l.wg.Add(1)
+		go func(id ProcID, box *mailbox) {
+			defer l.wg.Done()
+			box.pump(l.stop)
+		}(id, box)
+	}
+	for p := 1; p <= l.n; p++ {
+		id := ProcID(p)
+		l.wg.Add(1)
+		go func(id ProcID) {
+			defer l.wg.Done()
+			ctx := liveCtx{l: l, id: id}
+			l.procs[id].Init(ctx)
+			for {
+				select {
+				case <-l.stop:
+					return
+				case m, ok := <-l.boxes[id].out:
+					if !ok {
+						return
+					}
+					l.procs[id].Deliver(ctx, m)
+				}
+			}
+		}(id)
+	}
+	return nil
+}
+
+// Stop signals all goroutines to exit and waits for them.
+func (l *LiveNet) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.wg.Wait()
+}
+
+// Stats returns a snapshot of the message counters.
+func (l *LiveNet) Stats() *Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.Clone()
+}
+
+// Errs returns codec or routing errors observed so far.
+func (l *LiveNet) Errs() []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]error, len(l.errs))
+	copy(out, l.errs)
+	return out
+}
+
+type liveCtx struct {
+	l  *LiveNet
+	id ProcID
+}
+
+var _ Context = liveCtx{}
+
+func (c liveCtx) N() int           { return c.l.n }
+func (c liveCtx) T() int           { return c.l.t }
+func (c liveCtx) Rand() *rand.Rand { return c.l.rands[c.id] }
+
+func (c liveCtx) Now() int64 {
+	return time.Since(c.l.start).Microseconds()
+}
+
+func (c liveCtx) Send(to ProcID, p Payload) {
+	l := c.l
+	if to < 1 || int(to) > l.n {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	seq := l.seq
+	l.stats.Sent++
+	l.stats.SentByKind[p.Kind()]++
+	l.stats.BytesByKind[p.Kind()] += int64(p.Size())
+	stopped := l.stopped
+	l.mu.Unlock()
+	if stopped {
+		return
+	}
+
+	payload := p
+	if l.codec != nil {
+		b, err := l.codec.Encode(p)
+		if err == nil {
+			payload, err = l.codec.Decode(b)
+		}
+		if err != nil {
+			l.mu.Lock()
+			l.errs = append(l.errs, fmt.Errorf("codec %s: %w", p.Kind(), err))
+			l.mu.Unlock()
+			return
+		}
+	}
+
+	m := Message{From: c.id, To: to, Payload: payload, Seq: seq, SentAt: c.Now()}
+	var delay time.Duration
+	if l.maxDelay > 0 {
+		// Sender-local rand is only touched from the sender's goroutine.
+		delay = time.Duration(l.rands[c.id].Int63n(int64(l.maxDelay)))
+	}
+	box := l.boxes[to]
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-l.stop:
+				return
+			}
+		}
+		select {
+		case box.in <- m:
+			l.mu.Lock()
+			l.stats.Delivered++
+			l.mu.Unlock()
+		case <-l.stop:
+		}
+	}()
+}
+
+// mailbox is an unbounded FIFO queue between network deliveries and a
+// process goroutine, so senders never block on slow receivers (channels
+// model unbounded asynchronous links here).
+type mailbox struct {
+	in  chan Message
+	out chan Message
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		in:  make(chan Message),
+		out: make(chan Message),
+	}
+}
+
+func (b *mailbox) pump(stop <-chan struct{}) {
+	var queue []Message
+	for {
+		var out chan Message
+		var head Message
+		if len(queue) > 0 {
+			out = b.out
+			head = queue[0]
+		}
+		select {
+		case <-stop:
+			return
+		case m := <-b.in:
+			queue = append(queue, m)
+		case out <- head:
+			queue = queue[1:]
+		}
+	}
+}

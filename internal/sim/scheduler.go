@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// RandomScheduler delivers a uniformly random pending message at each
+// step. This models a fully asynchronous adversary-free network: every
+// interleaving of deliveries has positive probability, and every message
+// is eventually delivered with probability 1.
+type RandomScheduler struct {
+	rng     *rand.Rand
+	pending []Message
+}
+
+var _ Scheduler = (*RandomScheduler)(nil)
+
+// NewRandomScheduler returns a seeded random-order scheduler.
+func NewRandomScheduler(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Enqueue implements Scheduler.
+func (s *RandomScheduler) Enqueue(m Message, _ int64) {
+	s.pending = append(s.pending, m)
+}
+
+// Next implements Scheduler.
+func (s *RandomScheduler) Next(now int64) (Message, int64, bool) {
+	if len(s.pending) == 0 {
+		return Message{}, 0, false
+	}
+	i := s.rng.Intn(len(s.pending))
+	m := s.pending[i]
+	last := len(s.pending) - 1
+	s.pending[i] = s.pending[last]
+	s.pending[last] = Message{}
+	s.pending = s.pending[:last]
+	return m, now + 1, true
+}
+
+// Len implements Scheduler.
+func (s *RandomScheduler) Len() int { return len(s.pending) }
+
+// FIFOScheduler delivers messages in global send order — the "nicest"
+// possible schedule, useful as a baseline and for debugging.
+type FIFOScheduler struct {
+	pending []Message
+	head    int
+}
+
+var _ Scheduler = (*FIFOScheduler)(nil)
+
+// NewFIFOScheduler returns a global-FIFO scheduler.
+func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
+
+// Enqueue implements Scheduler.
+func (s *FIFOScheduler) Enqueue(m Message, _ int64) {
+	s.pending = append(s.pending, m)
+}
+
+// Next implements Scheduler.
+func (s *FIFOScheduler) Next(now int64) (Message, int64, bool) {
+	if s.head >= len(s.pending) {
+		return Message{}, 0, false
+	}
+	m := s.pending[s.head]
+	s.pending[s.head] = Message{}
+	s.head++
+	if s.head == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.head = 0
+	}
+	return m, now + 1, true
+}
+
+// Len implements Scheduler.
+func (s *FIFOScheduler) Len() int { return len(s.pending) - s.head }
+
+// DelayDist draws a message delay.
+type DelayDist interface {
+	Draw(r *rand.Rand) int64
+}
+
+// UniformDelay draws uniformly from [Lo, Hi].
+type UniformDelay struct{ Lo, Hi int64 }
+
+// Draw implements DelayDist.
+func (d UniformDelay) Draw(r *rand.Rand) int64 {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	return d.Lo + r.Int63n(d.Hi-d.Lo+1)
+}
+
+// ExpDelay draws an exponential delay with the given mean, capped at Cap
+// (a cap keeps delivery eventual within finite runs).
+type ExpDelay struct {
+	Mean int64
+	Cap  int64
+}
+
+// Draw implements DelayDist.
+func (d ExpDelay) Draw(r *rand.Rand) int64 {
+	v := int64(r.ExpFloat64() * float64(d.Mean))
+	if d.Cap > 0 && v > d.Cap {
+		v = d.Cap
+	}
+	return v
+}
+
+type delayItem struct {
+	m   Message
+	at  int64
+	seq uint64 // tiebreaker for determinism
+}
+
+type delayHeap []delayItem
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayItem)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = delayItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// DelayScheduler assigns each message a random delay drawn from a
+// distribution and delivers in virtual-time order. This yields meaningful
+// virtual latencies (experiment E9).
+type DelayScheduler struct {
+	rng  *rand.Rand
+	dist DelayDist
+	h    delayHeap
+}
+
+var _ Scheduler = (*DelayScheduler)(nil)
+
+// NewDelayScheduler returns a seeded delay-based scheduler.
+func NewDelayScheduler(seed int64, dist DelayDist) *DelayScheduler {
+	return &DelayScheduler{rng: rand.New(rand.NewSource(seed)), dist: dist}
+}
+
+// Enqueue implements Scheduler.
+func (s *DelayScheduler) Enqueue(m Message, now int64) {
+	heap.Push(&s.h, delayItem{m: m, at: now + 1 + s.dist.Draw(s.rng), seq: m.Seq})
+}
+
+// Next implements Scheduler.
+func (s *DelayScheduler) Next(_ int64) (Message, int64, bool) {
+	if s.h.Len() == 0 {
+		return Message{}, 0, false
+	}
+	it := heap.Pop(&s.h).(delayItem)
+	return it.m, it.at, true
+}
+
+// Len implements Scheduler.
+func (s *DelayScheduler) Len() int { return s.h.Len() }
+
+// HoldRule decides whether a message must be held back for now. Rules are
+// re-evaluated at every scheduling decision, so tests can script network
+// phases (e.g. the paper's Example 1: delay everything touching process 4
+// until the share phase completes elsewhere).
+type HoldRule func(Message) bool
+
+// ScriptedScheduler wraps an inner scheduler with a mutable hold rule.
+// Held messages are parked and re-enqueued as soon as the rule releases
+// them, preserving eventual delivery whenever the rule is eventually
+// cleared.
+type ScriptedScheduler struct {
+	inner Scheduler
+	hold  HoldRule
+	held  []Message
+}
+
+var _ Scheduler = (*ScriptedScheduler)(nil)
+
+// NewScriptedScheduler wraps inner with no hold rule installed.
+func NewScriptedScheduler(inner Scheduler) *ScriptedScheduler {
+	return &ScriptedScheduler{inner: inner}
+}
+
+// SetHold installs (or clears, with nil) the hold rule.
+func (s *ScriptedScheduler) SetHold(rule HoldRule) { s.hold = rule }
+
+// HeldCount returns how many messages are currently parked.
+func (s *ScriptedScheduler) HeldCount() int { return len(s.held) }
+
+// Enqueue implements Scheduler.
+func (s *ScriptedScheduler) Enqueue(m Message, now int64) {
+	if s.hold != nil && s.hold(m) {
+		s.held = append(s.held, m)
+		return
+	}
+	s.inner.Enqueue(m, now)
+}
+
+// Next implements Scheduler.
+func (s *ScriptedScheduler) Next(now int64) (Message, int64, bool) {
+	s.release(now)
+	for {
+		m, at, ok := s.inner.Next(now)
+		if !ok {
+			return Message{}, 0, false
+		}
+		if s.hold != nil && s.hold(m) {
+			s.held = append(s.held, m)
+			continue
+		}
+		return m, at, true
+	}
+}
+
+// release moves parked messages whose hold no longer applies back into the
+// inner scheduler.
+func (s *ScriptedScheduler) release(now int64) {
+	if len(s.held) == 0 {
+		return
+	}
+	kept := s.held[:0]
+	for _, m := range s.held {
+		if s.hold != nil && s.hold(m) {
+			kept = append(kept, m)
+		} else {
+			s.inner.Enqueue(m, now)
+		}
+	}
+	s.held = kept
+}
+
+// Len implements Scheduler.
+func (s *ScriptedScheduler) Len() int { return s.inner.Len() + len(s.held) }

@@ -1,0 +1,343 @@
+// Package sim provides the asynchronous message-passing substrate the
+// protocols run on: an n-process system with private channels, unbounded
+// but guaranteed-eventual message delivery, and an adversarially
+// controllable scheduler — the model of the paper's introduction.
+//
+// Two runtimes share the same process abstraction:
+//
+//   - Network: a deterministic, seeded, single-goroutine event loop. The
+//     scheduler chooses the next message to deliver, which models arbitrary
+//     asynchrony while keeping runs exactly reproducible. All experiments
+//     and benchmarks use it.
+//   - LiveNet (livenet.go): one goroutine per process with real delays and
+//     an encoded wire format, demonstrating the same state machines under
+//     real concurrency.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ProcID identifies a process; the paper indexes processes 1..n.
+type ProcID int
+
+// Payload is the content of a message. Kind names the message type for
+// metrics and codec dispatch; Size is the approximate wire size in bytes
+// (must match the binary encoding, which codec tests verify).
+type Payload interface {
+	Kind() string
+	Size() int
+}
+
+// Message is a point-to-point message on a private channel.
+type Message struct {
+	From, To ProcID
+	Payload  Payload
+	Seq      uint64 // global send sequence number (deterministic)
+	SentAt   int64  // virtual send time
+}
+
+// Context is the interface a process uses to interact with the system
+// during Init or Deliver. Implementations are not safe for use outside the
+// delivering goroutine.
+type Context interface {
+	// Send queues a message to the given process (sending to self is
+	// allowed and goes through the scheduler like any other message).
+	Send(to ProcID, p Payload)
+	// N returns the number of processes in the system.
+	N() int
+	// T returns the resilience bound (maximum tolerated faults).
+	T() int
+	// Now returns the current virtual time.
+	Now() int64
+	// Rand returns this process's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Handler is a process: a deterministic state machine driven by message
+// deliveries. Both honest protocol stacks and Byzantine behaviours
+// implement it.
+type Handler interface {
+	// ID returns the process identifier (1..n).
+	ID() ProcID
+	// Init runs once before any delivery; processes send initial messages.
+	Init(ctx Context)
+	// Deliver handles one message.
+	Deliver(ctx Context, msg Message)
+}
+
+// Scheduler decides the delivery order of pending messages. It fully
+// controls asynchrony: any scheduler that eventually returns every
+// enqueued message is a valid asynchronous adversary.
+type Scheduler interface {
+	// Enqueue adds a pending message at virtual time now.
+	Enqueue(m Message, now int64)
+	// Next pops the next message to deliver and the virtual time of
+	// delivery. ok is false when nothing is deliverable.
+	Next(now int64) (m Message, at int64, ok bool)
+	// Len returns the number of pending messages.
+	Len() int
+}
+
+// Stats accumulates message-level metrics for a run.
+type Stats struct {
+	SentByKind  map[string]int64
+	BytesByKind map[string]int64
+	Sent        int64
+	Delivered   int64
+	Dropped     int64
+}
+
+func newStats() *Stats {
+	return &Stats{
+		SentByKind:  make(map[string]int64),
+		BytesByKind: make(map[string]int64),
+	}
+}
+
+// TotalBytes returns the sum of bytes across kinds.
+func (s *Stats) TotalBytes() int64 {
+	var total int64
+	for _, b := range s.BytesByKind {
+		total += b
+	}
+	return total
+}
+
+// Clone returns a deep copy of the stats snapshot.
+func (s *Stats) Clone() *Stats {
+	c := newStats()
+	c.Sent, c.Delivered, c.Dropped = s.Sent, s.Delivered, s.Dropped
+	for k, v := range s.SentByKind {
+		c.SentByKind[k] = v
+	}
+	for k, v := range s.BytesByKind {
+		c.BytesByKind[k] = v
+	}
+	return c
+}
+
+// Network is the deterministic event-loop runtime.
+type Network struct {
+	n, t      int
+	procs     map[ProcID]Handler
+	sched     Scheduler
+	rands     map[ProcID]*rand.Rand
+	stats     *Stats
+	now       int64
+	seq       uint64
+	crashed   map[ProcID]bool
+	onDeliver []func(Message)
+	inited    bool
+}
+
+// NetworkOption configures a Network.
+type NetworkOption interface{ apply(*Network) }
+
+type schedulerOption struct{ s Scheduler }
+
+func (o schedulerOption) apply(n *Network) { n.sched = o.s }
+
+// WithScheduler selects the delivery scheduler (default: RandomScheduler).
+func WithScheduler(s Scheduler) NetworkOption { return schedulerOption{s: s} }
+
+type deliverHookOption struct{ fn func(Message) }
+
+func (o deliverHookOption) apply(n *Network) {
+	n.onDeliver = append(n.onDeliver, o.fn)
+}
+
+// WithDeliverHook registers a hook invoked on every delivery (tracing).
+func WithDeliverHook(fn func(Message)) NetworkOption {
+	return deliverHookOption{fn: fn}
+}
+
+// NewNetwork creates a system of n processes tolerating t faults, seeded
+// deterministically. Handlers are registered with Register before Run.
+func NewNetwork(n, t int, seed int64, opts ...NetworkOption) *Network {
+	nw := &Network{
+		n:       n,
+		t:       t,
+		procs:   make(map[ProcID]Handler, n),
+		rands:   make(map[ProcID]*rand.Rand, n),
+		stats:   newStats(),
+		crashed: make(map[ProcID]bool),
+	}
+	master := rand.New(rand.NewSource(seed))
+	for p := 1; p <= n; p++ {
+		nw.rands[ProcID(p)] = rand.New(rand.NewSource(master.Int63()))
+	}
+	for _, o := range opts {
+		o.apply(nw)
+	}
+	if nw.sched == nil {
+		nw.sched = NewRandomScheduler(master.Int63())
+	}
+	return nw
+}
+
+// Register adds a process. All n processes must be registered before Run.
+func (nw *Network) Register(h Handler) error {
+	id := h.ID()
+	if id < 1 || int(id) > nw.n {
+		return fmt.Errorf("sim: process id %d out of range 1..%d", id, nw.n)
+	}
+	if _, dup := nw.procs[id]; dup {
+		return fmt.Errorf("sim: process %d registered twice", id)
+	}
+	nw.procs[id] = h
+	return nil
+}
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.n }
+
+// T returns the resilience bound.
+func (nw *Network) T() int { return nw.t }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() int64 { return nw.now }
+
+// Stats returns the live stats collector (read after Run for consistency).
+func (nw *Network) Stats() *Stats { return nw.stats }
+
+// Crash marks a process as crashed: all of its pending and future traffic
+// (in either direction) is dropped and it receives no more deliveries.
+func (nw *Network) Crash(p ProcID) { nw.crashed[p] = true }
+
+// procCtx adapts the network to the Context seen by one process.
+type procCtx struct {
+	nw *Network
+	id ProcID
+}
+
+var _ Context = procCtx{}
+
+func (c procCtx) N() int           { return c.nw.n }
+func (c procCtx) T() int           { return c.nw.t }
+func (c procCtx) Now() int64       { return c.nw.now }
+func (c procCtx) Rand() *rand.Rand { return c.nw.rands[c.id] }
+
+func (c procCtx) Send(to ProcID, p Payload) {
+	nw := c.nw
+	nw.seq++
+	nw.stats.Sent++
+	nw.stats.SentByKind[p.Kind()]++
+	nw.stats.BytesByKind[p.Kind()] += int64(p.Size())
+	if nw.crashed[c.id] || nw.crashed[to] || to < 1 || int(to) > nw.n {
+		nw.stats.Dropped++
+		return
+	}
+	nw.sched.Enqueue(Message{
+		From:    c.id,
+		To:      to,
+		Payload: p,
+		Seq:     nw.seq,
+		SentAt:  nw.now,
+	}, nw.now)
+}
+
+// Init initializes all processes (idempotent; Run calls it if needed).
+func (nw *Network) Init() error {
+	if nw.inited {
+		return nil
+	}
+	if len(nw.procs) != nw.n {
+		return fmt.Errorf("sim: %d of %d processes registered", len(nw.procs), nw.n)
+	}
+	nw.inited = true
+	for p := 1; p <= nw.n; p++ {
+		id := ProcID(p)
+		nw.procs[id].Init(procCtx{nw: nw, id: id})
+	}
+	return nil
+}
+
+// Step delivers exactly one message. It reports whether a message was
+// delivered (false means the network is quiescent).
+func (nw *Network) Step() (bool, error) {
+	if err := nw.Init(); err != nil {
+		return false, err
+	}
+	for {
+		m, at, ok := nw.sched.Next(nw.now)
+		if !ok {
+			return false, nil
+		}
+		if at > nw.now {
+			nw.now = at
+		} else {
+			nw.now++
+		}
+		if nw.crashed[m.From] || nw.crashed[m.To] {
+			nw.stats.Dropped++
+			continue
+		}
+		nw.stats.Delivered++
+		for _, hook := range nw.onDeliver {
+			hook(m)
+		}
+		nw.procs[m.To].Deliver(procCtx{nw: nw, id: m.To}, m)
+		return true, nil
+	}
+}
+
+// ErrStepLimit is returned by RunUntil when maxSteps deliveries happen
+// without the condition holding.
+type ErrStepLimit struct{ Steps int }
+
+func (e ErrStepLimit) Error() string {
+	return fmt.Sprintf("sim: step limit %d reached", e.Steps)
+}
+
+// Run delivers messages until the network is quiescent or maxSteps
+// deliveries have happened. It returns the number of deliveries.
+func (nw *Network) Run(maxSteps int) (int, error) {
+	return nw.RunUntil(nil, maxSteps)
+}
+
+// RunUntil delivers messages until cond() holds (checked after every
+// delivery), the network is quiescent, or maxSteps deliveries happen.
+// A nil cond never holds. Exceeding maxSteps returns ErrStepLimit.
+func (nw *Network) RunUntil(cond func() bool, maxSteps int) (int, error) {
+	if err := nw.Init(); err != nil {
+		return 0, err
+	}
+	if cond != nil && cond() {
+		return 0, nil
+	}
+	steps := 0
+	for steps < maxSteps {
+		progressed, err := nw.Step()
+		if err != nil {
+			return steps, err
+		}
+		if !progressed {
+			return steps, nil
+		}
+		steps++
+		if cond != nil && cond() {
+			return steps, nil
+		}
+	}
+	return steps, ErrStepLimit{Steps: maxSteps}
+}
+
+// Quiescent reports whether no messages are pending.
+func (nw *Network) Quiescent() bool { return nw.sched.Len() == 0 }
+
+// Inject runs fn in process p's context (initializing the network first
+// if needed). It is how external drivers — tests, experiment harnesses,
+// the public API — invoke protocol entry points such as "start
+// reconstruction" between deliveries.
+func (nw *Network) Inject(p ProcID, fn func(ctx Context)) error {
+	if err := nw.Init(); err != nil {
+		return err
+	}
+	if p < 1 || int(p) > nw.n {
+		return fmt.Errorf("sim: inject into unknown process %d", p)
+	}
+	fn(procCtx{nw: nw, id: p})
+	return nil
+}

@@ -1,0 +1,600 @@
+// Package svss implements Shunning Verifiable Secret Sharing — the
+// paper's primary contribution (§4). The dealer of session (c, i) draws a
+// random degree-t bivariate polynomial f(x, y) with f(0, 0) = s, hands
+// every process j its row g_j(y) = f(j, y) and column h_j(x) = f(x, j),
+// and then every ordered pair of processes cross-commits the four values
+// f(l, j), f(j, l) through MW-SVSS instances in which one process deals
+// and the other moderates. SVSS satisfies the full VSS properties
+// (Validity, Binding, Hiding, Termination) except that, when the
+// adversary breaks Validity or Binding, some nonfaulty process starts
+// shunning a newly detected faulty process — which can happen at most
+// t(n−t) times overall, the bound the Byzantine agreement layer relies
+// on (§5).
+//
+// Sub-instance naming: for an ordered pair (d, m), slot 0 shares
+// f(m, d) and slot 1 shares f(d, m); the four invocations of the paper's
+// share step 2 for a pair {j, l} are slots 0 and 1 of (d=j, m=l) plus
+// slots 0 and 1 of (d=l, m=j).
+package svss
+
+import (
+	"fmt"
+	"sort"
+
+	"svssba/internal/dmm"
+	"svssba/internal/field"
+	"svssba/internal/mwsvss"
+	"svssba/internal/poly"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// StepG is the broadcast step of the dealer's G announcement (share
+// step 5).
+const StepG uint8 = 1
+
+// KindDeal is the payload kind of the dealer's row/column message.
+const KindDeal = "svss/deal"
+
+// Deal is share step 1: the dealer sends process j the evaluations
+// g_j(1..t+1) and h_j(1..t+1) from which j reconstructs its row and
+// column polynomials.
+type Deal struct {
+	Session proto.SessionID
+	RowPts  []field.Element
+	ColPts  []field.Element
+}
+
+var _ proto.Marshaler = Deal{}
+var _ dmm.Sessioned = Deal{}
+
+// Kind implements sim.Payload.
+func (Deal) Kind() string { return KindDeal }
+
+// Size implements sim.Payload.
+func (d Deal) Size() int {
+	return 15 + proto.ElemsSize(len(d.RowPts)) + proto.ElemsSize(len(d.ColPts))
+}
+
+// SessionRef implements dmm.Sessioned.
+func (d Deal) SessionRef() proto.MWID { return proto.MWID{Session: d.Session} }
+
+// MarshalTo implements proto.Marshaler.
+func (d Deal) MarshalTo(w *proto.Writer) {
+	w.Proc(d.Session.Dealer)
+	w.U8(uint8(d.Session.Kind))
+	w.U64(d.Session.Round)
+	w.U32(d.Session.Index)
+	w.Elems(d.RowPts)
+	w.Elems(d.ColPts)
+}
+
+// RegisterCodec registers SVSS message decoding.
+func RegisterCodec(c *proto.Codec) {
+	c.Register(KindDeal, func(r *proto.Reader) (sim.Payload, error) {
+		var d Deal
+		d.Session.Dealer = r.Proc()
+		d.Session.Kind = proto.SessionKind(r.U8())
+		d.Session.Round = r.U64()
+		d.Session.Index = r.U32()
+		d.RowPts = r.Elems()
+		d.ColPts = r.Elems()
+		return d, r.Err()
+	})
+}
+
+// Output is the result of reconstruct protocol R: a field value or ⊥.
+type Output struct {
+	Value  field.Element
+	Bottom bool
+}
+
+// String implements fmt.Stringer.
+func (o Output) String() string {
+	if o.Bottom {
+		return "⊥"
+	}
+	return o.Value.String()
+}
+
+// Host is what the engine needs from its process.
+type Host interface {
+	Self() sim.ProcID
+	Broadcast(ctx sim.Context, tag proto.Tag, value []byte)
+	DMM() *dmm.DMM
+}
+
+// Callbacks notify the layer above (the common coin, tests, the public
+// API) of session progress.
+type Callbacks struct {
+	// ShareComplete fires when protocol S completes locally (step 6).
+	ShareComplete func(ctx sim.Context, sid proto.SessionID)
+	// ReconstructComplete fires when protocol R outputs locally (step 3).
+	ReconstructComplete func(ctx sim.Context, sid proto.SessionID, out Output)
+}
+
+// pairDone tracks dealer-side completion of the four instances of an
+// unordered pair (share step 3).
+type pairKey struct {
+	a, b sim.ProcID // a < b
+}
+
+func mkPair(x, y sim.ProcID) pairKey {
+	if x < y {
+		return pairKey{a: x, b: y}
+	}
+	return pairKey{a: y, b: x}
+}
+
+// instance is the per-session state of one process.
+type instance struct {
+	sid proto.SessionID
+	ref proto.MWID // session-level reference (zero MW key)
+
+	// Dealer state.
+	dealing    bool
+	pairCount  map[pairKey]int                    // completed sub-shares out of 4
+	gSub       map[sim.ProcID]map[sim.ProcID]bool // G_j under construction
+	gBroadcast bool
+
+	// Participant state.
+	rowPoly poly.Poly // g_j
+	colPoly poly.Poly // h_j
+	polySet bool
+	joined  bool // initiated the pairwise MW instances
+
+	mwShareDone map[proto.MWKey]bool
+
+	gKnown    bool
+	g         []sim.ProcID                // Ĝ
+	gSets     map[sim.ProcID][]sim.ProcID // Ĝ_j for j ∈ Ĝ
+	shareDone bool
+
+	// Reconstruct state.
+	reconWanted  bool
+	reconStarted bool
+	mwOut        map[proto.MWKey]mwsvss.Output
+	reconDone    bool
+}
+
+// Engine runs all SVSS sessions of one process, driving a shared MW-SVSS
+// engine for the pairwise sub-instances.
+type Engine struct {
+	host  Host
+	mw    *mwsvss.Engine
+	cb    Callbacks
+	insts map[proto.SessionID]*instance
+}
+
+// New returns an SVSS engine using mw for its sub-instances. The caller
+// must route MW-SVSS callbacks for non-KindMW sessions into
+// OnMWShareComplete / OnMWReconComplete (core.AttachStack does this).
+func New(host Host, mw *mwsvss.Engine, cb Callbacks) *Engine {
+	return &Engine{host: host, mw: mw, cb: cb, insts: make(map[proto.SessionID]*instance)}
+}
+
+func (e *Engine) inst(sid proto.SessionID) *instance {
+	in, ok := e.insts[sid]
+	if !ok {
+		in = &instance{
+			sid:         sid,
+			ref:         proto.MWID{Session: sid},
+			pairCount:   make(map[pairKey]int),
+			gSub:        make(map[sim.ProcID]map[sim.ProcID]bool),
+			mwShareDone: make(map[proto.MWKey]bool),
+			mwOut:       make(map[proto.MWKey]mwsvss.Output),
+		}
+		e.insts[sid] = in
+		e.host.DMM().BeginShare(in.ref)
+	}
+	return in
+}
+
+// ShareDone reports whether S completed locally for sid.
+func (e *Engine) ShareDone(sid proto.SessionID) bool {
+	in, ok := e.insts[sid]
+	return ok && in.shareDone
+}
+
+// ReconDone reports whether R completed locally for sid.
+func (e *Engine) ReconDone(sid proto.SessionID) bool {
+	in, ok := e.insts[sid]
+	return ok && in.reconDone
+}
+
+// mwid builds a sub-instance id within a session.
+func mwid(sid proto.SessionID, d, m sim.ProcID, slot uint8) proto.MWID {
+	return proto.MWID{Session: sid, Key: proto.MWKey{Dealer: d, Moderator: m, Slot: slot}}
+}
+
+// Share runs share step 1 for a new session: the calling process becomes
+// the dealer of sid and shares secret.
+func (e *Engine) Share(ctx sim.Context, sid proto.SessionID, secret field.Element) error {
+	if sid.Dealer != e.host.Self() {
+		return fmt.Errorf("svss: process %d is not dealer of %s", e.host.Self(), sid)
+	}
+	in := e.inst(sid)
+	if in.dealing {
+		return fmt.Errorf("svss: session %s already dealt", sid)
+	}
+	in.dealing = true
+
+	t := ctx.T()
+	f := poly.NewRandomBivariate(ctx.Rand(), t, secret)
+	for j := 1; j <= ctx.N(); j++ {
+		row := f.Row(uint64(j))
+		col := f.Col(uint64(j))
+		ctx.Send(sim.ProcID(j), Deal{
+			Session: sid,
+			RowPts:  row.EvalRange(t + 1),
+			ColPts:  col.EvalRange(t + 1),
+		})
+	}
+	return nil
+}
+
+// Reconstruct begins protocol R for sid; if the share phase has not
+// completed locally it starts as soon as it does.
+func (e *Engine) Reconstruct(ctx sim.Context, sid proto.SessionID) {
+	in := e.inst(sid)
+	in.reconWanted = true
+	e.advance(ctx, in)
+}
+
+// OnMessage handles the dealer's Deal message (share step 2).
+func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
+	d, ok := m.Payload.(Deal)
+	if !ok {
+		return
+	}
+	in := e.inst(d.Session)
+	if m.From != d.Session.Dealer || in.polySet ||
+		len(d.RowPts) != ctx.T()+1 || len(d.ColPts) != ctx.T()+1 {
+		return
+	}
+	row, err := poly.InterpolateFromShares(d.RowPts, ctx.T())
+	if err != nil {
+		return
+	}
+	col, err := poly.InterpolateFromShares(d.ColPts, ctx.T())
+	if err != nil {
+		return
+	}
+	in.rowPoly, in.colPoly = row, col
+	in.polySet = true
+	e.advance(ctx, in)
+}
+
+// OnBroadcast handles the dealer's G announcement (share step 5).
+func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
+	if t.Step != StepG || origin != t.Session.Dealer {
+		return
+	}
+	in := e.inst(t.Session)
+	if in.gKnown {
+		return
+	}
+	g, gSets, ok := decodeGSets(value, ctx.N())
+	if !ok {
+		return
+	}
+	// A dealer announcing fewer than n−t members (of G or any G_j) is
+	// provably faulty; ignore the announcement.
+	if len(g) < ctx.N()-ctx.T() {
+		return
+	}
+	for _, members := range gSets {
+		if len(members) < ctx.N()-ctx.T() {
+			return
+		}
+	}
+	in.g = g
+	in.gSets = gSets
+	in.gKnown = true
+	e.advance(ctx, in)
+}
+
+// OnMWShareComplete receives sub-instance share completions.
+func (e *Engine) OnMWShareComplete(ctx sim.Context, id proto.MWID) {
+	in := e.inst(id.Session)
+	in.mwShareDone[id.Key] = true
+
+	// Share step 3 (dealer): count the four instances of the pair.
+	if in.dealing {
+		pk := mkPair(id.Key.Dealer, id.Key.Moderator)
+		in.pairCount[pk]++
+		if in.pairCount[pk] == 4 {
+			e.dealerPairDone(ctx, in, pk)
+		}
+	}
+	e.advance(ctx, in)
+}
+
+// OnMWReconComplete receives sub-instance reconstruction outputs.
+func (e *Engine) OnMWReconComplete(ctx sim.Context, id proto.MWID, out mwsvss.Output) {
+	in := e.inst(id.Session)
+	if _, dup := in.mwOut[id.Key]; dup {
+		return
+	}
+	in.mwOut[id.Key] = out
+	e.advance(ctx, in)
+}
+
+// dealerPairDone implements share steps 3-4: record mutual membership and
+// broadcast G once it reaches n−t.
+func (e *Engine) dealerPairDone(ctx sim.Context, in *instance, pk pairKey) {
+	add := func(j, l sim.ProcID) {
+		set, ok := in.gSub[j]
+		if !ok {
+			set = make(map[sim.ProcID]bool)
+			// j vouches for itself: the paper's termination argument
+			// needs |G_j| ≥ n−t to be reachable with only n−t nonfaulty
+			// processes, so G_j counts j (the four self-invocations are
+			// vacuous).
+			set[j] = true
+			in.gSub[j] = set
+		}
+		set[l] = true
+	}
+	add(pk.a, pk.b)
+	add(pk.b, pk.a)
+
+	if in.gBroadcast {
+		return
+	}
+	nt := ctx.N() - ctx.T()
+	var g []sim.ProcID
+	for j, set := range in.gSub {
+		if len(set) >= nt {
+			g = append(g, j)
+		}
+	}
+	if len(g) < nt {
+		return
+	}
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	in.gBroadcast = true
+	gSets := make(map[sim.ProcID][]sim.ProcID, len(g))
+	for _, j := range g {
+		members := make([]sim.ProcID, 0, len(in.gSub[j]))
+		for l := range in.gSub[j] {
+			members = append(members, l)
+		}
+		sort.Slice(members, func(i, k int) bool { return members[i] < members[k] })
+		gSets[j] = members
+	}
+	tag := proto.Tag{Proto: proto.ProtoSVSS, Session: in.sid, Step: StepG}
+	e.host.Broadcast(ctx, tag, encodeGSets(g, gSets))
+}
+
+// advance re-evaluates every enabled protocol step for the session.
+func (e *Engine) advance(ctx sim.Context, in *instance) {
+	self := e.host.Self()
+
+	// Share step 2: once the row/column polynomials arrive, join the four
+	// MW-SVSS invocations per peer (two as dealer, two as moderator).
+	if in.polySet && !in.joined {
+		in.joined = true
+		for l := 1; l <= ctx.N(); l++ {
+			peer := sim.ProcID(l)
+			if peer == self {
+				continue
+			}
+			lu := uint64(l)
+			// (a) dealer with secret f(l, j) = h_j(l), moderator l.
+			if err := e.mw.Share(ctx, mwid(in.sid, self, peer, 0), in.colPoly.EvalUint(lu)); err != nil {
+				continue
+			}
+			// (b) dealer with secret f(j, l) = g_j(l), moderator l.
+			if err := e.mw.Share(ctx, mwid(in.sid, self, peer, 1), in.rowPoly.EvalUint(lu)); err != nil {
+				continue
+			}
+			// (c) moderator with value f(j, l) = g_j(l), dealer l (slot 0
+			// of the mirrored pair shares f(m, d) = f(j, l)).
+			if err := e.mw.SetModeratorSecret(ctx, mwid(in.sid, peer, self, 0), in.rowPoly.EvalUint(lu)); err != nil {
+				continue
+			}
+			// (d) moderator with value f(l, j) = h_j(l), dealer l.
+			if err := e.mw.SetModeratorSecret(ctx, mwid(in.sid, peer, self, 1), in.colPoly.EvalUint(lu)); err != nil {
+				continue
+			}
+		}
+	}
+
+	// Share step 6: complete S once Ĝ is known and all four S' instances
+	// completed for every j ∈ Ĝ, l ∈ Ĝ_j.
+	if in.gKnown && !in.shareDone && e.allPairsShared(in) {
+		in.shareDone = true
+		if e.cb.ShareComplete != nil {
+			e.cb.ShareComplete(ctx, in.sid)
+		}
+	}
+
+	// Reconstruct step 1: invoke R' for the four instances of every pair
+	// (k ∈ Ĝ, l ∈ Ĝ_k).
+	if in.reconWanted && in.shareDone && !in.reconStarted {
+		in.reconStarted = true
+		e.forAllPairInstances(in, func(id proto.MWID) {
+			e.mw.Reconstruct(ctx, id)
+		})
+	}
+
+	// Reconstruct steps 2-3: once every sub-output is in, compute I, the
+	// row/column polynomials, and the final output.
+	if in.reconStarted && !in.reconDone && e.allPairsReconstructed(in) {
+		in.reconDone = true
+		out := e.computeOutput(ctx, in)
+		e.host.DMM().CompleteReconstruct(in.ref)
+		if e.cb.ReconstructComplete != nil {
+			e.cb.ReconstructComplete(ctx, in.sid, out)
+		}
+	}
+}
+
+// forAllPairInstances visits the four MW ids of every pair (k ∈ Ĝ,
+// l ∈ Ĝ_k), deduplicated.
+func (e *Engine) forAllPairInstances(in *instance, fn func(proto.MWID)) {
+	seen := make(map[proto.MWKey]bool)
+	visit := func(id proto.MWID) {
+		if !seen[id.Key] {
+			seen[id.Key] = true
+			fn(id)
+		}
+	}
+	for _, k := range in.g {
+		for _, l := range in.gSets[k] {
+			if k == l {
+				continue
+			}
+			visit(mwid(in.sid, k, l, 0))
+			visit(mwid(in.sid, k, l, 1))
+			visit(mwid(in.sid, l, k, 0))
+			visit(mwid(in.sid, l, k, 1))
+		}
+	}
+}
+
+func (e *Engine) allPairsShared(in *instance) bool {
+	ok := true
+	e.forAllPairInstances(in, func(id proto.MWID) {
+		if !in.mwShareDone[id.Key] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func (e *Engine) allPairsReconstructed(in *instance) bool {
+	ok := true
+	e.forAllPairInstances(in, func(id proto.MWID) {
+		if _, done := in.mwOut[id.Key]; !done {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// computeOutput implements reconstruct steps 2 and 3.
+func (e *Engine) computeOutput(ctx sim.Context, in *instance) Output {
+	t := ctx.T()
+	ignored := make(map[sim.ProcID]bool) // I_j
+
+	gRow := make(map[sim.ProcID]poly.Poly) // g_k for k ∈ G \ I
+	hCol := make(map[sim.ProcID]poly.Poly) // h_k for k ∈ G \ I
+
+	for _, k := range in.g {
+		// Gather the k-dealt outputs across l ∈ G_k:
+		//   slot 1 of (d=k, m=l) holds r_kkl = f(k, l)  -> row points
+		//   slot 0 of (d=k, m=l) holds r_klk = f(l, k)  -> column points
+		var rowPts, colPts []poly.Point
+		bad := false
+		for _, l := range in.gSets[k] {
+			if l == k {
+				continue
+			}
+			rkl, ok1 := in.mwOut[proto.MWKey{Dealer: k, Moderator: l, Slot: 1}]
+			rlk, ok0 := in.mwOut[proto.MWKey{Dealer: k, Moderator: l, Slot: 0}]
+			if !ok1 || !ok0 || rkl.Bottom || rlk.Bottom {
+				bad = true
+				break
+			}
+			x := field.New(uint64(l))
+			rowPts = append(rowPts, poly.Point{X: x, Y: rkl.Value})
+			colPts = append(colPts, poly.Point{X: x, Y: rlk.Value})
+		}
+		if bad {
+			ignored[k] = true
+			continue
+		}
+		gk, okRow, err := poly.InterpolateDegree(rowPts, t)
+		if err != nil || !okRow {
+			ignored[k] = true
+			continue
+		}
+		hk, okCol, err := poly.InterpolateDegree(colPts, t)
+		if err != nil || !okCol {
+			ignored[k] = true
+			continue
+		}
+		gRow[k] = gk
+		hCol[k] = hk
+	}
+
+	// Step 3: pairwise cross-consistency over G \ I.
+	var rows []sim.ProcID
+	for _, k := range in.g {
+		if !ignored[k] {
+			rows = append(rows, k)
+		}
+	}
+	for _, k := range rows {
+		for _, l := range rows {
+			if hCol[k].EvalUint(uint64(l)) != gRow[l].EvalUint(uint64(k)) {
+				return Output{Bottom: true}
+			}
+		}
+	}
+	if len(rows) < t+1 {
+		return Output{Bottom: true}
+	}
+	xs := make([]field.Element, t+1)
+	rowPolys := make([]poly.Poly, t+1)
+	for i := 0; i <= t; i++ {
+		xs[i] = field.New(uint64(rows[i]))
+		rowPolys[i] = gRow[rows[i]]
+	}
+	f, err := poly.BivariateFromRows(xs, rowPolys, t)
+	if err != nil {
+		return Output{Bottom: true}
+	}
+	// Uniqueness check: every remaining row and column must lie on f.
+	for _, k := range rows {
+		if !f.Row(uint64(k)).Equal(gRow[k]) || !f.Col(uint64(k)).Equal(hCol[k]) {
+			return Output{Bottom: true}
+		}
+	}
+	return Output{Value: f.Secret()}
+}
+
+// encodeGSets canonically encodes (G, {G_j}): the sorted G list followed
+// by each member's sorted G_j list.
+func encodeGSets(g []sim.ProcID, gSets map[sim.ProcID][]sim.ProcID) []byte {
+	var w proto.Writer
+	w.Procs(g)
+	for _, j := range g {
+		w.Procs(gSets[j])
+	}
+	return w.Bytes()
+}
+
+// decodeGSets decodes and validates a G announcement.
+func decodeGSets(b []byte, n int) ([]sim.ProcID, map[sim.ProcID][]sim.ProcID, bool) {
+	r := proto.NewReader(b)
+	g := r.Procs()
+	if r.Err() != nil || !validProcs(g, n) {
+		return nil, nil, false
+	}
+	gSets := make(map[sim.ProcID][]sim.ProcID, len(g))
+	for _, j := range g {
+		members := r.Procs()
+		if r.Err() != nil || !validProcs(members, n) {
+			return nil, nil, false
+		}
+		gSets[j] = members
+	}
+	if r.Close() != nil {
+		return nil, nil, false
+	}
+	return g, gSets, true
+}
+
+func validProcs(ps []sim.ProcID, n int) bool {
+	seen := make(map[sim.ProcID]bool, len(ps))
+	for _, p := range ps {
+		if p < 1 || int(p) > n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+// Package testutil provides small helpers shared by protocol package
+// tests: a fake sim.Context for unit-level message injection and a
+// closure-based sim.Handler for wiring engines into networks quickly.
+package testutil
+
+import (
+	"math/rand"
+
+	"svssba/internal/sim"
+)
+
+// Ctx is an in-memory sim.Context that records sends.
+type Ctx struct {
+	Self    sim.ProcID
+	NProcs  int
+	TFaults int
+	Time    int64
+	Rng     *rand.Rand
+	Sent    []sim.Message
+
+	seq uint64
+}
+
+var _ sim.Context = (*Ctx)(nil)
+
+// NewCtx returns a fake context for process self in an n/t system.
+func NewCtx(self sim.ProcID, n, t int) *Ctx {
+	return &Ctx{Self: self, NProcs: n, TFaults: t, Rng: rand.New(rand.NewSource(int64(self)))}
+}
+
+// Send implements sim.Context by recording the message.
+func (c *Ctx) Send(to sim.ProcID, p sim.Payload) {
+	c.seq++
+	c.Sent = append(c.Sent, sim.Message{
+		From: c.Self, To: to, Payload: p, Seq: c.seq, SentAt: c.Time,
+	})
+}
+
+// N implements sim.Context.
+func (c *Ctx) N() int { return c.NProcs }
+
+// T implements sim.Context.
+func (c *Ctx) T() int { return c.TFaults }
+
+// Now implements sim.Context.
+func (c *Ctx) Now() int64 { return c.Time }
+
+// Rand implements sim.Context.
+func (c *Ctx) Rand() *rand.Rand { return c.Rng }
+
+// Drain returns and clears the recorded sends.
+func (c *Ctx) Drain() []sim.Message {
+	out := c.Sent
+	c.Sent = nil
+	return out
+}
+
+// SentTo returns the recorded messages addressed to p.
+func (c *Ctx) SentTo(p sim.ProcID) []sim.Message {
+	var out []sim.Message
+	for _, m := range c.Sent {
+		if m.To == p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Node is a closure-based sim.Handler.
+type Node struct {
+	id        sim.ProcID
+	onInit    func(ctx sim.Context)
+	onDeliver func(ctx sim.Context, m sim.Message)
+}
+
+var _ sim.Handler = (*Node)(nil)
+
+// NewNode builds a handler from closures; either closure may be nil.
+func NewNode(id sim.ProcID, onInit func(sim.Context), onDeliver func(sim.Context, sim.Message)) *Node {
+	return &Node{id: id, onInit: onInit, onDeliver: onDeliver}
+}
+
+// ID implements sim.Handler.
+func (n *Node) ID() sim.ProcID { return n.id }
+
+// Init implements sim.Handler.
+func (n *Node) Init(ctx sim.Context) {
+	if n.onInit != nil {
+		n.onInit(ctx)
+	}
+}
+
+// Deliver implements sim.Handler.
+func (n *Node) Deliver(ctx sim.Context, m sim.Message) {
+	if n.onDeliver != nil {
+		n.onDeliver(ctx, m)
+	}
+}
+
+// Silent returns a handler that does nothing (a crashed-from-start
+// process).
+func Silent(id sim.ProcID) *Node { return NewNode(id, nil, nil) }

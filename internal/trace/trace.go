@@ -1,0 +1,194 @@
+// Package trace provides the experiment metrics and plain-text table
+// rendering used by the benchmark harness, the expsweep tool and
+// EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a fixed-header plain-text table.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cells are formatted with %v (floats with %.3g).
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is a collection of float observations with summary statistics.
+type Series struct {
+	vals []float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 for empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.vals {
+		total += v
+	}
+	return total / float64(len(s.vals))
+}
+
+// Max returns the maximum (0 for empty series).
+func (s *Series) Max() float64 {
+	out := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > out {
+			out = v
+		}
+	}
+	if math.IsInf(out, -1) {
+		return 0
+	}
+	return out
+}
+
+// Min returns the minimum (0 for empty series).
+func (s *Series) Min() float64 {
+	out := math.Inf(1)
+	for _, v := range s.vals {
+		if v < out {
+			out = v
+		}
+	}
+	if math.IsInf(out, 1) {
+		return 0
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank; 0 for empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func (s *Series) Stddev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// LogLogSlope fits log(y) = a + slope*log(x) by least squares — used to
+// report the polynomial growth exponents of experiment E5. It returns 0
+// when fewer than two valid points exist.
+func LogLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

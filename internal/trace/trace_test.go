@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "n", "mean", "note")
+	tb.Add(4, 1.25, "ok")
+	tb.Add(10, 3.14159, "longer-cell")
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "longer-cell") {
+		t.Error("missing cell")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("len = %d", tb.Len())
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-1.5811) > 0.001 {
+		t.Errorf("stddev = %v", got)
+	}
+	if s.N() != 5 {
+		t.Errorf("n = %d", s.N())
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = x^2 exactly: slope 2.
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{4, 16, 64, 256}
+	if got := LogLogSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	// Degenerate inputs.
+	if got := LogLogSlope([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("single point slope = %v", got)
+	}
+	if got := LogLogSlope([]float64{0, -1}, []float64{1, 1}); got != 0 {
+		t.Errorf("invalid points slope = %v", got)
+	}
+}

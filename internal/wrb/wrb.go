@@ -1,0 +1,176 @@
+// Package wrb implements t-tolerant Weak Reliable Broadcast — Dolev's
+// crusader agreement — exactly as specified in Appendix A.1 of the paper:
+//
+//  1. The dealer sends (s, 1) to all processes.
+//  2. If process i receives a type 1 message (r, 1) from the dealer and it
+//     never sent a type 2 message, then process i sends (r, 2) to all.
+//  3. If process i receives n−t distinct type 2 messages (r, 2), all with
+//     value r, then it accepts the value r.
+//
+// Properties (for n > 3t): weak termination (nonfaulty dealer ⇒ everyone
+// completes) and correctness (no two nonfaulty processes accept different
+// values; a nonfaulty dealer's value is the only acceptable one).
+//
+// Instances are identified by (origin, tag); values are opaque byte
+// strings whose equality is the paper's value equality.
+package wrb
+
+import (
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Message phases.
+const (
+	phaseType1 uint8 = 1
+	phaseType2 uint8 = 2
+)
+
+// Payload kinds.
+const (
+	KindType1 = "wrb/type1"
+	KindType2 = "wrb/type2"
+)
+
+// Msg is a WRB protocol message.
+type Msg struct {
+	Origin sim.ProcID
+	Tag    proto.Tag
+	Phase  uint8
+	Value  []byte
+}
+
+var _ proto.Marshaler = Msg{}
+
+// Kind implements sim.Payload.
+func (m Msg) Kind() string {
+	if m.Phase == phaseType1 {
+		return KindType1
+	}
+	return KindType2
+}
+
+// Size implements sim.Payload.
+func (m Msg) Size() int {
+	return 2 + proto.TagSize() + 1 + proto.VarBytesSize(len(m.Value))
+}
+
+// MarshalTo implements proto.Marshaler.
+func (m Msg) MarshalTo(w *proto.Writer) {
+	w.Proc(m.Origin)
+	m.Tag.MarshalTo(w)
+	w.U8(m.Phase)
+	w.VarBytes(m.Value)
+}
+
+func decodeMsg(r *proto.Reader) (sim.Payload, error) {
+	var m Msg
+	m.Origin = r.Proc()
+	m.Tag = proto.ReadTag(r)
+	m.Phase = r.U8()
+	m.Value = r.VarBytes()
+	return m, r.Err()
+}
+
+// RegisterCodec registers WRB message decoding.
+func RegisterCodec(c *proto.Codec) {
+	c.Register(KindType1, decodeMsg)
+	c.Register(KindType2, decodeMsg)
+}
+
+// Accept is the output event of one WRB instance.
+type Accept struct {
+	Origin sim.ProcID
+	Tag    proto.Tag
+	Value  []byte
+}
+
+// AcceptFunc consumes accept events; it runs inside the delivering
+// process's context and may send messages.
+type AcceptFunc func(ctx sim.Context, a Accept)
+
+type instKey struct {
+	origin sim.ProcID
+	tag    proto.Tag
+}
+
+type instance struct {
+	sentType2 bool
+	voted     map[sim.ProcID]bool // senders whose type-2 was counted
+	counts    map[string]int      // value -> distinct type-2 count
+	accepted  bool
+}
+
+// Engine runs all WRB instances for one process.
+type Engine struct {
+	self     sim.ProcID
+	onAccept AcceptFunc
+	insts    map[instKey]*instance
+}
+
+// New returns a WRB engine for process self.
+func New(self sim.ProcID, onAccept AcceptFunc) *Engine {
+	return &Engine{
+		self:     self,
+		onAccept: onAccept,
+		insts:    make(map[instKey]*instance),
+	}
+}
+
+// Broadcast starts a WRB instance with this process as dealer (step 1).
+func (e *Engine) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
+	m := Msg{Origin: e.self, Tag: tag, Phase: phaseType1, Value: value}
+	for p := 1; p <= ctx.N(); p++ {
+		ctx.Send(sim.ProcID(p), m)
+	}
+}
+
+func (e *Engine) inst(k instKey) *instance {
+	in, ok := e.insts[k]
+	if !ok {
+		in = &instance{
+			voted:  make(map[sim.ProcID]bool),
+			counts: make(map[string]int),
+		}
+		e.insts[k] = in
+	}
+	return in
+}
+
+// Handle processes a message if it belongs to WRB, reporting whether it
+// was consumed.
+func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
+	msg, ok := m.Payload.(Msg)
+	if !ok {
+		return false
+	}
+	k := instKey{origin: msg.Origin, tag: msg.Tag}
+	in := e.inst(k)
+	switch msg.Phase {
+	case phaseType1:
+		// Step 2: the type 1 message must come from the instance dealer.
+		if m.From != msg.Origin || in.sentType2 {
+			return true
+		}
+		in.sentType2 = true
+		echo := Msg{Origin: msg.Origin, Tag: msg.Tag, Phase: phaseType2, Value: msg.Value}
+		for p := 1; p <= ctx.N(); p++ {
+			ctx.Send(sim.ProcID(p), echo)
+		}
+	case phaseType2:
+		// Step 3: count the first type 2 from each sender.
+		if in.voted[m.From] {
+			return true
+		}
+		in.voted[m.From] = true
+		v := string(msg.Value)
+		in.counts[v]++
+		if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
+			in.accepted = true
+			if e.onAccept != nil {
+				e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+package svssba
+
+import (
+	"fmt"
+
+	"svssba/internal/adversary"
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// SVSSConfig describes a standalone shunning-VSS run: one dealer shares
+// a secret, everyone reconstructs.
+type SVSSConfig struct {
+	N, T   int
+	Seed   int64
+	Dealer int
+	Secret uint64
+	Faults []Fault
+	// MaxSteps bounds the run (defaults to 200M deliveries).
+	MaxSteps int
+}
+
+// SecretValue is one process's reconstruction output: a value or ⊥.
+type SecretValue struct {
+	Value  uint64
+	Bottom bool
+}
+
+// String implements fmt.Stringer.
+func (v SecretValue) String() string {
+	if v.Bottom {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", v.Value)
+}
+
+// SVSSResult reports a standalone SVSS run.
+type SVSSResult struct {
+	// Outputs maps each process that completed reconstruction to its
+	// output.
+	Outputs map[int]SecretValue
+	// ShareCompleted lists processes that completed the share phase.
+	ShareCompleted []int
+	// Shuns lists D_i additions observed.
+	Shuns []Shun
+	// Messages and Bytes count all traffic.
+	Messages, Bytes int64
+	// TimedOut reports that MaxSteps was exhausted.
+	TimedOut bool
+}
+
+// RunSVSS executes one share+reconstruct session.
+func RunSVSS(cfg SVSSConfig) (*SVSSResult, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("svssba: need at least 2 processes")
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 3
+	}
+	if cfg.Dealer == 0 {
+		cfg.Dealer = 1
+	}
+	if cfg.Dealer < 1 || cfg.Dealer > cfg.N {
+		return nil, fmt.Errorf("svssba: dealer %d out of range", cfg.Dealer)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+
+	nw := sim.NewNetwork(cfg.N, cfg.T, cfg.Seed)
+	res := &SVSSResult{Outputs: make(map[int]SecretValue)}
+	sid := proto.SessionID{Dealer: sim.ProcID(cfg.Dealer), Kind: proto.KindApp, Round: 1}
+
+	faults := make(map[int]FaultKind, len(cfg.Faults))
+	for _, f := range cfg.Faults {
+		if f.Proc < 1 || f.Proc > cfg.N {
+			return nil, fmt.Errorf("svssba: fault on unknown process %d", f.Proc)
+		}
+		faults[f.Proc] = f.Kind
+	}
+	honest := make([]int, 0, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		if k, bad := faults[i]; !bad || k == "" {
+			honest = append(honest, i)
+		}
+	}
+
+	stacks := make(map[int]*core.Stack, cfg.N)
+	shareDone := make(map[int]bool, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		pid := i
+		st := core.NewStack(sim.ProcID(i), func(j sim.ProcID, _ proto.MWID) {
+			res.Shuns = append(res.Shuns, Shun{By: pid, Detected: int(j)})
+		})
+		st.ConsumeSVSS(proto.KindApp, core.SVSSConsumer{
+			ShareComplete: func(_ sim.Context, _ proto.SessionID) {
+				shareDone[pid] = true
+			},
+			ReconComplete: func(_ sim.Context, _ proto.SessionID, out svss.Output) {
+				res.Outputs[pid] = SecretValue{Value: out.Value.Uint64(), Bottom: out.Bottom}
+			},
+		})
+		if kind, bad := faults[i]; bad && kind != FaultCrash {
+			if b, ok := behaviorFor(kind); ok {
+				adversary.Apply(st, b)
+			}
+		}
+		stacks[pid] = st
+		if err := nw.Register(st.Node); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range cfg.Faults {
+		if f.Kind == FaultCrash {
+			nw.Crash(sim.ProcID(f.Proc))
+		}
+	}
+
+	dealer := stacks[cfg.Dealer]
+	dealer.Node.AddInit(func(ctx sim.Context) {
+		// The dealer role and fresh session make this error-free.
+		_ = dealer.SVSS.Share(ctx, sid, field.New(cfg.Secret))
+	})
+
+	honestShared := func() bool {
+		for _, i := range honest {
+			if !shareDone[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := nw.RunUntil(honestShared, cfg.MaxSteps); err != nil {
+		var lim sim.ErrStepLimit
+		if !asStepLimit(err, &lim) {
+			return nil, err
+		}
+		res.TimedOut = true
+	}
+	if honestShared() {
+		for i := 1; i <= cfg.N; i++ {
+			pid := i
+			if faults[pid] == FaultCrash {
+				continue
+			}
+			st := stacks[pid]
+			if err := nw.Inject(sim.ProcID(pid), func(ctx sim.Context) {
+				st.SVSS.Reconstruct(ctx, sid)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		honestOut := func() bool {
+			for _, i := range honest {
+				if _, ok := res.Outputs[i]; !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if _, err := nw.RunUntil(honestOut, cfg.MaxSteps); err != nil {
+			var lim sim.ErrStepLimit
+			if !asStepLimit(err, &lim) {
+				return nil, err
+			}
+			res.TimedOut = true
+		}
+		// Drain remaining traffic so late detections land.
+		if _, err := nw.Run(cfg.MaxSteps); err != nil {
+			var lim sim.ErrStepLimit
+			if !asStepLimit(err, &lim) {
+				return nil, err
+			}
+			res.TimedOut = true
+		}
+	}
+	for i := 1; i <= cfg.N; i++ {
+		if shareDone[i] {
+			res.ShareCompleted = append(res.ShareCompleted, i)
+		}
+	}
+	st := nw.Stats()
+	res.Messages = st.Sent
+	res.Bytes = st.TotalBytes()
+	return res, nil
+}
+
+// CoinConfig describes a run of consecutive common-coin rounds.
+type CoinConfig struct {
+	N, T   int
+	Seed   int64
+	Rounds int
+	Faults []Fault
+	// MaxSteps bounds each round (defaults to 200M deliveries).
+	MaxSteps int
+}
+
+// CoinRound reports one coin invocation.
+type CoinRound struct {
+	// Bits maps process id to its coin output.
+	Bits map[int]int
+	// Agreed reports whether all honest outputs coincide; Value is the
+	// common bit when they do.
+	Agreed bool
+	Value  int
+}
+
+// CoinResult reports a multi-round coin run.
+type CoinResult struct {
+	RoundResults    []CoinRound
+	Messages, Bytes int64
+	Shuns           []Shun
+	TimedOut        bool
+}
+
+// RunCoin executes cfg.Rounds sequential common-coin invocations.
+func RunCoin(cfg CoinConfig) (*CoinResult, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("svssba: need at least 2 processes")
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 3
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+
+	nw := sim.NewNetwork(cfg.N, cfg.T, cfg.Seed)
+	res := &CoinResult{}
+	bits := make(map[uint64]map[int]int)
+
+	faults := make(map[int]FaultKind, len(cfg.Faults))
+	for _, f := range cfg.Faults {
+		if f.Proc < 1 || f.Proc > cfg.N {
+			return nil, fmt.Errorf("svssba: fault on unknown process %d", f.Proc)
+		}
+		faults[f.Proc] = f.Kind
+	}
+	honest := make([]int, 0, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		if _, bad := faults[i]; !bad {
+			honest = append(honest, i)
+		}
+	}
+
+	stacks := make(map[int]*core.Stack, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		pid := i
+		st := core.NewStack(sim.ProcID(i), func(j sim.ProcID, _ proto.MWID) {
+			res.Shuns = append(res.Shuns, Shun{By: pid, Detected: int(j)})
+		})
+		st.OnCoin(func(_ sim.Context, round uint64, bit int) {
+			m, ok := bits[round]
+			if !ok {
+				m = make(map[int]int)
+				bits[round] = m
+			}
+			m[pid] = bit
+		})
+		if kind, bad := faults[i]; bad && kind != FaultCrash {
+			if b, ok := behaviorFor(kind); ok {
+				adversary.Apply(st, b)
+			}
+		}
+		stacks[pid] = st
+		if err := nw.Register(st.Node); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range cfg.Faults {
+		if f.Kind == FaultCrash {
+			nw.Crash(sim.ProcID(f.Proc))
+		}
+	}
+
+	for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
+		round := r
+		for _, i := range honest {
+			st := stacks[i]
+			if err := nw.Inject(sim.ProcID(i), func(ctx sim.Context) {
+				st.Coin.Start(ctx, round)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		done := func() bool {
+			m := bits[round]
+			for _, i := range honest {
+				if _, ok := m[i]; !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if _, err := nw.RunUntil(done, cfg.MaxSteps); err != nil {
+			var lim sim.ErrStepLimit
+			if !asStepLimit(err, &lim) {
+				return nil, err
+			}
+			res.TimedOut = true
+			break
+		}
+		if !done() {
+			res.TimedOut = true
+			break
+		}
+		cr := CoinRound{Bits: make(map[int]int), Agreed: true}
+		m := bits[round]
+		for pid, b := range m {
+			cr.Bits[pid] = b
+		}
+		first := m[honest[0]]
+		cr.Value = first
+		for _, i := range honest {
+			if m[i] != first {
+				cr.Agreed = false
+			}
+		}
+		res.RoundResults = append(res.RoundResults, cr)
+	}
+	st := nw.Stats()
+	res.Messages = st.Sent
+	res.Bytes = st.TotalBytes()
+	return res, nil
+}
