@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check vet bench sweep sweep-full
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is what CI runs: fast, deterministic, full build surface.
+check: vet build
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+sweep:
+	$(GO) run ./cmd/expsweep -parallel 0
+
+sweep-full:
+	$(GO) run ./cmd/expsweep -full -parallel 0

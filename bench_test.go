@@ -1,12 +1,12 @@
-// Benchmark harness for the reproduction experiments E1–E9 (DESIGN.md
-// §4, results recorded in EXPERIMENTS.md) plus per-primitive micro
+// Benchmark harness for the reproduction experiments E1–E9 (see the
+// package comment of internal/exp) plus per-primitive micro
 // benchmarks. The paper has no tables or figures, so each experiment
 // regenerates one of its quantitative claims; run
 //
 //	go test -bench=. -benchmem
 //
 // to reproduce every table (quick scale; cmd/expsweep -full for the
-// full-scale versions).
+// full-scale versions, -parallel N to fan trials across workers).
 package svssba_test
 
 import (

@@ -1,29 +1,52 @@
-// Command expsweep regenerates every reproduction experiment (E1–E9 of
-// DESIGN.md §4) and prints the tables recorded in EXPERIMENTS.md.
+// Command expsweep regenerates every reproduction experiment (E1–E9,
+// see the package comment of internal/exp) and prints their tables.
 //
-//	expsweep           # quick scale (minutes)
-//	expsweep -full     # full scale (tens of minutes)
-//	expsweep -only E4  # a single experiment
+//	expsweep                     # quick scale (minutes), sequential
+//	expsweep -full               # full scale (tens of minutes)
+//	expsweep -only E4            # a single experiment
+//	expsweep -parallel 8         # fan trials across 8 workers
+//	expsweep -parallel 0         # one worker per CPU (GOMAXPROCS)
+//	expsweep -json               # machine-readable output
+//
+// Every trial is a seeded deterministic simulation and results are
+// aggregated in trial order, so -parallel changes wall-clock time only:
+// the emitted tables are byte-identical to a sequential run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"svssba/internal/exp"
 	"svssba/internal/trace"
 )
 
+// sweepRecord is one experiment's entry in the -json output. The table
+// is deterministic; elapsed wall-clock time of course is not.
+type sweepRecord struct {
+	Name      string       `json:"name"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Table     *trace.Table `json:"table"`
+}
+
 func main() {
 	var (
-		full = flag.Bool("full", false, "run full-scale experiments")
-		only = flag.String("only", "", "run a single experiment (E1..E9)")
+		full     = flag.Bool("full", false, "run full-scale experiments")
+		only     = flag.String("only", "", "run a single experiment (E1..E9)")
+		parallel = flag.Int("parallel", 1, "worker goroutines per experiment (0 = GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit a JSON array instead of text tables")
 	)
 	flag.Parse()
 
-	scale := exp.Scale{Quick: !*full}
+	workers := *parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scale := exp.Scale{Quick: !*full, Workers: workers}
 	experiments := []struct {
 		name string
 		run  func(exp.Scale) *trace.Table
@@ -39,6 +62,7 @@ func main() {
 		{name: "E9", run: exp.E9},
 	}
 
+	var records []sweepRecord
 	ran := 0
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
@@ -46,12 +70,27 @@ func main() {
 		}
 		start := time.Now()
 		tb := e.run(scale)
-		fmt.Println(tb.String())
-		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			records = append(records, sweepRecord{
+				Name: e.name, ElapsedMS: elapsed.Milliseconds(), Table: tb,
+			})
+		} else {
+			fmt.Println(tb.String())
+			fmt.Printf("(%s took %v)\n\n", e.name, elapsed.Round(time.Millisecond))
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "expsweep: unknown experiment %q\n", *only)
 		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "expsweep: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

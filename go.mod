@@ -1,0 +1,3 @@
+module svssba
+
+go 1.24

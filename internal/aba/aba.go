@@ -2,8 +2,8 @@
 // of the shunning common coin — the final step of paper §5 (Theorem 1).
 //
 // The paper composes its coin with the voting protocol of Canetti's
-// thesis (Fig 5-11), which the paper does not reprint; per DESIGN.md
-// §3.4 we substitute the functionally equivalent BV-broadcast/AUX/CONF
+// thesis (Fig 5-11), which the paper does not reprint; we substitute
+// the functionally equivalent BV-broadcast/AUX/CONF
 // round structure (Mostéfaoui–Moumen–Raynal 2014 with the Cobalt
 // confirmation phase), the modern standard voting layer for binary ABA
 // from a (1/4,1/4)-common coin at n > 3t:

@@ -7,8 +7,8 @@
 // fail, which is what makes the agreement protocol almost-surely
 // terminating with polynomial expected round count.
 //
-// Construction (the Canetti–Rabin coin over SVSS; see DESIGN.md §3.4 for
-// the substitution notes):
+// Construction (the Canetti–Rabin coin, with the paper's SVSS
+// substituted for AVSS so detections accumulate across invocations):
 //
 //  1. For a coin round r, every process i SVSS-shares n lottery secrets
 //     s_{i,1..n} drawn from [0, n^4); s_{i,j} is "attached to" process j.
@@ -249,8 +249,13 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	}
 
 	// Step 3: verify parties whose attached sharings completed locally.
-	for j, set := range rd.attach {
-		if rd.verified[j] {
+	// Iterate in process-id order, not map order: Verify emits gather
+	// traffic, and the whole run must be a deterministic function of the
+	// seed.
+	for p := 1; p <= ctx.N(); p++ {
+		j := sim.ProcID(p)
+		set, known := rd.attach[j]
+		if !known || rd.verified[j] {
 			continue
 		}
 		ok := true
@@ -274,8 +279,10 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	// reconstruct announcement therefore cannot leak values the
 	// adversary could use to steer verification adaptively.
 	if rd.haveGather {
-		for j := range rd.reconTargets {
-			if rd.reconStarted[j] {
+		// Process-id order for the same determinism reason as step 3.
+		for p := 1; p <= ctx.N(); p++ {
+			j := sim.ProcID(p)
+			if !rd.reconTargets[j] || rd.reconStarted[j] {
 				continue
 			}
 			set, ok := rd.attach[j]

@@ -88,10 +88,15 @@ func ids(from, to int) []sim.ProcID {
 // and the empirical distribution must satisfy the Correctness property
 // Pr[all output sigma] >= 1/4 for each sigma (Definition 2).
 func TestCoinTerminatesAndOftenAgrees(t *testing.T) {
-	const rounds = 24
+	// Full scale gives the statistical bound sampling room; short mode
+	// keeps a deterministic smoke version of the same property.
+	rounds, minEach := 24, 3
+	if testing.Short() {
+		rounds, minEach = 6, 1
+	}
 	all := ids(1, 4)
 	all0, all1, split := 0, 0, 0
-	for seed := int64(0); seed < rounds; seed++ {
+	for seed := int64(0); seed < int64(rounds); seed++ {
 		c := newCluster(t, 4, 1, seed)
 		c.startRound(t, 1, all)
 		c.mustReach(t, "coin round", func() bool { return c.allDone(1, all) })
@@ -120,7 +125,7 @@ func TestCoinTerminatesAndOftenAgrees(t *testing.T) {
 	if split != 0 {
 		t.Errorf("honest coin split %d times", split)
 	}
-	if all0 < 3 || all1 < 3 {
+	if all0 < minEach || all1 < minEach {
 		t.Errorf("coin badly biased: all0=%d all1=%d", all0, all1)
 	}
 }

@@ -7,25 +7,47 @@ import (
 	"svssba/internal/poly"
 	"svssba/internal/proto"
 	"svssba/internal/rb"
+	"svssba/internal/runner"
 	"svssba/internal/sim"
 	"svssba/internal/trace"
 )
+
+// e7Out carries the Example 1 replay observations.
+type e7Out struct {
+	out1, out3        mwsvss.Output
+	preShun, postShun bool
+	ok                bool
+}
 
 // E7 — the paper's Example 1 (§3.3), replayed deterministically: two
 // nonfaulty processes complete the same MW-SVSS invocation with
 // different values; the faulty dealer is detected only afterwards, when
 // its reliably-broadcast wrong value finally reaches the moderator.
-func E7(Scale) *trace.Table {
+func E7(scale Scale) *trace.Table {
 	tb := trace.NewTable(
 		"E7 — Example 1 replay (n=4, t=1, dealer=2 faulty, moderator=1)",
 		"check", "expected", "observed")
 
-	out1, out3, preShun, postShun, ok := runExample1()
-	tb.Add("share completes among {1,2,3}", true, ok)
-	tb.Add("process 1 outputs dealt secret 42", "42", out1.String())
-	tb.Add("process 3 outputs adversary target 10042", "10042", out3.String())
-	tb.Add("dealer detected before completion", false, preShun)
-	tb.Add("dealer shunned by process 1 afterwards", true, postShun)
+	// One scripted schedule, one trial; the runner still isolates panics.
+	sum := scale.run([]runner.Trial{runner.Custom("e7", 7, func() (any, error) {
+		var o e7Out
+		o.out1, o.out3, o.preShun, o.postShun, o.ok = runExample1()
+		return o, nil
+	})})
+
+	var o e7Out
+	if rs := sum.Group("e7").Results(); len(rs) > 0 {
+		if rs[0].Err != nil {
+			tb.Add("trial error", "-", rs[0].Err.Error())
+			return tb
+		}
+		o, _ = rs[0].Value.(e7Out)
+	}
+	tb.Add("share completes among {1,2,3}", true, o.ok)
+	tb.Add("process 1 outputs dealt secret 42", "42", o.out1.String())
+	tb.Add("process 3 outputs adversary target 10042", "10042", o.out3.String())
+	tb.Add("dealer detected before completion", false, o.preShun)
+	tb.Add("dealer shunned by process 1 afterwards", true, o.postShun)
 	return tb
 }
 

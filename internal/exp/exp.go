@@ -1,11 +1,18 @@
-// Package exp implements the reproduction experiments E1–E9 of
-// DESIGN.md §4. The paper has no tables or figures — it is a theory
-// paper — so each experiment operationalizes one of its quantitative
-// claims (Theorem 1's properties, the SCC Correctness bound, the t(n−t)
-// shunning bound, polynomial message complexity, and the failure modes
-// of the prior-work baselines). Each experiment returns a plain-text
-// table; cmd/expsweep regenerates them all and bench_test.go wraps them
-// as benchmarks.
+// Package exp implements the reproduction experiments E1–E9. The paper
+// has no tables or figures — it is a theory paper — so each experiment
+// operationalizes one of its quantitative claims (Theorem 1's
+// properties, the SCC Correctness bound, the t(n−t) shunning bound,
+// polynomial message complexity, and the failure modes of the
+// prior-work baselines). Each experiment declares a set of independent
+// runner.Trials and renders one plain-text table from the aggregated
+// summary; cmd/expsweep regenerates them all (optionally fanning trials
+// across workers with -parallel) and bench_test.go wraps them as
+// benchmarks.
+//
+// Determinism contract: every trial is a seeded deterministic
+// simulation and aggregation happens in trial-index order, so a table
+// is a pure function of its Scale — the Workers count changes only
+// wall-clock time, never a byte of output.
 package exp
 
 import (
@@ -17,16 +24,20 @@ import (
 	"svssba/internal/field"
 	"svssba/internal/proto"
 	"svssba/internal/rb"
+	"svssba/internal/runner"
 	"svssba/internal/sim"
 	"svssba/internal/svss"
 	"svssba/internal/testutil"
 	"svssba/internal/trace"
 )
 
-// Scale controls experiment sizes.
+// Scale controls experiment sizes and execution parallelism.
 type Scale struct {
 	// Quick trims process counts and seed counts for CI-speed runs.
 	Quick bool
+	// Workers bounds concurrent trials (0 = sequential). Tables are
+	// identical for every value; only wall-clock time changes.
+	Workers int
 }
 
 func (s Scale) pick(quick, full int) int {
@@ -34,6 +45,15 @@ func (s Scale) pick(quick, full int) int {
 		return quick
 	}
 	return full
+}
+
+// run executes a trial set at this scale's parallelism and aggregates.
+func (s Scale) run(trials []runner.Trial) *runner.Summary {
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return runner.Execute(workers, trials)
 }
 
 // E1 — Theorem 1: agreement, validity and termination at n > 3t across
@@ -56,39 +76,51 @@ func E1(scale Scale) *trace.Table {
 		{n: 7, fault: "", runs: scale.pick(1, 3)},
 		{n: 7, fault: svssba.FaultVoteEquivocate, runs: scale.pick(0, 2)},
 	}
-	for _, c := range cases {
-		if c.runs == 0 {
-			continue
+
+	classify := func(res *svssba.Result, err error) runner.Classification {
+		if err != nil {
+			return runner.Classification{}
 		}
-		t := (c.n - 1) / 3
-		decided, agreed, valid := 0, 0, 0
-		var rounds, msgs trace.Series
+		c := runner.Classification{Values: map[string]float64{
+			"rounds": float64(res.MaxRound),
+			"msgs":   float64(res.Messages),
+		}}
+		if res.AllDecided {
+			c.Counts = append(c.Counts, "decided")
+		}
+		if res.Agreed {
+			// Inputs alternate 0/1, so any binary decision is valid.
+			c.Counts = append(c.Counts, "agreed", "valid")
+		}
+		return c
+	}
+
+	var trials []runner.Trial
+	group := func(c cfg) string { return fmt.Sprintf("n%d/%s", c.n, c.fault) }
+	for _, c := range cases {
 		for seed := 0; seed < c.runs; seed++ {
 			rc := svssba.Config{N: c.n, Seed: int64(1000 + seed)}
 			if c.fault != "" {
 				rc.Faults = []svssba.Fault{{Proc: c.n, Kind: c.fault}}
 			}
-			res, err := svssba.Run(rc)
-			if err != nil {
-				continue
-			}
-			if res.AllDecided {
-				decided++
-			}
-			if res.Agreed {
-				agreed++
-				valid++ // inputs alternate 0/1, so any binary decision is valid
-			}
-			rounds.Add(float64(res.MaxRound))
-			msgs.Add(float64(res.Messages))
+			trials = append(trials, runner.Agreement(group(c), rc, classify))
 		}
+	}
+	sum := scale.run(trials)
+
+	for _, c := range cases {
+		if c.runs == 0 {
+			continue
+		}
+		g := sum.Group(group(c))
 		name := string(c.fault)
 		if name == "" {
 			name = "none"
 		}
-		tb.Add(c.n, t, name, c.runs,
-			frac(decided, c.runs), frac(agreed, c.runs), frac(valid, c.runs),
-			rounds.Mean(), msgs.Mean())
+		tb.Add(c.n, (c.n-1)/3, name, c.runs,
+			frac(g.Count("decided"), c.runs), frac(g.Count("agreed"), c.runs),
+			frac(g.Count("valid"), c.runs),
+			g.Series("rounds").Mean(), g.Series("msgs").Mean())
 	}
 	return tb
 }
@@ -100,36 +132,56 @@ func E2(scale Scale) *trace.Table {
 		"E2 — expected voting rounds to decide, split inputs",
 		"protocol", "n", "t", "runs", "mean_rounds", "max_rounds", "timeouts")
 
-	run := func(p svssba.Protocol, n, t, runs int, maxSteps int) {
-		var rounds trace.Series
-		timeouts := 0
-		for seed := 0; seed < runs; seed++ {
-			res, err := svssba.Run(svssba.Config{
-				N: n, T: t, Seed: int64(2000 + seed), Protocol: p, MaxSteps: maxSteps,
-			})
-			if err != nil || res.TimedOut || !res.AllDecided {
-				timeouts++
-				continue
-			}
-			rounds.Add(float64(res.MaxRound))
-		}
-		tb.Add(string(p), n, t, runs, rounds.Mean(), rounds.Max(), timeouts)
+	type cfg struct {
+		p        svssba.Protocol
+		n, t     int
+		runs     int
+		maxSteps int
 	}
-
-	run(svssba.ProtocolADH, 4, 1, scale.pick(3, 10), 0)
+	var cases []cfg
+	cases = append(cases, cfg{p: svssba.ProtocolADH, n: 4, t: 1, runs: scale.pick(3, 10)})
 	if !scale.Quick {
-		run(svssba.ProtocolADH, 7, 2, 2, 0)
+		cases = append(cases, cfg{p: svssba.ProtocolADH, n: 7, t: 2, runs: 2})
 	}
 	localNs := []int{4, 7, 10}
 	if !scale.Quick {
 		localNs = append(localNs, 13)
 	}
 	for _, n := range localNs {
-		run(svssba.ProtocolLocalCoin, n, (n-1)/3, scale.pick(6, 20), 20_000_000)
+		cases = append(cases, cfg{
+			p: svssba.ProtocolLocalCoin, n: n, t: (n - 1) / 3,
+			runs: scale.pick(6, 20), maxSteps: 20_000_000,
+		})
 	}
 	// Ben-Or requires n > 5t.
-	run(svssba.ProtocolBenOr, 7, 1, scale.pick(6, 20), 20_000_000)
-	run(svssba.ProtocolBenOr, 13, 2, scale.pick(4, 12), 20_000_000)
+	cases = append(cases,
+		cfg{p: svssba.ProtocolBenOr, n: 7, t: 1, runs: scale.pick(6, 20), maxSteps: 20_000_000},
+		cfg{p: svssba.ProtocolBenOr, n: 13, t: 2, runs: scale.pick(4, 12), maxSteps: 20_000_000},
+	)
+
+	classify := func(res *svssba.Result, err error) runner.Classification {
+		if err != nil || res.TimedOut || !res.AllDecided {
+			return runner.Count("timeout")
+		}
+		return runner.Classification{Values: map[string]float64{"rounds": float64(res.MaxRound)}}
+	}
+
+	var trials []runner.Trial
+	group := func(c cfg) string { return fmt.Sprintf("%s/n%d/t%d", c.p, c.n, c.t) }
+	for _, c := range cases {
+		for seed := 0; seed < c.runs; seed++ {
+			trials = append(trials, runner.Agreement(group(c), svssba.Config{
+				N: c.n, T: c.t, Seed: int64(2000 + seed), Protocol: c.p, MaxSteps: c.maxSteps,
+			}, classify))
+		}
+	}
+	sum := scale.run(trials)
+
+	for _, c := range cases {
+		g := sum.Group(group(c))
+		rounds := g.Series("rounds")
+		tb.Add(string(c.p), c.n, c.t, c.runs, rounds.Mean(), rounds.Max(), g.Count("timeout"))
+	}
 	return tb
 }
 
@@ -139,45 +191,59 @@ func E3(scale Scale) *trace.Table {
 		"E3 — shunning common coin distribution (SCC needs >= 1/4 per side)",
 		"n", "fault", "runs", "all0", "all1", "split", "shun_events")
 
-	cases := []struct {
+	type cfg struct {
 		n     int
 		fault svssba.FaultKind
 		runs  int
-	}{
+	}
+	cases := []cfg{
 		{n: 4, fault: "", runs: scale.pick(12, 48)},
 		{n: 4, fault: svssba.FaultRValLie, runs: scale.pick(6, 24)},
 		{n: 7, fault: "", runs: scale.pick(0, 8)},
 	}
-	for _, c := range cases {
-		if c.runs == 0 {
-			continue
+
+	classify := func(res *svssba.CoinResult, err error) runner.Classification {
+		if err != nil || len(res.RoundResults) == 0 {
+			return runner.Classification{}
 		}
-		all0, all1, split, shuns := 0, 0, 0, 0
+		c := runner.Classification{Values: map[string]float64{"shuns": float64(len(res.Shuns))}}
+		rr := res.RoundResults[0]
+		switch {
+		case !rr.Agreed:
+			c.Counts = append(c.Counts, "split")
+		case rr.Value == 0:
+			c.Counts = append(c.Counts, "all0")
+		default:
+			c.Counts = append(c.Counts, "all1")
+		}
+		return c
+	}
+
+	var trials []runner.Trial
+	group := func(c cfg) string { return fmt.Sprintf("n%d/%s", c.n, c.fault) }
+	for _, c := range cases {
 		for seed := 0; seed < c.runs; seed++ {
 			cc := svssba.CoinConfig{N: c.n, Seed: int64(3000 + seed), Rounds: 1}
 			if c.fault != "" {
 				cc.Faults = []svssba.Fault{{Proc: c.n, Kind: c.fault}}
 			}
-			res, err := svssba.RunCoin(cc)
-			if err != nil || len(res.RoundResults) == 0 {
-				continue
-			}
-			shuns += len(res.Shuns)
-			rr := res.RoundResults[0]
-			switch {
-			case !rr.Agreed:
-				split++
-			case rr.Value == 0:
-				all0++
-			default:
-				all1++
-			}
+			trials = append(trials, runner.Coin(group(c), cc, classify))
 		}
+	}
+	sum := scale.run(trials)
+
+	for _, c := range cases {
+		if c.runs == 0 {
+			continue
+		}
+		g := sum.Group(group(c))
 		name := string(c.fault)
 		if name == "" {
 			name = "none"
 		}
-		tb.Add(c.n, name, c.runs, frac(all0, c.runs), frac(all1, c.runs), split, shuns)
+		tb.Add(c.n, name, c.runs,
+			frac(g.Count("all0"), c.runs), frac(g.Count("all1"), c.runs),
+			g.Count("split"), int(g.Series("shuns").Sum()))
 	}
 	return tb
 }
@@ -294,25 +360,64 @@ func (r *sessionRunner) session(round uint64, dealer int, secret uint64, liar in
 	return wrong, true
 }
 
+// e4Row is one session's outcome in the E4 table.
+type e4Row struct {
+	session  int
+	wrong    int
+	stuck    bool
+	cumShuns int
+}
+
 // E4 — the shunning bound: a persistent liar can ruin only boundedly
 // many sessions; cumulative shun pairs never exceed t(n−t).
 func E4(scale Scale) *trace.Table {
 	tb := trace.NewTable(
 		"E4 — shunning bounds adversarial damage (liar = process 4, n=4, t=1)",
 		"session", "wrong_outputs", "cum_shun_pairs", "bound_t(n-t)")
-	n, t := 4, 1
+	const n, t, liar = 4, 1, 4
 	sessions := scale.pick(6, 12)
-	r := newSessionRunner(n, t, 77, 4, false)
-	bound := t * (n - t)
-	for s := 1; s <= sessions; s++ {
-		wrong, ok := r.session(uint64(s), 1, uint64(1000+s), 4)
-		if !ok {
-			tb.Add(s, "stuck", r.honestShunPairs(4), bound)
-			break
+
+	// The sessions share one long-lived network, so the whole sequence is
+	// a single trial; the runner still isolates its panics.
+	sum := scale.run([]runner.Trial{runner.Custom("e4", 77, func() (any, error) {
+		r := newSessionRunner(n, t, 77, liar, false)
+		var rows []e4Row
+		for s := 1; s <= sessions; s++ {
+			wrong, ok := r.session(uint64(s), 1, uint64(1000+s), liar)
+			rows = append(rows, e4Row{
+				session: s, wrong: wrong, stuck: !ok, cumShuns: r.honestShunPairs(liar),
+			})
+			if !ok {
+				break
+			}
 		}
-		tb.Add(s, wrong, r.honestShunPairs(4), bound)
+		return rows, nil
+	})})
+
+	bound := t * (n - t)
+	for _, tr := range sum.Group("e4").Results() {
+		if tr.Err != nil {
+			// Surface trial failures (including recovered panics) instead
+			// of rendering an empty table.
+			tb.Add("error", tr.Err.Error(), "-", bound)
+			continue
+		}
+		rows, _ := tr.Value.([]e4Row)
+		for _, row := range rows {
+			if row.stuck {
+				tb.Add(row.session, "stuck", row.cumShuns, bound)
+			} else {
+				tb.Add(row.session, row.wrong, row.cumShuns, bound)
+			}
+		}
 	}
 	return tb
+}
+
+// e8Out is one ablation arm's outcome in the E8 table.
+type e8Out struct {
+	ruined    int
+	shunPairs int
 }
 
 // E8 — ablation: with the DMM disabled the liar ruins sessions forever;
@@ -321,26 +426,51 @@ func E8(scale Scale) *trace.Table {
 	tb := trace.NewTable(
 		"E8 — DMM ablation: ruined sessions with and without shunning (n=4, liar=4)",
 		"sessions", "dmm", "ruined_sessions", "shun_pairs")
+	const liar = 4
 	sessions := scale.pick(6, 12)
+
+	arm := func(disable bool) runner.Trial {
+		return runner.Custom(fmt.Sprintf("dmm=%t", !disable), 99, func() (any, error) {
+			r := newSessionRunner(4, 1, 99, liar, disable)
+			out := e8Out{}
+			for s := 1; s <= sessions; s++ {
+				wrong, ok := r.session(uint64(s), 1, uint64(2000+s), liar)
+				if !ok {
+					break
+				}
+				if wrong > 0 {
+					out.ruined++
+				}
+			}
+			out.shunPairs = r.honestShunPairs(liar)
+			return out, nil
+		})
+	}
+	// The two ablation arms are independent networks and run as
+	// independent trials.
+	sum := scale.run([]runner.Trial{arm(false), arm(true)})
+
 	for _, disable := range []bool{false, true} {
-		r := newSessionRunner(4, 1, 99, 4, disable)
-		ruined := 0
-		for s := 1; s <= sessions; s++ {
-			wrong, ok := r.session(uint64(s), 1, uint64(2000+s), 4)
-			if !ok {
-				break
-			}
-			if wrong > 0 {
-				ruined++
-			}
-		}
 		mode := "on"
 		if disable {
 			mode = "off"
 		}
-		tb.Add(sessions, mode, ruined, r.honestShunPairs(4))
+		for _, tr := range sum.Group(fmt.Sprintf("dmm=%t", !disable)).Results() {
+			if tr.Err != nil {
+				tb.Add(sessions, mode, "error: "+tr.Err.Error(), "-")
+				continue
+			}
+			out, _ := tr.Value.(e8Out)
+			tb.Add(sessions, mode, out.ruined, out.shunPairs)
+		}
 	}
 	return tb
+}
+
+// e5Meas is one primitive measurement in the E5 table.
+type e5Meas struct {
+	msgs  int64
+	bytes int64
 }
 
 // E5 — message/byte complexity per primitive versus n, with fitted
@@ -350,55 +480,87 @@ func E5(scale Scale) *trace.Table {
 		"E5 — messages and bytes per primitive vs n (polynomial efficiency)",
 		"primitive", "n", "messages", "bytes")
 
-	var rbNs, rbMsgs []float64
 	rbSizes := []int{4, 7, 10, 13}
 	if scale.Quick {
 		rbSizes = []int{4, 7, 10}
 	}
-	for _, n := range rbSizes {
-		msgs, bytes := measureRB(n)
-		tb.Add("reliable-broadcast", n, msgs, bytes)
-		rbNs = append(rbNs, float64(n))
-		rbMsgs = append(rbMsgs, float64(msgs))
-	}
-
-	var svssNs, svssMsgs []float64
 	svssSizes := []int{4, 7}
 	if !scale.Quick {
 		svssSizes = []int{4, 7, 10}
 	}
-	for _, n := range svssSizes {
-		res, err := svssba.RunSVSS(svssba.SVSSConfig{N: n, Seed: 5, Secret: 1})
-		if err != nil {
-			continue
-		}
-		tb.Add("svss", n, res.Messages, res.Bytes)
-		svssNs = append(svssNs, float64(n))
-		svssMsgs = append(svssMsgs, float64(res.Messages))
-	}
-
 	coinSizes := []int{4}
 	if !scale.Quick {
 		coinSizes = []int{4, 7}
 	}
-	for _, n := range coinSizes {
-		res, err := svssba.RunCoin(svssba.CoinConfig{N: n, Seed: 5, Rounds: 1})
-		if err != nil {
-			continue
-		}
-		tb.Add("common-coin", n, res.Messages, res.Bytes)
-	}
-
 	abaSizes := []int{4}
 	if !scale.Quick {
 		abaSizes = []int{4, 7}
 	}
+
+	var trials []runner.Trial
+	for _, n := range rbSizes {
+		n := n
+		trials = append(trials, runner.Custom(fmt.Sprintf("rb/n%d", n), 1, func() (any, error) {
+			msgs, bytes := measureRB(n)
+			return e5Meas{msgs: msgs, bytes: bytes}, nil
+		}))
+	}
+	for _, n := range svssSizes {
+		trials = append(trials, runner.SVSS(fmt.Sprintf("svss/n%d", n),
+			svssba.SVSSConfig{N: n, Seed: 5, Secret: 1}, nil))
+	}
+	for _, n := range coinSizes {
+		trials = append(trials, runner.Coin(fmt.Sprintf("coin/n%d", n),
+			svssba.CoinConfig{N: n, Seed: 5, Rounds: 1}, nil))
+	}
 	for _, n := range abaSizes {
-		res, err := svssba.Run(svssba.Config{N: n, Seed: 5})
-		if err != nil {
-			continue
+		trials = append(trials, runner.Agreement(fmt.Sprintf("aba/n%d", n),
+			svssba.Config{N: n, Seed: 5}, nil))
+	}
+	sum := scale.run(trials)
+
+	meas := func(group string) (e5Meas, bool) {
+		rs := sum.Group(group).Results()
+		if len(rs) == 0 || rs[0].Err != nil {
+			return e5Meas{}, false
 		}
-		tb.Add("agreement(full)", n, res.Messages, res.Bytes)
+		switch v := rs[0].Value.(type) {
+		case e5Meas:
+			return v, true
+		case *svssba.SVSSResult:
+			return e5Meas{msgs: v.Messages, bytes: v.Bytes}, true
+		case *svssba.CoinResult:
+			return e5Meas{msgs: v.Messages, bytes: v.Bytes}, true
+		case *svssba.Result:
+			return e5Meas{msgs: v.Messages, bytes: v.Bytes}, true
+		}
+		return e5Meas{}, false
+	}
+
+	var rbNs, rbMsgs, svssNs, svssMsgs []float64
+	for _, n := range rbSizes {
+		if m, ok := meas(fmt.Sprintf("rb/n%d", n)); ok {
+			tb.Add("reliable-broadcast", n, m.msgs, m.bytes)
+			rbNs = append(rbNs, float64(n))
+			rbMsgs = append(rbMsgs, float64(m.msgs))
+		}
+	}
+	for _, n := range svssSizes {
+		if m, ok := meas(fmt.Sprintf("svss/n%d", n)); ok {
+			tb.Add("svss", n, m.msgs, m.bytes)
+			svssNs = append(svssNs, float64(n))
+			svssMsgs = append(svssMsgs, float64(m.msgs))
+		}
+	}
+	for _, n := range coinSizes {
+		if m, ok := meas(fmt.Sprintf("coin/n%d", n)); ok {
+			tb.Add("common-coin", n, m.msgs, m.bytes)
+		}
+	}
+	for _, n := range abaSizes {
+		if m, ok := meas(fmt.Sprintf("aba/n%d", n)); ok {
+			tb.Add("agreement(full)", n, m.msgs, m.bytes)
+		}
 	}
 
 	tb.Add("slope(rb)", "-", fmt.Sprintf("n^%.2f", trace.LogLogSlope(rbNs, rbMsgs)), "-")
@@ -438,69 +600,65 @@ func E6(scale Scale) *trace.Table {
 
 	runs := scale.pick(3, 10)
 
+	classify := func(res *svssba.Result, err error) runner.Classification {
+		if err != nil || !res.AllDecided {
+			return runner.Classification{}
+		}
+		if res.Agreed {
+			return runner.Count("decided", "agreed")
+		}
+		return runner.Count("decided")
+	}
+
+	var trials []runner.Trial
 	// Ours at the optimal bound with a Byzantine process.
-	decided, agreed := 0, 0
 	for seed := 0; seed < runs; seed++ {
-		res, err := svssba.Run(svssba.Config{
+		trials = append(trials, runner.Agreement("adh", svssba.Config{
 			N: 4, Seed: int64(6000 + seed),
 			Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteEquivocate}},
-		})
-		if err == nil && res.AllDecided {
-			decided++
-			if res.Agreed {
-				agreed++
-			}
-		}
+		}, classify))
 	}
-	tb.Add("adh", 4, 1, "n=3t+1, byzantine", runs, frac(decided, runs), frac(agreed, runs))
-
 	// Ben-Or within its own bound (n > 5t) works...
-	decided, agreed = 0, 0
 	for seed := 0; seed < runs; seed++ {
-		res, err := svssba.Run(svssba.Config{
+		trials = append(trials, runner.Agreement("benor-in", svssba.Config{
 			N: 7, T: 1, Seed: int64(6100 + seed), Protocol: svssba.ProtocolBenOr,
-		})
-		if err == nil && res.AllDecided {
-			decided++
-			if res.Agreed {
-				agreed++
-			}
-		}
+		}, classify))
 	}
-	tb.Add("benor", 7, 1, "n>5t (its bound)", runs, frac(decided, runs), frac(agreed, runs))
-
 	// ...but its resilience is not optimal: at t = floor((n-1)/3) = 2 the
 	// protocol's thresholds stall on split inputs with a crash.
-	decided, agreed = 0, 0
 	for seed := 0; seed < runs; seed++ {
-		res, err := svssba.Run(svssba.Config{
+		trials = append(trials, runner.Agreement("benor-beyond", svssba.Config{
 			N: 7, T: 2, Seed: int64(6200 + seed), Protocol: svssba.ProtocolBenOr,
 			Faults:   []svssba.Fault{{Proc: 7, Kind: svssba.FaultCrash}, {Proc: 6, Kind: svssba.FaultCrash}},
 			MaxSteps: 30_000_000,
-		})
-		if err == nil && res.AllDecided {
-			decided++
-			if res.Agreed {
-				agreed++
-			}
-		}
+		}, classify))
 	}
-	tb.Add("benor", 7, 2, "n=3t+1 (beyond 5t)", runs, frac(decided, runs), frac(agreed, runs))
-
 	// The ε-coin protocol is not almost-surely terminating: stuck-run
 	// frequency tracks 1-(1-ε)^rounds.
-	for _, eps := range []float64{0.0, 0.25, 1.0} {
-		decided = 0
+	epsVals := []float64{0.0, 0.25, 1.0}
+	for _, eps := range epsVals {
 		for seed := 0; seed < runs; seed++ {
-			res, err := svssba.Run(svssba.Config{
+			trials = append(trials, runner.Agreement(fmt.Sprintf("eps=%.2f", eps), svssba.Config{
 				N: 4, Seed: int64(6300 + seed), Protocol: svssba.ProtocolEpsCoin,
 				Eps: eps, MaxSteps: 30_000_000,
-			})
-			if err == nil && res.AllDecided {
-				decided++
-			}
+			}, classify))
 		}
-		tb.Add("epscoin", 4, 1, fmt.Sprintf("eps=%.2f", eps), runs, frac(decided, runs), "-")
+	}
+	sum := scale.run(trials)
+
+	adh := sum.Group("adh")
+	tb.Add("adh", 4, 1, "n=3t+1, byzantine", runs,
+		frac(adh.Count("decided"), runs), frac(adh.Count("agreed"), runs))
+	bin := sum.Group("benor-in")
+	tb.Add("benor", 7, 1, "n>5t (its bound)", runs,
+		frac(bin.Count("decided"), runs), frac(bin.Count("agreed"), runs))
+	bout := sum.Group("benor-beyond")
+	tb.Add("benor", 7, 2, "n=3t+1 (beyond 5t)", runs,
+		frac(bout.Count("decided"), runs), frac(bout.Count("agreed"), runs))
+	for _, eps := range epsVals {
+		g := sum.Group(fmt.Sprintf("eps=%.2f", eps))
+		tb.Add("epscoin", 4, 1, fmt.Sprintf("eps=%.2f", eps), runs,
+			frac(g.Count("decided"), runs), "-")
 	}
 	return tb
 }
@@ -511,20 +669,33 @@ func E9(scale Scale) *trace.Table {
 		"E9 — virtual-time latency under exponential delays (n=4)",
 		"mean_delay", "runs", "vtime_mean", "vtime_p90", "rounds_mean")
 	runs := scale.pick(2, 8)
-	for _, mean := range []int64{10, 50, 200} {
-		var vt, rounds trace.Series
+	means := []int64{10, 50, 200}
+
+	classify := func(res *svssba.Result, err error) runner.Classification {
+		if err != nil || !res.AllDecided {
+			return runner.Classification{}
+		}
+		return runner.Classification{Values: map[string]float64{
+			"vt":     float64(res.VirtualTime),
+			"rounds": float64(res.MaxRound),
+		}}
+	}
+
+	var trials []runner.Trial
+	for _, mean := range means {
 		for seed := 0; seed < runs; seed++ {
-			res, err := svssba.Run(svssba.Config{
+			trials = append(trials, runner.Agreement(fmt.Sprintf("mean=%d", mean), svssba.Config{
 				N: 4, Seed: int64(9000 + seed),
 				Scheduler: svssba.SchedDelayExp,
 				DelayMean: mean,
-			})
-			if err != nil || !res.AllDecided {
-				continue
-			}
-			vt.Add(float64(res.VirtualTime))
-			rounds.Add(float64(res.MaxRound))
+			}, classify))
 		}
+	}
+	sum := scale.run(trials)
+
+	for _, mean := range means {
+		g := sum.Group(fmt.Sprintf("mean=%d", mean))
+		vt, rounds := g.Series("vt"), g.Series("rounds")
 		tb.Add(mean, runs, vt.Mean(), vt.Percentile(90), rounds.Mean())
 	}
 	return tb

@@ -1,0 +1,80 @@
+// Package par provides a minimal deterministic worker pool: fan a fixed
+// slice of independent jobs across a bounded number of goroutines and
+// collect results by input index, so the output is byte-identical
+// however many workers run. It is the concurrency substrate shared by
+// svssba.RunMany and internal/runner; nothing in it knows about the
+// simulator, which keeps it importable from every layer.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Call invokes fn, converting a panic into an error so one failing job
+// cannot take down a pool. Callers wrap the returned error with their
+// own context when panicked is true.
+func Call[R any](fn func() (R, error)) (out R, err error, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			var zero R
+			out, err, panicked = zero, fmt.Errorf("panic: %v", rec), true
+		}
+	}()
+	out, err = fn()
+	return out, err, false
+}
+
+// Workers normalizes a worker-count request: values < 1 mean
+// GOMAXPROCS, and the count never exceeds the number of jobs.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i, items[i]) for every item on up to `workers` goroutines
+// (< 1 means GOMAXPROCS) and returns the results indexed like the
+// input. Result order therefore never depends on scheduling. fn must be
+// safe for concurrent invocation; panics are not recovered here —
+// wrap fn if jobs may panic (see runner and RunMany).
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	workers = Workers(workers, len(items))
+	if workers == 1 {
+		for i, item := range items {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

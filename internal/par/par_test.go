@@ -1,0 +1,60 @@
+package par_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"svssba/internal/par"
+)
+
+func TestMapOrdering(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		out := par.Map(workers, items, func(i, item int) int { return item * 3 })
+		for i, v := range out {
+			if v != i*3 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := par.Map(4, nil, func(i, item int) int { return item })
+	if len(out) != 0 {
+		t.Fatalf("len = %d, want 0", len(out))
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	var calls atomic.Int64
+	items := make([]struct{}, 100)
+	par.Map(7, items, func(i int, _ struct{}) int {
+		calls.Add(1)
+		return i
+	})
+	if got := calls.Load(); got != 100 {
+		t.Fatalf("fn ran %d times, want 100", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{requested: 4, jobs: 10, want: 4},
+		{requested: 4, jobs: 2, want: 2},
+		{requested: 0, jobs: 100, want: runtime.GOMAXPROCS(0)},
+		{requested: -1, jobs: 0, want: 1},
+		{requested: 8, jobs: 0, want: 1},
+	}
+	for _, c := range cases {
+		if got := par.Workers(c.requested, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}

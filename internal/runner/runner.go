@@ -1,0 +1,265 @@
+// Package runner is the experiment-execution subsystem sitting between
+// the public svssba run APIs and the experiment definitions in
+// internal/exp. An experiment is expressed as a flat set of Trials —
+// independent, seeded units of work with a declarative classifier —
+// and a Runner fans the set across a worker pool, collecting results in
+// input order. Because every simulation is a deterministic function of
+// its seed and results are aggregated by trial index rather than
+// completion order, the aggregated output is byte-identical however
+// many workers run: -parallel changes wall-clock time, never tables.
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"svssba"
+	"svssba/internal/par"
+	"svssba/internal/trace"
+)
+
+// Classification is a Trial's declarative contribution to its group's
+// aggregate: labels to count and named observations to accumulate.
+type Classification struct {
+	// Counts lists labels incremented once each in the group tallies
+	// (e.g. "decided", "agreed", "timeout").
+	Counts []string
+	// Values holds named observations appended to the group series
+	// (e.g. "rounds": 4). Series keep insertion order, which is trial
+	// index order.
+	Values map[string]float64
+}
+
+// Count returns a Classification that only increments labels.
+func Count(labels ...string) Classification {
+	return Classification{Counts: labels}
+}
+
+// Trial is one independent, seeded unit of experiment work.
+//
+// Do runs the workload (typically one svssba.Run/RunCoin/RunSVSS
+// invocation built from a Config) and Classify reduces its outcome to
+// counts and observations. Both must be pure with respect to shared
+// state: trials from one set may execute concurrently in any order.
+type Trial struct {
+	// Group names the aggregation bucket; summaries preserve first-
+	// appearance order of groups across the trial set.
+	Group string
+	// Seed is carried for reporting; the workload's own config is what
+	// actually seeds the run.
+	Seed int64
+	// Do executes the workload.
+	Do func() (any, error)
+	// Classify reduces the workload's outcome. Nil means the trial only
+	// counts toward the group total (and "error" on err != nil).
+	Classify func(v any, err error) Classification
+}
+
+// Agreement builds a Trial around svssba.Run. classify may be nil when
+// the caller only needs the raw results.
+func Agreement(group string, cfg svssba.Config, classify func(*svssba.Result, error) Classification) Trial {
+	t := Trial{
+		Group: group,
+		Seed:  cfg.Seed,
+		Do:    func() (any, error) { return svssba.Run(cfg) },
+	}
+	if classify != nil {
+		t.Classify = func(v any, err error) Classification {
+			res, _ := v.(*svssba.Result)
+			return classify(res, err)
+		}
+	}
+	return t
+}
+
+// Coin builds a Trial around svssba.RunCoin. classify may be nil.
+func Coin(group string, cfg svssba.CoinConfig, classify func(*svssba.CoinResult, error) Classification) Trial {
+	t := Trial{
+		Group: group,
+		Seed:  cfg.Seed,
+		Do:    func() (any, error) { return svssba.RunCoin(cfg) },
+	}
+	if classify != nil {
+		t.Classify = func(v any, err error) Classification {
+			res, _ := v.(*svssba.CoinResult)
+			return classify(res, err)
+		}
+	}
+	return t
+}
+
+// SVSS builds a Trial around svssba.RunSVSS. classify may be nil.
+func SVSS(group string, cfg svssba.SVSSConfig, classify func(*svssba.SVSSResult, error) Classification) Trial {
+	t := Trial{
+		Group: group,
+		Seed:  cfg.Seed,
+		Do:    func() (any, error) { return svssba.RunSVSS(cfg) },
+	}
+	if classify != nil {
+		t.Classify = func(v any, err error) Classification {
+			res, _ := v.(*svssba.SVSSResult)
+			return classify(res, err)
+		}
+	}
+	return t
+}
+
+// Custom builds a Trial around an arbitrary workload — used by the
+// session-style experiments (E4, E7, E8) whose unit of work is a whole
+// scripted network rather than one public-API run.
+func Custom(group string, seed int64, do func() (any, error)) Trial {
+	return Trial{Group: group, Seed: seed, Do: do}
+}
+
+// TrialResult pairs a Trial with its outcome.
+type TrialResult struct {
+	// Index is the trial's position in the input set.
+	Index int
+	// Trial is the spec that produced this result.
+	Trial Trial
+	// Value is Do's result when Err is nil.
+	Value any
+	// Err is Do's error; a panic inside Do surfaces here instead of
+	// killing the pool.
+	Err error
+	// Panicked marks results whose Err came from a recovered panic.
+	Panicked bool
+}
+
+// Runner executes trial sets on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent trials; < 1 means GOMAXPROCS.
+	Workers int
+}
+
+// New returns a Runner with the given worker bound (< 1 = GOMAXPROCS).
+func New(workers int) *Runner { return &Runner{Workers: workers} }
+
+// Run executes every trial and returns results in input order,
+// regardless of completion order or worker count.
+func (r *Runner) Run(trials []Trial) []TrialResult {
+	return par.Map(r.Workers, trials, func(i int, t Trial) TrialResult {
+		tr := TrialResult{Index: i, Trial: t}
+		tr.Value, tr.Err, tr.Panicked = runIsolated(i, t)
+		return tr
+	})
+}
+
+// runIsolated invokes t.Do, converting a panic into an error so one
+// failing trial cannot take down the pool (or the other trials' runs).
+func runIsolated(i int, t Trial) (v any, err error, panicked bool) {
+	v, err, panicked = par.Call(t.Do)
+	if panicked {
+		err = fmt.Errorf("runner: trial %d (%s, seed %d): %w", i, t.Group, t.Seed, err)
+	}
+	return v, err, panicked
+}
+
+// GroupSummary is the per-group aggregate of a trial set.
+type GroupSummary struct {
+	// Group is the bucket name.
+	Group string
+	// Trials is the number of trials in the group.
+	Trials int
+	// Errs counts trials that returned an error (including panics).
+	Errs int
+
+	counts map[string]int
+	series map[string]*trace.Series
+	// results holds the group's raw results in trial-index order, for
+	// experiments that need more than counts and series.
+	results []TrialResult
+}
+
+// Count returns the tally of a classification label.
+func (g *GroupSummary) Count(label string) int { return g.counts[label] }
+
+// Series returns the named observation series (empty if absent).
+func (g *GroupSummary) Series(name string) *trace.Series {
+	if s, ok := g.series[name]; ok {
+		return s
+	}
+	return &trace.Series{}
+}
+
+// Results returns the group's raw trial results in trial-index order.
+func (g *GroupSummary) Results() []TrialResult { return g.results }
+
+// Summary is the grouped aggregate of one executed trial set.
+type Summary struct {
+	order   []string
+	byGroup map[string]*GroupSummary
+}
+
+// Groups returns the group summaries in first-appearance order.
+func (s *Summary) Groups() []*GroupSummary {
+	out := make([]*GroupSummary, len(s.order))
+	for i, name := range s.order {
+		out[i] = s.byGroup[name]
+	}
+	return out
+}
+
+// Group returns the named summary, or an empty one when the group never
+// appeared (so callers can chain Count/Series without nil checks).
+func (s *Summary) Group(name string) *GroupSummary {
+	if g, ok := s.byGroup[name]; ok {
+		return g
+	}
+	return &GroupSummary{Group: name}
+}
+
+// Summarize aggregates results by group. It walks results in input
+// (trial-index) order, so every count, series and ordering it produces
+// is deterministic for a fixed trial set.
+func Summarize(results []TrialResult) *Summary {
+	s := &Summary{byGroup: make(map[string]*GroupSummary)}
+	for _, tr := range results {
+		g, ok := s.byGroup[tr.Trial.Group]
+		if !ok {
+			g = &GroupSummary{
+				Group:  tr.Trial.Group,
+				counts: make(map[string]int),
+				series: make(map[string]*trace.Series),
+			}
+			s.byGroup[tr.Trial.Group] = g
+			s.order = append(s.order, tr.Trial.Group)
+		}
+		g.Trials++
+		g.results = append(g.results, tr)
+		if tr.Err != nil {
+			g.Errs++
+		}
+		if tr.Trial.Classify == nil {
+			continue
+		}
+		c := tr.Trial.Classify(tr.Value, tr.Err)
+		for _, label := range c.Counts {
+			g.counts[label]++
+		}
+		for _, name := range sortedKeys(c.Values) {
+			sr, ok := g.series[name]
+			if !ok {
+				sr = &trace.Series{}
+				g.series[name] = sr
+			}
+			sr.Add(c.Values[name])
+		}
+	}
+	return s
+}
+
+// Execute is the common run-and-aggregate entry point: execute the
+// trial set on `workers` goroutines (< 1 = GOMAXPROCS) and summarize.
+func Execute(workers int, trials []Trial) *Summary {
+	return Summarize(New(workers).Run(trials))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

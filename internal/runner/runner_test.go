@@ -1,0 +1,155 @@
+package runner_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"svssba"
+	"svssba/internal/exp"
+	"svssba/internal/runner"
+)
+
+// svssTrials builds a small real workload: one SVSS share+reconstruct
+// session per seed, classified by output correctness.
+func svssTrials(seeds int) []runner.Trial {
+	classify := func(res *svssba.SVSSResult, err error) runner.Classification {
+		if err != nil {
+			return runner.Count("error")
+		}
+		c := runner.Classification{Values: map[string]float64{
+			"msgs": float64(res.Messages),
+		}}
+		if len(res.Outputs) >= 4 {
+			c.Counts = append(c.Counts, "complete")
+		}
+		return c
+	}
+	var trials []runner.Trial
+	for seed := 0; seed < seeds; seed++ {
+		trials = append(trials, runner.SVSS(fmt.Sprintf("seed-mod-%d", seed%2),
+			svssba.SVSSConfig{N: 4, Seed: int64(seed), Secret: uint64(100 + seed)}, classify))
+	}
+	return trials
+}
+
+// summaryFingerprint renders a summary into a canonical string for
+// byte-level comparison.
+func summaryFingerprint(s *runner.Summary) string {
+	var b strings.Builder
+	for _, g := range s.Groups() {
+		fmt.Fprintf(&b, "%s trials=%d errs=%d complete=%d msgs=%v\n",
+			g.Group, g.Trials, g.Errs, g.Count("complete"), g.Series("msgs").Sum())
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential is the determinism contract: the same
+// trial set aggregated with 1 worker and with 8 workers must produce
+// identical summaries, down to group order and series contents.
+func TestParallelMatchesSequential(t *testing.T) {
+	trials := svssTrials(6)
+	seq := summaryFingerprint(runner.Execute(1, trials))
+	par := summaryFingerprint(runner.Execute(8, trials))
+	if seq != par {
+		t.Fatalf("parallel summary differs from sequential\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "complete=3") {
+		t.Errorf("unexpected aggregate:\n%s", seq)
+	}
+}
+
+// TestExperimentTablesParallelInvariant runs real experiment tables at
+// both worker counts and requires byte-identical renderings — the
+// property cmd/expsweep -parallel relies on.
+func TestExperimentTablesParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment tables are slow")
+	}
+	experiments := []struct {
+		name string
+		run  func(exp.Scale) interface{ String() string }
+	}{
+		{name: "E5", run: func(s exp.Scale) interface{ String() string } { return exp.E5(s) }},
+		{name: "E9", run: func(s exp.Scale) interface{ String() string } { return exp.E9(s) }},
+	}
+	for _, e := range experiments {
+		seq := e.run(exp.Scale{Quick: true, Workers: 1}).String()
+		par := e.run(exp.Scale{Quick: true, Workers: 8}).String()
+		if seq != par {
+			t.Errorf("%s: parallel table differs from sequential\nseq:\n%s\npar:\n%s", e.name, seq, par)
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking trial must surface as an error on its
+// own result without disturbing its neighbours.
+func TestPanicIsolation(t *testing.T) {
+	trials := []runner.Trial{
+		runner.Custom("g", 1, func() (any, error) { return "ok-1", nil }),
+		runner.Custom("g", 2, func() (any, error) { panic("boom") }),
+		runner.Custom("g", 3, func() (any, error) { return nil, errors.New("plain error") }),
+		runner.Custom("g", 4, func() (any, error) { return "ok-4", nil }),
+	}
+	for _, workers := range []int{1, 4} {
+		results := runner.New(workers).Run(trials)
+		if len(results) != len(trials) {
+			t.Fatalf("workers=%d: %d results for %d trials", workers, len(results), len(trials))
+		}
+		if results[0].Value != "ok-1" || results[3].Value != "ok-4" {
+			t.Errorf("workers=%d: healthy trials disturbed: %v, %v", workers, results[0].Value, results[3].Value)
+		}
+		if results[1].Err == nil || !results[1].Panicked {
+			t.Errorf("workers=%d: panic not captured: %+v", workers, results[1])
+		}
+		if !strings.Contains(fmt.Sprint(results[1].Err), "boom") {
+			t.Errorf("workers=%d: panic message lost: %v", workers, results[1].Err)
+		}
+		if results[2].Err == nil || results[2].Panicked {
+			t.Errorf("workers=%d: plain error misreported: %+v", workers, results[2])
+		}
+		sum := runner.Summarize(results)
+		if g := sum.Group("g"); g.Trials != 4 || g.Errs != 2 {
+			t.Errorf("workers=%d: summary trials=%d errs=%d, want 4/2", workers, g.Trials, g.Errs)
+		}
+	}
+}
+
+// TestResultOrdering: results come back indexed like the input
+// regardless of worker count.
+func TestResultOrdering(t *testing.T) {
+	var trials []runner.Trial
+	for i := 0; i < 50; i++ {
+		i := i
+		trials = append(trials, runner.Custom("order", int64(i), func() (any, error) { return i, nil }))
+	}
+	results := runner.New(8).Run(trials)
+	for i, r := range results {
+		if r.Index != i || r.Value != i {
+			t.Fatalf("result %d out of order: index=%d value=%v", i, r.Index, r.Value)
+		}
+	}
+}
+
+// TestSummaryGroupOrder: groups surface in first-appearance order, and
+// unknown groups return usable empty summaries.
+func TestSummaryGroupOrder(t *testing.T) {
+	trials := []runner.Trial{
+		runner.Custom("b", 1, func() (any, error) { return nil, nil }),
+		runner.Custom("a", 2, func() (any, error) { return nil, nil }),
+		runner.Custom("b", 3, func() (any, error) { return nil, nil }),
+	}
+	sum := runner.Summarize(runner.New(1).Run(trials))
+	var order []string
+	for _, g := range sum.Groups() {
+		order = append(order, g.Group)
+	}
+	if !reflect.DeepEqual(order, []string{"b", "a"}) {
+		t.Errorf("group order = %v, want [b a]", order)
+	}
+	if g := sum.Group("missing"); g.Trials != 0 || g.Count("x") != 0 || g.Series("y").N() != 0 {
+		t.Errorf("missing group not empty: %+v", g)
+	}
+}

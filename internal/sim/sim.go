@@ -80,7 +80,7 @@ type Scheduler interface {
 	Len() int
 }
 
-// Stats accumulates message-level metrics for a run.
+// Stats is a snapshot of message-level metrics for a run.
 type Stats struct {
 	SentByKind  map[string]int64
 	BytesByKind map[string]int64
@@ -119,17 +119,35 @@ func (s *Stats) Clone() *Stats {
 }
 
 // Network is the deterministic event-loop runtime.
+//
+// Storage is dense: processes, random sources and crash flags live in
+// slices indexed by ProcID (1..n; index 0 unused), and per-kind traffic
+// counters live in slices indexed by interned kind IDs. Send and Step
+// run up to the 500M-delivery cap per experiment, so the hot path does
+// no map writes at all.
 type Network struct {
 	n, t      int
-	procs     map[ProcID]Handler
+	procs     []Handler
 	sched     Scheduler
-	rands     map[ProcID]*rand.Rand
-	stats     *Stats
+	rands     []*rand.Rand
 	now       int64
 	seq       uint64
-	crashed   map[ProcID]bool
+	crashed   []bool
 	onDeliver []func(Message)
 	inited    bool
+	nRegs     int
+
+	// Counters (see Stats for the snapshot view).
+	sent, delivered, dropped int64
+	kindIDs                  map[string]int
+	kindNames                []string
+	sentByKind               []int64
+	bytesByKind              []int64
+	// One-slot intern cache: consecutive sends are overwhelmingly of the
+	// same kind, and kind strings are constants, so the == below is
+	// usually a pointer comparison.
+	lastKind   string
+	lastKindID int
 }
 
 // NetworkOption configures a Network.
@@ -157,16 +175,17 @@ func WithDeliverHook(fn func(Message)) NetworkOption {
 // deterministically. Handlers are registered with Register before Run.
 func NewNetwork(n, t int, seed int64, opts ...NetworkOption) *Network {
 	nw := &Network{
-		n:       n,
-		t:       t,
-		procs:   make(map[ProcID]Handler, n),
-		rands:   make(map[ProcID]*rand.Rand, n),
-		stats:   newStats(),
-		crashed: make(map[ProcID]bool),
+		n:          n,
+		t:          t,
+		procs:      make([]Handler, n+1),
+		rands:      make([]*rand.Rand, n+1),
+		crashed:    make([]bool, n+1),
+		kindIDs:    make(map[string]int, 16),
+		lastKindID: -1,
 	}
 	master := rand.New(rand.NewSource(seed))
 	for p := 1; p <= n; p++ {
-		nw.rands[ProcID(p)] = rand.New(rand.NewSource(master.Int63()))
+		nw.rands[p] = rand.New(rand.NewSource(master.Int63()))
 	}
 	for _, o := range opts {
 		o.apply(nw)
@@ -183,10 +202,11 @@ func (nw *Network) Register(h Handler) error {
 	if id < 1 || int(id) > nw.n {
 		return fmt.Errorf("sim: process id %d out of range 1..%d", id, nw.n)
 	}
-	if _, dup := nw.procs[id]; dup {
+	if nw.procs[id] != nil {
 		return fmt.Errorf("sim: process %d registered twice", id)
 	}
 	nw.procs[id] = h
+	nw.nRegs++
 	return nil
 }
 
@@ -199,12 +219,42 @@ func (nw *Network) T() int { return nw.t }
 // Now returns the current virtual time.
 func (nw *Network) Now() int64 { return nw.now }
 
-// Stats returns the live stats collector (read after Run for consistency).
-func (nw *Network) Stats() *Stats { return nw.stats }
+// Stats returns a snapshot of the message counters, materializing the
+// per-kind maps from the interned slice counters.
+func (nw *Network) Stats() *Stats {
+	s := newStats()
+	s.Sent, s.Delivered, s.Dropped = nw.sent, nw.delivered, nw.dropped
+	for id, name := range nw.kindNames {
+		s.SentByKind[name] = nw.sentByKind[id]
+		s.BytesByKind[name] = nw.bytesByKind[id]
+	}
+	return s
+}
 
 // Crash marks a process as crashed: all of its pending and future traffic
 // (in either direction) is dropped and it receives no more deliveries.
-func (nw *Network) Crash(p ProcID) { nw.crashed[p] = true }
+func (nw *Network) Crash(p ProcID) {
+	if p >= 1 && int(p) <= nw.n {
+		nw.crashed[p] = true
+	}
+}
+
+// kindID interns a payload kind, returning its dense counter index.
+func (nw *Network) kindID(kind string) int {
+	if kind == nw.lastKind && nw.lastKindID >= 0 {
+		return nw.lastKindID
+	}
+	id, ok := nw.kindIDs[kind]
+	if !ok {
+		id = len(nw.kindNames)
+		nw.kindIDs[kind] = id
+		nw.kindNames = append(nw.kindNames, kind)
+		nw.sentByKind = append(nw.sentByKind, 0)
+		nw.bytesByKind = append(nw.bytesByKind, 0)
+	}
+	nw.lastKind, nw.lastKindID = kind, id
+	return id
+}
 
 // procCtx adapts the network to the Context seen by one process.
 type procCtx struct {
@@ -222,11 +272,12 @@ func (c procCtx) Rand() *rand.Rand { return c.nw.rands[c.id] }
 func (c procCtx) Send(to ProcID, p Payload) {
 	nw := c.nw
 	nw.seq++
-	nw.stats.Sent++
-	nw.stats.SentByKind[p.Kind()]++
-	nw.stats.BytesByKind[p.Kind()] += int64(p.Size())
-	if nw.crashed[c.id] || nw.crashed[to] || to < 1 || int(to) > nw.n {
-		nw.stats.Dropped++
+	nw.sent++
+	kid := nw.kindID(p.Kind())
+	nw.sentByKind[kid]++
+	nw.bytesByKind[kid] += int64(p.Size())
+	if to < 1 || int(to) > nw.n || nw.crashed[c.id] || nw.crashed[to] {
+		nw.dropped++
 		return
 	}
 	nw.sched.Enqueue(Message{
@@ -243,13 +294,12 @@ func (nw *Network) Init() error {
 	if nw.inited {
 		return nil
 	}
-	if len(nw.procs) != nw.n {
-		return fmt.Errorf("sim: %d of %d processes registered", len(nw.procs), nw.n)
+	if nw.nRegs != nw.n {
+		return fmt.Errorf("sim: %d of %d processes registered", nw.nRegs, nw.n)
 	}
 	nw.inited = true
 	for p := 1; p <= nw.n; p++ {
-		id := ProcID(p)
-		nw.procs[id].Init(procCtx{nw: nw, id: id})
+		nw.procs[p].Init(procCtx{nw: nw, id: ProcID(p)})
 	}
 	return nil
 }
@@ -271,10 +321,10 @@ func (nw *Network) Step() (bool, error) {
 			nw.now++
 		}
 		if nw.crashed[m.From] || nw.crashed[m.To] {
-			nw.stats.Dropped++
+			nw.dropped++
 			continue
 		}
-		nw.stats.Delivered++
+		nw.delivered++
 		for _, hook := range nw.onDeliver {
 			hook(m)
 		}

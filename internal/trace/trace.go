@@ -1,9 +1,9 @@
-// Package trace provides the experiment metrics and plain-text table
-// rendering used by the benchmark harness, the expsweep tool and
-// EXPERIMENTS.md.
+// Package trace provides the experiment metrics and plain-text/JSON
+// table rendering used by the benchmark harness and the expsweep tool.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +40,30 @@ func (t *Table) Add(cells ...interface{}) {
 
 // Len returns the number of data rows.
 func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns a copy of the formatted data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// MarshalJSON renders the table as {"title", "header", "rows"}, with
+// cells in the same formatted form the text renderer prints — the
+// machine-readable twin of String().
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.Title, Header: t.Header, Rows: rows})
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
@@ -90,16 +114,21 @@ func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
 // N returns the number of observations.
 func (s *Series) N() int { return len(s.vals) }
 
+// Sum returns the total of all observations.
+func (s *Series) Sum() float64 {
+	total := 0.0
+	for _, v := range s.vals {
+		total += v
+	}
+	return total
+}
+
 // Mean returns the arithmetic mean (0 for empty series).
 func (s *Series) Mean() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	total := 0.0
-	for _, v := range s.vals {
-		total += v
-	}
-	return total / float64(len(s.vals))
+	return s.Sum() / float64(len(s.vals))
 }
 
 // Max returns the maximum (0 for empty series).

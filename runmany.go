@@ -1,0 +1,34 @@
+package svssba
+
+import (
+	"fmt"
+
+	"svssba/internal/par"
+)
+
+// BatchResult pairs one RunMany entry with its outcome. Exactly one of
+// Res and Err is meaningful.
+type BatchResult struct {
+	// Config is the configuration the run used, as passed to RunMany.
+	Config Config
+	// Res is the run's result when Err is nil.
+	Res *Result
+	// Err is the run error; a panic inside the run surfaces here instead
+	// of taking down the whole batch.
+	Err error
+}
+
+// RunMany executes every configuration with up to `workers` concurrent
+// runs (workers < 1 means GOMAXPROCS) and returns the outcomes in input
+// order. Each run is an independent deterministic simulation, so for
+// fixed configs the returned slice is identical no matter how many
+// workers execute it — parallelism changes wall-clock time only.
+func RunMany(cfgs []Config, workers int) []BatchResult {
+	return par.Map(workers, cfgs, func(i int, cfg Config) BatchResult {
+		res, err, panicked := par.Call(func() (*Result, error) { return Run(cfg) })
+		if panicked {
+			err = fmt.Errorf("svssba: run %d: %w", i, err)
+		}
+		return BatchResult{Config: cfg, Res: res, Err: err}
+	})
+}

@@ -1,0 +1,40 @@
+package svssba_test
+
+import (
+	"testing"
+
+	"svssba"
+)
+
+// TestRunManyMatchesRun: the batch API must produce, for every config,
+// exactly the result an individual Run produces — whatever the worker
+// count. This is the end-to-end determinism the parallel experiment
+// sweep relies on.
+func TestRunManyMatchesRun(t *testing.T) {
+	cfgs := []svssba.Config{
+		{N: 4, Seed: 41},
+		{N: 4, Seed: 42, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCrash}}},
+	}
+	batch := svssba.RunMany(cfgs, 4)
+	if len(batch) != len(cfgs) {
+		t.Fatalf("%d batch results for %d configs", len(batch), len(cfgs))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("config %d: %v", i, br.Err)
+		}
+		solo, err := svssba.Run(cfgs[i])
+		if err != nil {
+			t.Fatalf("config %d solo: %v", i, err)
+		}
+		if br.Res.Steps != solo.Steps || br.Res.Messages != solo.Messages ||
+			br.Res.MaxRound != solo.MaxRound || br.Res.Value != solo.Value {
+			t.Errorf("config %d: batch result diverged: batch steps=%d msgs=%d rounds=%d v=%d, solo steps=%d msgs=%d rounds=%d v=%d",
+				i, br.Res.Steps, br.Res.Messages, br.Res.MaxRound, br.Res.Value,
+				solo.Steps, solo.Messages, solo.MaxRound, solo.Value)
+		}
+		if !br.Res.Agreed {
+			t.Errorf("config %d: agreement failed", i)
+		}
+	}
+}

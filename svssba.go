@@ -14,8 +14,11 @@
 //
 // The top-level API runs whole experiments: configure a cluster
 // (process count, inputs, faults, scheduler, protocol), call Run /
-// RunCoin / RunSVSS, and inspect the Result. Examples live under
-// examples/, the experiment harness in bench_test.go and cmd/expsweep.
+// RunCoin / RunSVSS — or RunMany to fan a batch of independent runs
+// across CPUs — and inspect the Result. Every run is a deterministic
+// function of its Config (seed included). Examples live under
+// examples/, the experiment harness in internal/exp, internal/runner,
+// bench_test.go and cmd/expsweep.
 package svssba
 
 import (
