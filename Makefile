@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,9 @@ sweep:
 
 sweep-full:
 	$(GO) run ./cmd/expsweep -full -parallel 0
+
+scenario:
+	$(GO) run ./cmd/scenario -quick -workers 0
+
+scenario-full:
+	$(GO) run ./cmd/scenario -full -workers 0

@@ -1,4 +1,4 @@
-// Benchmark harness for the reproduction experiments E1–E9 (see the
+// Benchmark harness for the reproduction experiments E1–E10 (see the
 // package comment of internal/exp) plus per-primitive micro
 // benchmarks. The paper has no tables or figures, so each experiment
 // regenerates one of its quantitative claims; run
@@ -31,15 +31,16 @@ func benchTable(b *testing.B, run func(exp.Scale) *trace.Table) {
 	b.Log("\n" + tb.String())
 }
 
-func BenchmarkE1_ABATermination(b *testing.B) { benchTable(b, exp.E1) }
-func BenchmarkE2_RoundsVsN(b *testing.B)      { benchTable(b, exp.E2) }
-func BenchmarkE3_CoinQuality(b *testing.B)    { benchTable(b, exp.E3) }
-func BenchmarkE4_ShunBound(b *testing.B)      { benchTable(b, exp.E4) }
-func BenchmarkE5_MsgComplexity(b *testing.B)  { benchTable(b, exp.E5) }
-func BenchmarkE6_Resilience(b *testing.B)     { benchTable(b, exp.E6) }
-func BenchmarkE7_Example1(b *testing.B)       { benchTable(b, exp.E7) }
-func BenchmarkE8_DMMAblation(b *testing.B)    { benchTable(b, exp.E8) }
-func BenchmarkE9_LatencySeries(b *testing.B)  { benchTable(b, exp.E9) }
+func BenchmarkE1_ABATermination(b *testing.B)  { benchTable(b, exp.E1) }
+func BenchmarkE2_RoundsVsN(b *testing.B)       { benchTable(b, exp.E2) }
+func BenchmarkE3_CoinQuality(b *testing.B)     { benchTable(b, exp.E3) }
+func BenchmarkE4_ShunBound(b *testing.B)       { benchTable(b, exp.E4) }
+func BenchmarkE5_MsgComplexity(b *testing.B)   { benchTable(b, exp.E5) }
+func BenchmarkE6_Resilience(b *testing.B)      { benchTable(b, exp.E6) }
+func BenchmarkE7_Example1(b *testing.B)        { benchTable(b, exp.E7) }
+func BenchmarkE8_DMMAblation(b *testing.B)     { benchTable(b, exp.E8) }
+func BenchmarkE9_LatencySeries(b *testing.B)   { benchTable(b, exp.E9) }
+func BenchmarkE10_ScenarioMatrix(b *testing.B) { benchTable(b, exp.E10) }
 
 // BenchmarkAgreement measures one full agreement run end to end,
 // reporting protocol-level metrics alongside wall time.

@@ -1,4 +1,4 @@
-// Command expsweep regenerates every reproduction experiment (E1–E9,
+// Command expsweep regenerates every reproduction experiment (E1–E10,
 // see the package comment of internal/exp) and prints their tables.
 //
 //	expsweep                     # quick scale (minutes), sequential
@@ -36,7 +36,7 @@ type sweepRecord struct {
 func main() {
 	var (
 		full     = flag.Bool("full", false, "run full-scale experiments")
-		only     = flag.String("only", "", "run a single experiment (E1..E9)")
+		only     = flag.String("only", "", "run a single experiment (E1..E10)")
 		parallel = flag.Int("parallel", 1, "worker goroutines per experiment (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit a JSON array instead of text tables")
 	)
@@ -60,6 +60,7 @@ func main() {
 		{name: "E7", run: exp.E7},
 		{name: "E8", run: exp.E8},
 		{name: "E9", run: exp.E9},
+		{name: "E10", run: exp.E10},
 	}
 
 	var records []sweepRecord

@@ -7,6 +7,22 @@
 // babbles is filtered out trivially).
 //
 // Behaviours compose: Apply chains all send and broadcast tampers.
+//
+// Beyond the message-corrupting behaviours (RValLiar, EchoLiar,
+// DealCorruptor, VoteFlipper, VoteEquivocator), the package models
+// scheduling-flavoured and cross-round attacks for the scenario matrix:
+//
+//   - TargetedDelay starves a victim set while feeding everyone else,
+//     then releases the backlog in a burst (a process-local partition).
+//   - MuteThenBurst stays silent for a prefix of the run and then
+//     replays its entire buffered backlog at once, stressing stale-
+//     message handling.
+//   - CrossSessionEquivocator lies only in sessions of one round
+//     parity, so behaviour differs across sessions — the cheapest way
+//     to probe whether detections in one session carry to the next.
+//   - CoinBiaser lies specifically about common-coin reconstruction
+//     values, trying to drag the minimum lottery value (and with it the
+//     coin's parity) toward a chosen outcome.
 package adversary
 
 import (
@@ -157,6 +173,142 @@ func VoteEquivocator() Behavior {
 				return aba.Vote{Step: v.Step, Round: v.Round, Value: 1 - v.Value}, true
 			}
 			return p, true
+		},
+	}
+}
+
+// burstBuffer is the hold-then-replay machinery shared by TargetedDelay
+// and MuteThenBurst: messages are parked by hold and later replayed in
+// original order by burst.
+//
+// burst sends through the raw (un-tampered) context, so the backlog does
+// not re-enter the tamper chain. A held message has passed every tamper
+// applied *before* the holding behaviour but none after it — compose
+// burst behaviours last so the backlog is fully corrupted when captured.
+type burstBuffer struct {
+	held []struct {
+		to sim.ProcID
+		p  sim.Payload
+	}
+	released bool
+}
+
+func (b *burstBuffer) hold(to sim.ProcID, p sim.Payload) {
+	b.held = append(b.held, struct {
+		to sim.ProcID
+		p  sim.Payload
+	}{to: to, p: p})
+}
+
+func (b *burstBuffer) burst(ctx sim.Context) {
+	b.released = true
+	for _, h := range b.held {
+		ctx.Send(h.to, h.p)
+	}
+	b.held = nil
+}
+
+// TargetedDelay holds back every message addressed to a victim until
+// the process has sent holdSends messages to non-victims, then releases
+// the whole backlog in original order (followed by normal delivery).
+// It approximates an adversarial scheduler that starves a subnet from
+// inside one process — "partition-aware" in that the victim set is
+// typically one side of a PartitionScheduler cut, doubling the damage.
+// Compose it last (see burstBuffer).
+func TargetedDelay(holdSends int, victims ...sim.ProcID) Behavior {
+	vic := make(map[sim.ProcID]bool, len(victims))
+	for _, v := range victims {
+		vic[v] = true
+	}
+	var buf burstBuffer
+	others := 0
+	return Behavior{
+		Name: "targeted-delay",
+		Send: func(ctx sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if buf.released {
+				return p, true
+			}
+			if vic[to] {
+				buf.hold(to, p)
+				return nil, false
+			}
+			others++
+			if others >= holdSends {
+				buf.burst(ctx)
+			}
+			return p, true
+		},
+	}
+}
+
+// MuteThenBurst buffers its first mute outbound messages (the process
+// looks silent), then replays the entire backlog in original order the
+// moment the mute budget is exceeded and behaves normally afterwards.
+// The burst of stale traffic probes handling of long-delayed messages
+// arriving after the protocol has moved on. Compose it last (see
+// burstBuffer).
+func MuteThenBurst(mute int) Behavior {
+	var buf burstBuffer
+	return Behavior{
+		Name: "mute-burst",
+		Send: func(ctx sim.Context, to sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if buf.released {
+				return p, true
+			}
+			if len(buf.held) < mute {
+				buf.hold(to, p)
+				return nil, false
+			}
+			buf.burst(ctx)
+			return p, true
+		},
+	}
+}
+
+// CrossSessionEquivocator corrupts MW-SVSS reconstruction broadcasts and
+// share-phase echoes by a fixed offset, but only in sessions whose Round
+// is odd — honest in half the sessions, lying in the other half. Unlike
+// a persistent liar it gives the detection layer no single session in
+// which its story is consistent-and-wrong twice, testing that shun state
+// genuinely accumulates across sessions.
+func CrossSessionEquivocator(offset uint64) Behavior {
+	lying := func(sid proto.SessionID) bool { return sid.Round%2 == 1 }
+	return Behavior{
+		Name: "cross-equivocate",
+		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
+			if e, ok := p.(mwsvss.Echo); ok && lying(e.MW.Session) {
+				return mwsvss.Echo{MW: e.MW, Val: e.Val.Add(field.New(offset))}, true
+			}
+			return p, true
+		},
+		Bcast: func(_ sim.Context, tag proto.Tag, value []byte) ([]byte, bool) {
+			if tag.Proto == proto.ProtoMW && tag.Step == mwsvss.StepRVal && lying(tag.Session) {
+				if v, ok := mwsvss.DecodeElem(value); ok {
+					return mwsvss.EncodeElem(v.Add(field.New(offset))), true
+				}
+			}
+			return value, true
+		},
+	}
+}
+
+// CoinBiaser attacks the common coin: it rewrites its reconstruction
+// broadcasts for coin-session sharings to a fixed value, trying to drag
+// reconstructed lottery values (and hence the parity of the minimum)
+// toward the attacker's choice. SVSS binding turns the lie into
+// detections instead of bias — which is exactly what a scenario matrix
+// should observe: shun events, not a skewed coin.
+func CoinBiaser(toward uint64) Behavior {
+	return Behavior{
+		Name: "coin-bias",
+		Bcast: func(_ sim.Context, tag proto.Tag, value []byte) ([]byte, bool) {
+			if tag.Proto == proto.ProtoMW && tag.Step == mwsvss.StepRVal &&
+				tag.Session.Kind == proto.KindCoin {
+				if _, ok := mwsvss.DecodeElem(value); ok {
+					return mwsvss.EncodeElem(field.New(toward)), true
+				}
+			}
+			return value, true
 		},
 	}
 }

@@ -116,3 +116,120 @@ func TestRValLiarAltersBroadcastValue(t *testing.T) {
 		t.Fatalf("sent %d", len(fake.Sent))
 	}
 }
+
+// sendSeq pushes a sequence of sends through the stack's tamper chain
+// and returns everything that actually went out, in order.
+func sendSeq(t *testing.T, st *core.Stack, msgs []sim.Message) []sim.Message {
+	t.Helper()
+	st.Node.AddInit(func(c sim.Context) {
+		for _, m := range msgs {
+			c.Send(m.To, m.Payload)
+		}
+	})
+	fake := testutil.NewCtx(1, 4, 1)
+	st.Node.Init(fake)
+	return fake.Sent
+}
+
+func TestTargetedDelayStarvesThenBursts(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.TargetedDelay(2, 2))
+	vote := func(r uint64) aba.Vote { return aba.Vote{Step: 1, Round: r, Value: 1} }
+	out := sendSeq(t, st, []sim.Message{
+		{To: 2, Payload: vote(1)}, // held
+		{To: 3, Payload: vote(2)}, // passes (1 non-victim send)
+		{To: 2, Payload: vote(3)}, // held
+		{To: 3, Payload: vote(4)}, // triggers release, then passes
+		{To: 2, Payload: vote(5)}, // passes (released)
+	})
+	var got []uint64
+	for _, m := range out {
+		got = append(got, m.Payload.(aba.Vote).Round)
+	}
+	want := []uint64{2, 1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("sent rounds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sent rounds %v, want %v", got, want)
+		}
+	}
+	if out[1].To != 2 || out[2].To != 2 {
+		t.Errorf("burst not addressed to victim: %v", out)
+	}
+}
+
+func TestMuteThenBurstReplaysBacklog(t *testing.T) {
+	st := core.NewStack(1, nil)
+	adversary.Apply(st, adversary.MuteThenBurst(2))
+	vote := func(r uint64) aba.Vote { return aba.Vote{Step: 1, Round: r, Value: 1} }
+	out := sendSeq(t, st, []sim.Message{
+		{To: 2, Payload: vote(1)}, // muted
+		{To: 3, Payload: vote(2)}, // muted
+		{To: 4, Payload: vote(3)}, // burst: 1, 2, then 3
+		{To: 2, Payload: vote(4)}, // passes
+	})
+	var got []uint64
+	for _, m := range out {
+		got = append(got, m.Payload.(aba.Vote).Round)
+	}
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("sent rounds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sent rounds %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCrossSessionEquivocatorLiesByRoundParity(t *testing.T) {
+	b := adversary.CrossSessionEquivocator(5)
+
+	oddID := proto.MWID{Session: proto.SessionID{Dealer: 1, Kind: proto.KindApp, Round: 1}}
+	evenID := proto.MWID{Session: proto.SessionID{Dealer: 1, Kind: proto.KindApp, Round: 2}}
+	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: oddID, Val: field.New(10)}); !keep ||
+		out.(mwsvss.Echo).Val != field.New(15) {
+		t.Errorf("odd-session echo not offset: %v", out)
+	}
+	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: evenID, Val: field.New(10)}); !keep ||
+		out.(mwsvss.Echo).Val != field.New(10) {
+		t.Errorf("even-session echo changed: %v", out)
+	}
+
+	oddTag := proto.Tag{Proto: proto.ProtoMW, Step: mwsvss.StepRVal, Session: oddID.Session}
+	evenTag := proto.Tag{Proto: proto.ProtoMW, Step: mwsvss.StepRVal, Session: evenID.Session}
+	if out, keep := b.Bcast(nil, oddTag, mwsvss.EncodeElem(field.New(100))); !keep {
+		t.Fatal("odd-session rval dropped")
+	} else if v, _ := mwsvss.DecodeElem(out); v != field.New(105) {
+		t.Errorf("odd-session rval = %v, want 105", v)
+	}
+	if out, keep := b.Bcast(nil, evenTag, mwsvss.EncodeElem(field.New(100))); !keep {
+		t.Fatal("even-session rval dropped")
+	} else if v, _ := mwsvss.DecodeElem(out); v != field.New(100) {
+		t.Errorf("even-session rval = %v, want 100", v)
+	}
+}
+
+func TestCoinBiaserOnlyTouchesCoinSessions(t *testing.T) {
+	b := adversary.CoinBiaser(0)
+	coinTag := proto.Tag{
+		Proto: proto.ProtoMW, Step: mwsvss.StepRVal,
+		Session: proto.SessionID{Dealer: 1, Kind: proto.KindCoin, Round: 3},
+	}
+	appTag := coinTag
+	appTag.Session.Kind = proto.KindApp
+
+	if out, keep := b.Bcast(nil, coinTag, mwsvss.EncodeElem(field.New(999))); !keep {
+		t.Fatal("coin rval dropped")
+	} else if v, _ := mwsvss.DecodeElem(out); v != field.New(0) {
+		t.Errorf("coin rval = %v, want 0", v)
+	}
+	if out, keep := b.Bcast(nil, appTag, mwsvss.EncodeElem(field.New(999))); !keep {
+		t.Fatal("app rval dropped")
+	} else if v, _ := mwsvss.DecodeElem(out); v != field.New(999) {
+		t.Errorf("app rval = %v, want unchanged", v)
+	}
+}

@@ -1,4 +1,4 @@
-// Package exp implements the reproduction experiments E1–E9. The paper
+// Package exp implements the reproduction experiments E1–E10. The paper
 // has no tables or figures — it is a theory paper — so each experiment
 // operationalizes one of its quantitative claims (Theorem 1's
 // properties, the SCC Correctness bound, the t(n−t) shunning bound,
@@ -25,6 +25,7 @@ import (
 	"svssba/internal/proto"
 	"svssba/internal/rb"
 	"svssba/internal/runner"
+	"svssba/internal/scenario"
 	"svssba/internal/sim"
 	"svssba/internal/svss"
 	"svssba/internal/testutil"
@@ -699,6 +700,35 @@ func E9(scale Scale) *trace.Table {
 		tb.Add(mean, runs, vt.Mean(), vt.Percentile(90), rounds.Mean())
 	}
 	return tb
+}
+
+// E10 — adversarial scenario matrix: schedulers × behaviours × scales,
+// agreement/validity/termination invariants checked on every cell (the
+// scenario package's harness, surfaced as a reproduction table).
+func E10(scale Scale) *trace.Table {
+	m := &scenario.Matrix{
+		Schedulers: scenario.DefaultSchedulers(),
+		Behaviors:  scenario.DefaultBehaviors(),
+		Scales:     []scenario.Scale{{Name: "n4", N: 4, T: 1}},
+		Seeds:      []int64{1000, 1001},
+	}
+	if scale.Quick {
+		m.Schedulers = []scenario.Scheduler{
+			{Name: "random", Kind: svssba.SchedRandom},
+			{Name: "partition", Kind: svssba.SchedPartition, HealAt: 2000},
+		}
+		m.Behaviors = []scenario.Behavior{
+			scenario.NoFault(),
+			scenario.SingleFault("coin-bias", svssba.FaultCoinBias),
+			scenario.Unanimous1VoteFlip(),
+		}
+		m.Seeds = []int64{1000}
+	}
+	workers := scale.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return scenario.Run(m, workers).Table()
 }
 
 func frac(hit, total int) string {

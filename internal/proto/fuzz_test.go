@@ -1,0 +1,122 @@
+package proto_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"svssba/internal/aba"
+	"svssba/internal/baseline"
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// fullCodec is the codec with every protocol message type registered —
+// the exact decoder surface a Byzantine sender can feed arbitrary bytes
+// into on the live runtime.
+func fullCodec() *proto.Codec {
+	c := core.NewCodec()
+	baseline.RegisterCodec(c)
+	return c
+}
+
+// seedPayloads is a representative valid message per protocol layer, so
+// the fuzzers start from encodings that reach deep into each decoder.
+func seedPayloads(t testing.TB) [][]byte {
+	t.Helper()
+	c := fullCodec()
+	tag := proto.Tag{
+		Proto:   proto.ProtoMW,
+		Session: proto.SessionID{Dealer: 2, Kind: proto.KindCoin, Round: 7, Index: 3},
+		MW:      proto.MWKey{Dealer: 2, Moderator: 1, Slot: 1},
+		Step:    mwsvss.StepRVal,
+		A:       9,
+	}
+	payloads := []sim.Payload{
+		aba.Vote{Step: 1, Round: 4, Value: 1},
+		aba.Conf{Round: 4, Mask: 3},
+		aba.Decide{Value: 1},
+		rb.Msg{Origin: 2, Tag: tag, Value: []byte("v")},
+		mwsvss.Echo{MW: proto.MWID{Session: tag.Session, Key: tag.MW}, Val: field.New(42)},
+		svss.Deal{
+			Session: tag.Session,
+			RowPts:  []field.Element{field.New(1), field.New(2)},
+			ColPts:  []field.Element{field.New(3)},
+		},
+	}
+	var out [][]byte
+	for _, p := range payloads {
+		b, err := c.Encode(p)
+		if err != nil {
+			t.Fatalf("seed encode %q: %v", p.Kind(), err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecode feeds arbitrary bytes to the full codec — the traffic a
+// Byzantine sender controls. Decode must never panic, and anything it
+// accepts must re-encode cleanly with the payload's analytic Size()
+// matching the marshaled length (the codec's documented contract).
+func FuzzDecode(f *testing.F) {
+	for _, b := range seedPayloads(f) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	c := fullCodec()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := c.Decode(b)
+		if err != nil {
+			return
+		}
+		enc, err := c.Encode(p)
+		if err != nil {
+			t.Fatalf("accepted payload %q does not re-encode: %v", p.Kind(), err)
+		}
+		wantLen := 2 + len(p.Kind()) + p.Size()
+		if len(enc) != wantLen {
+			t.Fatalf("payload %q: Size()=%d but encoding is %d bytes (want %d total, got %d)",
+				p.Kind(), p.Size(), len(enc)-2-len(p.Kind()), wantLen, len(enc))
+		}
+	})
+}
+
+// FuzzRoundTrip checks that decode ∘ encode is the identity on every
+// payload the codec accepts: whatever malformed-but-decodable bytes a
+// Byzantine sender crafts, the process's view of the message survives a
+// wire round trip unchanged.
+func FuzzRoundTrip(f *testing.F) {
+	for _, b := range seedPayloads(f) {
+		f.Add(b)
+	}
+	c := fullCodec()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := c.Decode(b)
+		if err != nil {
+			return
+		}
+		enc, err := c.Encode(p)
+		if err != nil {
+			t.Fatalf("re-encode %q: %v", p.Kind(), err)
+		}
+		p2, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode %q: %v", p.Kind(), err)
+		}
+		if p2.Kind() != p.Kind() {
+			t.Fatalf("kind changed across round trip: %q -> %q", p.Kind(), p2.Kind())
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("payload %q changed across round trip:\n  first:  %#v\n  second: %#v",
+				p.Kind(), p, p2)
+		}
+	})
+}

@@ -45,6 +45,10 @@ type Trial struct {
 	// Group names the aggregation bucket; summaries preserve first-
 	// appearance order of groups across the trial set.
 	Group string
+	// Name optionally identifies this trial within its group (e.g. the
+	// scenario cell id). It is carried into TrialResult and error
+	// messages; empty is fine for anonymous trials.
+	Name string
 	// Seed is carried for reporting; the workload's own config is what
 	// actually seeds the run.
 	Seed int64
@@ -150,7 +154,11 @@ func (r *Runner) Run(trials []Trial) []TrialResult {
 func runIsolated(i int, t Trial) (v any, err error, panicked bool) {
 	v, err, panicked = par.Call(t.Do)
 	if panicked {
-		err = fmt.Errorf("runner: trial %d (%s, seed %d): %w", i, t.Group, t.Seed, err)
+		label := t.Group
+		if t.Name != "" {
+			label += " " + t.Name
+		}
+		err = fmt.Errorf("runner: trial %d (%s, seed %d): %w", i, label, t.Seed, err)
 	}
 	return v, err, panicked
 }

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"svssba"
+)
+
+// testMatrix is a small, cheap matrix (n4-only cells) used by the
+// execution tests.
+func testMatrix() *Matrix {
+	return &Matrix{
+		Schedulers: []Scheduler{
+			{Name: "random", Kind: svssba.SchedRandom},
+			{Name: "partition", Kind: svssba.SchedPartition, HealAt: 1000},
+		},
+		Behaviors: []Behavior{
+			NoFault(),
+			SingleFault("vote-equivocate", svssba.FaultVoteEquivocate),
+		},
+		Scales: []Scale{{Name: "n4", N: 4, T: 1}},
+		Seeds:  []int64{1002},
+	}
+}
+
+// seqReport runs testMatrix sequentially exactly once per test binary;
+// the execution tests share it to keep the suite fast.
+var seqReport = sync.OnceValue(func() *Report { return Run(testMatrix(), 1) })
+
+func TestCellsEnumerationIsStable(t *testing.T) {
+	m := testMatrix()
+	a, b := m.Cells(), m.Cells()
+	if len(a) != 2*2*1*1 {
+		t.Fatalf("cells = %d, want 4", len(a))
+	}
+	seen := make(map[string]bool)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("enumeration order unstable at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if seen[a[i].ID] {
+			t.Fatalf("duplicate cell id %s", a[i].ID)
+		}
+		seen[a[i].ID] = true
+	}
+	if c, ok := m.Cell("partition/vote-equivocate/n4/1002"); !ok || c.Config.N != 4 ||
+		c.Config.Scheduler != svssba.SchedPartition || len(c.Config.Faults) != 1 {
+		t.Fatalf("cell lookup broken: %+v ok=%v", c, ok)
+	}
+	if _, ok := m.Cell("no/such/cell/0"); ok {
+		t.Fatal("lookup accepted unknown id")
+	}
+}
+
+func TestCheckInvariantsFlagsEachViolation(t *testing.T) {
+	cfg := svssba.Config{
+		N: 4, T: 1,
+		Inputs: []int{1, 1, 1, 0},
+		Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteFlip}},
+	}
+
+	clean := &svssba.Result{
+		Decisions:  map[int]int{1: 1, 2: 1, 3: 1},
+		AllDecided: true, Agreed: true, Value: 1,
+	}
+	if v := CheckInvariants("c", cfg, clean); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+
+	// Honest processes 1..3 (4 is faulty); inputs unanimous 1 among them.
+	split := &svssba.Result{
+		Decisions:  map[int]int{1: 1, 2: 0, 3: 1},
+		AllDecided: true,
+	}
+	got := CheckInvariants("c", cfg, split)
+	if !hasInvariant(got, "agreement") {
+		t.Errorf("split decisions not flagged as agreement violation: %v", got)
+	}
+
+	invalid := &svssba.Result{
+		Decisions:  map[int]int{1: 0, 2: 0, 3: 0},
+		AllDecided: true, Agreed: true, Value: 0,
+	}
+	got = CheckInvariants("c", cfg, invalid)
+	if !hasInvariant(got, "validity") {
+		t.Errorf("unanimous-input violation not flagged: %v", got)
+	}
+
+	stuck := &svssba.Result{
+		Decisions: map[int]int{1: 1},
+		TimedOut:  true,
+	}
+	got = CheckInvariants("c", cfg, stuck)
+	if !hasInvariant(got, "termination") {
+		t.Errorf("timeout not flagged as termination violation: %v", got)
+	}
+
+	// The faulty process's decision must not trigger agreement checks.
+	faultyDiffers := &svssba.Result{
+		Decisions:  map[int]int{1: 1, 2: 1, 3: 1, 4: 0},
+		AllDecided: true, Agreed: true, Value: 1,
+	}
+	if v := CheckInvariants("c", cfg, faultyDiffers); len(v) != 0 {
+		t.Fatalf("faulty decision flagged: %v", v)
+	}
+}
+
+func hasInvariant(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestReplayMatchesReportByteIdentically is the -replay contract: the
+// JSON of a replayed cell equals the JSON of that cell's entry in a
+// full matrix run.
+func TestReplayMatchesReportByteIdentically(t *testing.T) {
+	m := testMatrix()
+	rep := seqReport()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+	// Replay the first and last cells (one per scheduler axis value).
+	for _, want := range []CellResult{rep.Cells[0], rep.Cells[len(rep.Cells)-1]} {
+		replayed, err := Replay(m, want.Cell.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(replayed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("replay of %s differs from report entry:\n%s\nvs\n%s", want.Cell.ID, a, b)
+		}
+	}
+}
+
+// TestWorkerCountSeedStability is the determinism golden test guarding
+// PR 1's invariant at the scenario level: one matrix executed at
+// Workers=1 and Workers=4 must produce byte-identical JSON reports
+// (and byte-identical rendered tables).
+func TestWorkerCountSeedStability(t *testing.T) {
+	m := testMatrix()
+	seq := seqReport()
+	par := Run(m, 4)
+
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Workers=1 and Workers=4 reports differ:\n%s\nvs\n%s", a, b)
+	}
+	if seq.Table().String() != par.Table().String() {
+		t.Fatal("rendered tables differ across worker counts")
+	}
+}
+
+func TestQuickMatrixMeetsScenarioDiversityFloor(t *testing.T) {
+	m := Quick()
+	if err := m.ValidateNames(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Schedulers) < 3 {
+		t.Errorf("quick matrix has %d schedulers, want >= 3", len(m.Schedulers))
+	}
+	if len(m.Behaviors) < 4 {
+		t.Errorf("quick matrix has %d behaviors, want >= 4", len(m.Behaviors))
+	}
+	if len(m.Scales) < 2 {
+		t.Errorf("quick matrix has %d scales, want >= 2", len(m.Scales))
+	}
+	if cells := m.Cells(); len(cells) < 24 {
+		t.Errorf("quick matrix has %d cells, want >= 24", len(cells))
+	}
+}

@@ -19,22 +19,37 @@ type Codec interface {
 // process, real (randomized) delivery delays, and optional wire encoding.
 // It demonstrates that the protocol state machines are runtime-agnostic;
 // integration tests run it under the race detector.
+//
+// Storage mirrors Network's dense layout: processes, mailboxes and
+// random sources live in slices indexed by ProcID (1..n; index 0
+// unused), and per-kind traffic counters live in slices indexed by
+// interned kind IDs, so the Send path does no map writes — only the
+// kind-intern lookup, which the one-slot cache almost always skips.
 type LiveNet struct {
 	n, t     int
 	maxDelay time.Duration
 	codec    Codec
 
-	procs map[ProcID]Handler
-	boxes map[ProcID]*mailbox
-	rands map[ProcID]*rand.Rand
+	procs []Handler
+	boxes []*mailbox
+	rands []*rand.Rand
+	nRegs int
 
 	mu      sync.Mutex
-	stats   *Stats
 	seq     uint64
 	started bool
 	stopped bool
 	errs    []error
 	start   time.Time
+
+	// Counters (see Stats for the snapshot view), guarded by mu.
+	sent, delivered, dropped int64
+	kindIDs                  map[string]int
+	kindNames                []string
+	sentByKind               []int64
+	bytesByKind              []int64
+	lastKind                 string
+	lastKindID               int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -60,18 +75,19 @@ func WithMaxDelay(d time.Duration) LiveOption { return liveDelayOption{d: d} }
 // NewLiveNet creates a live runtime for n processes tolerating t faults.
 func NewLiveNet(n, t int, seed int64, opts ...LiveOption) *LiveNet {
 	l := &LiveNet{
-		n:        n,
-		t:        t,
-		maxDelay: 2 * time.Millisecond,
-		procs:    make(map[ProcID]Handler, n),
-		boxes:    make(map[ProcID]*mailbox, n),
-		rands:    make(map[ProcID]*rand.Rand, n),
-		stats:    newStats(),
-		stop:     make(chan struct{}),
+		n:          n,
+		t:          t,
+		maxDelay:   2 * time.Millisecond,
+		procs:      make([]Handler, n+1),
+		boxes:      make([]*mailbox, n+1),
+		rands:      make([]*rand.Rand, n+1),
+		kindIDs:    make(map[string]int, 16),
+		lastKindID: -1,
+		stop:       make(chan struct{}),
 	}
 	master := rand.New(rand.NewSource(seed))
 	for p := 1; p <= n; p++ {
-		l.rands[ProcID(p)] = rand.New(rand.NewSource(master.Int63()))
+		l.rands[p] = rand.New(rand.NewSource(master.Int63()))
 	}
 	for _, o := range opts {
 		o.applyLive(l)
@@ -85,17 +101,18 @@ func (l *LiveNet) Register(h Handler) error {
 	if id < 1 || int(id) > l.n {
 		return fmt.Errorf("sim: process id %d out of range 1..%d", id, l.n)
 	}
-	if _, dup := l.procs[id]; dup {
+	if l.procs[id] != nil {
 		return fmt.Errorf("sim: process %d registered twice", id)
 	}
 	l.procs[id] = h
+	l.nRegs++
 	return nil
 }
 
 // Start launches all process goroutines and runs Init on each.
 func (l *LiveNet) Start() error {
-	if len(l.procs) != l.n {
-		return fmt.Errorf("sim: %d of %d processes registered", len(l.procs), l.n)
+	if l.nRegs != l.n {
+		return fmt.Errorf("sim: %d of %d processes registered", l.nRegs, l.n)
 	}
 	l.mu.Lock()
 	if l.started {
@@ -152,11 +169,36 @@ func (l *LiveNet) Stop() {
 	l.wg.Wait()
 }
 
-// Stats returns a snapshot of the message counters.
+// Stats returns a snapshot of the message counters, materializing the
+// per-kind maps from the interned slice counters (same layout as
+// Network.Stats, which the parity test asserts).
 func (l *LiveNet) Stats() *Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats.Clone()
+	s := newStats()
+	s.Sent, s.Delivered, s.Dropped = l.sent, l.delivered, l.dropped
+	for id, name := range l.kindNames {
+		s.SentByKind[name] = l.sentByKind[id]
+		s.BytesByKind[name] = l.bytesByKind[id]
+	}
+	return s
+}
+
+// kindIDLocked interns a payload kind; the caller must hold mu.
+func (l *LiveNet) kindIDLocked(kind string) int {
+	if kind == l.lastKind && l.lastKindID >= 0 {
+		return l.lastKindID
+	}
+	id, ok := l.kindIDs[kind]
+	if !ok {
+		id = len(l.kindNames)
+		l.kindIDs[kind] = id
+		l.kindNames = append(l.kindNames, kind)
+		l.sentByKind = append(l.sentByKind, 0)
+		l.bytesByKind = append(l.bytesByKind, 0)
+	}
+	l.lastKind, l.lastKindID = kind, id
+	return id
 }
 
 // Errs returns codec or routing errors observed so far.
@@ -191,9 +233,10 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 	l.mu.Lock()
 	l.seq++
 	seq := l.seq
-	l.stats.Sent++
-	l.stats.SentByKind[p.Kind()]++
-	l.stats.BytesByKind[p.Kind()] += int64(p.Size())
+	l.sent++
+	kid := l.kindIDLocked(p.Kind())
+	l.sentByKind[kid]++
+	l.bytesByKind[kid] += int64(p.Size())
 	stopped := l.stopped
 	l.mu.Unlock()
 	if stopped {
@@ -236,7 +279,7 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 		select {
 		case box.in <- m:
 			l.mu.Lock()
-			l.stats.Delivered++
+			l.delivered++
 			l.mu.Unlock()
 		case <-l.stop:
 		}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// parityPayload exercises the kind-interning paths with two distinct
+// kinds and sizes.
+type parityPayload struct {
+	kind string
+	size int
+	hops int
+}
+
+func (p parityPayload) Kind() string { return p.kind }
+func (p parityPayload) Size() int    { return p.size }
+
+// parityProc is a scripted handler whose total send counts are a pure
+// function of (n, hops), independent of delivery order — so the same
+// script can run on the deterministic Network and the concurrent
+// LiveNet and must produce identical traffic stats.
+type parityProc struct {
+	id ProcID
+	n  int
+}
+
+func (p *parityProc) ID() ProcID { return p.id }
+
+func (p *parityProc) Init(ctx Context) {
+	for q := 1; q <= p.n; q++ {
+		if ProcID(q) != p.id {
+			ctx.Send(ProcID(q), parityPayload{kind: "parity/seed", size: 16, hops: 3})
+		}
+	}
+}
+
+func (p *parityProc) Deliver(ctx Context, m Message) {
+	pl := m.Payload.(parityPayload)
+	if pl.hops == 0 {
+		return
+	}
+	next := ProcID(int(p.id)%p.n + 1)
+	ctx.Send(next, parityPayload{kind: "parity/relay", size: 5, hops: pl.hops - 1})
+}
+
+// TestNetworkLiveNetStatsParity runs the same scripted workload on the
+// event-loop Network and the goroutine-per-process LiveNet and asserts
+// both report identical Stats() — the contract behind porting LiveNet
+// to the dense interned-kind counter layout Network uses.
+func TestNetworkLiveNetStatsParity(t *testing.T) {
+	const n, tf = 4, 1
+
+	nw := NewNetwork(n, tf, 1)
+	for p := 1; p <= n; p++ {
+		if err := nw.Register(&parityProc{id: ProcID(p), n: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := nw.Stats()
+	if want.Sent == 0 || len(want.SentByKind) != 2 {
+		t.Fatalf("scripted run produced unexpected traffic: %+v", want)
+	}
+
+	ln := NewLiveNet(n, tf, 1, WithMaxDelay(100*time.Microsecond))
+	for p := 1; p <= n; p++ {
+		if err := ln.Register(&parityProc{id: ProcID(p), n: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ln.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := ln.Stats()
+		if st.Sent == want.Sent && st.Delivered == want.Sent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live run did not settle: got sent=%d delivered=%d, want %d",
+				st.Sent, st.Delivered, want.Sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln.Stop()
+	got := ln.Stats()
+
+	if got.Sent != want.Sent || got.Delivered != want.Delivered || got.Dropped != want.Dropped {
+		t.Errorf("totals differ: live {%d %d %d}, network {%d %d %d}",
+			got.Sent, got.Delivered, got.Dropped, want.Sent, want.Delivered, want.Dropped)
+	}
+	for kind, sent := range want.SentByKind {
+		if got.SentByKind[kind] != sent {
+			t.Errorf("SentByKind[%q]: live %d, network %d", kind, got.SentByKind[kind], sent)
+		}
+		if got.BytesByKind[kind] != want.BytesByKind[kind] {
+			t.Errorf("BytesByKind[%q]: live %d, network %d", kind, got.BytesByKind[kind], want.BytesByKind[kind])
+		}
+	}
+	if len(got.SentByKind) != len(want.SentByKind) {
+		t.Errorf("kind sets differ: live %v, network %v", got.SentByKind, want.SentByKind)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -116,24 +115,60 @@ type delayItem struct {
 	seq uint64 // tiebreaker for determinism
 }
 
+// delayHeap is a binary min-heap of delayItems ordered by (at, seq). It
+// deliberately does not use container/heap: Push(interface{}) would box
+// every item on the hot path (two allocations per message, push and
+// pop). Instead the heap sifts values in place and the backing array
+// doubles as a free list — slots vacated by pop are reused by the next
+// push, so a steady-state scheduler allocates nothing per message.
 type delayHeap []delayItem
 
-func (h delayHeap) Len() int { return len(h) }
-func (h delayHeap) Less(i, j int) bool {
+func (h delayHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayItem)) }
-func (h *delayHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = delayItem{}
-	*h = old[:n-1]
-	return it
+
+func (h *delayHeap) push(it delayItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() delayItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = delayItem{}
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s.less(l, min) {
+			min = l
+		}
+		if r < len(s) && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // DelayScheduler assigns each message a random delay drawn from a
@@ -154,20 +189,20 @@ func NewDelayScheduler(seed int64, dist DelayDist) *DelayScheduler {
 
 // Enqueue implements Scheduler.
 func (s *DelayScheduler) Enqueue(m Message, now int64) {
-	heap.Push(&s.h, delayItem{m: m, at: now + 1 + s.dist.Draw(s.rng), seq: m.Seq})
+	s.h.push(delayItem{m: m, at: now + 1 + s.dist.Draw(s.rng), seq: m.Seq})
 }
 
 // Next implements Scheduler.
 func (s *DelayScheduler) Next(_ int64) (Message, int64, bool) {
-	if s.h.Len() == 0 {
+	if len(s.h) == 0 {
 		return Message{}, 0, false
 	}
-	it := heap.Pop(&s.h).(delayItem)
+	it := s.h.pop()
 	return it.m, it.at, true
 }
 
 // Len implements Scheduler.
-func (s *DelayScheduler) Len() int { return s.h.Len() }
+func (s *DelayScheduler) Len() int { return len(s.h) }
 
 // HoldRule decides whether a message must be held back for now. Rules are
 // re-evaluated at every scheduling decision, so tests can script network
@@ -242,3 +277,82 @@ func (s *ScriptedScheduler) release(now int64) {
 
 // Len implements Scheduler.
 func (s *ScriptedScheduler) Len() int { return s.inner.Len() + len(s.held) }
+
+// PartitionScheduler wraps an inner scheduler with a network partition:
+// every message crossing the cut (one endpoint inside the given side,
+// one outside) is held back until the partition heals. The cut heals at
+// virtual time healAt — or earlier, as soon as nothing else is
+// deliverable, so eventual delivery is preserved: the adversary may
+// starve a cut for an arbitrarily long but finite prefix of the run,
+// exactly the asynchronous model's power.
+//
+// Held messages re-enter the inner scheduler in their original send
+// order at heal time, producing the burst of stale traffic that makes
+// partitions interesting to agreement protocols.
+type PartitionScheduler struct {
+	inner  Scheduler
+	side   map[ProcID]bool
+	healAt int64
+	healed bool
+	held   []Message
+}
+
+var _ Scheduler = (*PartitionScheduler)(nil)
+
+// NewPartitionScheduler isolates the processes in cut from everyone
+// else until virtual time healAt (see the type comment for the early
+// heal that keeps delivery eventual).
+func NewPartitionScheduler(inner Scheduler, cut []ProcID, healAt int64) *PartitionScheduler {
+	side := make(map[ProcID]bool, len(cut))
+	for _, p := range cut {
+		side[p] = true
+	}
+	return &PartitionScheduler{inner: inner, side: side, healAt: healAt}
+}
+
+// Healed reports whether the partition has healed.
+func (s *PartitionScheduler) Healed() bool { return s.healed }
+
+// HeldCount returns how many messages are currently parked at the cut.
+func (s *PartitionScheduler) HeldCount() int { return len(s.held) }
+
+func (s *PartitionScheduler) crosses(m Message) bool {
+	return s.side[m.From] != s.side[m.To]
+}
+
+// Enqueue implements Scheduler.
+func (s *PartitionScheduler) Enqueue(m Message, now int64) {
+	if !s.healed && s.crosses(m) {
+		s.held = append(s.held, m)
+		return
+	}
+	s.inner.Enqueue(m, now)
+}
+
+// heal releases all held traffic into the inner scheduler.
+func (s *PartitionScheduler) heal(now int64) {
+	s.healed = true
+	for _, m := range s.held {
+		s.inner.Enqueue(m, now)
+	}
+	s.held = nil
+}
+
+// Next implements Scheduler.
+func (s *PartitionScheduler) Next(now int64) (Message, int64, bool) {
+	if !s.healed && now >= s.healAt {
+		s.heal(now)
+	}
+	m, at, ok := s.inner.Next(now)
+	if !ok && !s.healed && len(s.held) > 0 {
+		// Nothing deliverable on either side: heal early rather than
+		// stall, since an asynchronous adversary cannot withhold
+		// messages forever.
+		s.heal(now)
+		m, at, ok = s.inner.Next(now)
+	}
+	return m, at, ok
+}
+
+// Len implements Scheduler.
+func (s *PartitionScheduler) Len() int { return s.inner.Len() + len(s.held) }

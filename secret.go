@@ -104,7 +104,7 @@ func RunSVSS(cfg SVSSConfig) (*SVSSResult, error) {
 			},
 		})
 		if kind, bad := faults[i]; bad && kind != FaultCrash {
-			if b, ok := behaviorFor(kind); ok {
+			if b, ok := behaviorFor(kind, cfg.T); ok {
 				adversary.Apply(st, b)
 			}
 		}
@@ -264,7 +264,7 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 			m[pid] = bit
 		})
 		if kind, bad := faults[i]; bad && kind != FaultCrash {
-			if b, ok := behaviorFor(kind); ok {
+			if b, ok := behaviorFor(kind, cfg.T); ok {
 				adversary.Apply(st, b)
 			}
 		}

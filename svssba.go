@@ -71,6 +71,18 @@ const (
 	FaultDealCorrupt FaultKind = "deal-corrupt"
 	// FaultEchoLie corrupts MW-SVSS share-phase echoes.
 	FaultEchoLie FaultKind = "echo-lie"
+	// FaultMuteBurst buffers the process's first outbound messages, then
+	// replays the whole backlog in one burst and behaves normally.
+	FaultMuteBurst FaultKind = "mute-burst"
+	// FaultTargetedDelay starves processes 1..t+1 of this process's
+	// traffic, releasing the backlog in a burst after feeding the rest.
+	FaultTargetedDelay FaultKind = "targeted-delay"
+	// FaultCrossEquivocate corrupts MW-SVSS echoes and reconstruction
+	// broadcasts only in odd-round sessions (cross-session equivocation).
+	FaultCrossEquivocate FaultKind = "cross-equivocate"
+	// FaultCoinBias rewrites coin-session reconstruction broadcasts,
+	// attempting to bias the common coin (and provoking shunning).
+	FaultCoinBias FaultKind = "coin-bias"
 )
 
 // Fault assigns a behaviour to a process (1-based id).
@@ -92,6 +104,11 @@ const (
 	SchedDelayUniform SchedulerKind = "delay-uniform"
 	// SchedDelayExp assigns exponential delays (mean DelayMean, cap DelayCap).
 	SchedDelayExp SchedulerKind = "delay-exp"
+	// SchedPartition holds all traffic across a cut (PartitionCut vs the
+	// rest) until virtual time PartitionHealAt, then delivers randomly.
+	// The cut heals early if nothing else is deliverable, so delivery
+	// stays eventual.
+	SchedPartition SchedulerKind = "partition"
 )
 
 // Config describes one agreement run.
@@ -117,6 +134,12 @@ type Config struct {
 	DelayLo, DelayHi int64
 	// DelayMean/DelayCap parameterize SchedDelayExp.
 	DelayMean, DelayCap int64
+	// PartitionCut lists the process ids isolated by SchedPartition
+	// (defaults to the last T processes); PartitionHealAt is the virtual
+	// time at which the cut heals (defaults to 2000).
+	PartitionCut []int
+	// PartitionHealAt is the heal time for SchedPartition.
+	PartitionHealAt int64
 	// Eps is the per-round failure probability of ProtocolEpsCoin.
 	Eps float64
 	// MaxSteps bounds the run (defaults to 500M deliveries).
@@ -183,13 +206,29 @@ func (c *Config) scheduler() sim.Scheduler {
 			cap = 20 * mean
 		}
 		return sim.NewDelayScheduler(c.Seed+1, sim.ExpDelay{Mean: mean, Cap: cap})
+	case SchedPartition:
+		cut := make([]sim.ProcID, 0, len(c.PartitionCut))
+		for _, p := range c.PartitionCut {
+			cut = append(cut, sim.ProcID(p))
+		}
+		if len(cut) == 0 {
+			for p := c.N - c.T + 1; p <= c.N; p++ {
+				cut = append(cut, sim.ProcID(p))
+			}
+		}
+		healAt := c.PartitionHealAt
+		if healAt == 0 {
+			healAt = 2000
+		}
+		return sim.NewPartitionScheduler(sim.NewRandomScheduler(c.Seed+1), cut, healAt)
 	default:
 		return sim.NewRandomScheduler(c.Seed + 1)
 	}
 }
 
-// behaviorFor maps a fault kind to an adversary behaviour.
-func behaviorFor(kind FaultKind) (adversary.Behavior, bool) {
+// behaviorFor maps a fault kind to an adversary behaviour; t sizes the
+// victim sets of the targeting behaviours.
+func behaviorFor(kind FaultKind, t int) (adversary.Behavior, bool) {
 	switch kind {
 	case FaultSilent:
 		return adversary.Silent(), true
@@ -203,6 +242,18 @@ func behaviorFor(kind FaultKind) (adversary.Behavior, bool) {
 		return adversary.DealCorruptor(map[sim.ProcID]bool{1: true, 2: true}), true
 	case FaultEchoLie:
 		return adversary.EchoLiar(1), true
+	case FaultMuteBurst:
+		return adversary.MuteThenBurst(32), true
+	case FaultTargetedDelay:
+		victims := make([]sim.ProcID, 0, t+1)
+		for p := 1; p <= t+1; p++ {
+			victims = append(victims, sim.ProcID(p))
+		}
+		return adversary.TargetedDelay(64, victims...), true
+	case FaultCrossEquivocate:
+		return adversary.CrossSessionEquivocator(1), true
+	case FaultCoinBias:
+		return adversary.CoinBiaser(0), true
 	default:
 		return adversary.Behavior{}, false
 	}
@@ -276,7 +327,7 @@ func Run(cfg Config) (*Result, error) {
 				_ = st.ABA.Propose(ctx, input)
 			})
 			if kind, bad := faults[i]; bad && kind != FaultCrash {
-				if b, ok := behaviorFor(kind); ok {
+				if b, ok := behaviorFor(kind, cfg.T); ok {
 					adversary.Apply(st, b)
 				}
 			}
