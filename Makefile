@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-race
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,14 @@ scenario:
 
 scenario-full:
 	$(GO) run ./cmd/scenario -full -workers 0
+
+# cluster is the real-socket smoke run CI uses: agreement over
+# localhost TCP with one node crashed, per-layer stats, exit 0.
+cluster:
+	$(GO) run ./cmd/cluster -n 4 -crash 1 -timeout 60s
+
+# cluster-race runs the node/transport runtime tests under the race
+# detector (the same Node code path cmd/cluster uses, on the
+# in-process transport).
+cluster-race:
+	$(GO) test -race ./internal/transport/ ./internal/node/

@@ -1,0 +1,514 @@
+package svssba
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"svssba/internal/core"
+	"svssba/internal/node"
+	"svssba/internal/sim"
+	"svssba/internal/transport"
+)
+
+// TransportKind selects the network backend of a cluster run.
+type TransportKind string
+
+// Transport backends.
+const (
+	// TransportChan runs the cluster over an in-process channel mesh —
+	// no sockets, fastest, and the backend race-detector tests use.
+	TransportChan TransportKind = "chan"
+	// TransportTCP runs the cluster over real localhost TCP sockets with
+	// length-prefixed frames and reconnecting dialers.
+	TransportTCP TransportKind = "tcp"
+)
+
+// ClusterConfig describes an agreement run on the node runtime: one
+// node.Node per process, every message through the binary wire codec,
+// and transport-level fault injection (crashes, delays, drops).
+type ClusterConfig struct {
+	// N is the cluster size; T the resilience bound (defaults to
+	// floor((N-1)/3)).
+	N, T int
+	// Seed derives each node's local randomness and the fault-injection
+	// randomness. Cluster runs are concurrent, so unlike Run the seed
+	// does not make the run deterministic.
+	Seed int64
+	// Inputs are the binary proposals (defaults to alternating 0/1).
+	Inputs []int
+	// Transport selects the backend (default TransportChan).
+	Transport TransportKind
+	// BasePort, for TransportTCP, binds node i to 127.0.0.1:BasePort+i-1.
+	// Zero picks ephemeral ports.
+	BasePort int
+	// Crash lists node ids to fail-stop. With CrashAfter zero they never
+	// start; otherwise they start and crash after that duration.
+	Crash []int
+	// CrashAfter delays the Crash faults into the run.
+	CrashAfter time.Duration
+	// Delay, when positive, injects a uniform random per-frame delay in
+	// [0, Delay) on every node's outbound links (benign asynchrony).
+	Delay time.Duration
+	// Drop is the outbound frame drop probability applied to the nodes
+	// in Droppers. A dropping node behaves like a partially silent
+	// Byzantine process, so Crash and Droppers together must stay
+	// within T.
+	Drop     float64
+	Droppers []int
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+}
+
+// ClusterLayerStats aggregates one node's traffic for one protocol
+// layer (payload-kind prefix: "rb", "mw", "svss", "coin", "aba", ...).
+type ClusterLayerStats struct {
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+// ClusterNodeStats reports one node's run: lifecycle outcome plus
+// wire-level traffic totals and the per-layer breakdown. Byte counts
+// are encoded frame sizes — what actually crossed the transport.
+type ClusterNodeStats struct {
+	ID       int
+	Crashed  bool
+	Dropper  bool
+	Decided  bool
+	Decision int
+
+	Sent, SentBytes int64
+	Recv, RecvBytes int64
+	ByLayer         map[string]ClusterLayerStats
+}
+
+// ClusterResult reports a cluster run.
+type ClusterResult struct {
+	// Decisions maps node id to decision for every node that decided
+	// (fault-injected nodes included when they got that far).
+	Decisions map[int]int
+	// Honest lists the ids agreement is asserted over: everything not
+	// crashed and not dropping.
+	Honest []int
+	// Agreed reports whether all honest nodes decided the same value.
+	Agreed bool
+	// Value is the agreed value (meaningful when Agreed).
+	Value   int
+	Elapsed time.Duration
+	// Nodes holds per-node stats, ordered by id.
+	Nodes []ClusterNodeStats
+}
+
+func (c *ClusterConfig) normalize() error {
+	if c.N < 2 {
+		return fmt.Errorf("svssba: need at least 2 processes, have %d", c.N)
+	}
+	if c.T == 0 {
+		c.T = (c.N - 1) / 3
+	}
+	if c.Transport == "" {
+		c.Transport = TransportChan
+	}
+	if c.Transport != TransportChan && c.Transport != TransportTCP {
+		return fmt.Errorf("svssba: unknown transport %q", c.Transport)
+	}
+	if len(c.Inputs) == 0 {
+		c.Inputs = make([]int, c.N)
+		for i := range c.Inputs {
+			c.Inputs[i] = i % 2
+		}
+	}
+	if len(c.Inputs) != c.N {
+		return fmt.Errorf("svssba: %d inputs for %d processes", len(c.Inputs), c.N)
+	}
+	for _, in := range c.Inputs {
+		if in != 0 && in != 1 {
+			return fmt.Errorf("svssba: input %d is not binary", in)
+		}
+	}
+	if c.Drop < 0 || c.Drop >= 1 {
+		return fmt.Errorf("svssba: drop probability %v outside [0,1)", c.Drop)
+	}
+	if c.Drop > 0 && len(c.Droppers) == 0 {
+		return fmt.Errorf("svssba: Drop set without Droppers")
+	}
+	if c.Drop == 0 && len(c.Droppers) > 0 {
+		return fmt.Errorf("svssba: Droppers set without Drop")
+	}
+	seen := make(map[int]bool)
+	for _, p := range append(append([]int{}, c.Crash...), c.Droppers...) {
+		if p < 1 || p > c.N {
+			return fmt.Errorf("svssba: fault on unknown process %d", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("svssba: process %d assigned two faults", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) > c.T {
+		return fmt.Errorf("svssba: %d faulty nodes exceed t=%d", len(seen), c.T)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return nil
+}
+
+// nodeSeed derives node id's local seed from the cluster seed; shared
+// by RunCluster, RunSpecNode and RunLive so one spec means one
+// randomness assignment regardless of how the cluster is launched.
+func nodeSeed(seed int64, id int) int64 { return seed + int64(id)*1_000_003 }
+
+// RunCluster executes one agreement run on the node runtime. It builds
+// the transports, boots the nodes, injects the configured faults,
+// waits for every honest node to decide, and returns decisions plus
+// per-node, per-layer traffic stats.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+
+	crashed := make(map[int]bool, len(cfg.Crash))
+	for _, p := range cfg.Crash {
+		crashed[p] = true
+	}
+	dropper := make(map[int]bool, len(cfg.Droppers))
+	for _, p := range cfg.Droppers {
+		dropper[p] = true
+	}
+
+	// Bring up the transport fabric.
+	trs := make([]transport.Transport, cfg.N+1)
+	switch cfg.Transport {
+	case TransportTCP:
+		tcps := make([]*transport.TCP, cfg.N+1)
+		addrs := make(map[sim.ProcID]string, cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			listen := "127.0.0.1:0"
+			if cfg.BasePort != 0 {
+				listen = fmt.Sprintf("127.0.0.1:%d", cfg.BasePort+i-1)
+			}
+			tcps[i] = transport.NewTCP(sim.ProcID(i), listen, nil)
+			if err := tcps[i].Start(); err != nil {
+				for j := 1; j < i; j++ {
+					tcps[j].Close()
+				}
+				return nil, err
+			}
+			addrs[sim.ProcID(i)] = tcps[i].Addr()
+		}
+		for i := 1; i <= cfg.N; i++ {
+			tcps[i].SetPeers(addrs)
+			trs[i] = tcps[i]
+		}
+	default:
+		mesh := transport.NewMesh(cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			ep, err := mesh.Endpoint(sim.ProcID(i))
+			if err != nil {
+				return nil, err
+			}
+			// Start every live endpoint before any node boots, mirroring
+			// the TCP path (listeners up first): an unstarted mesh
+			// endpoint drops inbound frames, so a fast first node's
+			// Init-time traffic to a not-yet-booted peer would otherwise
+			// be lost with no retransmit. Crash-at-zero endpoints stay
+			// unstarted on purpose — their traffic is supposed to vanish.
+			if !crashed[i] || cfg.CrashAfter > 0 {
+				if err := ep.Start(); err != nil {
+					return nil, err
+				}
+			}
+			trs[i] = ep
+		}
+	}
+
+	// Wrap fault-injected links.
+	for i := 1; i <= cfg.N; i++ {
+		fc := transport.FaultConfig{Seed: nodeSeed(cfg.Seed, i) ^ 0x5eed}
+		if cfg.Delay > 0 {
+			fc.MaxDelay = cfg.Delay
+		}
+		if dropper[i] {
+			fc.DropProb = cfg.Drop
+		}
+		trs[i] = transport.WithFaults(trs[i], fc)
+	}
+
+	// Build and boot the nodes.
+	codec := core.NewCodec()
+	nodes := make([]*node.Node, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		nd, err := node.New(node.Config{
+			ID:    sim.ProcID(i),
+			N:     cfg.N,
+			T:     cfg.T,
+			Seed:  nodeSeed(cfg.Seed, i),
+			Input: cfg.Inputs[i-1],
+			Codec: codec,
+		}, trs[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	defer func() {
+		for i := 1; i <= cfg.N; i++ {
+			nodes[i].Stop()
+		}
+	}()
+
+	start := time.Now()
+	var crashTimers []*time.Timer
+	var crashWG sync.WaitGroup
+	for i := 1; i <= cfg.N; i++ {
+		if crashed[i] && cfg.CrashAfter <= 0 {
+			// Fail-stop at time zero: the node never runs; tearing it
+			// down closes its transport so peers see dead links.
+			nodes[i].Crash()
+			continue
+		}
+		if err := nodes[i].Start(); err != nil {
+			return nil, err
+		}
+		if crashed[i] {
+			nd := nodes[i]
+			crashWG.Add(1)
+			crashTimers = append(crashTimers, time.AfterFunc(cfg.CrashAfter, func() {
+				defer crashWG.Done()
+				nd.Crash()
+			}))
+		}
+	}
+	defer func() {
+		for _, t := range crashTimers {
+			if t.Stop() {
+				crashWG.Done()
+			}
+		}
+		crashWG.Wait()
+	}()
+
+	// Wait for every honest node to decide.
+	honest := make([]int, 0, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		if !crashed[i] && !dropper[i] {
+			honest = append(honest, i)
+		}
+	}
+	deadline := start.Add(cfg.Timeout)
+	for _, i := range honest {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		if _, err := nodes[i].WaitDecision(wait); err != nil {
+			return nil, fmt.Errorf("svssba: cluster run timed out after %v: %w", cfg.Timeout, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := &ClusterResult{
+		Decisions: make(map[int]int, cfg.N),
+		Honest:    honest,
+		Agreed:    true,
+		Elapsed:   elapsed,
+	}
+	for i := 1; i <= cfg.N; i++ {
+		if v, ok := nodes[i].Decision(); ok {
+			res.Decisions[i] = v
+		}
+		res.Nodes = append(res.Nodes, clusterNodeStats(i, nodes[i], crashed[i], dropper[i]))
+	}
+	res.Value = res.Decisions[honest[0]]
+	for _, i := range honest {
+		if res.Decisions[i] != res.Value {
+			res.Agreed = false
+		}
+	}
+	var errs []error
+	for _, i := range honest {
+		errs = append(errs, nodes[i].Errs()...)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("svssba: cluster runtime errors: %v", errs[0])
+	}
+	return res, nil
+}
+
+func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeStats {
+	st := nd.Stats()
+	out := ClusterNodeStats{
+		ID:        id,
+		Crashed:   crashed,
+		Dropper:   dropper,
+		Sent:      st.Sent,
+		SentBytes: st.SentBytes,
+		Recv:      st.Recv,
+		RecvBytes: st.RecvBytes,
+		ByLayer:   make(map[string]ClusterLayerStats),
+	}
+	if v, ok := nd.Decision(); ok {
+		out.Decided, out.Decision = true, v
+	}
+	for layer, l := range st.ByLayer() {
+		out.ByLayer[layer] = ClusterLayerStats{
+			SentMsgs: l.SentMsgs, SentBytes: l.SentBytes,
+			RecvMsgs: l.RecvMsgs, RecvBytes: l.RecvBytes,
+		}
+	}
+	return out
+}
+
+// ClusterSpec is the JSON description shared by the processes of a
+// real multi-process cluster: every cmd/node process loads the same
+// spec and picks its row by id.
+type ClusterSpec struct {
+	N      int               `json:"n"`
+	T      int               `json:"t,omitempty"`
+	Seed   int64             `json:"seed"`
+	Inputs []int             `json:"inputs,omitempty"`
+	Nodes  []ClusterNodeAddr `json:"nodes"`
+}
+
+// ClusterNodeAddr binds a node id to its listen address.
+type ClusterNodeAddr struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// NewLocalClusterSpec builds a localhost spec: node i listens on
+// 127.0.0.1:basePort+i-1.
+func NewLocalClusterSpec(n, t int, seed int64, basePort int) ClusterSpec {
+	spec := ClusterSpec{N: n, T: t, Seed: seed}
+	for i := 1; i <= n; i++ {
+		spec.Nodes = append(spec.Nodes, ClusterNodeAddr{
+			ID:   i,
+			Addr: fmt.Sprintf("127.0.0.1:%d", basePort+i-1),
+		})
+	}
+	return spec
+}
+
+// Validate checks spec consistency.
+func (s *ClusterSpec) Validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("svssba: spec needs at least 2 processes, have %d", s.N)
+	}
+	if len(s.Nodes) != s.N {
+		return fmt.Errorf("svssba: spec has %d node addresses for n=%d", len(s.Nodes), s.N)
+	}
+	if len(s.Inputs) != 0 && len(s.Inputs) != s.N {
+		return fmt.Errorf("svssba: spec has %d inputs for n=%d", len(s.Inputs), s.N)
+	}
+	seen := make(map[int]bool, s.N)
+	for _, nd := range s.Nodes {
+		if nd.ID < 1 || nd.ID > s.N {
+			return fmt.Errorf("svssba: spec node id %d out of range 1..%d", nd.ID, s.N)
+		}
+		if seen[nd.ID] {
+			return fmt.Errorf("svssba: spec node id %d listed twice", nd.ID)
+		}
+		if nd.Addr == "" {
+			return fmt.Errorf("svssba: spec node %d has no address", nd.ID)
+		}
+		seen[nd.ID] = true
+	}
+	return nil
+}
+
+// SpecNodeResult reports one cmd/node process's run.
+type SpecNodeResult struct {
+	Decision int
+	Elapsed  time.Duration
+	Stats    ClusterNodeStats
+}
+
+// RunSpecNode runs one node of a multi-process cluster described by
+// spec: it listens on its spec address, dials its peers over TCP, runs
+// the protocol to a decision, then keeps serving traffic for linger so
+// slower peers can finish (processes in a real deployment do not halt
+// the moment they decide).
+func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*SpecNodeResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	t := spec.T
+	if t == 0 {
+		t = (spec.N - 1) / 3
+	}
+	addrs := make(map[sim.ProcID]string, spec.N)
+	var self string
+	for _, nd := range spec.Nodes {
+		addrs[sim.ProcID(nd.ID)] = nd.Addr
+		if nd.ID == id {
+			self = nd.Addr
+		}
+	}
+	if self == "" {
+		return nil, fmt.Errorf("svssba: id %d not in spec", id)
+	}
+	input := (id - 1) % 2
+	if len(spec.Inputs) == spec.N {
+		input = spec.Inputs[id-1]
+	}
+
+	tr := transport.NewTCP(sim.ProcID(id), self, addrs)
+	nd, err := node.New(node.Config{
+		ID:    sim.ProcID(id),
+		N:     spec.N,
+		T:     t,
+		Seed:  nodeSeed(spec.Seed, id),
+		Input: input,
+	}, tr)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := nd.Start(); err != nil {
+		return nil, err
+	}
+	defer nd.Stop()
+	v, err := nd.WaitDecision(timeout)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if linger > 0 {
+		time.Sleep(linger)
+	}
+	if errs := nd.Errs(); len(errs) > 0 {
+		return nil, fmt.Errorf("svssba: node runtime errors: %v", errs[0])
+	}
+	return &SpecNodeResult{
+		Decision: v,
+		Elapsed:  elapsed,
+		Stats:    clusterNodeStats(id, nd, false, false),
+	}, nil
+}
+
+// ClusterLayerTable flattens aggregate per-layer stats over the given
+// nodes into sorted rows — the stats table cmd/cluster prints.
+func ClusterLayerTable(nodes []ClusterNodeStats) ([]string, map[string]ClusterLayerStats) {
+	agg := make(map[string]ClusterLayerStats)
+	for _, nd := range nodes {
+		for layer, l := range nd.ByLayer {
+			a := agg[layer]
+			a.SentMsgs += l.SentMsgs
+			a.SentBytes += l.SentBytes
+			a.RecvMsgs += l.RecvMsgs
+			a.RecvBytes += l.RecvBytes
+			agg[layer] = a
+		}
+	}
+	layers := make([]string, 0, len(agg))
+	for l := range agg {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	return layers, agg
+}

@@ -1,0 +1,196 @@
+package svssba_test
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"svssba"
+)
+
+func TestRunClusterChanAgreement(t *testing.T) {
+	res, err := svssba.RunCluster(svssba.ClusterConfig{
+		N:         4,
+		Seed:      1,
+		Transport: svssba.TransportChan,
+		Timeout:   2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if !res.Agreed || len(res.Decisions) != 4 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Errorf("non-binary value %d", res.Value)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("stats for %d nodes", len(res.Nodes))
+	}
+	for _, nd := range res.Nodes {
+		if nd.Sent == 0 || nd.SentBytes == 0 {
+			t.Errorf("node %d recorded no traffic", nd.ID)
+		}
+		if len(nd.ByLayer) == 0 {
+			t.Errorf("node %d has no per-layer stats", nd.ID)
+		}
+	}
+}
+
+// TestRunClusterTCPCrash is the acceptance scenario: agreement over
+// real localhost TCP sockets with one node crashed.
+func TestRunClusterTCPCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket cluster in -short mode")
+	}
+	res, err := svssba.RunCluster(svssba.ClusterConfig{
+		N:         4,
+		Seed:      2,
+		Transport: svssba.TransportTCP,
+		Crash:     []int{4},
+		Timeout:   2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if !res.Agreed {
+		t.Fatalf("no agreement: %+v", res.Decisions)
+	}
+	if len(res.Honest) != 3 {
+		t.Errorf("honest = %v", res.Honest)
+	}
+	for _, nd := range res.Nodes {
+		if nd.ID == 4 {
+			if !nd.Crashed || nd.Decided {
+				t.Errorf("crashed node state: %+v", nd)
+			}
+		}
+	}
+}
+
+func TestRunClusterMidRunCrash(t *testing.T) {
+	res, err := svssba.RunCluster(svssba.ClusterConfig{
+		N:          4,
+		Seed:       3,
+		Transport:  svssba.TransportChan,
+		Crash:      []int{2},
+		CrashAfter: 5 * time.Millisecond,
+		Timeout:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if !res.Agreed {
+		t.Fatalf("no agreement: %+v", res.Decisions)
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	cases := []svssba.ClusterConfig{
+		{N: 1},
+		{N: 4, Inputs: []int{1}},
+		{N: 4, Inputs: []int{0, 1, 2, 1}},
+		{N: 4, Transport: "carrier-pigeon"},
+		{N: 4, Crash: []int{9}},
+		{N: 4, Crash: []int{1, 2}},                  // two faults at t=1
+		{N: 4, Crash: []int{1}, Droppers: []int{1}}, // double assignment (also no Drop)
+		{N: 4, Drop: 0.5},                           // drop without droppers
+		{N: 4, Droppers: []int{1}},                  // droppers without drop
+		{N: 4, Drop: 1.5, Droppers: []int{1}},
+	}
+	for i, cfg := range cases {
+		if _, err := svssba.RunCluster(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	good := svssba.NewLocalClusterSpec(4, 0, 7, 7100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	// JSON round trip is what cmd/node relies on.
+	raw, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back svssba.ClusterSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 4 || len(back.Nodes) != 4 || back.Nodes[3].Addr != "127.0.0.1:7103" {
+		t.Errorf("spec round trip: %+v", back)
+	}
+
+	bad := []svssba.ClusterSpec{
+		{N: 1},
+		{N: 4, Nodes: []svssba.ClusterNodeAddr{{ID: 1, Addr: "x"}}},
+		{N: 2, Nodes: []svssba.ClusterNodeAddr{{ID: 1, Addr: "x"}, {ID: 1, Addr: "y"}}},
+		{N: 2, Nodes: []svssba.ClusterNodeAddr{{ID: 1, Addr: "x"}, {ID: 5, Addr: "y"}}},
+		{N: 2, Nodes: []svssba.ClusterNodeAddr{{ID: 1, Addr: "x"}, {ID: 2}}},
+		{N: 2, Inputs: []int{1}, Nodes: []svssba.ClusterNodeAddr{{ID: 1, Addr: "x"}, {ID: 2, Addr: "y"}}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if _, err := svssba.RunSpecNode(good, 9, time.Second, 0); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestRunSpecNodeCluster drives the cmd/node code path: four
+// RunSpecNode "processes" sharing one spec, each with its own TCP
+// listener, reaching agreement.
+func TestRunSpecNodeCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket cluster in -short mode")
+	}
+	spec := svssba.ClusterSpec{N: 4, Seed: 11}
+	for i := 1; i <= 4; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		spec.Nodes = append(spec.Nodes, svssba.ClusterNodeAddr{ID: i, Addr: addr})
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		decisions = make(map[int]int)
+		errs      []error
+	)
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res, err := svssba.RunSpecNode(spec, id, 2*time.Minute, 100*time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			decisions[id] = res.Decision
+		}(i)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("spec node errors: %v", errs)
+	}
+	if len(decisions) != 4 {
+		t.Fatalf("decisions: %v", decisions)
+	}
+	for id, v := range decisions {
+		if v != decisions[1] {
+			t.Fatalf("disagreement at node %d: %v", id, decisions)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command cluster spawns an n-node agreement cluster on the node
+// runtime — over real localhost TCP sockets by default — injects
+// transport-level faults (crashes, random delays, frame drops), asserts
+// agreement among the honest nodes, and prints a per-layer
+// message/byte stats table. It exits nonzero if agreement fails.
+//
+// Examples:
+//
+//	cluster -n 4 -crash 1
+//	cluster -n 7 -crash 1 -droppers 1 -drop 0.3 -delay 2ms
+//	cluster -n 4 -transport chan -seed 7 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"svssba"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 4, "number of nodes")
+		t          = flag.Int("t", 0, "resilience bound (default (n-1)/3)")
+		seed       = flag.Int64("seed", 1, "seed for node randomness and fault injection")
+		transportK = flag.String("transport", "tcp", "tcp | chan")
+		basePort   = flag.Int("baseport", 0, "first TCP port (0 = ephemeral)")
+		crash      = flag.Int("crash", 0, "fail-stop this many nodes (taken from the top ids)")
+		crashAfter = flag.Duration("crashafter", 0, "crash the nodes this long into the run (0 = never started)")
+		delay      = flag.Duration("delay", 0, "max random extra delay injected per frame on every link")
+		drop       = flag.Float64("drop", 0, "outbound frame drop probability for dropper nodes")
+		droppers   = flag.Int("droppers", 0, "number of dropper nodes (taken below the crashed ids)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "run deadline")
+		inputsArg  = flag.String("inputs", "", "comma-separated binary inputs (default alternating)")
+		verbose    = flag.Bool("v", false, "print per-node stats lines")
+	)
+	flag.Parse()
+
+	cfg := svssba.ClusterConfig{
+		N:          *n,
+		T:          *t,
+		Seed:       *seed,
+		Transport:  svssba.TransportKind(*transportK),
+		BasePort:   *basePort,
+		CrashAfter: *crashAfter,
+		Delay:      *delay,
+		Drop:       *drop,
+		Timeout:    *timeout,
+	}
+	// Fault ids are carved off the top of the id range: crashes take the
+	// last -crash ids, droppers the ids just below them.
+	for i := *n - *crash + 1; i <= *n; i++ {
+		cfg.Crash = append(cfg.Crash, i)
+	}
+	for i := *n - *crash - *droppers + 1; i <= *n-*crash; i++ {
+		cfg.Droppers = append(cfg.Droppers, i)
+	}
+	if *inputsArg != "" {
+		for _, part := range strings.Split(*inputsArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad input %q: %v", part, err)
+			}
+			cfg.Inputs = append(cfg.Inputs, v)
+		}
+	}
+
+	effT := cfg.T
+	if effT == 0 {
+		effT = (cfg.N - 1) / 3
+	}
+	fmt.Printf("cluster       n=%d t=%d seed=%d transport=%s timeout=%v\n",
+		cfg.N, effT, cfg.Seed, cfg.Transport, cfg.Timeout)
+	if len(cfg.Crash) > 0 {
+		fmt.Printf("crash         %v (after %v)\n", cfg.Crash, cfg.CrashAfter)
+	}
+	if len(cfg.Droppers) > 0 {
+		fmt.Printf("droppers      %v (drop %.2f)\n", cfg.Droppers, cfg.Drop)
+	}
+	if cfg.Delay > 0 {
+		fmt.Printf("link delay    up to %v per frame\n", cfg.Delay)
+	}
+
+	res, err := svssba.RunCluster(cfg)
+	if err != nil {
+		return err
+	}
+
+	ids := make([]int, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d:%d", id, res.Decisions[id]))
+	}
+	fmt.Printf("decisions     %s\n", strings.Join(parts, " "))
+	fmt.Printf("honest        %v\n", res.Honest)
+	fmt.Printf("agreed        %v\n", res.Agreed)
+	if res.Agreed {
+		fmt.Printf("value         %d\n", res.Value)
+	}
+	fmt.Printf("elapsed       %v\n", res.Elapsed.Round(time.Millisecond))
+
+	// Per-layer stats aggregated over honest nodes.
+	honest := make(map[int]bool, len(res.Honest))
+	for _, id := range res.Honest {
+		honest[id] = true
+	}
+	var honestStats []svssba.ClusterNodeStats
+	for _, nd := range res.Nodes {
+		if honest[nd.ID] {
+			honestStats = append(honestStats, nd)
+		}
+	}
+	layers, agg := svssba.ClusterLayerTable(honestStats)
+	fmt.Printf("\n%-8s %12s %14s %12s %14s\n", "layer", "sent msgs", "sent bytes", "recv msgs", "recv bytes")
+	var tot svssba.ClusterLayerStats
+	for _, l := range layers {
+		a := agg[l]
+		fmt.Printf("%-8s %12d %14d %12d %14d\n", l, a.SentMsgs, a.SentBytes, a.RecvMsgs, a.RecvBytes)
+		tot.SentMsgs += a.SentMsgs
+		tot.SentBytes += a.SentBytes
+		tot.RecvMsgs += a.RecvMsgs
+		tot.RecvBytes += a.RecvBytes
+	}
+	fmt.Printf("%-8s %12d %14d %12d %14d\n", "total", tot.SentMsgs, tot.SentBytes, tot.RecvMsgs, tot.RecvBytes)
+
+	if *verbose {
+		fmt.Println()
+		for _, nd := range res.Nodes {
+			status := "honest"
+			switch {
+			case nd.Crashed:
+				status = "crashed"
+			case nd.Dropper:
+				status = "dropper"
+			}
+			decision := "-"
+			if nd.Decided {
+				decision = strconv.Itoa(nd.Decision)
+			}
+			fmt.Printf("node %-3d %-8s decision=%-2s sent=%d (%d B) recv=%d (%d B)\n",
+				nd.ID, status, decision, nd.Sent, nd.SentBytes, nd.Recv, nd.RecvBytes)
+		}
+	}
+
+	if !res.Agreed {
+		return fmt.Errorf("agreement violated: decisions %v", res.Decisions)
+	}
+	return nil
+}

@@ -1,0 +1,499 @@
+// Package node is the deployable runtime for the paper's protocol
+// stack: one Node hosts the event-driven engines of internal/core
+// behind a transport.Transport, encoding every message through the
+// internal/proto wire codec. The same Node runs unchanged over the
+// in-process channel mesh (RunLive, -race tests) and over real TCP
+// sockets (cmd/node, cmd/cluster) — the protocol cores never learn
+// which network they are on.
+//
+// Lifecycle: New → Start → (Stop | Crash) → Restart. Crash models a
+// fail-stop: the transport is torn down and in-flight traffic is lost.
+// Restart boots a fresh protocol stack (state machines restart from
+// their initial state and re-propose the configured input) on a fresh
+// transport; traffic counters accumulate across incarnations.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"svssba/internal/core"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/transport"
+)
+
+// Config describes one node of a cluster.
+type Config struct {
+	// ID is this node's process id (1..N).
+	ID sim.ProcID
+	// N is the cluster size; T the resilience bound (defaults to
+	// floor((N-1)/3)).
+	N, T int
+	// Seed drives this node's local randomness (coin polynomial
+	// coefficients etc.). Give every node a distinct seed.
+	Seed int64
+	// Input is the node's binary proposal.
+	Input int
+	// Codec encodes payloads for the wire; nil installs the full
+	// protocol codec (core.NewCodec). Codecs are read-only after
+	// registration and may be shared across nodes.
+	Codec sim.Codec
+	// OnDecide observes the local decision (called once per incarnation,
+	// on the node's delivery goroutine).
+	OnDecide func(value int)
+	// OnShun observes DMM shun events (same goroutine rules).
+	OnShun func(detected sim.ProcID)
+}
+
+// LayerStats aggregates traffic for one protocol layer (the prefix of
+// the payload kind, e.g. "rb", "mw", "svss", "aba").
+type LayerStats struct {
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+// Stats is a snapshot of a node's wire-level traffic counters. Byte
+// counts are encoded frame sizes (kind header included), the bytes that
+// actually cross the transport.
+type Stats struct {
+	Sent, SentBytes int64
+	Recv, RecvBytes int64
+	DecodeErrs      int64
+
+	SentByKind, SentBytesByKind map[string]int64
+	RecvByKind, RecvBytesByKind map[string]int64
+}
+
+// LayerOf maps a payload kind to its protocol layer: the segment before
+// the first '/' ("aba/bval" → "aba").
+func LayerOf(kind string) string {
+	if i := strings.IndexByte(kind, '/'); i >= 0 {
+		return kind[:i]
+	}
+	return kind
+}
+
+// ByLayer folds the per-kind counters into per-layer totals.
+func (s *Stats) ByLayer() map[string]LayerStats {
+	out := make(map[string]LayerStats)
+	for kind, n := range s.SentByKind {
+		l := out[LayerOf(kind)]
+		l.SentMsgs += n
+		l.SentBytes += s.SentBytesByKind[kind]
+		out[LayerOf(kind)] = l
+	}
+	for kind, n := range s.RecvByKind {
+		l := out[LayerOf(kind)]
+		l.RecvMsgs += n
+		l.RecvBytes += s.RecvBytesByKind[kind]
+		out[LayerOf(kind)] = l
+	}
+	return out
+}
+
+// Layers returns the layer names of s in sorted order.
+func (s *Stats) Layers() []string {
+	seen := make(map[string]bool)
+	for kind := range s.SentByKind {
+		seen[LayerOf(kind)] = true
+	}
+	for kind := range s.RecvByKind {
+		seen[LayerOf(kind)] = true
+	}
+	names := make([]string, 0, len(seen))
+	for l := range seen {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Node lifecycle states.
+const (
+	stateNew = iota
+	stateRunning
+	stateStopped
+)
+
+// Node hosts one process's protocol stack on a transport.
+type Node struct {
+	cfg   Config
+	codec sim.Codec
+
+	mu      sync.Mutex
+	state   int
+	crashed bool
+	tr      transport.Transport
+	decided bool
+	value   int
+	errs    []error
+	stop    chan struct{}
+	done    chan struct{}
+	decideC chan struct{}
+
+	// Traffic counters, interned by kind like sim.Network (smu keeps
+	// Stats() safe while the delivery goroutine counts).
+	smu                     sync.Mutex
+	sent, sentB             int64
+	recv, recvB             int64
+	decodeErrs              int64
+	kindIDs                 map[string]int
+	kindNames               []string
+	sentByKind, sentBByKind []int64
+	recvByKind, recvBByKind []int64
+	lastKind                string
+	lastKindID              int
+
+	start time.Time
+}
+
+// New validates cfg and creates a node bound to tr (not yet started).
+func New(cfg Config, tr transport.Transport) (*Node, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("node: need at least 2 processes, have %d", cfg.N)
+	}
+	if cfg.ID < 1 || int(cfg.ID) > cfg.N {
+		return nil, fmt.Errorf("node: id %d out of range 1..%d", cfg.ID, cfg.N)
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 3
+	}
+	if cfg.Input != 0 && cfg.Input != 1 {
+		return nil, fmt.Errorf("node: input %d is not binary", cfg.Input)
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = core.NewCodec()
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("node: nil transport")
+	}
+	if tr.Self() != cfg.ID {
+		return nil, fmt.Errorf("node: transport is endpoint %d, node is %d", tr.Self(), cfg.ID)
+	}
+	return &Node{
+		cfg:        cfg,
+		codec:      cfg.Codec,
+		tr:         tr,
+		kindIDs:    make(map[string]int, 16),
+		lastKindID: -1,
+		decideC:    make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's process id.
+func (n *Node) ID() sim.ProcID { return n.cfg.ID }
+
+// Start boots the protocol stack: starts the transport, runs the
+// stack's Init (which proposes the input), and begins delivering.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == stateRunning {
+		return fmt.Errorf("node %d: already running", n.cfg.ID)
+	}
+	if n.state == stateStopped {
+		return fmt.Errorf("node %d: stopped (use Restart)", n.cfg.ID)
+	}
+	return n.startLocked()
+}
+
+func (n *Node) startLocked() error {
+	if err := n.tr.Start(); err != nil {
+		return fmt.Errorf("node %d: %w", n.cfg.ID, err)
+	}
+	st := core.NewStack(n.cfg.ID, func(detected sim.ProcID, _ proto.MWID) {
+		if n.cfg.OnShun != nil {
+			n.cfg.OnShun(detected)
+		}
+	})
+	st.OnDecide(func(_ sim.Context, v int) { n.recordDecision(v) })
+	input := n.cfg.Input
+	st.Node.AddInit(func(ctx sim.Context) {
+		_ = st.ABA.Propose(ctx, input)
+	})
+
+	n.state = stateRunning
+	n.start = time.Now()
+	n.stop = make(chan struct{})
+	n.done = make(chan struct{})
+	ctx := &runCtx{
+		n:   n,
+		tr:  n.tr,
+		rnd: rand.New(rand.NewSource(n.cfg.Seed)),
+	}
+	go n.run(st, ctx, n.tr, n.stop, n.done)
+	return nil
+}
+
+// run is the node's single delivery goroutine: the protocol stack is
+// only ever touched from here, which is what makes the engines safe
+// under real concurrency without any locking of their own.
+func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, done chan struct{}) {
+	defer close(done)
+	st.Node.Init(ctx)
+	for {
+		select {
+		case <-stop:
+			return
+		case f, ok := <-tr.Recv():
+			if !ok {
+				return
+			}
+			if f.From < 1 || int(f.From) > n.cfg.N {
+				// A sender outside 1..N would count as a phantom voter
+				// in the protocol quorums; reject the frame outright.
+				n.noteDecodeErr(fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
+				continue
+			}
+			p, err := n.codec.Decode(f.Data)
+			if err != nil {
+				n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+				continue
+			}
+			n.countRecv(p.Kind(), len(f.Data))
+			st.Node.Deliver(ctx, sim.Message{
+				From:    f.From,
+				To:      n.cfg.ID,
+				Payload: p,
+				SentAt:  ctx.Now(),
+			})
+		}
+	}
+}
+
+// Stop shuts the node down gracefully: delivery stops, the transport
+// closes, queued inbound traffic is discarded.
+func (n *Node) Stop() { n.halt(false) }
+
+// Crash fail-stops the node: identical teardown to Stop, but the node
+// records that it went down by fault. The rest of the cluster just sees
+// its links die.
+func (n *Node) Crash() { n.halt(true) }
+
+func (n *Node) halt(crash bool) {
+	n.mu.Lock()
+	if n.state != stateRunning {
+		if crash {
+			n.crashed = true
+		}
+		if n.state == stateNew {
+			// Fail-stop before Start: tear the transport down anyway so
+			// peers see the links die.
+			n.state = stateStopped
+			tr := n.tr
+			n.mu.Unlock()
+			tr.Close()
+			return
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.state = stateStopped
+	n.crashed = crash
+	stop, done, tr := n.stop, n.done, n.tr
+	n.mu.Unlock()
+	close(stop)
+	tr.Close()
+	<-done
+}
+
+// Restart boots a fresh protocol stack on a fresh transport. The old
+// incarnation must be stopped or crashed. Decision state resets; the
+// node re-proposes its configured input.
+func (n *Node) Restart(tr transport.Transport) error {
+	if tr == nil {
+		return fmt.Errorf("node %d: nil transport", n.cfg.ID)
+	}
+	if tr.Self() != n.cfg.ID {
+		return fmt.Errorf("node %d: transport is endpoint %d", n.cfg.ID, tr.Self())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == stateRunning {
+		return fmt.Errorf("node %d: still running", n.cfg.ID)
+	}
+	n.tr = tr
+	n.crashed = false
+	n.decided = false
+	n.decideC = make(chan struct{})
+	return n.startLocked()
+}
+
+// Crashed reports whether the node went down via Crash.
+func (n *Node) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Decision returns the local decision of the current incarnation.
+func (n *Node) Decision() (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.value, n.decided
+}
+
+// WaitDecision blocks until the node decides or the timeout elapses.
+func (n *Node) WaitDecision(timeout time.Duration) (int, error) {
+	n.mu.Lock()
+	c := n.decideC
+	n.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c:
+		v, _ := n.Decision()
+		return v, nil
+	case <-timer.C:
+		return 0, fmt.Errorf("node %d: no decision after %v", n.cfg.ID, timeout)
+	}
+}
+
+func (n *Node) recordDecision(v int) {
+	n.mu.Lock()
+	if n.decided {
+		n.mu.Unlock()
+		return
+	}
+	n.decided = true
+	n.value = v
+	close(n.decideC)
+	n.mu.Unlock()
+	if n.cfg.OnDecide != nil {
+		n.cfg.OnDecide(v)
+	}
+}
+
+// Errs returns decode and transport errors observed so far.
+func (n *Node) Errs() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]error, len(n.errs))
+	copy(out, n.errs)
+	return out
+}
+
+func (n *Node) noteDecodeErr(err error) {
+	n.mu.Lock()
+	n.errs = append(n.errs, err)
+	n.mu.Unlock()
+	n.smu.Lock()
+	n.decodeErrs++
+	n.smu.Unlock()
+}
+
+// kindIDLocked interns a payload kind; the caller must hold smu.
+func (n *Node) kindIDLocked(kind string) int {
+	if kind == n.lastKind && n.lastKindID >= 0 {
+		return n.lastKindID
+	}
+	id, ok := n.kindIDs[kind]
+	if !ok {
+		id = len(n.kindNames)
+		n.kindIDs[kind] = id
+		n.kindNames = append(n.kindNames, kind)
+		n.sentByKind = append(n.sentByKind, 0)
+		n.sentBByKind = append(n.sentBByKind, 0)
+		n.recvByKind = append(n.recvByKind, 0)
+		n.recvBByKind = append(n.recvBByKind, 0)
+	}
+	n.lastKind, n.lastKindID = kind, id
+	return id
+}
+
+func (n *Node) countSent(kind string, bytes int) {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	n.sent++
+	n.sentB += int64(bytes)
+	id := n.kindIDLocked(kind)
+	n.sentByKind[id]++
+	n.sentBByKind[id] += int64(bytes)
+}
+
+func (n *Node) countRecv(kind string, bytes int) {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	n.recv++
+	n.recvB += int64(bytes)
+	id := n.kindIDLocked(kind)
+	n.recvByKind[id]++
+	n.recvBByKind[id] += int64(bytes)
+}
+
+// Stats returns a snapshot of the traffic counters, materializing the
+// per-kind maps from the interned slices (the same layout trick as
+// sim.Network).
+func (n *Node) Stats() Stats {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	s := Stats{
+		Sent: n.sent, SentBytes: n.sentB,
+		Recv: n.recv, RecvBytes: n.recvB,
+		DecodeErrs:      n.decodeErrs,
+		SentByKind:      make(map[string]int64, len(n.kindNames)),
+		SentBytesByKind: make(map[string]int64, len(n.kindNames)),
+		RecvByKind:      make(map[string]int64, len(n.kindNames)),
+		RecvBytesByKind: make(map[string]int64, len(n.kindNames)),
+	}
+	for id, name := range n.kindNames {
+		if n.sentByKind[id] > 0 {
+			s.SentByKind[name] = n.sentByKind[id]
+			s.SentBytesByKind[name] = n.sentBByKind[id]
+		}
+		if n.recvByKind[id] > 0 {
+			s.RecvByKind[name] = n.recvByKind[id]
+			s.RecvBytesByKind[name] = n.recvBByKind[id]
+		}
+	}
+	return s
+}
+
+// runCtx is the sim.Context one incarnation's stack sees. It is only
+// used from the node's delivery goroutine (Init and Deliver), matching
+// the Context contract.
+type runCtx struct {
+	n   *Node
+	tr  transport.Transport
+	rnd *rand.Rand
+}
+
+var _ sim.Context = (*runCtx)(nil)
+
+func (c *runCtx) N() int           { return c.n.cfg.N }
+func (c *runCtx) T() int           { return c.n.cfg.T }
+func (c *runCtx) Rand() *rand.Rand { return c.rnd }
+
+func (c *runCtx) Now() int64 {
+	return time.Since(c.n.start).Microseconds()
+}
+
+// Send encodes p and hands the frame to the transport. Each frame
+// needs its own buffer — the transport takes ownership — and
+// proto.Codec.Encode already makes exactly one pre-sized allocation.
+func (c *runCtx) Send(to sim.ProcID, p sim.Payload) {
+	n := c.n
+	if to < 1 || int(to) > n.cfg.N {
+		return
+	}
+	enc, err := n.codec.Encode(p)
+	if err != nil {
+		n.noteErr(fmt.Errorf("node %d: encode %q: %w", n.cfg.ID, p.Kind(), err))
+		return
+	}
+	n.countSent(p.Kind(), len(enc))
+	if err := c.tr.Send(to, enc); err != nil {
+		n.noteErr(fmt.Errorf("node %d: send to %d: %w", n.cfg.ID, to, err))
+	}
+}
+
+func (n *Node) noteErr(err error) {
+	n.mu.Lock()
+	n.errs = append(n.errs, err)
+	n.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+package proto_test
+
+import (
+	"testing"
+
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// benchTag is a representative fully-populated tag.
+var benchTag = proto.Tag{
+	Proto:   proto.ProtoMW,
+	Session: proto.SessionID{Dealer: 2, Kind: proto.KindCoin, Round: 7, Index: 3},
+	MW:      proto.MWKey{Dealer: 2, Moderator: 1, Slot: 1},
+	Step:    mwsvss.StepRVal,
+	A:       9,
+}
+
+// BenchmarkTagRoundTrip tracks the session/tag identifier layer's
+// marshal+read cost — the fixed overhead on every reliable-broadcast
+// message the transport carries.
+func BenchmarkTagRoundTrip(b *testing.B) {
+	var w proto.Writer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		benchTag.MarshalTo(&w)
+		r := proto.NewReader(w.Bytes())
+		tag := proto.ReadTag(r)
+		if tag.Proto != benchTag.Proto {
+			b.Fatal("corrupt round trip")
+		}
+	}
+}
+
+// benchMsg is a representative wire message: an RB broadcast carrying a
+// small value, the dominant traffic shape of a live run. It is held as
+// a sim.Payload so the benchmarks measure the codec, not per-iteration
+// interface boxing (protocol code hands the codec interface values
+// already).
+var benchMsg sim.Payload = rb.Msg{
+	Origin: 2,
+	Tag:    benchTag,
+	Value:  []byte("0123456789abcdef"),
+}
+
+// BenchmarkEncodeMessage tracks Codec.Encode (one exact-size allocation
+// per message).
+func BenchmarkEncodeMessage(b *testing.B) {
+	c := core.NewCodec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := c.Encode(benchMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(enc) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkAppendEncodeMessage tracks the buffer-reusing fast path the
+// node runtime and LiveNet use; steady-state it must not allocate.
+func BenchmarkAppendEncodeMessage(b *testing.B) {
+	c := core.NewCodec()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := c.AppendEncode(buf[:0], benchMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = enc
+	}
+}
+
+// BenchmarkEncodeDecodeMessage tracks the full wire round trip — what
+// every delivered message costs the live runtime on top of protocol
+// logic.
+func BenchmarkEncodeDecodeMessage(b *testing.B) {
+	c := core.NewCodec()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := c.AppendEncode(buf[:0], benchMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = enc
+		p, err := c.Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Kind() != benchMsg.Kind() {
+			b.Fatal("kind mismatch")
+		}
+	}
+}
+
+// BenchmarkEncodeLargeMessage exercises the size-proportional path with
+// a deal carrying 2(t+1) polynomial points at n=16.
+func BenchmarkEncodeLargeMessage(b *testing.B) {
+	pts := make([]field.Element, 12)
+	for i := range pts {
+		pts[i] = field.New(uint64(i + 1))
+	}
+	var deal sim.Payload = svss.Deal{Session: benchTag.Session, RowPts: pts, ColPts: pts}
+	c := core.NewCodec()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := c.AppendEncode(buf[:0], deal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = enc
+	}
+}

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"sync"
 
 	"svssba/internal/sim"
 )
@@ -39,18 +40,35 @@ func (c *Codec) Register(kind string, dec DecodeFunc) {
 	c.decoders[kind] = dec
 }
 
-// Encode implements sim.Codec.
+// Encode implements sim.Codec. The returned buffer is sized exactly
+// (2 + len(kind) + Size()), so encoding costs one allocation.
 func (c *Codec) Encode(p sim.Payload) ([]byte, error) {
+	return c.AppendEncode(make([]byte, 0, 2+len(p.Kind())+p.Size()), p)
+}
+
+// writerPool recycles Writer headers: MarshalTo is an interface call,
+// so a stack Writer would escape and cost an allocation per message.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// AppendEncode appends the encoding of p to dst and returns the
+// extended buffer — the allocation-free variant of Encode for callers
+// that own a reusable buffer (the transport send path, the live
+// runtime's round-trip). dst may be nil.
+func (c *Codec) AppendEncode(dst []byte, p sim.Payload) ([]byte, error) {
 	m, ok := p.(Marshaler)
 	if !ok {
 		return nil, fmt.Errorf("proto: payload %q does not implement Marshaler", p.Kind())
 	}
-	var w Writer
+	w := writerPool.Get().(*Writer)
+	w.buf = dst
 	kind := p.Kind()
 	w.U16(uint16(len(kind)))
 	w.buf = append(w.buf, kind...)
-	m.MarshalTo(&w)
-	return w.Bytes(), nil
+	m.MarshalTo(w)
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out, nil
 }
 
 // Decode implements sim.Codec.

@@ -24,6 +24,11 @@ type Writer struct {
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer, keeping the allocated buffer so one
+// Writer can encode a stream of messages with no per-message
+// allocation (the encode hot path of the node runtime).
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Len returns the current encoded length.
 func (w *Writer) Len() int { return len(w.buf) }
 

@@ -15,6 +15,13 @@ type Codec interface {
 	Decode(b []byte) (Payload, error)
 }
 
+// appendEncoder is the allocation-free encode fast path a Codec may
+// optionally provide (proto.Codec does); LiveNet then reuses one
+// buffer per sender instead of allocating per message.
+type appendEncoder interface {
+	AppendEncode(dst []byte, p Payload) ([]byte, error)
+}
+
 // LiveNet runs the same Handlers as Network but with one goroutine per
 // process, real (randomized) delivery delays, and optional wire encoding.
 // It demonstrates that the protocol state machines are runtime-agnostic;
@@ -30,10 +37,16 @@ type LiveNet struct {
 	maxDelay time.Duration
 	codec    Codec
 
-	procs []Handler
-	boxes []*mailbox
-	rands []*rand.Rand
-	nRegs int
+	procs   []Handler
+	boxes   []*mailbox
+	rands   []*rand.Rand
+	crashed []bool
+	// scratch holds one reusable encode buffer per sender; like rands
+	// it is only touched from that sender's goroutine. Decoded payloads
+	// never alias the input bytes, so the buffer is free again as soon
+	// as Decode returns.
+	scratch [][]byte
+	nRegs   int
 
 	mu      sync.Mutex
 	seq     uint64
@@ -81,6 +94,8 @@ func NewLiveNet(n, t int, seed int64, opts ...LiveOption) *LiveNet {
 		procs:      make([]Handler, n+1),
 		boxes:      make([]*mailbox, n+1),
 		rands:      make([]*rand.Rand, n+1),
+		crashed:    make([]bool, n+1),
+		scratch:    make([][]byte, n+1),
 		kindIDs:    make(map[string]int, 16),
 		lastKindID: -1,
 		stop:       make(chan struct{}),
@@ -148,6 +163,17 @@ func (l *LiveNet) Start() error {
 					if !ok {
 						return
 					}
+					if l.isCrashed(m.From, id, true) {
+						// A message already queued when the crash landed:
+						// dropped, like Network.Step drops pending traffic
+						// of crashed processes.
+						continue
+					}
+					// Delivered is counted at the moment of handling, so a
+					// message is either delivered or dropped, never both.
+					l.mu.Lock()
+					l.delivered++
+					l.mu.Unlock()
 					l.procs[id].Deliver(ctx, m)
 				}
 			}
@@ -201,6 +227,33 @@ func (l *LiveNet) kindIDLocked(kind string) int {
 	return id
 }
 
+// Crash fail-stops a process, mirroring Network.Crash on the live
+// runtime: all of its pending and future traffic (in either direction)
+// is dropped and its goroutine receives no more deliveries. Safe to
+// call while the net is running.
+func (l *LiveNet) Crash(p ProcID) {
+	if p < 1 || int(p) > l.n {
+		return
+	}
+	l.mu.Lock()
+	l.crashed[p] = true
+	l.mu.Unlock()
+}
+
+// isCrashed reports whether either end of a link is crashed, counting a
+// drop when dropped is true.
+func (l *LiveNet) isCrashed(from, to ProcID, dropped bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.crashed[from] && !l.crashed[to] {
+		return false
+	}
+	if dropped {
+		l.dropped++
+	}
+	return true
+}
+
 // Errs returns codec or routing errors observed so far.
 func (l *LiveNet) Errs() []error {
 	l.mu.Lock()
@@ -238,6 +291,12 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 	l.sentByKind[kid]++
 	l.bytesByKind[kid] += int64(p.Size())
 	stopped := l.stopped
+	if !stopped && (l.crashed[c.id] || l.crashed[to]) {
+		// Crashed endpoints drop traffic at send time, like Network.
+		l.dropped++
+		l.mu.Unlock()
+		return
+	}
 	l.mu.Unlock()
 	if stopped {
 		return
@@ -245,7 +304,18 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 
 	payload := p
 	if l.codec != nil {
-		b, err := l.codec.Encode(p)
+		var b []byte
+		var err error
+		if ae, ok := l.codec.(appendEncoder); ok {
+			// Encode into the sender's scratch buffer: zero allocations
+			// per message once the buffer has grown to the working set.
+			b, err = ae.AppendEncode(l.scratch[c.id][:0], p)
+			if err == nil {
+				l.scratch[c.id] = b
+			}
+		} else {
+			b, err = l.codec.Encode(p)
+		}
 		if err == nil {
 			payload, err = l.codec.Decode(b)
 		}
@@ -276,11 +346,12 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 				return
 			}
 		}
+		if l.isCrashed(m.From, m.To, true) {
+			// Either endpoint crashed while the message was in flight.
+			return
+		}
 		select {
 		case box.in <- m:
-			l.mu.Lock()
-			l.delivered++
-			l.mu.Unlock()
 		case <-l.stop:
 		}
 	}()

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// pongProc bounces tokens forever: Init launches one token to every
+// peer, Deliver returns each token to its sender. Traffic volume stays
+// constant (one message in flight per directed pair) but never stops,
+// so a crash always lands mid-traffic and the tokens confined to the
+// surviving processes keep circulating afterwards.
+type pongProc struct {
+	id ProcID
+	n  int
+}
+
+func (p *pongProc) ID() ProcID { return p.id }
+
+func (p *pongProc) Init(ctx Context) {
+	for q := 1; q <= p.n; q++ {
+		if ProcID(q) != p.id {
+			ctx.Send(ProcID(q), parityPayload{kind: "pong/token", size: 8, hops: 1})
+		}
+	}
+}
+
+func (p *pongProc) Deliver(ctx Context, m Message) {
+	ctx.Send(m.From, parityPayload{kind: "pong/token", size: 8, hops: 1})
+}
+
+// TestLiveNetCrashFault fail-stops one process mid-run and asserts the
+// Network crash semantics hold on the live runtime: traffic to and from
+// the crashed process is dropped (and counted), while the surviving
+// processes keep exchanging messages.
+func TestLiveNetCrashFault(t *testing.T) {
+	const n, tf = 4, 1
+
+	l := NewLiveNet(n, tf, 1, WithMaxDelay(50*time.Microsecond))
+	for p := 1; p <= n; p++ {
+		if err := l.Register(&pongProc{id: ProcID(p), n: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	waitFor := func(cond func(*Stats) bool, what string) *Stats {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st := l.Stats()
+			if cond(st) {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitFor(func(st *Stats) bool { return st.Delivered > 100 }, "pre-crash traffic")
+
+	l.Crash(2)
+	st := waitFor(func(st *Stats) bool { return st.Dropped > 0 }, "dropped traffic after crash")
+	if st.Sent == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+
+	// The survivors must keep making progress after the crash.
+	delivered := st.Delivered
+	waitFor(func(st *Stats) bool { return st.Delivered > delivered+50 }, "post-crash progress")
+
+	l.Stop()
+	if errs := l.Errs(); len(errs) > 0 {
+		t.Fatalf("runtime errors: %v", errs)
+	}
+}
+
+// TestLiveNetCrashBeforeStartSilencesProcess crashes a process before
+// Start: none of its sends may be delivered.
+func TestLiveNetCrashBeforeStartSilencesProcess(t *testing.T) {
+	const n, tf = 3, 0
+	l := NewLiveNet(n, tf, 2, WithMaxDelay(10*time.Microsecond))
+	for p := 1; p <= n; p++ {
+		if err := l.Register(&parityProc{id: ProcID(p), n: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Crash(3)
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := l.Stats()
+		if st.Dropped > 0 && st.Delivered > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no dropped+delivered traffic: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

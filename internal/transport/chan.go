@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"svssba/internal/sim"
+)
+
+// Mesh is the in-process transport fabric: n endpoints wired pairwise
+// over channels. Build one Mesh per cluster, hand Endpoint(i) to node i,
+// and the whole cluster runs inside a single process with no sockets —
+// the fast path for RunLive and for node tests under the race detector.
+type Mesh struct {
+	// mu guards eps: senders resolve peers concurrently with
+	// ResetEndpoint swapping a restarted node's endpoint in.
+	mu  sync.RWMutex
+	eps []*meshEndpoint // indexed by ProcID, 0 unused
+}
+
+// NewMesh creates a fabric for processes 1..n.
+func NewMesh(n int) *Mesh {
+	m := &Mesh{eps: make([]*meshEndpoint, n+1)}
+	for p := 1; p <= n; p++ {
+		m.eps[p] = &meshEndpoint{mesh: m, self: sim.ProcID(p), pump: newPump()}
+	}
+	return m
+}
+
+// N returns the number of endpoints.
+func (m *Mesh) N() int { return len(m.eps) - 1 }
+
+// endpoint resolves id under the read lock; nil when out of range.
+func (m *Mesh) endpoint(id sim.ProcID) *meshEndpoint {
+	if id < 1 || int(id) >= len(m.eps) {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.eps[id]
+}
+
+// Endpoint returns process id's transport. The same endpoint is
+// returned on every call; a closed endpoint stays closed (a crashed
+// process that restarts gets a fresh link set via ResetEndpoint).
+func (m *Mesh) Endpoint(id sim.ProcID) (Transport, error) {
+	ep := m.endpoint(id)
+	if ep == nil {
+		return nil, fmt.Errorf("transport: endpoint id %d out of range 1..%d", id, m.N())
+	}
+	return ep, nil
+}
+
+// ResetEndpoint replaces a (typically closed) endpoint with a fresh one
+// so a restarted node can rejoin the fabric.
+func (m *Mesh) ResetEndpoint(id sim.ProcID) (Transport, error) {
+	if id < 1 || int(id) >= len(m.eps) {
+		return nil, fmt.Errorf("transport: endpoint id %d out of range 1..%d", id, m.N())
+	}
+	fresh := &meshEndpoint{mesh: m, self: id, pump: newPump()}
+	m.mu.Lock()
+	old := m.eps[id]
+	m.eps[id] = fresh
+	m.mu.Unlock()
+	old.Close()
+	return fresh, nil
+}
+
+// meshEndpoint is one process's port on the Mesh.
+type meshEndpoint struct {
+	mesh *Mesh
+	self sim.ProcID
+	pump *pump
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+var _ Transport = (*meshEndpoint)(nil)
+
+func (e *meshEndpoint) Self() sim.ProcID { return e.self }
+
+func (e *meshEndpoint) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("transport: endpoint %d is closed", e.self)
+	}
+	if !e.started {
+		e.started = true
+		go e.pump.run()
+	}
+	return nil
+}
+
+func (e *meshEndpoint) Send(to sim.ProcID, data []byte) error {
+	peer := e.mesh.endpoint(to)
+	if peer == nil {
+		return fmt.Errorf("transport: send to unknown peer %d", to)
+	}
+	// Delivery to a closed/unstarted peer silently drops the frame —
+	// exactly what sending to a crashed process looks like on a real
+	// network.
+	peer.deliver(Frame{From: e.self, Data: data})
+	return nil
+}
+
+// deliver hands a frame to this endpoint's inbox without ever blocking
+// the sender: the pump is unbounded, and a dead pump drops the frame.
+func (e *meshEndpoint) deliver(f Frame) {
+	e.mu.Lock()
+	ok := e.started && !e.closed
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.pump.offer(f)
+}
+
+func (e *meshEndpoint) Recv() <-chan Frame { return e.pump.out }
+
+func (e *meshEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if !e.started {
+		// Never pumped: close out directly so Recv consumers unblock.
+		e.started = true
+		go e.pump.run()
+	}
+	close(e.pump.stop)
+	return nil
+}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"svssba/internal/sim"
+)
+
+// startTCPCluster brings up n TCP endpoints on ephemeral localhost
+// ports and wires their peer tables.
+func startTCPCluster(t *testing.T, n int) []*TCP {
+	t.Helper()
+	eps := make([]*TCP, n+1)
+	addrs := make(map[sim.ProcID]string, n)
+	for p := 1; p <= n; p++ {
+		eps[p] = NewTCP(sim.ProcID(p), "127.0.0.1:0", nil)
+		if err := eps[p].Start(); err != nil {
+			t.Fatalf("start %d: %v", p, err)
+		}
+		addrs[sim.ProcID(p)] = eps[p].Addr()
+	}
+	for p := 1; p <= n; p++ {
+		eps[p].SetPeers(addrs)
+	}
+	t.Cleanup(func() {
+		for p := 1; p <= n; p++ {
+			eps[p].Close()
+		}
+	})
+	return eps
+}
+
+func TestTCPDelivery(t *testing.T) {
+	const n, per = 3, 20
+	eps := startTCPCluster(t, n)
+	for from := 1; from <= n; from++ {
+		for to := 1; to <= n; to++ {
+			for i := 0; i < per; i++ {
+				if err := eps[from].Send(sim.ProcID(to), []byte(fmt.Sprintf("%d->%d #%d", from, to, i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for to := 1; to <= n; to++ {
+		got := collect(t, eps[to], n*per, 10*time.Second)
+		for from := 1; from <= n; from++ {
+			if got[sim.ProcID(from)] != per {
+				t.Errorf("endpoint %d: %d frames from %d, want %d", to, got[sim.ProcID(from)], from, per)
+			}
+		}
+	}
+	for p := 1; p <= n; p++ {
+		if errs := eps[p].Errs(); len(errs) > 0 {
+			t.Errorf("endpoint %d errors: %v", p, errs)
+		}
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	eps := startTCPCluster(t, 2)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := eps[1].Send(2, big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-eps[2].Recv():
+		if len(f.Data) != len(big) || f.Data[12345] != big[12345] {
+			t.Errorf("frame corrupted: len=%d", len(f.Data))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large frame not delivered")
+	}
+}
+
+// TestTCPReconnect kills the receiving endpoint, keeps sending (frames
+// backlog in the dialer), restarts a listener on the same port, and
+// asserts the backlog drains to the new endpoint — the reconnecting
+// dialer contract.
+func TestTCPReconnect(t *testing.T) {
+	a := NewTCP(1, "127.0.0.1:0", nil)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := NewTCP(2, "127.0.0.1:0", nil)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	bAddr := b.Addr()
+	a.SetPeers(map[sim.ProcID]string{2: bAddr})
+
+	// Prove the link works, then kill b.
+	a.Send(2, []byte("before"))
+	select {
+	case f := <-b.Recv():
+		if string(f.Data) != "before" {
+			t.Fatalf("frame = %q", f.Data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("initial frame not delivered")
+	}
+	b.Close()
+
+	// Send into the void; the dialer must backlog and retry.
+	const n = 10
+	for i := 0; i < n; i++ {
+		a.Send(2, []byte(fmt.Sprintf("retry-%d", i)))
+	}
+
+	// Resurrect 2 on the same address.
+	b2 := NewTCP(2, bAddr, nil)
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if err = b2.Start(); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // old listener port may linger briefly
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", bAddr, err)
+	}
+	defer b2.Close()
+
+	got := collect(t, b2, n, 15*time.Second)
+	if got[1] < n {
+		t.Errorf("after reconnect got %d frames, want >= %d", got[1], n)
+	}
+}
+
+func TestTCPSelfSendLoopsBack(t *testing.T) {
+	eps := startTCPCluster(t, 1)
+	eps[1].Send(1, []byte("me"))
+	select {
+	case f := <-eps[1].Recv():
+		if f.From != 1 || string(f.Data) != "me" {
+			t.Errorf("frame = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self frame not delivered")
+	}
+}
+
+func TestTCPCloseIdempotentAndUnblocksRecv(t *testing.T) {
+	eps := startTCPCluster(t, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range eps[1].Recv() {
+		}
+	}()
+	eps[1].Close()
+	eps[1].Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv not closed by Close")
+	}
+	// Send after close is a silent drop, not a panic or error.
+	if err := eps[1].Send(2, []byte("late")); err != nil {
+		t.Errorf("send after close: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"svssba/internal/sim"
+)
+
+// collect drains frames from tr until n frames arrived or the deadline
+// passed, returning counts by sender.
+func collect(t *testing.T, tr Transport, n int, deadline time.Duration) map[sim.ProcID]int {
+	t.Helper()
+	got := make(map[sim.ProcID]int)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for i := 0; i < n; i++ {
+		select {
+		case f, ok := <-tr.Recv():
+			if !ok {
+				t.Fatalf("recv closed after %d of %d frames", i, n)
+			}
+			got[f.From]++
+		case <-timer.C:
+			t.Fatalf("timed out after %d of %d frames", i, n)
+		}
+	}
+	return got
+}
+
+func TestMeshDelivery(t *testing.T) {
+	m := NewMesh(3)
+	eps := make([]Transport, 4)
+	for p := 1; p <= 3; p++ {
+		ep, err := m.Endpoint(sim.ProcID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		eps[p] = ep
+	}
+	defer func() {
+		for p := 1; p <= 3; p++ {
+			eps[p].Close()
+		}
+	}()
+
+	// Everyone sends 10 frames to everyone, including themselves.
+	const per = 10
+	for from := 1; from <= 3; from++ {
+		for to := 1; to <= 3; to++ {
+			for i := 0; i < per; i++ {
+				if err := eps[from].Send(sim.ProcID(to), []byte{byte(from), byte(to), byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for to := 1; to <= 3; to++ {
+		got := collect(t, eps[to], 3*per, 5*time.Second)
+		for from := 1; from <= 3; from++ {
+			if got[sim.ProcID(from)] != per {
+				t.Errorf("endpoint %d: %d frames from %d, want %d", to, got[sim.ProcID(from)], from, per)
+			}
+		}
+	}
+}
+
+func TestMeshClosedPeerDropsFrames(t *testing.T) {
+	m := NewMesh(2)
+	a, _ := m.Endpoint(1)
+	b, _ := m.Endpoint(2)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	// Sends to a crashed endpoint must not block or error.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if err := a.Send(2, []byte{1}); err != nil {
+				t.Errorf("send to closed peer: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send to closed peer blocked")
+	}
+	a.Close()
+	if _, ok := <-b.Recv(); ok {
+		t.Error("frame delivered to closed endpoint")
+	}
+}
+
+func TestMeshResetEndpoint(t *testing.T) {
+	m := NewMesh(2)
+	a, _ := m.Endpoint(1)
+	b, _ := m.Endpoint(2)
+	a.Start()
+	b.Start()
+	b.Close()
+	fresh, err := m.ResetEndpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	defer a.Close()
+	if err := a.Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-fresh.Recv():
+		if f.From != 1 || string(f.Data) != "hi" {
+			t.Errorf("frame = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted endpoint received nothing")
+	}
+}
+
+func TestFaultLinkDropAndDelay(t *testing.T) {
+	m := NewMesh(2)
+	raw, _ := m.Endpoint(1)
+	b, _ := m.Endpoint(2)
+	raw.Start()
+	b.Start()
+	defer raw.Close()
+	defer b.Close()
+
+	// Full drop: nothing arrives.
+	mute := WithFaults(raw, FaultConfig{Seed: 1, DropProb: 0.999999999})
+	for i := 0; i < 50; i++ {
+		mute.Send(2, []byte{1})
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("frame crossed a ~always-dropping link")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Pure delay: everything arrives.
+	slow := WithFaults(raw, FaultConfig{Seed: 2, MaxDelay: 2 * time.Millisecond})
+	const n = 50
+	for i := 0; i < n; i++ {
+		slow.Send(2, []byte{byte(i)})
+	}
+	got := collect(t, b, n, 5*time.Second)
+	if got[1] != n {
+		t.Errorf("delayed link delivered %d of %d", got[1], n)
+	}
+}
+
+func TestWithFaultsZeroConfigPassthrough(t *testing.T) {
+	m := NewMesh(1)
+	ep, _ := m.Endpoint(1)
+	if WithFaults(ep, FaultConfig{}) != ep {
+		t.Error("zero fault config should return the inner transport")
+	}
+}
+
+// TestMeshConcurrentSenders hammers one inbox from many goroutines; run
+// with -race this is the mesh's thread-safety test.
+func TestMeshConcurrentSenders(t *testing.T) {
+	const n, per = 8, 200
+	m := NewMesh(n)
+	eps := make([]Transport, n+1)
+	for p := 1; p <= n; p++ {
+		eps[p], _ = m.Endpoint(sim.ProcID(p))
+		if err := eps[p].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for p := 1; p <= n; p++ {
+			eps[p].Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for from := 2; from <= n; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				eps[from].Send(1, []byte(fmt.Sprintf("%d/%d", from, i)))
+			}
+		}(from)
+	}
+	got := collect(t, eps[1], (n-1)*per, 10*time.Second)
+	wg.Wait()
+	for from := 2; from <= n; from++ {
+		if got[sim.ProcID(from)] != per {
+			t.Errorf("from %d: got %d, want %d", from, got[sim.ProcID(from)], per)
+		}
+	}
+}

@@ -1,18 +1,11 @@
 package svssba
 
-import (
-	"fmt"
-	"sync"
-	"time"
+import "time"
 
-	"svssba/internal/core"
-	"svssba/internal/proto"
-	"svssba/internal/sim"
-)
-
-// LiveConfig describes an agreement run on the live goroutine runtime:
-// one goroutine per process, randomized real delays, and every message
-// round-tripped through the binary wire codec.
+// LiveConfig describes an agreement run on the live node runtime: one
+// node.Node per process over the in-process channel transport, with
+// randomized real delays, and every message round-tripped through the
+// binary wire codec.
 type LiveConfig struct {
 	N, T   int
 	Seed   int64
@@ -29,110 +22,43 @@ type LiveResult struct {
 	Agreed    bool
 	Value     int
 	Messages  int64
-	Bytes     int64
-	Elapsed   time.Duration
+	// Bytes counts encoded wire bytes (frame sizes as sent on the
+	// transport, kind headers included).
+	Bytes   int64
+	Elapsed time.Duration
 }
 
-// RunLive executes the paper's protocol on the live runtime. It
-// demonstrates that the event-driven protocol cores are runtime-agnostic:
-// the same state machines run under real concurrency with encoded
-// messages on the wire.
+// RunLive executes the paper's protocol on the live node runtime. It is
+// a thin wrapper over RunCluster with the in-process channel transport
+// and randomized link delays — the exact code path cmd/node runs over
+// TCP sockets — and demonstrates that the event-driven protocol cores
+// are runtime-agnostic: the same state machines run under real
+// concurrency with encoded messages on the wire.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("svssba: need at least 2 processes")
-	}
-	if cfg.T == 0 {
-		cfg.T = (cfg.N - 1) / 3
-	}
-	if len(cfg.Inputs) == 0 {
-		cfg.Inputs = make([]int, cfg.N)
-		for i := range cfg.Inputs {
-			cfg.Inputs[i] = i % 2
-		}
-	}
-	if len(cfg.Inputs) != cfg.N {
-		return nil, fmt.Errorf("svssba: %d inputs for %d processes", len(cfg.Inputs), cfg.N)
-	}
 	if cfg.MaxDelay == 0 {
 		cfg.MaxDelay = 2 * time.Millisecond
 	}
-	if cfg.Timeout == 0 {
-		cfg.Timeout = 60 * time.Second
-	}
-
-	l := sim.NewLiveNet(cfg.N, cfg.T, cfg.Seed,
-		sim.WithCodec(core.NewCodec()),
-		sim.WithMaxDelay(cfg.MaxDelay),
-	)
-
-	var (
-		mu        sync.Mutex
-		decisions = make(map[int]int)
-	)
-	for i := 1; i <= cfg.N; i++ {
-		pid := i
-		st := core.NewStack(sim.ProcID(i), nil)
-		st.OnDecide(func(_ sim.Context, v int) {
-			mu.Lock()
-			decisions[pid] = v
-			mu.Unlock()
-		})
-		input := cfg.Inputs[i-1]
-		st.Node.AddInit(func(ctx sim.Context) {
-			_ = st.ABA.Propose(ctx, input)
-		})
-		if err := l.Register(st.Node); err != nil {
-			return nil, err
-		}
-	}
-
-	start := time.Now()
-	if err := l.Start(); err != nil {
+	res, err := RunCluster(ClusterConfig{
+		N:         cfg.N,
+		T:         cfg.T,
+		Seed:      cfg.Seed,
+		Inputs:    cfg.Inputs,
+		Transport: TransportChan,
+		Delay:     cfg.MaxDelay,
+		Timeout:   cfg.Timeout,
+	})
+	if err != nil {
 		return nil, err
 	}
-	deadline := time.After(cfg.Timeout)
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
-	defer l.Stop()
-	for {
-		mu.Lock()
-		done := len(decisions) == cfg.N
-		mu.Unlock()
-		if done {
-			break
-		}
-		select {
-		case <-deadline:
-			return nil, fmt.Errorf("svssba: live run timed out after %v", cfg.Timeout)
-		case <-tick.C:
-		}
+	out := &LiveResult{
+		Decisions: res.Decisions,
+		Agreed:    res.Agreed,
+		Value:     res.Value,
+		Elapsed:   res.Elapsed,
 	}
-	l.Stop()
-	if errs := l.Errs(); len(errs) > 0 {
-		return nil, fmt.Errorf("svssba: live runtime errors: %v", errs[0])
+	for _, nd := range res.Nodes {
+		out.Messages += nd.Sent
+		out.Bytes += nd.SentBytes
 	}
-
-	res := &LiveResult{
-		Decisions: make(map[int]int, cfg.N),
-		Agreed:    true,
-		Elapsed:   time.Since(start),
-	}
-	mu.Lock()
-	for pid, v := range decisions {
-		res.Decisions[pid] = v
-	}
-	mu.Unlock()
-	res.Value = res.Decisions[1]
-	for _, v := range res.Decisions {
-		if v != res.Value {
-			res.Agreed = false
-		}
-	}
-	st := l.Stats()
-	res.Messages = st.Sent
-	res.Bytes = st.TotalBytes()
-	return res, nil
+	return out, nil
 }
-
-// proto import is used for fault typing in sibling files.
-var _ = proto.KindApp

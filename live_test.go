@@ -1,0 +1,63 @@
+package svssba_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"svssba"
+)
+
+func TestRunLiveInvalidConfig(t *testing.T) {
+	cases := []svssba.LiveConfig{
+		{N: 0},
+		{N: 1},
+		{N: 4, Inputs: []int{1}},
+		{N: 4, Inputs: []int{0, 1, 2, 1}},
+	}
+	for i, cfg := range cases {
+		if _, err := svssba.RunLive(cfg); err == nil {
+			t.Errorf("case %d: invalid live config accepted", i)
+		}
+	}
+}
+
+func TestRunLiveTimeout(t *testing.T) {
+	// 1ms is far below what an n=4 agreement needs (hundreds of
+	// thousands of messages), so the run must hit the deadline.
+	_, err := svssba.RunLive(svssba.LiveConfig{
+		N:       4,
+		Seed:    42,
+		Timeout: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("1ms live run did not time out")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error = %v, want timeout", err)
+	}
+}
+
+func TestRunLiveReportsTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full live run in -short mode")
+	}
+	res, err := svssba.RunLive(svssba.LiveConfig{
+		N:        4,
+		Seed:     10,
+		MaxDelay: 100 * time.Microsecond,
+		Timeout:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if !res.Agreed {
+		t.Fatalf("disagreement: %v", res.Decisions)
+	}
+	if res.Messages == 0 || res.Bytes == 0 {
+		t.Errorf("no traffic recorded: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
