@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-race
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,16 @@ scenario-full:
 # localhost TCP with one node crashed, per-layer stats, exit 0.
 cluster:
 	$(GO) run ./cmd/cluster -n 4 -crash 1 -timeout 60s
+
+# cluster-batch is the batched variant: coalescing outbox, multi-payload
+# batch frames on the wire, payloads-vs-frames stats table.
+cluster-batch:
+	$(GO) run ./cmd/cluster -n 4 -transport tcp -batch -timeout 60s
+
+# fuzz-batch fuzzes the batch-frame decode surface for a short, fixed
+# duration (CI runs the same leg).
+fuzz-batch:
+	$(GO) test -run=NONE -fuzz=FuzzBatchFrame -fuzztime=30s ./internal/proto/
 
 # cluster-race runs the node/transport runtime tests under the race
 # detector (the same Node code path cmd/cluster uses, on the

@@ -57,20 +57,30 @@ type ClusterConfig struct {
 	// within T.
 	Drop     float64
 	Droppers []int
+	// Batching turns on every node's coalescing outbox: same-destination
+	// payloads produced within one delivery burst cross the transport as
+	// a single multi-payload batch frame. Decisions and logical payload
+	// stats are unaffected; the frame counters show the reduction.
+	Batching bool
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
 }
 
 // ClusterLayerStats aggregates one node's traffic for one protocol
 // layer (payload-kind prefix: "rb", "mw", "svss", "coin", "aba", ...).
+// Msgs counts logical payloads; Frames counts same-kind wire groups,
+// the per-layer physical unit (equal to Msgs without batching).
 type ClusterLayerStats struct {
-	SentMsgs, SentBytes int64
-	RecvMsgs, RecvBytes int64
+	SentMsgs, SentFrames, SentBytes int64
+	RecvMsgs, RecvFrames, RecvBytes int64
 }
 
 // ClusterNodeStats reports one node's run: lifecycle outcome plus
-// wire-level traffic totals and the per-layer breakdown. Byte counts
-// are encoded frame sizes — what actually crossed the transport.
+// traffic totals and the per-layer breakdown. Sent/Recv count logical
+// payloads (byte counters use standalone encoded sizes, comparable
+// across batched and unbatched runs); SentFrames/RecvFrames and the
+// frame byte counters are the physical messages that actually crossed
+// the transport.
 type ClusterNodeStats struct {
 	ID       int
 	Crashed  bool
@@ -80,7 +90,11 @@ type ClusterNodeStats struct {
 
 	Sent, SentBytes int64
 	Recv, RecvBytes int64
-	ByLayer         map[string]ClusterLayerStats
+
+	SentFrames, SentFrameBytes int64
+	RecvFrames, RecvFrameBytes int64
+
+	ByLayer map[string]ClusterLayerStats
 }
 
 // ClusterResult reports a cluster run.
@@ -241,12 +255,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	nodes := make([]*node.Node, cfg.N+1)
 	for i := 1; i <= cfg.N; i++ {
 		nd, err := node.New(node.Config{
-			ID:    sim.ProcID(i),
-			N:     cfg.N,
-			T:     cfg.T,
-			Seed:  nodeSeed(cfg.Seed, i),
-			Input: cfg.Inputs[i-1],
-			Codec: codec,
+			ID:       sim.ProcID(i),
+			N:        cfg.N,
+			T:        cfg.T,
+			Seed:     nodeSeed(cfg.Seed, i),
+			Input:    cfg.Inputs[i-1],
+			Codec:    codec,
+			Batching: cfg.Batching,
 		}, trs[i])
 		if err != nil {
 			return nil, err
@@ -340,22 +355,26 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeStats {
 	st := nd.Stats()
 	out := ClusterNodeStats{
-		ID:        id,
-		Crashed:   crashed,
-		Dropper:   dropper,
-		Sent:      st.Sent,
-		SentBytes: st.SentBytes,
-		Recv:      st.Recv,
-		RecvBytes: st.RecvBytes,
-		ByLayer:   make(map[string]ClusterLayerStats),
+		ID:             id,
+		Crashed:        crashed,
+		Dropper:        dropper,
+		Sent:           st.Sent,
+		SentBytes:      st.SentBytes,
+		Recv:           st.Recv,
+		RecvBytes:      st.RecvBytes,
+		SentFrames:     st.SentFrames,
+		SentFrameBytes: st.SentFrameBytes,
+		RecvFrames:     st.RecvFrames,
+		RecvFrameBytes: st.RecvFrameBytes,
+		ByLayer:        make(map[string]ClusterLayerStats),
 	}
 	if v, ok := nd.Decision(); ok {
 		out.Decided, out.Decision = true, v
 	}
 	for layer, l := range st.ByLayer() {
 		out.ByLayer[layer] = ClusterLayerStats{
-			SentMsgs: l.SentMsgs, SentBytes: l.SentBytes,
-			RecvMsgs: l.RecvMsgs, RecvBytes: l.RecvBytes,
+			SentMsgs: l.SentMsgs, SentFrames: l.SentFrames, SentBytes: l.SentBytes,
+			RecvMsgs: l.RecvMsgs, RecvFrames: l.RecvFrames, RecvBytes: l.RecvBytes,
 		}
 	}
 	return out
@@ -370,6 +389,11 @@ type ClusterSpec struct {
 	Seed   int64             `json:"seed"`
 	Inputs []int             `json:"inputs,omitempty"`
 	Nodes  []ClusterNodeAddr `json:"nodes"`
+	// Batching turns on the coalescing outbox on every process (see
+	// ClusterConfig.Batching); all processes of one cluster should agree
+	// on it, though mixed clusters interoperate (batch frames are
+	// self-describing).
+	Batching bool `json:"batching,omitempty"`
 }
 
 // ClusterNodeAddr binds a node id to its listen address.
@@ -459,11 +483,12 @@ func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*Spec
 
 	tr := transport.NewTCP(sim.ProcID(id), self, addrs)
 	nd, err := node.New(node.Config{
-		ID:    sim.ProcID(id),
-		N:     spec.N,
-		T:     t,
-		Seed:  nodeSeed(spec.Seed, id),
-		Input: input,
+		ID:       sim.ProcID(id),
+		N:        spec.N,
+		T:        t,
+		Seed:     nodeSeed(spec.Seed, id),
+		Input:    input,
+		Batching: spec.Batching,
 	}, tr)
 	if err != nil {
 		return nil, err
@@ -499,8 +524,10 @@ func ClusterLayerTable(nodes []ClusterNodeStats) ([]string, map[string]ClusterLa
 		for layer, l := range nd.ByLayer {
 			a := agg[layer]
 			a.SentMsgs += l.SentMsgs
+			a.SentFrames += l.SentFrames
 			a.SentBytes += l.SentBytes
 			a.RecvMsgs += l.RecvMsgs
+			a.RecvFrames += l.RecvFrames
 			a.RecvBytes += l.RecvBytes
 			agg[layer] = a
 		}

@@ -42,6 +42,7 @@ func run() error {
 		delay      = flag.Duration("delay", 0, "max random extra delay injected per frame on every link")
 		drop       = flag.Float64("drop", 0, "outbound frame drop probability for dropper nodes")
 		droppers   = flag.Int("droppers", 0, "number of dropper nodes (taken below the crashed ids)")
+		batch      = flag.Bool("batch", false, "coalesce same-destination payloads into multi-payload batch frames")
 		timeout    = flag.Duration("timeout", 60*time.Second, "run deadline")
 		inputsArg  = flag.String("inputs", "", "comma-separated binary inputs (default alternating)")
 		verbose    = flag.Bool("v", false, "print per-node stats lines")
@@ -57,6 +58,7 @@ func run() error {
 		CrashAfter: *crashAfter,
 		Delay:      *delay,
 		Drop:       *drop,
+		Batching:   *batch,
 		Timeout:    *timeout,
 	}
 	// Fault ids are carved off the top of the id range: crashes take the
@@ -81,8 +83,8 @@ func run() error {
 	if effT == 0 {
 		effT = (cfg.N - 1) / 3
 	}
-	fmt.Printf("cluster       n=%d t=%d seed=%d transport=%s timeout=%v\n",
-		cfg.N, effT, cfg.Seed, cfg.Transport, cfg.Timeout)
+	fmt.Printf("cluster       n=%d t=%d seed=%d transport=%s batch=%v timeout=%v\n",
+		cfg.N, effT, cfg.Seed, cfg.Transport, cfg.Batching, cfg.Timeout)
 	if len(cfg.Crash) > 0 {
 		fmt.Printf("crash         %v (after %v)\n", cfg.Crash, cfg.CrashAfter)
 	}
@@ -127,17 +129,36 @@ func run() error {
 		}
 	}
 	layers, agg := svssba.ClusterLayerTable(honestStats)
-	fmt.Printf("\n%-8s %12s %14s %12s %14s\n", "layer", "sent msgs", "sent bytes", "recv msgs", "recv bytes")
+	fmt.Printf("\n%-8s %12s %12s %14s %12s %12s %14s\n",
+		"layer", "sent plds", "sent frames", "sent bytes", "recv plds", "recv frames", "recv bytes")
 	var tot svssba.ClusterLayerStats
 	for _, l := range layers {
 		a := agg[l]
-		fmt.Printf("%-8s %12d %14d %12d %14d\n", l, a.SentMsgs, a.SentBytes, a.RecvMsgs, a.RecvBytes)
+		fmt.Printf("%-8s %12d %12d %14d %12d %12d %14d\n",
+			l, a.SentMsgs, a.SentFrames, a.SentBytes, a.RecvMsgs, a.RecvFrames, a.RecvBytes)
 		tot.SentMsgs += a.SentMsgs
+		tot.SentFrames += a.SentFrames
 		tot.SentBytes += a.SentBytes
 		tot.RecvMsgs += a.RecvMsgs
+		tot.RecvFrames += a.RecvFrames
 		tot.RecvBytes += a.RecvBytes
 	}
-	fmt.Printf("%-8s %12d %14d %12d %14d\n", "total", tot.SentMsgs, tot.SentBytes, tot.RecvMsgs, tot.RecvBytes)
+	fmt.Printf("%-8s %12d %12d %14d %12d %12d %14d\n",
+		"total", tot.SentMsgs, tot.SentFrames, tot.SentBytes, tot.RecvMsgs, tot.RecvFrames, tot.RecvBytes)
+
+	// Physical transport frames (whole frames, possibly spanning layers)
+	// vs logical payloads over the honest nodes — the headline batching
+	// reduction.
+	var plds, frames, fbytes int64
+	for _, nd := range honestStats {
+		plds += nd.Sent
+		frames += nd.SentFrames
+		fbytes += nd.SentFrameBytes
+	}
+	if plds > 0 {
+		fmt.Printf("\nphysical      %d frames (%d B on the wire) for %d payloads — %.1f%% frame reduction\n",
+			frames, fbytes, plds, 100*(1-float64(frames)/float64(plds)))
+	}
 
 	if *verbose {
 		fmt.Println()
@@ -153,8 +174,8 @@ func run() error {
 			if nd.Decided {
 				decision = strconv.Itoa(nd.Decision)
 			}
-			fmt.Printf("node %-3d %-8s decision=%-2s sent=%d (%d B) recv=%d (%d B)\n",
-				nd.ID, status, decision, nd.Sent, nd.SentBytes, nd.Recv, nd.RecvBytes)
+			fmt.Printf("node %-3d %-8s decision=%-2s sent=%d plds / %d frames (%d B) recv=%d plds / %d frames (%d B)\n",
+				nd.ID, status, decision, nd.Sent, nd.SentFrames, nd.SentFrameBytes, nd.Recv, nd.RecvFrames, nd.RecvFrameBytes)
 		}
 	}
 

@@ -3,8 +3,9 @@
 // and termination invariants checked on every cell.
 //
 //	scenario -quick              # 4×7×2×1 = 56 cells (the default)
-//	scenario -full               # 5×10×2×3 = 300 cells
+//	scenario -full               # 5×10×3×3 = 450 cells (includes n7/t2)
 //	scenario -scale n4           # restrict the scale axis (CI smoke)
+//	scenario -batch              # coalescing-outbox frame model on every cell
 //	scenario -seeds 5            # override the seed axis (1000..1004)
 //	scenario -workers 0          # one worker per CPU (default)
 //	scenario -json               # machine-readable report
@@ -39,6 +40,7 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the JSON report instead of the text table")
 		list    = flag.Bool("list", false, "list cell ids and exit")
 		replay  = flag.String("replay", "", "re-run a single cell by id and print its JSON")
+		batch   = flag.Bool("batch", false, "run every cell with the coalescing-outbox frame model (decisions and logical stats are unchanged)")
 	)
 	flag.Parse()
 	_ = quick // quick is the default; the flag exists for explicitness
@@ -47,6 +49,7 @@ func main() {
 	if *full {
 		m = scenario.Full()
 	}
+	m.Batching = *batch
 	if *seeds > 0 {
 		m.Seeds = nil
 		for s := 0; s < *seeds; s++ {
@@ -125,6 +128,9 @@ func main() {
 		}
 		if *scale != "" {
 			matrixFlags += fmt.Sprintf(" -scale %s", *scale)
+		}
+		if *batch {
+			matrixFlags += " -batch"
 		}
 		fmt.Fprintf(os.Stderr, "replay any cell above with: go run ./cmd/scenario%s -replay <cell-id>\n", matrixFlags)
 		os.Exit(1)

@@ -250,6 +250,14 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		e.advance(ctx, in)
 	case Echo:
 		in := e.inst(p.MW)
+		// Fan-out pruning: echoes only feed the live-L admission of step
+		// 3, which stops at the L_j snapshot (step 4). Echoes arriving
+		// after the snapshot are inert for this instance — never recorded,
+		// never re-sent (step 2's one-shot guard already holds), so the
+		// per-instance echo state stays bounded at the snapshot size.
+		if in.lDone {
+			return
+		}
 		if _, dup := in.echoVal[m.From]; dup {
 			return
 		}
@@ -260,6 +268,11 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 			return
 		}
 		in := e.inst(p.MW)
+		// Same pruning on the moderator side: values only feed the M
+		// admission of steps 5-6, which stops once M is broadcast.
+		if in.mBroadcast {
+			return
+		}
 		if _, dup := in.modVals[m.From]; dup {
 			return
 		}
@@ -314,8 +327,24 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 		}
 		in.okKnown = true
 	case StepRVal:
+		// Reconstruction pruning: once R' produced its output locally, or
+		// once f̄_target is already interpolated, further value broadcasts
+		// for that target change nothing here. They are still observed by
+		// the DMM (ObserveBroadcast runs before this handler and resolves
+		// ACK/DEAL expectations unconditionally), so only the dead protocol
+		// bookkeeping is skipped. The reveal broadcast itself (R' step 1)
+		// is never suppressed: every confirmer's reveal resolves DMM
+		// expectations installed at other processes, and a suppressed
+		// reveal would leave those expectations permanently stale — an
+		// implicit shun of an honest process.
+		if in.reconDone {
+			return
+		}
 		target := sim.ProcID(t.A)
 		if target < 1 || int(target) > ctx.N() {
+			return
+		}
+		if in.fBarSet[target] {
 			return
 		}
 		key := [2]sim.ProcID{origin, target}
@@ -373,6 +402,9 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	if !in.lDone && len(in.dealSet) >= n-t {
 		in.lDone = true
 		in.lSnapshot = sortedProcs(in.dealSet)
+		// The echo buffer only feeds step 3, which the snapshot closes;
+		// release it (late echoes are dropped on arrival from here on).
+		in.echoVal = nil
 		e.host.Broadcast(ctx, tag(in.id, StepL, 0), EncodeProcs(in.lSnapshot))
 		ctx.Send(in.id.Key.Moderator, ModValue{MW: in.id, Val: in.myPoly.Secret()})
 	}
@@ -451,6 +483,9 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	if in.mKnown {
 		kept := in.rvalsPending[:0]
 		for _, rv := range in.rvalsPending {
+			if in.fBarSet[rv.target] {
+				continue // f̄_target already interpolated: surplus point
+			}
 			if !procsContain(in.mSet, rv.target) {
 				continue // target outside M̂: irrelevant forever
 			}

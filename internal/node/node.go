@@ -43,6 +43,12 @@ type Config struct {
 	// protocol codec (core.NewCodec). Codecs are read-only after
 	// registration and may be shared across nodes.
 	Codec sim.Codec
+	// Batching turns on the coalescing outbox: all payloads the stack
+	// produces for one destination within one delivery burst cross the
+	// transport as a single multi-payload batch frame (when the codec
+	// provides the batch format, as core.NewCodec does). Decisions and
+	// logical payload counts are unaffected; frame counts drop.
+	Batching bool
 	// OnDecide observes the local decision (called once per incarnation,
 	// on the node's delivery goroutine).
 	OnDecide func(value int)
@@ -51,22 +57,43 @@ type Config struct {
 }
 
 // LayerStats aggregates traffic for one protocol layer (the prefix of
-// the payload kind, e.g. "rb", "mw", "svss", "aba").
+// the payload kind, e.g. "rb", "mw", "svss", "aba"). Msgs counts logical
+// payloads; Frames counts same-kind wire groups — the units that carry a
+// kind header on the transport. Without batching every payload is its
+// own group, so Frames == Msgs; with batching a group aggregates all
+// consecutive same-kind payloads of one frame (e.g. the echoes of many
+// concurrent broadcast tags behind one header).
 type LayerStats struct {
-	SentMsgs, SentBytes int64
-	RecvMsgs, RecvBytes int64
+	SentMsgs, SentFrames, SentBytes int64
+	RecvMsgs, RecvFrames, RecvBytes int64
 }
 
-// Stats is a snapshot of a node's wire-level traffic counters. Byte
-// counts are encoded frame sizes (kind header included), the bytes that
-// actually cross the transport.
+// Stats is a snapshot of a node's traffic counters, split into the
+// logical and the physical view:
+//
+//   - Sent/Recv and the per-kind maps count logical payloads; their byte
+//     counters use each payload's standalone encoded size (kind header
+//     included), so they are comparable across batched and unbatched
+//     runs.
+//   - SentFrames/RecvFrames and SentFrameBytes/RecvFrameBytes count the
+//     physical frames that actually crossed the transport. Unbatched,
+//     frames equal payloads and the byte views coincide; batched, the
+//     frame counters show the reduction.
+//   - SentGroupsByKind/RecvGroupsByKind count same-kind wire groups (the
+//     per-layer physical unit — see LayerStats).
 type Stats struct {
 	Sent, SentBytes int64
 	Recv, RecvBytes int64
-	DecodeErrs      int64
+
+	SentFrames, SentFrameBytes int64
+	RecvFrames, RecvFrameBytes int64
+
+	DecodeErrs int64
 
 	SentByKind, SentBytesByKind map[string]int64
 	RecvByKind, RecvBytesByKind map[string]int64
+	SentGroupsByKind            map[string]int64
+	RecvGroupsByKind            map[string]int64
 }
 
 // LayerOf maps a payload kind to its protocol layer: the segment before
@@ -84,12 +111,14 @@ func (s *Stats) ByLayer() map[string]LayerStats {
 	for kind, n := range s.SentByKind {
 		l := out[LayerOf(kind)]
 		l.SentMsgs += n
+		l.SentFrames += s.SentGroupsByKind[kind]
 		l.SentBytes += s.SentBytesByKind[kind]
 		out[LayerOf(kind)] = l
 	}
 	for kind, n := range s.RecvByKind {
 		l := out[LayerOf(kind)]
 		l.RecvMsgs += n
+		l.RecvFrames += s.RecvGroupsByKind[kind]
 		l.RecvBytes += s.RecvBytesByKind[kind]
 		out[LayerOf(kind)] = l
 	}
@@ -137,17 +166,21 @@ type Node struct {
 	decideC chan struct{}
 
 	// Traffic counters, interned by kind like sim.Network (smu keeps
-	// Stats() safe while the delivery goroutine counts).
-	smu                     sync.Mutex
-	sent, sentB             int64
-	recv, recvB             int64
-	decodeErrs              int64
-	kindIDs                 map[string]int
-	kindNames               []string
-	sentByKind, sentBByKind []int64
-	recvByKind, recvBByKind []int64
-	lastKind                string
-	lastKindID              int
+	// Stats() safe while the delivery goroutine counts). Payload counters
+	// are logical; frame counters are physical (see Stats).
+	smu                      sync.Mutex
+	sent, sentB              int64
+	recv, recvB              int64
+	sentF, sentFB            int64
+	recvF, recvFB            int64
+	decodeErrs               int64
+	kindIDs                  map[string]int
+	kindNames                []string
+	sentByKind, sentBByKind  []int64
+	recvByKind, recvBByKind  []int64
+	sentGByKind, recvGByKind []int64
+	lastKind                 string
+	lastKindID               int
 
 	start time.Time
 }
@@ -226,9 +259,20 @@ func (n *Node) startLocked() error {
 		tr:  n.tr,
 		rnd: rand.New(rand.NewSource(n.cfg.Seed)),
 	}
+	if n.cfg.Batching {
+		ctx.ob = sim.NewCoalescer[sim.Payload](n.cfg.N)
+	}
 	go n.run(st, ctx, n.tr, n.stop, n.done)
 	return nil
 }
+
+// maxDrainBurst bounds how many already-queued inbound frames one
+// delivery burst may consume before the outbox flushes. A burst is the
+// node runtime's "delivery step": everything the stack produces for one
+// destination while handling the burst leaves as a single frame. The
+// bound keeps flushes regular under sustained echo storms so peers never
+// wait on an ever-growing burst.
+const maxDrainBurst = 64
 
 // run is the node's single delivery goroutine: the protocol stack is
 // only ever touched from here, which is what makes the engines safe
@@ -236,6 +280,7 @@ func (n *Node) startLocked() error {
 func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, done chan struct{}) {
 	defer close(done)
 	st.Node.Init(ctx)
+	ctx.flushOutbox()
 	for {
 		select {
 		case <-stop:
@@ -244,18 +289,51 @@ func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, do
 			if !ok {
 				return
 			}
-			if f.From < 1 || int(f.From) > n.cfg.N {
-				// A sender outside 1..N would count as a phantom voter
-				// in the protocol quorums; reject the frame outright.
-				n.noteDecodeErr(fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
-				continue
+			n.handleFrame(st, ctx, f)
+			if ctx.ob != nil {
+			drain:
+				for i := 0; i < maxDrainBurst; i++ {
+					select {
+					case f2, ok2 := <-tr.Recv():
+						if !ok2 {
+							break drain
+						}
+						n.handleFrame(st, ctx, f2)
+					default:
+						break drain
+					}
+				}
 			}
-			p, err := n.codec.Decode(f.Data)
-			if err != nil {
-				n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
-				continue
-			}
-			n.countRecv(p.Kind(), len(f.Data))
+			ctx.flushOutbox()
+		}
+	}
+}
+
+// handleFrame decodes one inbound frame — single-payload or batch — and
+// delivers its payloads to the stack in frame order.
+func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
+	if f.From < 1 || int(f.From) > n.cfg.N {
+		// A sender outside 1..N would count as a phantom voter
+		// in the protocol quorums; reject the frame outright.
+		n.noteDecodeErr(fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
+		return
+	}
+	if proto.IsBatch(f.Data) {
+		bd, ok := n.codec.(batchDecoder)
+		if !ok {
+			n.noteDecodeErr(fmt.Errorf("node %d: from %d: batch frame but codec has no batch format", n.cfg.ID, f.From))
+			return
+		}
+		ps, err := bd.DecodeBatch(f.Data)
+		if err != nil {
+			// A corrupt batch is discarded whole: partial delivery would
+			// let a Byzantine sender smuggle prefix payloads past the
+			// frame-level integrity check.
+			n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+			return
+		}
+		n.countRecvFrame(ps, len(f.Data))
+		for _, p := range ps {
 			st.Node.Deliver(ctx, sim.Message{
 				From:    f.From,
 				To:      n.cfg.ID,
@@ -263,7 +341,21 @@ func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, do
 				SentAt:  ctx.Now(),
 			})
 		}
+		return
 	}
+	p, err := n.codec.Decode(f.Data)
+	if err != nil {
+		n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+		return
+	}
+	ctx.one[0] = p
+	n.countRecvFrame(ctx.one[:1], len(f.Data))
+	st.Node.Deliver(ctx, sim.Message{
+		From:    f.From,
+		To:      n.cfg.ID,
+		Payload: p,
+		SentAt:  ctx.Now(),
+	})
 }
 
 // Stop shuts the node down gracefully: delivery stops, the transport
@@ -401,29 +493,62 @@ func (n *Node) kindIDLocked(kind string) int {
 		n.sentBByKind = append(n.sentBByKind, 0)
 		n.recvByKind = append(n.recvByKind, 0)
 		n.recvBByKind = append(n.recvBByKind, 0)
+		n.sentGByKind = append(n.sentGByKind, 0)
+		n.recvGByKind = append(n.recvGByKind, 0)
 	}
 	n.lastKind, n.lastKindID = kind, id
 	return id
 }
 
-func (n *Node) countSent(kind string, bytes int) {
-	n.smu.Lock()
-	defer n.smu.Unlock()
-	n.sent++
-	n.sentB += int64(bytes)
-	id := n.kindIDLocked(kind)
-	n.sentByKind[id]++
-	n.sentBByKind[id] += int64(bytes)
+// standaloneSize is the encoded size of p as its own frame (kind header
+// included) — the logical byte cost, identical whether or not the
+// payload actually traveled inside a batch.
+func standaloneSize(p sim.Payload) int {
+	return 2 + len(p.Kind()) + p.Size()
 }
 
-func (n *Node) countRecv(kind string, bytes int) {
+// countSentFrame records one physical frame of frameBytes carrying ps:
+// every payload counts logically, every same-kind run counts as one wire
+// group.
+func (n *Node) countSentFrame(ps []sim.Payload, frameBytes int) {
 	n.smu.Lock()
 	defer n.smu.Unlock()
-	n.recv++
-	n.recvB += int64(bytes)
-	id := n.kindIDLocked(kind)
-	n.recvByKind[id]++
-	n.recvBByKind[id] += int64(bytes)
+	n.sentF++
+	n.sentFB += int64(frameBytes)
+	lastGroup := -1
+	for _, p := range ps {
+		n.sent++
+		sb := int64(standaloneSize(p))
+		n.sentB += sb
+		id := n.kindIDLocked(p.Kind())
+		n.sentByKind[id]++
+		n.sentBByKind[id] += sb
+		if id != lastGroup {
+			n.sentGByKind[id]++
+			lastGroup = id
+		}
+	}
+}
+
+// countRecvFrame mirrors countSentFrame for the inbound direction.
+func (n *Node) countRecvFrame(ps []sim.Payload, frameBytes int) {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	n.recvF++
+	n.recvFB += int64(frameBytes)
+	lastGroup := -1
+	for _, p := range ps {
+		n.recv++
+		sb := int64(standaloneSize(p))
+		n.recvB += sb
+		id := n.kindIDLocked(p.Kind())
+		n.recvByKind[id]++
+		n.recvBByKind[id] += sb
+		if id != lastGroup {
+			n.recvGByKind[id]++
+			lastGroup = id
+		}
+	}
 }
 
 // Stats returns a snapshot of the traffic counters, materializing the
@@ -435,20 +560,26 @@ func (n *Node) Stats() Stats {
 	s := Stats{
 		Sent: n.sent, SentBytes: n.sentB,
 		Recv: n.recv, RecvBytes: n.recvB,
-		DecodeErrs:      n.decodeErrs,
-		SentByKind:      make(map[string]int64, len(n.kindNames)),
-		SentBytesByKind: make(map[string]int64, len(n.kindNames)),
-		RecvByKind:      make(map[string]int64, len(n.kindNames)),
-		RecvBytesByKind: make(map[string]int64, len(n.kindNames)),
+		SentFrames: n.sentF, SentFrameBytes: n.sentFB,
+		RecvFrames: n.recvF, RecvFrameBytes: n.recvFB,
+		DecodeErrs:       n.decodeErrs,
+		SentByKind:       make(map[string]int64, len(n.kindNames)),
+		SentBytesByKind:  make(map[string]int64, len(n.kindNames)),
+		RecvByKind:       make(map[string]int64, len(n.kindNames)),
+		RecvBytesByKind:  make(map[string]int64, len(n.kindNames)),
+		SentGroupsByKind: make(map[string]int64, len(n.kindNames)),
+		RecvGroupsByKind: make(map[string]int64, len(n.kindNames)),
 	}
 	for id, name := range n.kindNames {
 		if n.sentByKind[id] > 0 {
 			s.SentByKind[name] = n.sentByKind[id]
 			s.SentBytesByKind[name] = n.sentBByKind[id]
+			s.SentGroupsByKind[name] = n.sentGByKind[id]
 		}
 		if n.recvByKind[id] > 0 {
 			s.RecvByKind[name] = n.recvByKind[id]
 			s.RecvBytesByKind[name] = n.recvBByKind[id]
+			s.RecvGroupsByKind[name] = n.recvGByKind[id]
 		}
 	}
 	return s
@@ -461,6 +592,24 @@ type runCtx struct {
 	n   *Node
 	tr  transport.Transport
 	rnd *rand.Rand
+	// ob is the coalescing outbox (nil without Config.Batching); one is
+	// a scratch slot so single-payload frames count without allocating.
+	ob  *sim.Coalescer[sim.Payload]
+	one [1]sim.Payload
+}
+
+// batchEncoder/batchDecoder are the two halves of the multi-payload
+// frame format a codec may provide (proto.Codec does). Without the
+// encoder, batching degrades gracefully to one frame per payload
+// (coalescing still bounds the flush points, but no wire-level
+// aggregation happens); the decoder is required to accept inbound batch
+// frames from batching peers.
+type batchEncoder interface {
+	EncodeBatch(ps []sim.Payload) ([]byte, error)
+}
+
+type batchDecoder interface {
+	DecodeBatch(b []byte) ([]sim.Payload, error)
 }
 
 var _ sim.Context = (*runCtx)(nil)
@@ -473,23 +622,98 @@ func (c *runCtx) Now() int64 {
 	return time.Since(c.n.start).Microseconds()
 }
 
-// Send encodes p and hands the frame to the transport. Each frame
+// Send routes p toward process `to`: straight to the transport as its
+// own frame, or into the outbox when batching, where all of this
+// delivery burst's traffic for `to` coalesces into one frame. Each frame
 // needs its own buffer — the transport takes ownership — and
-// proto.Codec.Encode already makes exactly one pre-sized allocation.
+// proto.Codec.Encode/EncodeBatch make exactly one pre-sized allocation
+// per frame.
 func (c *runCtx) Send(to sim.ProcID, p sim.Payload) {
 	n := c.n
 	if to < 1 || int(to) > n.cfg.N {
 		return
 	}
+	if c.ob != nil {
+		c.ob.Add(to, p)
+		return
+	}
+	c.sendOne(to, p)
+}
+
+// sendOne ships p as a single-payload frame.
+func (c *runCtx) sendOne(to sim.ProcID, p sim.Payload) {
+	n := c.n
 	enc, err := n.codec.Encode(p)
 	if err != nil {
 		n.noteErr(fmt.Errorf("node %d: encode %q: %w", n.cfg.ID, p.Kind(), err))
 		return
 	}
-	n.countSent(p.Kind(), len(enc))
+	c.one[0] = p
+	c.ship(to, c.one[:1], enc)
+}
+
+// ship counts one outbound frame and hands it to the transport.
+func (c *runCtx) ship(to sim.ProcID, ps []sim.Payload, enc []byte) {
+	n := c.n
+	n.countSentFrame(ps, len(enc))
 	if err := c.tr.Send(to, enc); err != nil {
 		n.noteErr(fmt.Errorf("node %d: send to %d: %w", n.cfg.ID, to, err))
 	}
+}
+
+// maxBatchFrameBytes caps one batch frame's estimated encoded size. The
+// TCP transport kills any connection that carries a frame over its 16
+// MiB limit — and a reconnecting dialer would retransmit the same
+// oversized frame forever, wedging the link — so a flush whose group
+// outgrows this bound (a Byzantine peer can legally provoke one by
+// packing a near-limit inbound batch with payloads that each fan out)
+// is split into multiple frames well below the transport's ceiling.
+const maxBatchFrameBytes = 4 << 20
+
+// flushOutbox ends the delivery burst: every destination's coalesced
+// group leaves as one frame (batch format for multi-payload groups),
+// split only when a group's estimated encoding would exceed
+// maxBatchFrameBytes.
+func (c *runCtx) flushOutbox() {
+	if c.ob == nil {
+		return
+	}
+	n := c.n
+	be, hasBatch := n.codec.(batchEncoder)
+	c.ob.Flush(func(to sim.ProcID, ps []sim.Payload) {
+		if !hasBatch {
+			// No batch format on this codec: coalescing still grouped the
+			// sends, but each payload crosses as its own frame.
+			for _, p := range ps {
+				c.sendOne(to, p)
+			}
+			return
+		}
+		for start := 0; start < len(ps); {
+			end := start + 1
+			size := standaloneSize(ps[start])
+			for end < len(ps) && size+standaloneSize(ps[end]) <= maxBatchFrameBytes {
+				// standaloneSize over-counts the shared kind headers and
+				// under-counts the ~5-byte varint framing per payload;
+				// with the cap at 1/4 of the transport limit either error
+				// is irrelevant.
+				size += standaloneSize(ps[end])
+				end++
+			}
+			chunk := ps[start:end]
+			start = end
+			if len(chunk) == 1 {
+				c.sendOne(to, chunk[0])
+				continue
+			}
+			enc, err := be.EncodeBatch(chunk)
+			if err != nil {
+				n.noteErr(fmt.Errorf("node %d: encode batch of %d: %w", n.cfg.ID, len(chunk), err))
+				continue
+			}
+			c.ship(to, chunk, enc)
+		}
+	})
 }
 
 func (n *Node) noteErr(err error) {

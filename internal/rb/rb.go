@@ -16,6 +16,15 @@
 //
 // Every "X broadcasts m using RB" step of the MW-SVSS, SVSS, coin and
 // agreement protocols runs through an Engine instance of this package.
+//
+// Echo traffic dominates the whole stack's message count (one broadcast
+// costs n type 1 + n² type 2 + n² type 3 messages), so the send path is
+// built to batch: echoes for many concurrent tags and sessions produced
+// within one delivery step are coalesced per destination and cross the
+// wire aggregated behind a single kind header (proto batch frames —
+// see internal/proto and the node runtime's outbox). Instances also
+// prune: once a process accepts, the remaining echoes of the storm are
+// dropped on arrival and the instance's vote state is released.
 package rb
 
 import (
@@ -155,6 +164,25 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	}
 	k := instKey{origin: msg.Origin, tag: msg.Tag}
 	in := e.inst(k)
+	// Echo pruning: once n−t matching echoes are recorded the instance
+	// has accepted, and acceptance implies the t+1 amplification (step 3)
+	// already sent our echo — t+1 ≤ n−t for n > 3t, so the send trigger
+	// fires strictly before the accept trigger. Every later echo is
+	// therefore inert: it can neither cause a send (sentType3 holds) nor
+	// a second accept, so it is dropped before touching the vote and
+	// count maps. This bounds per-instance state and makes the tail of
+	// each echo storm (the last t of n echoes) O(1) per delivery.
+	//
+	// Note what is deliberately NOT pruned: the echo *send* itself. With
+	// exactly n−t honest processes, suppressing a process's own echo
+	// because it already recorded n−t (up to t of them from faulty
+	// processes that stay silent toward everyone else) would leave its
+	// peers stuck at n−t−1 matching echoes forever, violating RB
+	// Termination. The paper's amplification rule is the termination
+	// mechanism, so every process still echoes exactly once.
+	if in.accepted {
+		return true
+	}
 	if in.voted[m.From] {
 		return true
 	}
@@ -168,6 +196,10 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	// Step 4: accept after n−t matching echoes.
 	if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
 		in.accepted = true
+		// The maps are dead weight from here on (see the pruning note
+		// above); release them so long runs with millions of broadcast
+		// instances keep a bounded footprint.
+		in.voted, in.counts = nil, nil
 		if e.onAccept != nil {
 			e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
 		}

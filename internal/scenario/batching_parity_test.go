@@ -1,0 +1,94 @@
+package scenario_test
+
+import (
+	"reflect"
+	"testing"
+
+	"svssba/internal/scenario"
+)
+
+// quickParityMatrix returns the matrix the parity test sweeps: the whole
+// quick matrix, or a representative slice of it under -short (one
+// benign and one adversarial scheduler, three behaviours, the n4 scale —
+// the full sweep costs minutes of simulated deliveries on one core).
+func quickParityMatrix(short bool) *scenario.Matrix {
+	m := scenario.Quick()
+	if !short {
+		return m
+	}
+	m.Schedulers = m.Schedulers[:2] // random, fifo
+	m.Behaviors = []scenario.Behavior{
+		scenario.NoFault(),
+		scenario.CrashBudget(),
+		scenario.Unanimous1VoteFlip(),
+	}
+	m.Scales = m.Scales[:1] // n4
+	return m
+}
+
+// TestBatchedUnbatchedParity is the batching safety contract, checked
+// across the quick scenario matrix: with the same seed, toggling
+// Batching changes nothing but the Frames counter — decisions,
+// violations, logical payload stats, step counts and round counts are
+// byte-identical. Batching is a frame-layer concern; it must never leak
+// into protocol behaviour.
+func TestBatchedUnbatchedParity(t *testing.T) {
+	plain := quickParityMatrix(testing.Short())
+	batched := quickParityMatrix(testing.Short())
+	batched.Batching = true
+
+	repPlain := scenario.Run(plain, 0)
+	repBatch := scenario.Run(batched, 0)
+
+	if len(repPlain.Cells) != len(repBatch.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(repPlain.Cells), len(repBatch.Cells))
+	}
+	if len(repPlain.Violations) != 0 || len(repBatch.Violations) != 0 {
+		t.Fatalf("invariant violations: plain %v, batched %v", repPlain.Violations, repBatch.Violations)
+	}
+	savedFrames := int64(0)
+	for i := range repPlain.Cells {
+		p, b := repPlain.Cells[i], repBatch.Cells[i]
+		if p.Cell.ID != b.Cell.ID {
+			t.Fatalf("cell order diverged: %q vs %q", p.Cell.ID, b.Cell.ID)
+		}
+		if p.Err != "" || b.Err != "" {
+			t.Fatalf("%s: cell errors: plain %q, batched %q", p.Cell.ID, p.Err, b.Err)
+		}
+		pr, br := p.Result, b.Result
+		if !reflect.DeepEqual(pr.Decisions, br.Decisions) {
+			t.Errorf("%s: decisions differ: %v vs %v", p.Cell.ID, pr.Decisions, br.Decisions)
+		}
+		if !reflect.DeepEqual(pr.MsgsByKind, br.MsgsByKind) {
+			t.Errorf("%s: logical payload stats differ:\n plain   %v\n batched %v", p.Cell.ID, pr.MsgsByKind, br.MsgsByKind)
+		}
+		if pr.Messages != br.Messages || pr.Bytes != br.Bytes {
+			t.Errorf("%s: logical totals differ: %d/%dB vs %d/%dB", p.Cell.ID, pr.Messages, pr.Bytes, br.Messages, br.Bytes)
+		}
+		if pr.Steps != br.Steps || pr.VirtualTime != br.VirtualTime || pr.MaxRound != br.MaxRound {
+			t.Errorf("%s: schedule diverged: steps %d/%d vtime %d/%d rounds %d/%d",
+				p.Cell.ID, pr.Steps, br.Steps, pr.VirtualTime, br.VirtualTime, pr.MaxRound, br.MaxRound)
+		}
+		if !reflect.DeepEqual(pr.Shuns, br.Shuns) {
+			t.Errorf("%s: shun sequences differ", p.Cell.ID)
+		}
+		// Frames count what crosses the network, so sends dropped at a
+		// crashed endpoint never become frames: without crash faults the
+		// unbatched frame count equals the payload count exactly.
+		if pr.Frames > pr.Messages {
+			t.Errorf("%s: unbatched frames %d exceed messages %d", p.Cell.ID, pr.Frames, pr.Messages)
+		}
+		if p.Cell.Behavior == "none" && pr.Frames != pr.Messages {
+			t.Errorf("%s: unbatched frames %d != messages %d in a fault-free cell", p.Cell.ID, pr.Frames, pr.Messages)
+		}
+		if br.Frames > pr.Frames {
+			t.Errorf("%s: batched frames %d exceed unbatched %d", p.Cell.ID, br.Frames, pr.Frames)
+		}
+		savedFrames += pr.Frames - br.Frames
+	}
+	// The model must actually coalesce somewhere in the matrix, or the
+	// frame counter is vacuous.
+	if savedFrames == 0 {
+		t.Fatal("batching saved zero frames across the matrix")
+	}
+}

@@ -67,6 +67,11 @@ type Matrix struct {
 	// MaxSteps is the per-cell delivery budget (defaults to 30M); a run
 	// that exhausts it counts as a termination violation.
 	MaxSteps int
+	// Batching runs every cell with the coalescing-outbox frame model
+	// (svssba.Config.Batching). Decisions, schedules and logical payload
+	// stats are byte-identical to the unbatched matrix; only the Frames
+	// counters change — the batched-vs-unbatched parity test pins this.
+	Batching bool
 }
 
 // Cell is one fully-instantiated matrix entry.
@@ -111,6 +116,7 @@ func (m *Matrix) Cells() []Cell {
 						DelayMean: sch.DelayMean, DelayCap: sch.DelayCap,
 						PartitionCut: sch.Cut, PartitionHealAt: sch.HealAt,
 						MaxSteps: maxSteps,
+						Batching: m.Batching,
 					}
 					if b.Faults != nil {
 						cfg.Faults = b.Faults(sc.N, sc.T)
@@ -415,10 +421,12 @@ func Quick() *Matrix {
 	}
 }
 
-// Full returns the deep matrix: 5 schedulers × 10 behaviours × 2 scales
-// × 3 seeds = 300 cells. (An n7/t2 run costs minutes of simulated
-// deliveries — see E2 — so larger scales are deliberate one-off runs,
-// not a matrix axis.)
+// Full returns the deep matrix: 5 schedulers × 10 behaviours × 3 scales
+// × 3 seeds = 450 cells, including the n=7/t=2 axis that the send-path
+// batching and echo-pruning pass opened up (an n7 cell runs tens of
+// millions of deliveries — the axis is for deliberate deep runs, not
+// CI; slice it with cmd/scenario -scale). The step budget is sized for
+// the n7 cells, whose honest runs need well past the 30M default.
 func Full() *Matrix {
 	scheds := append(DefaultSchedulers(), Scheduler{
 		Name: "delay-uniform", Kind: svssba.SchedDelayUniform, DelayLo: 1, DelayHi: 100,
@@ -434,8 +442,10 @@ func Full() *Matrix {
 		Scales: []Scale{
 			{Name: "n4", N: 4, T: 1},
 			{Name: "n5", N: 5, T: 1},
+			{Name: "n7", N: 7, T: 2},
 		},
-		Seeds: []int64{1000, 1001, 1002},
+		Seeds:    []int64{1000, 1001, 1002},
+		MaxSteps: 150_000_000,
 	}
 }
 

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// burstProc sends k same-step payloads to every peer on Init and echoes
+// one payload back per delivery for a few hops — a workload where
+// coalescing is visible (Init steps batch k payloads per destination).
+type burstProc struct {
+	id ProcID
+	n  int
+	k  int
+}
+
+func (p *burstProc) ID() ProcID { return p.id }
+
+func (p *burstProc) Init(ctx Context) {
+	for q := 1; q <= p.n; q++ {
+		if ProcID(q) == p.id {
+			continue
+		}
+		for i := 0; i < p.k; i++ {
+			ctx.Send(ProcID(q), parityPayload{kind: "burst/seed", size: 8, hops: 2})
+		}
+	}
+}
+
+func (p *burstProc) Deliver(ctx Context, m Message) {
+	pl := m.Payload.(parityPayload)
+	if pl.hops == 0 {
+		return
+	}
+	ctx.Send(m.From, parityPayload{kind: "burst/echo", size: 4, hops: pl.hops - 1})
+}
+
+func runBurstNetwork(t *testing.T, batching bool) *Stats {
+	t.Helper()
+	const n, tf, k = 4, 1, 3
+	nw := NewNetwork(n, tf, 7, WithBatching(batching))
+	for p := 1; p <= n; p++ {
+		if err := nw.Register(&burstProc{id: ProcID(p), n: n, k: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return nw.Stats()
+}
+
+// TestNetworkBatchingStatsModel checks the core batching contract on the
+// deterministic runtime: toggling batching changes only the Frames
+// counter — logical traffic, delivery counts and scheduling are
+// byte-identical — and the batched frame count reflects per-step
+// per-destination coalescing.
+func TestNetworkBatchingStatsModel(t *testing.T) {
+	off := runBurstNetwork(t, false)
+	on := runBurstNetwork(t, true)
+
+	if off.Frames != off.Sent-off.Dropped {
+		t.Fatalf("unbatched frames %d, want sent-dropped %d", off.Frames, off.Sent-off.Dropped)
+	}
+	offNoFrames, onNoFrames := off.Clone(), on.Clone()
+	offNoFrames.Frames, onNoFrames.Frames = 0, 0
+	if !reflect.DeepEqual(offNoFrames, onNoFrames) {
+		t.Fatalf("batching changed logical stats:\n off %+v\n on  %+v", off, on)
+	}
+	// Each Init step sends 3 payloads to each of 3 peers: 9 frames
+	// unbatched, 3 batched. Echo steps send one payload each.
+	if on.Frames >= off.Frames {
+		t.Fatalf("batched frames %d not below unbatched %d", on.Frames, off.Frames)
+	}
+	wantSaved := int64(4 * 3 * 2) // 4 Init steps × 3 destinations × (3-1) coalesced payloads
+	if off.Frames-on.Frames != wantSaved {
+		t.Fatalf("saved %d frames, want %d", off.Frames-on.Frames, wantSaved)
+	}
+}
+
+// fakeBatchCodec is a hermetic Codec+batchCodec for parityPayload-style
+// messages, so the LiveNet batch path can be tested without importing
+// the real proto codec (which would cycle).
+type fakeBatchCodec struct{}
+
+func encodeFake(dst []byte, p Payload) []byte {
+	pl := p.(parityPayload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pl.kind)))
+	dst = append(dst, pl.kind...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(pl.size))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(pl.hops))
+	return dst
+}
+
+func decodeFake(b []byte) (Payload, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("fake: short")
+	}
+	kl := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < kl+8 {
+		return nil, nil, fmt.Errorf("fake: short")
+	}
+	p := parityPayload{
+		kind: string(b[:kl]),
+		size: int(binary.LittleEndian.Uint32(b[kl:])),
+		hops: int(binary.LittleEndian.Uint32(b[kl+4:])),
+	}
+	return p, b[kl+8:], nil
+}
+
+func (fakeBatchCodec) Encode(p Payload) ([]byte, error) { return encodeFake(nil, p), nil }
+
+func (fakeBatchCodec) Decode(b []byte) (Payload, error) {
+	p, rest, err := decodeFake(b)
+	if err == nil && len(rest) != 0 {
+		err = fmt.Errorf("fake: trailing bytes")
+	}
+	return p, err
+}
+
+func (fakeBatchCodec) AppendEncodeBatch(dst []byte, ps []Payload) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ps)))
+	for _, p := range ps {
+		dst = encodeFake(dst, p)
+	}
+	return dst, nil
+}
+
+func (fakeBatchCodec) DecodeBatch(b []byte) ([]Payload, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("fake: short")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make([]Payload, 0, n)
+	for i := 0; i < n; i++ {
+		p, rest, err := decodeFake(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("fake: trailing bytes")
+	}
+	return out, nil
+}
+
+// TestLiveNetBatching runs the burst workload on the concurrent runtime
+// with the coalescing outbox and a batch-capable codec: logical totals
+// must match the deterministic Network run, frames must come in below
+// payloads, and the codec round trip must preserve every message.
+func TestLiveNetBatching(t *testing.T) {
+	want := runBurstNetwork(t, true)
+
+	const n, tf, k = 4, 1, 3
+	ln := NewLiveNet(n, tf, 7,
+		WithMaxDelay(100*time.Microsecond),
+		WithLiveBatching(true),
+		WithCodec(fakeBatchCodec{}))
+	for p := 1; p <= n; p++ {
+		if err := ln.Register(&burstProc{id: ProcID(p), n: n, k: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ln.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := ln.Stats()
+		if st.Sent == want.Sent && st.Delivered == want.Sent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live run did not quiesce: %+v (want sent %d)", st, want.Sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln.Stop()
+	if errs := ln.Errs(); len(errs) > 0 {
+		t.Fatalf("live codec errors: %v", errs[0])
+	}
+	st := ln.Stats()
+	if !reflect.DeepEqual(st.SentByKind, want.SentByKind) || !reflect.DeepEqual(st.BytesByKind, want.BytesByKind) {
+		t.Fatalf("logical stats diverge from Network run:\n live %+v\n want %+v", st, want)
+	}
+	if st.Frames >= st.Sent {
+		t.Fatalf("live frames %d not below payloads %d", st.Frames, st.Sent)
+	}
+	// The burst workload coalesces deterministically per step even under
+	// real concurrency: Init ships 3 payloads per destination per frame.
+	if st.Frames != want.Frames {
+		t.Fatalf("live frames %d, want %d", st.Frames, want.Frames)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+// Coalescer is the per-destination coalescing buffer behind every
+// batching send path: values parked for the same destination within one
+// delivery step flush together, destinations flush in first-touch order
+// (a deterministic function of the emission order, which the
+// batched-vs-unbatched parity contract relies on). LiveNet coalesces
+// Messages with it and the node runtime coalesces payloads; both share
+// this one implementation so the ordering invariant lives in one place.
+// Not safe for concurrent use — each sender owns its own Coalescer.
+type Coalescer[T any] struct {
+	pending [][]T    // indexed by destination
+	touched []ProcID // destinations with pending values, first-touch order
+}
+
+// NewCoalescer returns a buffer for destinations 1..n.
+func NewCoalescer[T any](n int) *Coalescer[T] {
+	return &Coalescer[T]{pending: make([][]T, n+1)}
+}
+
+// Add parks a value for destination to.
+func (c *Coalescer[T]) Add(to ProcID, v T) {
+	if len(c.pending[to]) == 0 {
+		c.touched = append(c.touched, to)
+	}
+	c.pending[to] = append(c.pending[to], v)
+}
+
+// Flush ships every destination's group through send, in first-touch
+// order, and resets the buffer. The group slices are handed off (not
+// reused), since frames own their buffers once on a transport.
+func (c *Coalescer[T]) Flush(send func(to ProcID, vs []T)) {
+	if len(c.touched) == 0 {
+		return
+	}
+	for _, to := range c.touched {
+		vs := c.pending[to]
+		c.pending[to] = nil
+		send(to, vs)
+	}
+	c.touched = c.touched[:0]
+}

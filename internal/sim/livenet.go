@@ -22,6 +22,16 @@ type appendEncoder interface {
 	AppendEncode(dst []byte, p Payload) ([]byte, error)
 }
 
+// batchCodec is the multi-payload frame fast path a Codec may optionally
+// provide (proto.Codec does): with batching on, LiveNet round-trips each
+// flushed same-destination group through one batch frame instead of one
+// frame per payload, exercising the exact wire format the node runtime
+// puts on real sockets.
+type batchCodec interface {
+	AppendEncodeBatch(dst []byte, ps []Payload) ([]byte, error)
+	DecodeBatch(b []byte) ([]Payload, error)
+}
+
 // LiveNet runs the same Handlers as Network but with one goroutine per
 // process, real (randomized) delivery delays, and optional wire encoding.
 // It demonstrates that the protocol state machines are runtime-agnostic;
@@ -36,6 +46,7 @@ type LiveNet struct {
 	n, t     int
 	maxDelay time.Duration
 	codec    Codec
+	batching bool
 
 	procs   []Handler
 	boxes   []*mailbox
@@ -46,7 +57,11 @@ type LiveNet struct {
 	// never alias the input bytes, so the buffer is free again as soon
 	// as Decode returns.
 	scratch [][]byte
-	nRegs   int
+	// outbox holds, per sender, the same-destination coalescing buffer
+	// of the current delivery step (batching mode only; sender-goroutine
+	// local like scratch).
+	outbox []*Coalescer[Message]
+	nRegs  int
 
 	mu      sync.Mutex
 	seq     uint64
@@ -56,13 +71,13 @@ type LiveNet struct {
 	start   time.Time
 
 	// Counters (see Stats for the snapshot view), guarded by mu.
-	sent, delivered, dropped int64
-	kindIDs                  map[string]int
-	kindNames                []string
-	sentByKind               []int64
-	bytesByKind              []int64
-	lastKind                 string
-	lastKindID               int
+	sent, delivered, dropped, frames int64
+	kindIDs                          map[string]int
+	kindNames                        []string
+	sentByKind                       []int64
+	bytesByKind                      []int64
+	lastKind                         string
+	lastKindID                       int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -85,6 +100,18 @@ func (o liveDelayOption) applyLive(l *LiveNet) { l.maxDelay = o.d }
 // WithMaxDelay sets the maximum random per-message delay (default 2ms).
 func WithMaxDelay(d time.Duration) LiveOption { return liveDelayOption{d: d} }
 
+type liveBatchingOption struct{ on bool }
+
+func (o liveBatchingOption) applyLive(l *LiveNet) { l.batching = o.on }
+
+// WithLiveBatching turns on the coalescing outbox: all payloads a
+// process sends to one destination within one delivery step travel (and
+// are delayed) as a single physical frame, round-tripped through the
+// codec's batch frame format when the codec provides one. Logical
+// counters (Sent, per-kind) are unchanged; Stats.Frames counts the
+// physical frames.
+func WithLiveBatching(on bool) LiveOption { return liveBatchingOption{on: on} }
+
 // NewLiveNet creates a live runtime for n processes tolerating t faults.
 func NewLiveNet(n, t int, seed int64, opts ...LiveOption) *LiveNet {
 	l := &LiveNet{
@@ -96,6 +123,7 @@ func NewLiveNet(n, t int, seed int64, opts ...LiveOption) *LiveNet {
 		rands:      make([]*rand.Rand, n+1),
 		crashed:    make([]bool, n+1),
 		scratch:    make([][]byte, n+1),
+		outbox:     make([]*Coalescer[Message], n+1),
 		kindIDs:    make(map[string]int, 16),
 		lastKindID: -1,
 		stop:       make(chan struct{}),
@@ -151,10 +179,14 @@ func (l *LiveNet) Start() error {
 	for p := 1; p <= l.n; p++ {
 		id := ProcID(p)
 		l.wg.Add(1)
+		if l.batching {
+			l.outbox[id] = NewCoalescer[Message](l.n)
+		}
 		go func(id ProcID) {
 			defer l.wg.Done()
 			ctx := liveCtx{l: l, id: id}
 			l.procs[id].Init(ctx)
+			ctx.flushOutbox()
 			for {
 				select {
 				case <-l.stop:
@@ -175,6 +207,7 @@ func (l *LiveNet) Start() error {
 					l.delivered++
 					l.mu.Unlock()
 					l.procs[id].Deliver(ctx, m)
+					ctx.flushOutbox()
 				}
 			}
 		}(id)
@@ -203,6 +236,7 @@ func (l *LiveNet) Stats() *Stats {
 	defer l.mu.Unlock()
 	s := newStats()
 	s.Sent, s.Delivered, s.Dropped = l.sent, l.delivered, l.dropped
+	s.Frames = l.frames
 	for id, name := range l.kindNames {
 		s.SentByKind[name] = l.sentByKind[id]
 		s.BytesByKind[name] = l.bytesByKind[id]
@@ -297,54 +331,105 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 		l.mu.Unlock()
 		return
 	}
+	batching := l.outbox[c.id] != nil
+	if !stopped && !batching {
+		// Unbatched: the message is its own frame; count it here so the
+		// hot path pays no second lock acquisition in shipOne.
+		l.frames++
+	}
 	l.mu.Unlock()
 	if stopped {
 		return
 	}
 
-	payload := p
+	m := Message{From: c.id, To: to, Payload: p, Seq: seq, SentAt: c.Now()}
+	if batching {
+		// Park the message in the sender's outbox; flushOutbox ships each
+		// destination's group as one frame when the delivery step ends.
+		l.outbox[c.id].Add(to, m)
+		return
+	}
+	c.shipOne(m)
+}
+
+// flushOutbox ends the sender's delivery step: every destination touched
+// since the last flush gets its coalesced group shipped as one frame, in
+// first-touch order. Only the sender's goroutine calls it.
+func (c liveCtx) flushOutbox() {
+	ob := c.l.outbox[c.id]
+	if ob == nil {
+		return
+	}
+	ob.Flush(func(_ ProcID, ms []Message) { c.ship(ms) })
+}
+
+// shipOne sends a single-message frame (frame already counted by Send):
+// codec round trip, delay draw, handoff to the destination's mailbox.
+func (c liveCtx) shipOne(m Message) {
+	l := c.l
 	if l.codec != nil {
-		var b []byte
-		var err error
-		if ae, ok := l.codec.(appendEncoder); ok {
-			// Encode into the sender's scratch buffer: zero allocations
-			// per message once the buffer has grown to the working set.
-			b, err = ae.AppendEncode(l.scratch[c.id][:0], p)
-			if err == nil {
-				l.scratch[c.id] = b
-			}
-		} else {
-			b, err = l.codec.Encode(p)
-		}
-		if err == nil {
-			payload, err = l.codec.Decode(b)
-		}
-		if err != nil {
+		if err := c.roundTripOne(&m); err != nil {
 			l.mu.Lock()
-			l.errs = append(l.errs, fmt.Errorf("codec %s: %w", p.Kind(), err))
+			l.errs = append(l.errs, err)
+			l.mu.Unlock()
+			return
+		}
+	}
+	c.deliverFrame(l.boxes[m.To], m)
+}
+
+// ship sends one coalesced frame holding ms (all same destination):
+// codec round trip through the batch format, one shared delay draw,
+// in-order handoff to the destination's mailbox.
+func (c liveCtx) ship(ms []Message) {
+	l := c.l
+	if len(ms) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.frames++
+	l.mu.Unlock()
+
+	if l.codec != nil {
+		if err := c.roundTrip(ms); err != nil {
+			l.mu.Lock()
+			l.errs = append(l.errs, err)
 			l.mu.Unlock()
 			return
 		}
 	}
 
-	m := Message{From: c.id, To: to, Payload: payload, Seq: seq, SentAt: c.Now()}
-	var delay time.Duration
-	if l.maxDelay > 0 {
-		// Sender-local rand is only touched from the sender's goroutine.
-		delay = time.Duration(l.rands[c.id].Int63n(int64(l.maxDelay)))
-	}
-	box := l.boxes[to]
+	box := l.boxes[ms[0].To]
 	l.wg.Add(1)
+	delay := c.drawDelay()
 	go func() {
 		defer l.wg.Done()
-		if delay > 0 {
-			timer := time.NewTimer(delay)
-			defer timer.Stop()
+		if !c.sleepDelay(delay) {
+			return
+		}
+		for _, m := range ms {
+			if l.isCrashed(m.From, m.To, true) {
+				// Either endpoint crashed while the frame was in flight.
+				continue
+			}
 			select {
-			case <-timer.C:
+			case box.in <- m:
 			case <-l.stop:
 				return
 			}
+		}
+	}()
+}
+
+// deliverFrame launches the delayed single-message handoff.
+func (c liveCtx) deliverFrame(box *mailbox, m Message) {
+	l := c.l
+	l.wg.Add(1)
+	delay := c.drawDelay()
+	go func() {
+		defer l.wg.Done()
+		if !c.sleepDelay(delay) {
+			return
 		}
 		if l.isCrashed(m.From, m.To, true) {
 			// Either endpoint crashed while the message was in flight.
@@ -355,6 +440,90 @@ func (c liveCtx) Send(to ProcID, p Payload) {
 		case <-l.stop:
 		}
 	}()
+}
+
+// drawDelay draws the frame's delivery delay from the sender-local rand
+// (only touched from the sender's goroutine).
+func (c liveCtx) drawDelay() time.Duration {
+	if c.l.maxDelay <= 0 {
+		return 0
+	}
+	return time.Duration(c.l.rands[c.id].Int63n(int64(c.l.maxDelay)))
+}
+
+// sleepDelay waits out a frame delay; false means the net stopped.
+func (c liveCtx) sleepDelay(delay time.Duration) bool {
+	if delay <= 0 {
+		return true
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.l.stop:
+		return false
+	}
+}
+
+// roundTripOne replaces one message's payload with its post-wire
+// decoding — the single-frame encode path (zero allocations into the
+// sender's scratch buffer when the codec supports AppendEncode).
+func (c liveCtx) roundTripOne(m *Message) error {
+	l := c.l
+	p := m.Payload
+	var b []byte
+	var err error
+	if ae, ok := l.codec.(appendEncoder); ok {
+		b, err = ae.AppendEncode(l.scratch[c.id][:0], p)
+		if err == nil {
+			l.scratch[c.id] = b
+		}
+	} else {
+		b, err = l.codec.Encode(p)
+	}
+	if err == nil {
+		m.Payload, err = l.codec.Decode(b)
+	}
+	if err != nil {
+		return fmt.Errorf("codec %s: %w", p.Kind(), err)
+	}
+	return nil
+}
+
+// roundTrip replaces the payloads of ms with their post-wire decodings,
+// preferring the codec's batch frame format for multi-payload frames.
+func (c liveCtx) roundTrip(ms []Message) error {
+	l := c.l
+	bc, isBatch := l.codec.(batchCodec)
+	if isBatch && len(ms) > 1 {
+		ps := make([]Payload, len(ms))
+		for i, m := range ms {
+			ps[i] = m.Payload
+		}
+		b, err := bc.AppendEncodeBatch(l.scratch[c.id][:0], ps)
+		if err != nil {
+			return fmt.Errorf("codec batch: %w", err)
+		}
+		l.scratch[c.id] = b
+		out, err := bc.DecodeBatch(b)
+		if err != nil {
+			return fmt.Errorf("codec batch: %w", err)
+		}
+		if len(out) != len(ms) {
+			return fmt.Errorf("codec batch: %d payloads in, %d out", len(ms), len(out))
+		}
+		for i := range ms {
+			ms[i].Payload = out[i]
+		}
+		return nil
+	}
+	for i := range ms {
+		if err := c.roundTripOne(&ms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // mailbox is an unbounded FIFO queue between network deliveries and a

@@ -80,11 +80,15 @@ type Scheduler interface {
 	Len() int
 }
 
-// Stats is a snapshot of message-level metrics for a run.
+// Stats is a snapshot of message-level metrics for a run. Sent counts
+// logical payloads; Frames counts physical network messages — without
+// batching every enqueued payload is its own frame, with batching all
+// same-destination payloads produced within one delivery step share one.
 type Stats struct {
 	SentByKind  map[string]int64
 	BytesByKind map[string]int64
 	Sent        int64
+	Frames      int64
 	Delivered   int64
 	Dropped     int64
 }
@@ -109,6 +113,7 @@ func (s *Stats) TotalBytes() int64 {
 func (s *Stats) Clone() *Stats {
 	c := newStats()
 	c.Sent, c.Delivered, c.Dropped = s.Sent, s.Delivered, s.Dropped
+	c.Frames = s.Frames
 	for k, v := range s.SentByKind {
 		c.SentByKind[k] = v
 	}
@@ -137,12 +142,23 @@ type Network struct {
 	inited    bool
 	nRegs     int
 
+	// Batching stats model: when on, every payload enqueued for the same
+	// destination within one delivery step (one Init, one Deliver, one
+	// Inject) counts as part of a single physical frame, modeling the
+	// coalescing outbox the node runtime flushes per step. Delivery
+	// semantics are untouched — payloads still traverse the scheduler
+	// individually — so batched and unbatched runs of the same seed are
+	// byte-identical in everything but the Frames counter.
+	batching  bool
+	stepStamp int64
+	destStamp []int64
+
 	// Counters (see Stats for the snapshot view).
-	sent, delivered, dropped int64
-	kindIDs                  map[string]int
-	kindNames                []string
-	sentByKind               []int64
-	bytesByKind              []int64
+	sent, delivered, dropped, frames int64
+	kindIDs                          map[string]int
+	kindNames                        []string
+	sentByKind                       []int64
+	bytesByKind                      []int64
 	// One-slot intern cache: consecutive sends are overwhelmingly of the
 	// same kind, and kind strings are constants, so the == below is
 	// usually a pointer comparison.
@@ -171,6 +187,16 @@ func WithDeliverHook(fn func(Message)) NetworkOption {
 	return deliverHookOption{fn: fn}
 }
 
+type batchingOption struct{ on bool }
+
+func (o batchingOption) apply(n *Network) { n.batching = o.on }
+
+// WithBatching turns the coalescing-outbox stats model on: Stats.Frames
+// counts one physical message per (delivery step, destination) group
+// instead of one per payload. Scheduling, delivery order and every
+// logical counter are unaffected.
+func WithBatching(on bool) NetworkOption { return batchingOption{on: on} }
+
 // NewNetwork creates a system of n processes tolerating t faults, seeded
 // deterministically. Handlers are registered with Register before Run.
 func NewNetwork(n, t int, seed int64, opts ...NetworkOption) *Network {
@@ -180,6 +206,7 @@ func NewNetwork(n, t int, seed int64, opts ...NetworkOption) *Network {
 		procs:      make([]Handler, n+1),
 		rands:      make([]*rand.Rand, n+1),
 		crashed:    make([]bool, n+1),
+		destStamp:  make([]int64, n+1),
 		kindIDs:    make(map[string]int, 16),
 		lastKindID: -1,
 	}
@@ -224,6 +251,7 @@ func (nw *Network) Now() int64 { return nw.now }
 func (nw *Network) Stats() *Stats {
 	s := newStats()
 	s.Sent, s.Delivered, s.Dropped = nw.sent, nw.delivered, nw.dropped
+	s.Frames = nw.frames
 	for id, name := range nw.kindNames {
 		s.SentByKind[name] = nw.sentByKind[id]
 		s.BytesByKind[name] = nw.bytesByKind[id]
@@ -280,6 +308,12 @@ func (c procCtx) Send(to ProcID, p Payload) {
 		nw.dropped++
 		return
 	}
+	// Frames model: a frame per enqueued payload, or per (step, dest)
+	// group when batching coalesces same-step same-destination traffic.
+	if !nw.batching || nw.destStamp[to] != nw.stepStamp {
+		nw.destStamp[to] = nw.stepStamp
+		nw.frames++
+	}
 	nw.sched.Enqueue(Message{
 		From:    c.id,
 		To:      to,
@@ -299,6 +333,7 @@ func (nw *Network) Init() error {
 	}
 	nw.inited = true
 	for p := 1; p <= nw.n; p++ {
+		nw.stepStamp++
 		nw.procs[p].Init(procCtx{nw: nw, id: ProcID(p)})
 	}
 	return nil
@@ -328,6 +363,7 @@ func (nw *Network) Step() (bool, error) {
 		for _, hook := range nw.onDeliver {
 			hook(m)
 		}
+		nw.stepStamp++
 		nw.procs[m.To].Deliver(procCtx{nw: nw, id: m.To}, m)
 		return true, nil
 	}
@@ -388,6 +424,7 @@ func (nw *Network) Inject(p ProcID, fn func(ctx Context)) error {
 	if p < 1 || int(p) > nw.n {
 		return fmt.Errorf("sim: inject into unknown process %d", p)
 	}
+	nw.stepStamp++
 	fn(procCtx{nw: nw, id: p})
 	return nil
 }

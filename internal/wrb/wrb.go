@@ -158,6 +158,17 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 			ctx.Send(sim.ProcID(p), echo)
 		}
 	case phaseType2:
+		// Echo pruning: an accepted instance can neither accept again nor
+		// send anything in response to a type 2, so the remaining echoes
+		// of the storm (up to t per instance) skip the vote and count
+		// maps entirely. The type 1 branch above stays live — a slow
+		// process must still echo the dealer's value so its peers can
+		// reach their own n−t thresholds (suppressing the echo of an
+		// already-accepted process would strand peers at n−t−1 matching
+		// echoes when exactly n−t processes are honest).
+		if in.accepted {
+			return true
+		}
 		// Step 3: count the first type 2 from each sender.
 		if in.voted[m.From] {
 			return true
@@ -167,6 +178,9 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 		in.counts[v]++
 		if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
 			in.accepted = true
+			// Dead from here on (see pruning note); keep the per-instance
+			// footprint bounded across millions of broadcasts.
+			in.voted, in.counts = nil, nil
 			if e.onAccept != nil {
 				e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
 			}
