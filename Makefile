@@ -50,3 +50,15 @@ fuzz-batch:
 # in-process transport).
 cluster-race:
 	$(GO) test -race ./internal/transport/ ./internal/node/
+
+# n10 runs the n=10/t=3 agreement smoke end to end — a deliberate deep
+# run (>100M deliveries per coin round; see BENCH_pr5.json for the
+# measured cost). The default `go test` budget skips it; this target
+# grants the headroom.
+n10:
+	$(GO) test -run TestAgreementN10 -v -timeout 90m .
+
+# microbench runs the per-delivery hot-path benchmarks the interning
+# port is measured by (CI runs a 1-iteration smoke of the same).
+microbench:
+	$(GO) test -run=NONE -bench='RBHandle|MWSVSSDeliver' -benchmem ./internal/rb/ ./internal/mwsvss/

@@ -1,0 +1,117 @@
+// Command paritydigest prints a byte-stable digest of a fixed matrix of
+// deterministic runs (agreement across schedulers/faults/scales, plus
+// standalone SVSS and coin sessions). Two builds of the tree produce
+// identical output iff they make identical protocol decisions, schedules
+// and logical stats for every covered seed — the guardrail used when a
+// PR claims to be a pure representation change (capture the output
+// before, diff after).
+//
+//	go run ./cmd/paritydigest           # quick matrix (seconds)
+//	go run ./cmd/paritydigest -deep     # adds the n7/t2 cell (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"svssba"
+)
+
+func main() {
+	deep := flag.Bool("deep", false, "include the n7/t2 agreement cell (minutes of deliveries)")
+	flag.Parse()
+
+	type cell struct {
+		name string
+		cfg  svssba.Config
+	}
+	cells := []cell{
+		{"n4-random-s1", svssba.Config{N: 4, Seed: 1}},
+		{"n4-random-s2", svssba.Config{N: 4, Seed: 2}},
+		{"n4-random-s3", svssba.Config{N: 4, Seed: 3}},
+		{"n4-fifo-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedFIFO}},
+		{"n4-delayexp-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedDelayExp}},
+		{"n4-partition-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedPartition}},
+		{"n4-batched-s1", svssba.Config{N: 4, Seed: 1, Batching: true}},
+		{"n5-crash-s1", svssba.Config{N: 5, T: 1, Seed: 1, Faults: []svssba.Fault{{Proc: 5, Kind: svssba.FaultCrash}}}},
+		{"n4-silent-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultSilent}}}},
+		{"n4-voteflip-s1", svssba.Config{N: 4, Seed: 1, Inputs: []int{1, 1, 1, 1}, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteFlip}}}},
+		{"n4-voteequiv-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteEquivocate}}}},
+		{"n4-rvallie-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultRValLie}}}},
+		{"n4-echolie-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultEchoLie}}}},
+		{"n4-dealcorrupt-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultDealCorrupt}}}},
+		{"n4-muteburst-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultMuteBurst}}}},
+		{"n4-targdelay-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultTargetedDelay}}}},
+		{"n4-crossequiv-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCrossEquivocate}}}},
+		{"n4-coinbias-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCoinBias}}}},
+		{"n5-coinbias-s7", svssba.Config{N: 5, T: 1, Seed: 7, Faults: []svssba.Fault{{Proc: 5, Kind: svssba.FaultCoinBias}}}},
+		{"n4-benor", svssba.Config{N: 4, Seed: 1, Protocol: svssba.ProtocolBenOr}},
+		{"n4-localcoin", svssba.Config{N: 4, Seed: 1, Protocol: svssba.ProtocolLocalCoin}},
+	}
+	if *deep {
+		cells = append(cells,
+			cell{"n7-random-s1", svssba.Config{N: 7, T: 2, Seed: 1}},
+			cell{"n7-batched-s1", svssba.Config{N: 7, T: 2, Seed: 1, Batching: true}},
+		)
+	}
+
+	for _, c := range cells {
+		res, err := svssba.Run(c.cfg)
+		if err != nil {
+			fmt.Printf("%s: ERR %v\n", c.name, err)
+			continue
+		}
+		fmt.Printf("%s: %s\n", c.name, digest(res))
+	}
+
+	sres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 1, Secret: 7})
+	if err != nil {
+		fmt.Printf("svss-n4: ERR %v\n", err)
+	} else {
+		fmt.Printf("svss-n4: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
+			sortedKV(sres.Outputs), sres.ShareCompleted, sres.Shuns, sres.Messages, sres.Bytes)
+	}
+	lres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 2, Secret: 9,
+		Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultRValLie}}})
+	if err != nil {
+		fmt.Printf("svss-n4-rvallie: ERR %v\n", err)
+	} else {
+		fmt.Printf("svss-n4-rvallie: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
+			sortedKV(lres.Outputs), lres.ShareCompleted, lres.Shuns, lres.Messages, lres.Bytes)
+	}
+	cres, err := svssba.RunCoin(svssba.CoinConfig{N: 4, Seed: 1, Rounds: 2})
+	if err != nil {
+		fmt.Printf("coin-n4: ERR %v\n", err)
+	} else {
+		for i, rr := range cres.RoundResults {
+			fmt.Printf("coin-n4 r%d: bits=%v agreed=%v value=%d\n", i+1, sortedKV(rr.Bits), rr.Agreed, rr.Value)
+		}
+		fmt.Printf("coin-n4: msgs=%d bytes=%d shuns=%v\n", cres.Messages, cres.Bytes, cres.Shuns)
+	}
+}
+
+// digest renders every deterministic field of a Result in fixed order.
+func digest(r *svssba.Result) string {
+	return fmt.Sprintf(
+		"dec=%v agreed=%v value=%d maxround=%d steps=%d vt=%d msgs=%d bytes=%d frames=%d shuns=%v bykind=%v timeout=%v",
+		sortedKV(r.Decisions), r.Agreed, r.Value, r.MaxRound, r.Steps, r.VirtualTime,
+		r.Messages, r.Bytes, r.Frames, r.Shuns, sortedKV(r.MsgsByKind), r.TimedOut)
+}
+
+// sortedKV renders a map as sorted key=value pairs.
+func sortedKV[K int | string, V any](m map[K]V) string {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s := "["
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%v", k, m[k])
+	}
+	return s + "]"
+}

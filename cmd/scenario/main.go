@@ -3,7 +3,7 @@
 // and termination invariants checked on every cell.
 //
 //	scenario -quick              # 4×7×2×1 = 56 cells (the default)
-//	scenario -full               # 5×10×3×3 = 450 cells (includes n7/t2)
+//	scenario -full               # 5×10×4×3 = 600 cells (includes n7/t2, n10/t3)
 //	scenario -scale n4           # restrict the scale axis (CI smoke)
 //	scenario -batch              # coalescing-outbox frame model on every cell
 //	scenario -seeds 5            # override the seed axis (1000..1004)

@@ -40,6 +40,7 @@ package aba
 import (
 	"fmt"
 
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 )
@@ -139,20 +140,27 @@ type CoinPort interface {
 // DecideFunc observes the local decision.
 type DecideFunc func(ctx sim.Context, value int)
 
+// round holds one voting round's state. Per-sender records are
+// bitsets: a "seen" set plus value bitsets replace the former
+// map[ProcID]uint8 first-message-per-sender maps, so the vote-counting
+// delivery path does bit arithmetic only.
 type round struct {
 	r uint64
 
 	entered  bool
 	bvalSent [2]bool
-	bvalRecv [2]map[sim.ProcID]bool
+	bvalRecv [2]intern.ProcSet
 	bin      [2]bool
 
 	auxSent bool
-	auxRecv map[sim.ProcID]uint8 // first AUX value per sender
+	auxSeen intern.ProcSet // senders with a recorded AUX
+	auxOne  intern.ProcSet // subset whose AUX value is 1
 
 	confSent bool
 	confMask uint8
-	confRecv map[sim.ProcID]uint8 // first CONF mask per sender
+	confSeen intern.ProcSet // senders with a recorded CONF
+	confB0   intern.ProcSet // subset whose mask contains value 0
+	confB1   intern.ProcSet // subset whose mask contains value 1
 
 	coinAsked bool
 	coinVal   int
@@ -175,7 +183,8 @@ type Engine struct {
 	decided  bool
 	decision uint8
 	decSent  bool
-	decRecv  map[sim.ProcID]uint8
+	decSeen  intern.ProcSet // senders with a recorded DECIDE
+	decOne   intern.ProcSet // subset that decided 1
 	halted   bool
 }
 
@@ -187,23 +196,28 @@ func New(self sim.ProcID, coin CoinPort, onDecide DecideFunc) *Engine {
 		coin:     coin,
 		onDecide: onDecide,
 		rounds:   make(map[uint64]*round),
-		decRecv:  make(map[sim.ProcID]uint8),
 	}
 }
 
 func (e *Engine) round(r uint64) *round {
 	rd, ok := e.rounds[r]
 	if !ok {
-		rd = &round{
-			r:        r,
-			auxRecv:  make(map[sim.ProcID]uint8),
-			confRecv: make(map[sim.ProcID]uint8),
-		}
-		rd.bvalRecv[0] = make(map[sim.ProcID]bool)
-		rd.bvalRecv[1] = make(map[sim.ProcID]bool)
+		rd = &round{r: r}
 		e.rounds[r] = rd
 	}
 	return rd
+}
+
+// Rounds returns the number of live round records (retirement tests).
+func (e *Engine) Rounds() int { return len(e.rounds) }
+
+// Retire drops the per-round and per-sender vote state, keeping the
+// decision. Only meaningful once the engine halted: a halted process
+// ignores every further message, so the state can never be read again.
+func (e *Engine) Retire() {
+	clear(e.rounds)
+	e.decSeen.Clear()
+	e.decOne.Clear()
 }
 
 // Decided reports the local decision, if any.
@@ -269,15 +283,16 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		rd := e.round(p.Round)
 		switch p.Step {
 		case 1:
-			if rd.bvalRecv[p.Value][m.From] {
+			if !rd.bvalRecv[p.Value].Add(m.From) {
 				return
 			}
-			rd.bvalRecv[p.Value][m.From] = true
 		case 2:
-			if _, dup := rd.auxRecv[m.From]; dup {
+			if !rd.auxSeen.Add(m.From) {
 				return
 			}
-			rd.auxRecv[m.From] = p.Value
+			if p.Value == 1 {
+				rd.auxOne.Add(m.From)
+			}
 		default:
 			return
 		}
@@ -287,19 +302,26 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 			return
 		}
 		rd := e.round(p.Round)
-		if _, dup := rd.confRecv[m.From]; dup {
+		if !rd.confSeen.Add(m.From) {
 			return
 		}
-		rd.confRecv[m.From] = p.Mask
+		if p.Mask&1 != 0 {
+			rd.confB0.Add(m.From)
+		}
+		if p.Mask&2 != 0 {
+			rd.confB1.Add(m.From)
+		}
 		e.advance(ctx, rd)
 	case Decide:
 		if p.Value > 1 {
 			return
 		}
-		if _, dup := e.decRecv[m.From]; dup {
+		if !e.decSeen.Add(m.From) {
 			return
 		}
-		e.decRecv[m.From] = p.Value
+		if p.Value == 1 {
+			e.decOne.Add(m.From)
+		}
 		e.checkDecideQuorum(ctx)
 	}
 }
@@ -324,7 +346,7 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 
 	// BV-broadcast relay and bin_values admission.
 	for v := uint8(0); v <= 1; v++ {
-		c := len(rd.bvalRecv[v])
+		c := rd.bvalRecv[v].Count()
 		if c >= t+1 && rd.entered {
 			e.sendBVal(ctx, rd, v)
 		}
@@ -352,11 +374,15 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	if rd.auxSent && !rd.confSent {
 		count := 0
 		var mask uint8
-		for _, v := range rd.auxRecv {
-			if rd.bin[v] {
-				count++
-				mask |= 1 << v
-			}
+		c1 := rd.auxOne.Count()
+		c0 := rd.auxSeen.Count() - c1
+		if rd.bin[0] && c0 > 0 {
+			count += c0
+			mask |= 1
+		}
+		if rd.bin[1] && c1 > 0 {
+			count += c1
+			mask |= 2
 		}
 		if count >= n-t && mask != 0 {
 			rd.confSent = true
@@ -369,12 +395,19 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	if rd.confSent && !rd.coinAsked {
 		count := 0
 		var union uint8
-		for _, mask := range rd.confRecv {
+		rd.confSeen.ForEach(func(p sim.ProcID) {
+			var mask uint8
+			if rd.confB0.Has(p) {
+				mask |= 1
+			}
+			if rd.confB1.Has(p) {
+				mask |= 2
+			}
 			if e.maskInBin(rd, mask) {
 				count++
 				union |= mask
 			}
-		}
+		})
 		if count >= n-t {
 			rd.coinAsked = true
 			rd.confMask = union
@@ -433,9 +466,8 @@ func (e *Engine) decide(ctx sim.Context, v uint8) {
 // rules: t+1 matching DECIDEs decide; n−t allow halting.
 func (e *Engine) checkDecideQuorum(ctx sim.Context) {
 	counts := [2]int{}
-	for _, v := range e.decRecv {
-		counts[v]++
-	}
+	counts[1] = e.decOne.Count()
+	counts[0] = e.decSeen.Count() - counts[1]
 	for v := uint8(0); v <= 1; v++ {
 		if counts[v] >= ctx.T()+1 && !e.decided {
 			e.decide(ctx, v)

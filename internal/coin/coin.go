@@ -39,6 +39,7 @@ import (
 
 	"svssba/internal/field"
 	"svssba/internal/gather"
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 	"svssba/internal/svss"
@@ -74,24 +75,31 @@ func SessionFor(k sim.ProcID, r uint64, j sim.ProcID) proto.SessionID {
 	return proto.SessionID{Dealer: k, Kind: proto.KindCoin, Round: r, Index: uint32(j)}
 }
 
+// round holds one coin round's state, dense per process: sets of
+// parties are bitsets and per-party collections are slices indexed by
+// process id (1..n). Per-(dealer, target) session state packs into a
+// flat n×n index ((dealer-1)*n + target-1), so the delivery path does
+// no map operations beyond the uint64 round lookup.
 type round struct {
 	r       uint64
 	started bool
 
 	// completion order of dealers per target (share phases done locally)
-	doneDealers map[sim.ProcID][]sim.ProcID
-	doneSet     map[proto.SessionID]bool
+	doneDealers [][]sim.ProcID // index: target
+	doneSet     intern.Bits    // (dealer-1)*n + target-1
 
 	attachSent bool
-	attach     map[sim.ProcID][]sim.ProcID // accepted attach sets
-	verified   map[sim.ProcID]bool
+	attach     [][]sim.ProcID // accepted attach sets (index: origin)
+	attachSet  intern.ProcSet
+	verified   intern.ProcSet
 
 	gathered   []sim.ProcID
 	haveGather bool
 
-	reconTargets map[sim.ProcID]bool // targets whose sessions to open
-	reconStarted map[sim.ProcID]bool // targets we invoked R for
-	outs         map[proto.SessionID]svss.Output
+	reconTargets intern.ProcSet // targets whose sessions to open
+	reconStarted intern.ProcSet // targets we invoked R for
+	outs         []svss.Output  // (dealer-1)*n + target-1
+	outSet       intern.Bits
 
 	done bool
 	bit  int
@@ -105,6 +113,7 @@ type Engine struct {
 	gat    *gather.Engine
 	onCoin CoinFunc
 	rounds map[uint64]*round
+	n      int // system size, captured from the first ctx
 }
 
 // New returns a coin engine. The gather engine's broadcasts must be
@@ -125,28 +134,48 @@ func New(host Host, sv SVSSPort, onCoin CoinFunc) *Engine {
 // Gather exposes the inner gather engine for broadcast routing.
 func (e *Engine) Gather() *gather.Engine { return e.gat }
 
-func (e *Engine) round(r uint64) *round {
+func (e *Engine) round(ctx sim.Context, r uint64) *round {
 	rd, ok := e.rounds[r]
 	if !ok {
+		if e.n == 0 {
+			e.n = ctx.N()
+		}
 		rd = &round{
-			r:            r,
-			doneDealers:  make(map[sim.ProcID][]sim.ProcID),
-			doneSet:      make(map[proto.SessionID]bool),
-			attach:       make(map[sim.ProcID][]sim.ProcID),
-			verified:     make(map[sim.ProcID]bool),
-			reconTargets: make(map[sim.ProcID]bool),
-			reconStarted: make(map[sim.ProcID]bool),
-			outs:         make(map[proto.SessionID]svss.Output),
+			r:           r,
+			doneDealers: make([][]sim.ProcID, e.n+1),
+			attach:      make([][]sim.ProcID, e.n+1),
 		}
 		e.rounds[r] = rd
 	}
 	return rd
 }
 
+// sessIdx flattens a (dealer, target) pair of round r into the dense
+// session index, or -1 when either id is outside 1..n (nothing outside
+// that range is ever read back: attach sets and gather outputs are
+// decode-validated, so bogus sessions a Byzantine process completes
+// cannot appear in any quorum this engine evaluates).
+func (e *Engine) sessIdx(dealer, target sim.ProcID) int {
+	if dealer < 1 || int(dealer) > e.n || target < 1 || int(target) > e.n {
+		return -1
+	}
+	return (int(dealer)-1)*e.n + int(target) - 1
+}
+
 // Done reports whether the round's coin has been output locally.
 func (e *Engine) Done(r uint64) bool {
 	rd, ok := e.rounds[r]
 	return ok && rd.done
+}
+
+// Rounds returns the number of live round records (retirement tests).
+func (e *Engine) Rounds() int { return len(e.rounds) }
+
+// Reset drops every coin round and the inner gather engine's rounds.
+// Used when the owning stack retires.
+func (e *Engine) Reset() {
+	clear(e.rounds)
+	e.gat.Reset()
 }
 
 // Bit returns the coin output for a finished round.
@@ -167,7 +196,7 @@ func lotteryMod(n int) uint64 {
 // Start begins coin round r: share one lottery secret attached to every
 // process (step 1). Idempotent.
 func (e *Engine) Start(ctx sim.Context, r uint64) {
-	rd := e.round(r)
+	rd := e.round(ctx, r)
 	if rd.started {
 		return
 	}
@@ -188,38 +217,43 @@ func tag(r uint64, step uint8) proto.Tag {
 // OnSVSSShareComplete records a locally completed coin sharing (dealer
 // sid.Dealer, target sid.Index).
 func (e *Engine) OnSVSSShareComplete(ctx sim.Context, sid proto.SessionID) {
-	rd := e.round(sid.Round)
-	if rd.doneSet[sid] {
+	rd := e.round(ctx, sid.Round)
+	target := sim.ProcID(sid.Index)
+	si := e.sessIdx(sid.Dealer, target)
+	if si < 0 || !rd.doneSet.Add(si) {
 		return
 	}
-	rd.doneSet[sid] = true
-	target := sim.ProcID(sid.Index)
 	rd.doneDealers[target] = append(rd.doneDealers[target], sid.Dealer)
 	e.advance(ctx, rd)
 }
 
 // OnSVSSReconComplete records a reconstructed lottery share.
 func (e *Engine) OnSVSSReconComplete(ctx sim.Context, sid proto.SessionID, out svss.Output) {
-	rd := e.round(sid.Round)
-	if _, dup := rd.outs[sid]; dup {
+	rd := e.round(ctx, sid.Round)
+	si := e.sessIdx(sid.Dealer, sim.ProcID(sid.Index))
+	if si < 0 || !rd.outSet.Add(si) {
 		return
 	}
-	rd.outs[sid] = out
+	if rd.outs == nil {
+		rd.outs = make([]svss.Output, e.n*e.n)
+	}
+	rd.outs[si] = out
 	e.advance(ctx, rd)
 }
 
 // OnBroadcast handles attach and reconstruct announcements.
 func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
-	rd := e.round(uint64(t.A))
+	rd := e.round(ctx, uint64(t.A))
 	switch t.Step {
 	case StepAttach:
-		if _, dup := rd.attach[origin]; dup {
+		if rd.attachSet.Has(origin) {
 			return
 		}
 		set, ok := decodeProcs(value, ctx.N())
 		if !ok || len(set) != ctx.T()+1 {
 			return
 		}
+		rd.attachSet.Add(origin)
 		rd.attach[origin] = set
 	case StepRecon:
 		set, ok := decodeProcs(value, ctx.N())
@@ -227,7 +261,7 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 			return
 		}
 		for _, j := range set {
-			rd.reconTargets[j] = true
+			rd.reconTargets.Add(j)
 		}
 	default:
 		return
@@ -249,24 +283,23 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	}
 
 	// Step 3: verify parties whose attached sharings completed locally.
-	// Iterate in process-id order, not map order: Verify emits gather
+	// Iterate in process-id order (set bits ascend): Verify emits gather
 	// traffic, and the whole run must be a deterministic function of the
 	// seed.
 	for p := 1; p <= ctx.N(); p++ {
 		j := sim.ProcID(p)
-		set, known := rd.attach[j]
-		if !known || rd.verified[j] {
+		if !rd.attachSet.Has(j) || rd.verified.Has(j) {
 			continue
 		}
 		ok := true
-		for _, k := range set {
-			if !rd.doneSet[SessionFor(k, rd.r, j)] {
+		for _, k := range rd.attach[j] {
+			if !rd.doneSet.Has(e.sessIdx(k, j)) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			rd.verified[j] = true
+			rd.verified.Add(j)
 			e.gat.Verify(ctx, rd.r, j)
 		}
 	}
@@ -282,15 +315,14 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 		// Process-id order for the same determinism reason as step 3.
 		for p := 1; p <= ctx.N(); p++ {
 			j := sim.ProcID(p)
-			if !rd.reconTargets[j] || rd.reconStarted[j] {
+			if !rd.reconTargets.Has(j) || rd.reconStarted.Has(j) {
 				continue
 			}
-			set, ok := rd.attach[j]
-			if !ok {
+			if !rd.attachSet.Has(j) {
 				continue
 			}
-			rd.reconStarted[j] = true
-			for _, k := range set {
+			rd.reconStarted.Add(j)
+			for _, k := range rd.attach[j] {
 				e.sv.Reconstruct(ctx, SessionFor(k, rd.r, j))
 			}
 		}
@@ -301,7 +333,7 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 
 // onGather receives the gathered set for a round.
 func (e *Engine) onGather(ctx sim.Context, r uint64, set []sim.ProcID) {
-	rd := e.round(r)
+	rd := e.round(ctx, r)
 	if rd.haveGather {
 		return
 	}
@@ -311,7 +343,7 @@ func (e *Engine) onGather(ctx sim.Context, r uint64, set []sim.ProcID) {
 	// Termination requires all nonfaulty processes to begin R).
 	e.host.Broadcast(ctx, tag(r, StepRecon), encodeProcs(set))
 	for _, j := range set {
-		rd.reconTargets[j] = true
+		rd.reconTargets.Add(j)
 	}
 	e.advance(ctx, rd)
 }
@@ -327,17 +359,17 @@ func (e *Engine) tryFinish(ctx sim.Context, rd *round) {
 	bestProc := sim.ProcID(0)
 	found := false
 	for _, j := range rd.gathered {
-		set := rd.attach[j]
-		if set == nil {
+		if !rd.attachSet.Has(j) {
 			return // verified implies known, but guard anyway
 		}
 		sum := uint64(0)
 		bottom := false
-		for _, k := range set {
-			out, ok := rd.outs[SessionFor(k, rd.r, j)]
-			if !ok {
+		for _, k := range rd.attach[j] {
+			si := e.sessIdx(k, j)
+			if si < 0 || !rd.outSet.Has(si) {
 				return // still reconstructing
 			}
+			out := rd.outs[si]
 			if out.Bottom {
 				bottom = true
 				break
@@ -374,17 +406,5 @@ func encodeProcs(ps []sim.ProcID) []byte {
 }
 
 func decodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
-	r := proto.NewReader(b)
-	ps := r.Procs()
-	if r.Close() != nil {
-		return nil, false
-	}
-	seen := make(map[sim.ProcID]bool, len(ps))
-	for _, p := range ps {
-		if p < 1 || int(p) > n || seen[p] {
-			return nil, false
-		}
-		seen[p] = true
-	}
-	return ps, true
+	return proto.DecodeProcSet(b, n)
 }

@@ -142,6 +142,62 @@ func NewCodec() *proto.Codec {
 	return c
 }
 
+// StateCounts is a snapshot of the stack's live protocol state: per
+// engine, the number of live instances and (where slab-allocated) the
+// slab's high-water slot count. Retirement tests assert these return
+// to baseline; operators can watch them on long-lived nodes.
+type StateCounts struct {
+	RBInstances, RBSlab   int
+	WRBInstances, WRBSlab int
+	MWInstances, MWSlab   int
+	SVSSSessions, SVSSlab int
+	GatherRounds          int
+	ABARounds             int
+	DMMPending, DMMParked int
+}
+
+// Total sums the live-instance counts (slab capacities excluded).
+func (c StateCounts) Total() int {
+	return c.RBInstances + c.WRBInstances + c.MWInstances + c.SVSSSessions +
+		c.GatherRounds + c.ABARounds + c.DMMPending + c.DMMParked
+}
+
+// StateCounts snapshots the stack's live protocol state.
+func (st *Stack) StateCounts() StateCounts {
+	rb := st.Node.RB()
+	return StateCounts{
+		RBInstances: rb.Live(), RBSlab: rb.SlabCap(),
+		WRBInstances: rb.Weak().Live(), WRBSlab: rb.Weak().SlabCap(),
+		MWInstances: st.MW.Live(), MWSlab: st.MW.SlabCap(),
+		SVSSSessions: st.SVSS.Live(), SVSSlab: st.SVSS.SlabCap(),
+		GatherRounds: st.Coin.Gather().Rounds(),
+		ABARounds:    st.ABA.Rounds(),
+		DMMPending:   st.Node.DMM().PendingCount(),
+		DMMParked:    st.Node.DMM().ParkedCount(),
+	}
+}
+
+// Retire releases the stack's interned ids, instance slabs and round
+// state across every layer — RB/WRB, MW-SVSS, SVSS, coin, gather, ABA
+// vote records and the DMM — keeping only the agreement decision, and
+// gates further deliveries at the node.
+//
+// Safe only once the local agreement halted (ABA received n−t matching
+// DECIDEs): by then at least n−2t ≥ t+1 honest processes have decided
+// and broadcast DECIDE, so every honest process decides through the
+// DECIDE amplification path without needing anything further from this
+// one. The deterministic simulator never calls this (runs there are
+// pure functions of the seed and stop at the decision); the node
+// runtime uses it to keep long-lived cluster processes at a bounded
+// footprint.
+func (st *Stack) Retire() {
+	st.Node.Retire()
+	st.MW.Reset()
+	st.SVSS.Reset()
+	st.Coin.Reset()
+	st.ABA.Retire()
+}
+
 // ConsumeSVSS routes completion events of SVSS sessions of the given
 // kind (replacing any previous consumer for that kind).
 func (st *Stack) ConsumeSVSS(kind proto.SessionKind, c SVSSConsumer) {

@@ -131,6 +131,10 @@ type DMM struct {
 	perPair       map[senderSession]int
 	staleBySender map[sim.ProcID]map[proto.MWID]int64
 	bySession     map[proto.MWID]map[sim.ProcID]int
+	// keysBySession indexes live expectation keys per session so step 8
+	// (DropDealExpectations) touches only its own session instead of
+	// sweeping every pending expectation in the process.
+	keysBySession map[proto.MWID]map[expectKey]struct{}
 	parked        []Event
 	onShun        ShunFunc
 	disabled      bool
@@ -160,6 +164,7 @@ func New(self sim.ProcID, onShun ShunFunc) *DMM {
 		perPair:       make(map[senderSession]int),
 		staleBySender: make(map[sim.ProcID]map[proto.MWID]int64),
 		bySession:     make(map[proto.MWID]map[sim.ProcID]int),
+		keysBySession: make(map[proto.MWID]map[expectKey]struct{}),
 		onShun:        onShun,
 	}
 }
@@ -297,15 +302,23 @@ func (d *DMM) Expect(e Expectation) {
 		d.perProc[e.Sender] = m
 	}
 	m[k] = struct{}{}
+	ks, ok := d.keysBySession[e.Session]
+	if !ok {
+		ks = make(map[expectKey]struct{})
+		d.keysBySession[e.Session] = ks
+	}
+	ks[k] = struct{}{}
 	d.pairInc(e.Sender, e.Session)
 }
 
 // DropDealExpectations removes every DEAL_i tuple of the given session
 // (share step 8: i is not in the moderator's set M̂, so nobody will ever
-// broadcast shares of f_i for this session).
+// broadcast shares of f_i for this session). Only the session's own key
+// index is swept — this runs once per MW sub-instance, so a sweep of
+// the process-wide expectation set here would be quadratic overall.
 func (d *DMM) DropDealExpectations(session proto.MWID) {
-	for k := range d.expect {
-		if k.session == session && k.source == SourceDEAL {
+	for k := range d.keysBySession[session] {
+		if k.source == SourceDEAL {
 			d.removeKey(k)
 		}
 	}
@@ -322,6 +335,12 @@ func (d *DMM) removeKey(k expectKey) {
 			delete(d.perProc, k.sender)
 		}
 	}
+	if ks, ok := d.keysBySession[k.session]; ok {
+		delete(ks, k)
+		if len(ks) == 0 {
+			delete(d.keysBySession, k.session)
+		}
+	}
 	d.pairDec(k.sender, k.session)
 }
 
@@ -329,6 +348,22 @@ func (d *DMM) removeKey(k expectKey) {
 // no discarding) — the ablation mode of experiment E8, which shows that
 // without shunning the adversary can keep ruining sessions forever.
 func (d *DMM) Disable() { d.disabled = true }
+
+// Reset drops every expectation, session stamp and parked event,
+// keeping only the detection counters. Used when the owning stack
+// retires (no further events will be filtered).
+func (d *DMM) Reset() {
+	clear(d.began)
+	clear(d.redone)
+	clear(d.faulty)
+	clear(d.expect)
+	clear(d.perProc)
+	clear(d.perPair)
+	clear(d.staleBySender)
+	clear(d.bySession)
+	clear(d.keysBySession)
+	d.parked = nil
+}
 
 // ObserveValueBroadcast runs DMM steps 2 and 3 on a reconstruct-phase
 // value broadcast: origin RB-broadcast "f_target(origin) = value" in the

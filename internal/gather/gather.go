@@ -23,8 +23,7 @@
 package gather
 
 import (
-	"sort"
-
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 )
@@ -45,22 +44,28 @@ type Host interface {
 // OutputFunc receives the gathered set for a round.
 type OutputFunc func(ctx sim.Context, round uint64, set []sim.ProcID)
 
+// round holds one gather instance's state, dense per process: received
+// sets live in slices indexed by sender id with a bitset marking which
+// senders have one, and validated-sender sets are bitsets.
 type round struct {
 	id uint64
 
-	verified map[sim.ProcID]bool
+	verified intern.ProcSet
 	g1Sent   bool
 
-	g1Sets map[sim.ProcID][]sim.ProcID // received S_j
-	r1     map[sim.ProcID]bool         // validated G1 senders
+	g1Sets [][]sim.ProcID // received S_j (index: sender)
+	g1Seen intern.ProcSet
+	r1     intern.ProcSet // validated G1 senders
 	g2Sent bool
 
-	g2Sets map[sim.ProcID][]sim.ProcID // received A_j
-	r2     map[sim.ProcID]bool         // validated G2 senders
+	g2Sets [][]sim.ProcID // received A_j
+	g2Seen intern.ProcSet
+	r2     intern.ProcSet // validated G2 senders
 	g3Sent bool
 
-	g3Sets map[sim.ProcID][]sim.ProcID // received B_j
-	r3     map[sim.ProcID]bool         // validated G3 senders
+	g3Sets [][]sim.ProcID // received B_j
+	g3Seen intern.ProcSet
+	r3     intern.ProcSet // validated G3 senders
 
 	done bool
 }
@@ -70,6 +75,7 @@ type Engine struct {
 	host   Host
 	out    OutputFunc
 	rounds map[uint64]*round
+	n      int // system size, captured from the first ctx
 }
 
 // New returns a gather engine delivering outputs to out.
@@ -77,23 +83,28 @@ func New(host Host, out OutputFunc) *Engine {
 	return &Engine{host: host, out: out, rounds: make(map[uint64]*round)}
 }
 
-func (e *Engine) round(r uint64) *round {
+func (e *Engine) round(ctx sim.Context, r uint64) *round {
 	rd, ok := e.rounds[r]
 	if !ok {
+		if e.n == 0 {
+			e.n = ctx.N()
+		}
 		rd = &round{
-			id:       r,
-			verified: make(map[sim.ProcID]bool),
-			g1Sets:   make(map[sim.ProcID][]sim.ProcID),
-			r1:       make(map[sim.ProcID]bool),
-			g2Sets:   make(map[sim.ProcID][]sim.ProcID),
-			r2:       make(map[sim.ProcID]bool),
-			g3Sets:   make(map[sim.ProcID][]sim.ProcID),
-			r3:       make(map[sim.ProcID]bool),
+			id:     r,
+			g1Sets: make([][]sim.ProcID, e.n+1),
+			g2Sets: make([][]sim.ProcID, e.n+1),
+			g3Sets: make([][]sim.ProcID, e.n+1),
 		}
 		e.rounds[r] = rd
 	}
 	return rd
 }
+
+// Rounds returns the number of live rounds (retirement tests).
+func (e *Engine) Rounds() int { return len(e.rounds) }
+
+// Reset drops every round. Used when the owning stack retires.
+func (e *Engine) Reset() { clear(e.rounds) }
 
 // Done reports whether the round has produced its output.
 func (e *Engine) Done(r uint64) bool {
@@ -103,11 +114,10 @@ func (e *Engine) Done(r uint64) bool {
 
 // Verify marks j as locally verified for the round and re-evaluates.
 func (e *Engine) Verify(ctx sim.Context, r uint64, j sim.ProcID) {
-	rd := e.round(r)
-	if rd.verified[j] {
+	rd := e.round(ctx, r)
+	if !rd.verified.Add(j) {
 		return
 	}
-	rd.verified[j] = true
 	e.advance(ctx, rd)
 }
 
@@ -117,22 +127,22 @@ func tag(r uint64, step uint8) proto.Tag {
 
 // OnBroadcast handles G1/G2/G3 broadcasts.
 func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
-	rd := e.round(uint64(t.A))
+	rd := e.round(ctx, uint64(t.A))
 	set, ok := decodeProcs(value, ctx.N())
 	if !ok || len(set) < ctx.N()-ctx.T() {
 		return
 	}
 	switch t.Step {
 	case StepG1:
-		if _, dup := rd.g1Sets[origin]; !dup {
+		if rd.g1Seen.Add(origin) {
 			rd.g1Sets[origin] = set
 		}
 	case StepG2:
-		if _, dup := rd.g2Sets[origin]; !dup {
+		if rd.g2Seen.Add(origin) {
 			rd.g2Sets[origin] = set
 		}
 	case StepG3:
-		if _, dup := rd.g3Sets[origin]; !dup {
+		if rd.g3Seen.Add(origin) {
 			rd.g3Sets[origin] = set
 		}
 	default:
@@ -142,82 +152,58 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 }
 
 // advance re-evaluates all monotone conditions for the round.
+// Validation sweeps iterate set bits in process-id order; admissions
+// are order-insensitive, so this matches the former map iterations
+// while keeping runs deterministic by construction.
 func (e *Engine) advance(ctx sim.Context, rd *round) {
 	nt := ctx.N() - ctx.T()
 
 	// Send G1 once enough parties are verified.
-	if !rd.g1Sent && len(rd.verified) >= nt {
+	if !rd.g1Sent && rd.verified.Count() >= nt {
 		rd.g1Sent = true
-		e.host.Broadcast(ctx, tag(rd.id, StepG1), encodeProcs(setToSlice(rd.verified)))
+		e.host.Broadcast(ctx, tag(rd.id, StepG1), encodeProcs(rd.verified.Slice()))
 	}
 
 	// Validate G1 sets: every member verified locally.
-	for j, set := range rd.g1Sets {
-		if rd.r1[j] {
-			continue
+	rd.g1Seen.ForEach(func(j sim.ProcID) {
+		if !rd.r1.Has(j) && rd.verified.ContainsAll(rd.g1Sets[j]) {
+			rd.r1.Add(j)
 		}
-		if allIn(set, rd.verified) {
-			rd.r1[j] = true
-		}
-	}
-	if !rd.g2Sent && len(rd.r1) >= nt {
+	})
+	if !rd.g2Sent && rd.r1.Count() >= nt {
 		rd.g2Sent = true
-		e.host.Broadcast(ctx, tag(rd.id, StepG2), encodeProcs(setToSlice(rd.r1)))
+		e.host.Broadcast(ctx, tag(rd.id, StepG2), encodeProcs(rd.r1.Slice()))
 	}
 
 	// Validate G2 sets: every member's G1 set validated locally.
-	for j, set := range rd.g2Sets {
-		if rd.r2[j] {
-			continue
+	rd.g2Seen.ForEach(func(j sim.ProcID) {
+		if !rd.r2.Has(j) && rd.r1.ContainsAll(rd.g2Sets[j]) {
+			rd.r2.Add(j)
 		}
-		if allIn(set, rd.r1) {
-			rd.r2[j] = true
-		}
-	}
-	if !rd.g3Sent && len(rd.r2) >= nt {
+	})
+	if !rd.g3Sent && rd.r2.Count() >= nt {
 		rd.g3Sent = true
-		e.host.Broadcast(ctx, tag(rd.id, StepG3), encodeProcs(setToSlice(rd.r2)))
+		e.host.Broadcast(ctx, tag(rd.id, StepG3), encodeProcs(rd.r2.Slice()))
 	}
 
 	// Validate G3 sets; output once a quorum is validated.
-	for j, set := range rd.g3Sets {
-		if rd.r3[j] {
-			continue
+	rd.g3Seen.ForEach(func(j sim.ProcID) {
+		if !rd.r3.Has(j) && rd.r2.ContainsAll(rd.g3Sets[j]) {
+			rd.r3.Add(j)
 		}
-		if allIn(set, rd.r2) {
-			rd.r3[j] = true
-		}
-	}
-	if !rd.done && len(rd.r3) >= nt {
+	})
+	if !rd.done && rd.r3.Count() >= nt {
 		rd.done = true
-		union := make(map[sim.ProcID]bool)
-		for j := range rd.r1 {
+		var union intern.ProcSet
+		rd.r1.ForEach(func(j sim.ProcID) {
 			for _, m := range rd.g1Sets[j] {
-				union[m] = true
+				union.Add(m)
 			}
-		}
+		})
 		if e.out != nil {
-			e.out(ctx, rd.id, setToSlice(union))
+			e.out(ctx, rd.id, union.Slice())
 		}
 	}
-}
-
-func allIn(set []sim.ProcID, in map[sim.ProcID]bool) bool {
-	for _, p := range set {
-		if !in[p] {
-			return false
-		}
-	}
-	return true
-}
-
-func setToSlice(set map[sim.ProcID]bool) []sim.ProcID {
-	out := make([]sim.ProcID, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func encodeProcs(ps []sim.ProcID) []byte {
@@ -227,17 +213,5 @@ func encodeProcs(ps []sim.ProcID) []byte {
 }
 
 func decodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
-	r := proto.NewReader(b)
-	ps := r.Procs()
-	if r.Close() != nil {
-		return nil, false
-	}
-	seen := make(map[sim.ProcID]bool, len(ps))
-	for _, p := range ps {
-		if p < 1 || int(p) > n || seen[p] {
-			return nil, false
-		}
-		seen[p] = true
-	}
-	return ps, true
+	return proto.DecodeProcSet(b, n)
 }

@@ -1,0 +1,126 @@
+package intern
+
+import (
+	"math/bits"
+
+	"svssba/internal/sim"
+)
+
+// Bits is a growable bitset over small non-negative indices. The first
+// 64 indices live inline; larger index spaces spill into a heap slice
+// on first use, so the common case (index < 64) never allocates. The
+// zero Bits is an empty set.
+type Bits struct {
+	lo uint64
+	hi []uint64 // indices 64+, word w holds indices 64+64w .. 127+64w
+}
+
+// Has reports whether i is in the set. Negative i is never in the set.
+func (b *Bits) Has(i int) bool {
+	if uint(i) < 64 {
+		return b.lo&(1<<uint(i)) != 0
+	}
+	if i < 0 {
+		return false
+	}
+	w := (i - 64) >> 6
+	if w >= len(b.hi) {
+		return false
+	}
+	return b.hi[w]&(1<<(uint(i-64)&63)) != 0
+}
+
+// Add inserts i, reporting whether it was newly added. i must be
+// non-negative.
+func (b *Bits) Add(i int) bool {
+	if uint(i) < 64 {
+		m := uint64(1) << uint(i)
+		if b.lo&m != 0 {
+			return false
+		}
+		b.lo |= m
+		return true
+	}
+	w := (i - 64) >> 6
+	if w >= len(b.hi) {
+		b.hi = append(b.hi, make([]uint64, w+1-len(b.hi))...)
+	}
+	m := uint64(1) << (uint(i-64) & 63)
+	if b.hi[w]&m != 0 {
+		return false
+	}
+	b.hi[w] |= m
+	return true
+}
+
+// Count returns the number of set indices.
+func (b *Bits) Count() int {
+	c := bits.OnesCount64(b.lo)
+	for _, w := range b.hi {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear empties the set, keeping any spill capacity.
+func (b *Bits) Clear() {
+	b.lo = 0
+	for i := range b.hi {
+		b.hi[i] = 0
+	}
+}
+
+// ForEach calls fn for every set index in ascending order.
+func (b *Bits) ForEach(fn func(i int)) {
+	for w := b.lo; w != 0; w &= w - 1 {
+		fn(bits.TrailingZeros64(w))
+	}
+	for wi, word := range b.hi {
+		for w := word; w != 0; w &= w - 1 {
+			fn(64 + wi<<6 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// ProcSet is a set of process ids 1..n backed by Bits: process p maps
+// to index p-1, so systems up to n=64 stay fully inline. The zero
+// ProcSet is an empty set.
+type ProcSet struct {
+	b Bits
+}
+
+// Has reports whether p is in the set.
+func (s *ProcSet) Has(p sim.ProcID) bool { return s.b.Has(int(p) - 1) }
+
+// Add inserts p (which must be >= 1), reporting whether it was newly
+// added.
+func (s *ProcSet) Add(p sim.ProcID) bool { return s.b.Add(int(p) - 1) }
+
+// Count returns the set size.
+func (s *ProcSet) Count() int { return s.b.Count() }
+
+// Clear empties the set.
+func (s *ProcSet) Clear() { s.b.Clear() }
+
+// ForEach calls fn for every member in ascending process-id order.
+func (s *ProcSet) ForEach(fn func(p sim.ProcID)) {
+	s.b.ForEach(func(i int) { fn(sim.ProcID(i + 1)) })
+}
+
+// Slice returns the members in ascending order (the replacement for
+// sort-a-map-keys helpers: set bits already iterate in order).
+func (s *ProcSet) Slice() []sim.ProcID {
+	out := make([]sim.ProcID, 0, s.Count())
+	s.ForEach(func(p sim.ProcID) { out = append(out, p) })
+	return out
+}
+
+// ContainsAll reports whether every process in ps is a member.
+func (s *ProcSet) ContainsAll(ps []sim.ProcID) bool {
+	for _, p := range ps {
+		if !s.Has(p) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,10 +2,10 @@ package mwsvss
 
 import (
 	"fmt"
-	"sort"
 
 	"svssba/internal/dmm"
 	"svssba/internal/field"
+	"svssba/internal/intern"
 	"svssba/internal/poly"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
@@ -50,6 +50,13 @@ type rval struct {
 }
 
 // instance holds the per-instance state of one process.
+//
+// Per-process collections are dense: sets of processes are bitsets and
+// per-process values live in []T slices indexed by process id (1..n,
+// slot 0 unused), allocated lazily on first use and released as the
+// protocol steps that feed them close. A delivery therefore updates
+// instance state with index and bit operations only — the former ten
+// maps per instance are gone.
 type instance struct {
 	id proto.MWID
 
@@ -62,8 +69,9 @@ type instance struct {
 	modSecretSet bool
 	modF         poly.Poly
 	modFSet      bool
-	modVals      map[sim.ProcID]field.Element // f̂^j_0 from j
-	modM         map[sim.ProcID]bool          // M being built
+	modVals      []field.Element // f̂^j_0 from j (index j; nil until first value)
+	modValSeen   intern.ProcSet
+	modM         intern.ProcSet // M being built
 	mBroadcast   bool
 
 	// Share-phase participant state (steps 2-4, 8-9).
@@ -72,13 +80,15 @@ type instance struct {
 	myPoly    poly.Poly // f̂_j
 	myPolySet bool
 	sentStep2 bool
-	echoVal   map[sim.ProcID]field.Element // f̂^l_j from l (first per l)
-	ackFrom   map[sim.ProcID]bool          // RB-accepted acks
-	dealSet   map[sim.ProcID]bool          // live L_j (step 3)
-	lSnapshot []sim.ProcID                 // broadcast L_j (step 4)
+	echoVal   []field.Element // f̂^l_j from l (index l; nil until first echo)
+	echoSeen  intern.ProcSet  // first echo per l only
+	ackFrom   intern.ProcSet  // RB-accepted acks
+	dealSet   intern.ProcSet  // live L_j (step 3)
+	lSnapshot []sim.ProcID    // broadcast L_j (step 4)
 	lDone     bool
-	lSets     map[sim.ProcID][]sim.ProcID // accepted L̂_l per origin l
-	mSet      []sim.ProcID                // accepted M̂
+	lSets     [][]sim.ProcID // accepted L̂_l per origin l (index l)
+	lKnown    intern.ProcSet // origins with an accepted L̂
+	mSet      []sim.ProcID   // accepted M̂
 	mKnown    bool
 	dealerOK  bool // dealer broadcast its OK (step 7)
 	okKnown   bool // OK accepted (step 9)
@@ -88,66 +98,94 @@ type instance struct {
 	// Reconstruct state (R' steps 1-4).
 	reconWanted  bool
 	reconStarted bool
-	rvalsPending []rval                      // accepted but not yet qualified
-	rvalSeen     map[[2]sim.ProcID]bool      // (origin,target) first-only
-	kSets        map[sim.ProcID][]poly.Point // K_{j,l}
-	fBar         map[sim.ProcID]poly.Poly    // interpolated f̄_l
-	fBarSet      map[sim.ProcID]bool
+	rvalsPending []rval           // accepted but not yet qualified
+	rvalSeen     []intern.ProcSet // per target: origins counted (first-only)
+	kSets        [][]poly.Point   // K_{j,l} (index l)
+	fBar         []poly.Poly      // interpolated f̄_l (index l)
+	fBarSet      intern.ProcSet
 	reconDone    bool
 }
 
 var debugRecon = false
 
-// Engine runs all MW-SVSS instances of one process.
+// Engine runs all MW-SVSS instances of one process. Instance ids are
+// interned to dense ids; the slab holds pointers (not values) because
+// advance keeps an instance alive across broadcasts and callbacks that
+// can re-enter the engine and grow the slab.
 type Engine struct {
 	host  Host
 	cb    Callbacks
-	insts map[proto.MWID]*instance
+	table intern.Table[proto.MWID]
+	insts []*instance
+	n     int // system size, captured from the first ctx
 }
 
 // New returns an MW-SVSS engine for the host process.
 func New(host Host, cb Callbacks) *Engine {
-	return &Engine{host: host, cb: cb, insts: make(map[proto.MWID]*instance)}
+	return &Engine{host: host, cb: cb}
 }
 
-func (e *Engine) inst(id proto.MWID) *instance {
-	in, ok := e.insts[id]
-	if !ok {
-		in = &instance{
-			id:       id,
-			modVals:  make(map[sim.ProcID]field.Element),
-			modM:     make(map[sim.ProcID]bool),
-			echoVal:  make(map[sim.ProcID]field.Element),
-			ackFrom:  make(map[sim.ProcID]bool),
-			dealSet:  make(map[sim.ProcID]bool),
-			lSets:    make(map[sim.ProcID][]sim.ProcID),
-			rvalSeen: make(map[[2]sim.ProcID]bool),
-			kSets:    make(map[sim.ProcID][]poly.Point),
-			fBar:     make(map[sim.ProcID]poly.Poly),
-			fBarSet:  make(map[sim.ProcID]bool),
+func (e *Engine) inst(ctx sim.Context, id proto.MWID) *instance {
+	slot, fresh := e.table.Intern(id)
+	if int(slot) >= len(e.insts) {
+		e.insts = append(e.insts, nil)
+	}
+	if fresh {
+		if e.n == 0 {
+			e.n = ctx.N()
 		}
-		e.insts[id] = in
+		in := e.insts[slot]
+		if in == nil {
+			in = &instance{}
+			e.insts[slot] = in
+		}
+		*in = instance{id: id}
 		e.host.DMM().BeginShare(id)
 	}
-	return in
+	return e.insts[slot]
+}
+
+// lookup returns the instance for id, or nil.
+func (e *Engine) lookup(id proto.MWID) *instance {
+	slot := e.table.Lookup(id)
+	if slot == intern.NoID {
+		return nil
+	}
+	return e.insts[slot]
 }
 
 // Instance reports whether the engine has state for id (for tests).
-func (e *Engine) Instance(id proto.MWID) bool {
-	_, ok := e.insts[id]
-	return ok
-}
+func (e *Engine) Instance(id proto.MWID) bool { return e.lookup(id) != nil }
 
 // ShareDone reports whether S' completed locally for id.
 func (e *Engine) ShareDone(id proto.MWID) bool {
-	in, ok := e.insts[id]
-	return ok && in.shareDone
+	in := e.lookup(id)
+	return in != nil && in.shareDone
 }
 
 // ReconDone reports whether R' completed locally for id.
 func (e *Engine) ReconDone(id proto.MWID) bool {
-	in, ok := e.insts[id]
-	return ok && in.reconDone
+	in := e.lookup(id)
+	return in != nil && in.reconDone
+}
+
+// Live returns the number of live instances (retirement tests).
+func (e *Engine) Live() int { return e.table.Len() }
+
+// SlabCap returns the instance slab's high-water slot count.
+func (e *Engine) SlabCap() int { return e.table.HighWater() }
+
+// Reset releases every instance and its interned id. The slab keeps
+// its instance objects for reuse (freshly interned ids re-initialize
+// them in place), so a reset-and-refill cycle allocates nothing. Used
+// when the owning stack retires and by benchmarks.
+func (e *Engine) Reset() {
+	for _, in := range e.insts {
+		if in != nil {
+			*in = instance{}
+		}
+	}
+	e.table.Reset()
 }
 
 // tag builds an MW-SVSS broadcast tag for this instance.
@@ -161,7 +199,7 @@ func (e *Engine) Share(ctx sim.Context, id proto.MWID, secret field.Element) err
 	if id.Key.Dealer != e.host.Self() {
 		return fmt.Errorf("mwsvss: process %d is not dealer of %s", e.host.Self(), id)
 	}
-	in := e.inst(id)
+	in := e.inst(ctx, id)
 	if in.isDealing {
 		return fmt.Errorf("mwsvss: instance %s already dealt", id)
 	}
@@ -194,7 +232,7 @@ func (e *Engine) SetModeratorSecret(ctx sim.Context, id proto.MWID, s field.Elem
 	if id.Key.Moderator != e.host.Self() {
 		return fmt.Errorf("mwsvss: process %d is not moderator of %s", e.host.Self(), id)
 	}
-	in := e.inst(id)
+	in := e.inst(ctx, id)
 	in.modSecret = s
 	in.modSecretSet = true
 	e.advance(ctx, in)
@@ -204,7 +242,7 @@ func (e *Engine) SetModeratorSecret(ctx sim.Context, id proto.MWID, s field.Elem
 // Reconstruct begins protocol R' for id. If the share phase has not
 // completed locally yet, reconstruction starts as soon as it does.
 func (e *Engine) Reconstruct(ctx sim.Context, id proto.MWID) {
-	in := e.inst(id)
+	in := e.inst(ctx, id)
 	in.reconWanted = true
 	e.advance(ctx, in)
 }
@@ -213,7 +251,7 @@ func (e *Engine) Reconstruct(ctx sim.Context, id proto.MWID) {
 func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 	switch p := m.Payload.(type) {
 	case DealVals:
-		in := e.inst(p.MW)
+		in := e.inst(ctx, p.MW)
 		// Step 2 precondition: the values must come from the dealer.
 		if m.From != p.MW.Key.Dealer || in.valsSet || len(p.Vals) != ctx.N() {
 			return
@@ -222,7 +260,7 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		in.valsSet = true
 		e.advance(ctx, in)
 	case DealPoly:
-		in := e.inst(p.MW)
+		in := e.inst(ctx, p.MW)
 		if m.From != p.MW.Key.Dealer || in.myPolySet || len(p.Shares) != ctx.T()+1 {
 			return
 		}
@@ -237,7 +275,7 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		if p.MW.Key.Moderator != e.host.Self() {
 			return
 		}
-		in := e.inst(p.MW)
+		in := e.inst(ctx, p.MW)
 		if m.From != p.MW.Key.Dealer || in.modFSet || len(p.Shares) != ctx.T()+1 {
 			return
 		}
@@ -249,7 +287,7 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		in.modFSet = true
 		e.advance(ctx, in)
 	case Echo:
-		in := e.inst(p.MW)
+		in := e.inst(ctx, p.MW)
 		// Fan-out pruning: echoes only feed the live-L admission of step
 		// 3, which stops at the L_j snapshot (step 4). Echoes arriving
 		// after the snapshot are inert for this instance — never recorded,
@@ -258,8 +296,11 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		if in.lDone {
 			return
 		}
-		if _, dup := in.echoVal[m.From]; dup {
+		if !in.echoSeen.Add(m.From) {
 			return
+		}
+		if in.echoVal == nil {
+			in.echoVal = make([]field.Element, e.n+1)
 		}
 		in.echoVal[m.From] = p.Val
 		e.advance(ctx, in)
@@ -267,14 +308,17 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		if p.MW.Key.Moderator != e.host.Self() {
 			return
 		}
-		in := e.inst(p.MW)
+		in := e.inst(ctx, p.MW)
 		// Same pruning on the moderator side: values only feed the M
 		// admission of steps 5-6, which stops once M is broadcast.
 		if in.mBroadcast {
 			return
 		}
-		if _, dup := in.modVals[m.From]; dup {
+		if !in.modValSeen.Add(m.From) {
 			return
+		}
+		if in.modVals == nil {
+			in.modVals = make([]field.Element, e.n+1)
 		}
 		in.modVals[m.From] = p.Val
 		e.advance(ctx, in)
@@ -298,18 +342,22 @@ func (e *Engine) ObserveBroadcast(origin sim.ProcID, t proto.Tag, value []byte) 
 // OnBroadcast handles RB-accepted MW-SVSS broadcasts.
 func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, value []byte) {
 	id := proto.MWID{Session: t.Session, Key: t.MW}
-	in := e.inst(id)
+	in := e.inst(ctx, id)
 	switch t.Step {
 	case StepAck:
-		in.ackFrom[origin] = true
+		in.ackFrom.Add(origin)
 	case StepL:
-		if _, dup := in.lSets[origin]; dup {
+		if in.lKnown.Has(origin) {
 			return
 		}
 		ps, ok := DecodeProcs(value, ctx.N())
 		if !ok {
 			return
 		}
+		if in.lSets == nil {
+			in.lSets = make([][]sim.ProcID, e.n+1)
+		}
+		in.lKnown.Add(origin)
 		in.lSets[origin] = ps
 	case StepM:
 		if origin != id.Key.Moderator || in.mKnown {
@@ -344,18 +392,19 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 		if target < 1 || int(target) > ctx.N() {
 			return
 		}
-		if in.fBarSet[target] {
+		if in.fBarSet.Has(target) {
 			return
 		}
-		key := [2]sim.ProcID{origin, target}
-		if in.rvalSeen[key] {
+		if in.rvalSeen == nil {
+			in.rvalSeen = make([]intern.ProcSet, e.n+1)
+		}
+		if !in.rvalSeen[target].Add(origin) {
 			return
 		}
 		v, ok := DecodeElem(value)
 		if !ok {
 			return
 		}
-		in.rvalSeen[key] = true
 		in.rvalsPending = append(in.rvalsPending, rval{origin: origin, target: target, val: v})
 	}
 	e.advance(ctx, in)
@@ -377,16 +426,19 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 
 	// Step 3: admit confirmers into the live L set and install DEAL
 	// expectations. Stops once L_j is broadcast (the snapshot names the
-	// processes whose public confirmation we await).
+	// processes whose public confirmation we await). Set bits iterate in
+	// process-id order — admission is order-insensitive, but the run
+	// must stay a deterministic function of the seed.
 	if in.myPolySet && !in.lDone {
-		for l, v := range in.echoVal {
-			if in.dealSet[l] || !in.ackFrom[l] {
-				continue
+		in.echoSeen.ForEach(func(l sim.ProcID) {
+			if in.dealSet.Has(l) || !in.ackFrom.Has(l) {
+				return
 			}
+			v := in.echoVal[l]
 			if v != in.myPoly.EvalUint(uint64(l)) {
-				continue
+				return
 			}
-			in.dealSet[l] = true
+			in.dealSet.Add(l)
 			e.host.DMM().Expect(dmm.Expectation{
 				Sender:  l,
 				Target:  self,
@@ -394,17 +446,18 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 				Value:   v,
 				Source:  dmm.SourceDEAL,
 			})
-		}
+		})
 	}
 
 	// Step 4: broadcast the snapshot L_j and send f̂_j(0) to the
 	// moderator.
-	if !in.lDone && len(in.dealSet) >= n-t {
+	if !in.lDone && in.dealSet.Count() >= n-t {
 		in.lDone = true
-		in.lSnapshot = sortedProcs(in.dealSet)
+		in.lSnapshot = in.dealSet.Slice()
 		// The echo buffer only feeds step 3, which the snapshot closes;
 		// release it (late echoes are dropped on arrival from here on).
 		in.echoVal = nil
+		in.echoSeen.Clear()
 		e.host.Broadcast(ctx, tag(in.id, StepL, 0), EncodeProcs(in.lSnapshot))
 		ctx.Send(in.id.Key.Moderator, ModValue{MW: in.id, Val: in.myPoly.Secret()})
 	}
@@ -413,22 +466,24 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	// broadcast M once it reaches n-t.
 	if in.id.Key.Moderator == self && in.modSecretSet && in.modFSet &&
 		in.modF.Secret() == in.modSecret && !in.mBroadcast {
-		for j, v0 := range in.modVals {
-			if in.modM[j] {
-				continue
+		in.modValSeen.ForEach(func(j sim.ProcID) {
+			if in.modM.Has(j) || !in.lKnown.Has(j) {
+				return
 			}
-			lset, ok := in.lSets[j]
-			if !ok || v0 != in.modF.EvalUint(uint64(j)) {
-				continue
+			if in.modVals[j] != in.modF.EvalUint(uint64(j)) {
+				return
 			}
-			if !allAcked(in, lset) {
-				continue
+			if !in.ackFrom.ContainsAll(in.lSets[j]) {
+				return
 			}
-			in.modM[j] = true
-		}
-		if len(in.modM) >= n-t {
+			in.modM.Add(j)
+		})
+		if in.modM.Count() >= n-t {
 			in.mBroadcast = true
-			e.host.Broadcast(ctx, tag(in.id, StepM, 0), EncodeProcs(sortedProcs(in.modM)))
+			// The value buffer only feeds the admission above, which the
+			// M broadcast closes; release it.
+			in.modVals = nil
+			e.host.Broadcast(ctx, tag(in.id, StepM, 0), EncodeProcs(in.modM.Slice()))
 		}
 	}
 
@@ -483,19 +538,21 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	if in.mKnown {
 		kept := in.rvalsPending[:0]
 		for _, rv := range in.rvalsPending {
-			if in.fBarSet[rv.target] {
+			if in.fBarSet.Has(rv.target) {
 				continue // f̄_target already interpolated: surplus point
 			}
 			if !procsContain(in.mSet, rv.target) {
 				continue // target outside M̂: irrelevant forever
 			}
-			lset, ok := in.lSets[rv.target]
-			if !ok {
+			if !in.lKnown.Has(rv.target) {
 				kept = append(kept, rv) // L̂_target still in flight
 				continue
 			}
-			if !procsContain(lset, rv.origin) {
+			if !procsContain(in.lSets[rv.target], rv.origin) {
 				continue // never qualifies: origin not a confirmer
+			}
+			if in.kSets == nil {
+				in.kSets = make([][]poly.Point, e.n+1)
 			}
 			in.kSets[rv.target] = append(in.kSets[rv.target], poly.Point{
 				X: field.New(uint64(rv.origin)),
@@ -506,16 +563,20 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	}
 
 	// R' step 3: interpolate f̄_l from the first t+1 qualified points.
-	for l, pts := range in.kSets {
-		if in.fBarSet[l] || len(pts) < t+1 {
+	for l := 1; l <= n && in.kSets != nil; l++ {
+		pts := in.kSets[l]
+		if in.fBarSet.Has(sim.ProcID(l)) || len(pts) < t+1 {
 			continue
 		}
 		f, err := poly.Interpolate(pts[:t+1])
 		if err != nil {
 			continue
 		}
+		if in.fBar == nil {
+			in.fBar = make([]poly.Poly, e.n+1)
+		}
 		in.fBar[l] = f
-		in.fBarSet[l] = true
+		in.fBarSet.Add(sim.ProcID(l))
 	}
 
 	// R' step 4: once every f̄_l (l ∈ M̂) is known, interpolate f̄ and
@@ -524,7 +585,7 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 		ready := true
 		pts := make([]poly.Point, 0, len(in.mSet))
 		for _, l := range in.mSet {
-			if !in.fBarSet[l] {
+			if !in.fBarSet.Has(l) {
 				ready = false
 				break
 			}
@@ -555,33 +616,14 @@ func (e *Engine) lSetsComplete(in *instance) bool {
 		return false
 	}
 	for _, j := range in.mSet {
-		lset, ok := in.lSets[j]
-		if !ok {
+		if !in.lKnown.Has(j) {
 			return false
 		}
-		if !allAcked(in, lset) {
-			return false
-		}
-	}
-	return true
-}
-
-func allAcked(in *instance, ps []sim.ProcID) bool {
-	for _, p := range ps {
-		if !in.ackFrom[p] {
+		if !in.ackFrom.ContainsAll(in.lSets[j]) {
 			return false
 		}
 	}
 	return true
-}
-
-func sortedProcs(set map[sim.ProcID]bool) []sim.ProcID {
-	out := make([]sim.ProcID, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func procsContain(ps []sim.ProcID, p sim.ProcID) bool {

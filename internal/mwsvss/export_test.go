@@ -11,16 +11,18 @@ func SetDebugRecon(v bool) { debugRecon = v }
 
 // DumpState prints an instance's internal progress (tests only).
 func (e *Engine) DumpState(id proto.MWID) string {
-	in, ok := e.insts[id]
-	if !ok {
+	in := e.lookup(id)
+	if in == nil {
 		return "no instance"
 	}
 	ks := map[int]int{}
 	for l, pts := range in.kSets {
-		ks[int(l)] = len(pts)
+		if len(pts) > 0 {
+			ks[l] = len(pts)
+		}
 	}
 	return fmt.Sprintf(
 		"valsSet=%v polySet=%v lDone=%v L=%v mKnown=%v M=%v ok=%v shareDone=%v reconStarted=%v reconDone=%v kSets=%v pendingRV=%d fBarSet=%v",
 		in.valsSet, in.myPolySet, in.lDone, in.lSnapshot, in.mKnown, in.mSet,
-		in.okKnown, in.shareDone, in.reconStarted, in.reconDone, ks, len(in.rvalsPending), in.fBarSet)
+		in.okKnown, in.shareDone, in.reconStarted, in.reconDone, ks, len(in.rvalsPending), in.fBarSet.Slice())
 }

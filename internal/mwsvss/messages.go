@@ -228,21 +228,9 @@ func EncodeProcs(ps []sim.ProcID) []byte {
 }
 
 // DecodeProcs decodes a process set, rejecting ids outside 1..n and
-// duplicates.
+// duplicates (proto.DecodeProcSet is the shared rule).
 func DecodeProcs(b []byte, n int) ([]sim.ProcID, bool) {
-	r := proto.NewReader(b)
-	ps := r.Procs()
-	if r.Close() != nil {
-		return nil, false
-	}
-	seen := make(map[sim.ProcID]bool, len(ps))
-	for _, p := range ps {
-		if p < 1 || int(p) > n || seen[p] {
-			return nil, false
-		}
-		seen[p] = true
-	}
-	return ps, true
+	return proto.DecodeProcSet(b, n)
 }
 
 // EncodeElem encodes a single field element broadcast value.

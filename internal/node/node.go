@@ -154,16 +154,19 @@ type Node struct {
 	cfg   Config
 	codec sim.Codec
 
-	mu      sync.Mutex
-	state   int
-	crashed bool
-	tr      transport.Transport
-	decided bool
-	value   int
-	errs    []error
-	stop    chan struct{}
-	done    chan struct{}
-	decideC chan struct{}
+	mu         sync.Mutex
+	state      int
+	crashed    bool
+	tr         transport.Transport
+	decided    bool
+	value      int
+	retired    bool
+	counts     core.StateCounts
+	haveCounts bool
+	errs       []error
+	stop       chan struct{}
+	done       chan struct{}
+	decideC    chan struct{}
 
 	// Traffic counters, interned by kind like sim.Network (smu keeps
 	// Stats() safe while the delivery goroutine counts). Payload counters
@@ -279,6 +282,7 @@ const maxDrainBurst = 64
 // under real concurrency without any locking of their own.
 func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, done chan struct{}) {
 	defer close(done)
+	defer n.snapshotState(st)
 	st.Node.Init(ctx)
 	ctx.flushOutbox()
 	for {
@@ -305,8 +309,52 @@ func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, do
 				}
 			}
 			ctx.flushOutbox()
+			n.maybeRetire(st)
 		}
 	}
+}
+
+// maybeRetire releases the stack's instance state once the agreement
+// halted (n−t matching DECIDEs received — every honest process decides
+// through DECIDE amplification without further help from this one).
+// Long-lived nodes would otherwise keep every broadcast instance of a
+// finished agreement alive forever; after retirement the late tail of
+// the echo storm is dropped at the door.
+func (n *Node) maybeRetire(st *core.Stack) {
+	if st.Node.Retired() || !st.ABA.Halted() {
+		return
+	}
+	st.Retire()
+	n.snapshotState(st)
+	n.mu.Lock()
+	n.retired = true
+	n.mu.Unlock()
+}
+
+// snapshotState publishes the stack's state counts (delivery goroutine
+// only; readers go through StateCounts).
+func (n *Node) snapshotState(st *core.Stack) {
+	c := st.StateCounts()
+	n.mu.Lock()
+	n.counts = c
+	n.haveCounts = true
+	n.mu.Unlock()
+}
+
+// Retired reports whether the current incarnation retired its protocol
+// stack (decided, halted, and released its instance state).
+func (n *Node) Retired() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retired
+}
+
+// StateCounts returns the latest protocol-state snapshot — taken at
+// retirement and at shutdown — and whether one exists yet.
+func (n *Node) StateCounts() (core.StateCounts, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts, n.haveCounts
 }
 
 // handleFrame decodes one inbound frame — single-payload or batch — and
@@ -412,6 +460,8 @@ func (n *Node) Restart(tr transport.Transport) error {
 	n.tr = tr
 	n.crashed = false
 	n.decided = false
+	n.retired = false
+	n.haveCounts = false
 	n.decideC = make(chan struct{})
 	return n.startLocked()
 }

@@ -1,0 +1,137 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"svssba/internal/core"
+	"svssba/internal/node"
+	"svssba/internal/sim"
+	"svssba/internal/transport"
+)
+
+// waitRetired polls until the node's stack retired (decided, halted,
+// released its state) or the deadline passes.
+func waitRetired(t *testing.T, nd *node.Node) {
+	t.Helper()
+	deadline := time.Now().Add(waitFor)
+	for time.Now().Before(deadline) {
+		if nd.Retired() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %d: stack never retired", nd.ID())
+}
+
+// assertBaseline asserts a post-retirement snapshot holds no live
+// protocol instances (the slab high-water marks may stay — capacity is
+// retained for reuse — but every interned id must be released).
+func assertBaseline(t *testing.T, nd *node.Node) {
+	t.Helper()
+	c, ok := nd.StateCounts()
+	if !ok {
+		t.Fatalf("node %d: no state snapshot", nd.ID())
+	}
+	if c.Total() != 0 {
+		t.Fatalf("node %d: retired state not released: %+v", nd.ID(), c)
+	}
+}
+
+// TestClusterRetirementReleasesState is the memory-bound regression
+// test: a node that lives across several agreement sessions must not
+// accumulate protocol state. Each session runs agreement to the halt
+// point, the stack auto-retires, and the instance counts must return
+// to zero — the interned-id free lists and slabs are recycled, so a
+// long-lived cluster process stays at a bounded footprint no matter
+// how many sessions it serves.
+func TestClusterRetirementReleasesState(t *testing.T) {
+	const n = 4
+	nodes, mesh := startMeshCluster(t, n, nil)
+	ids := []sim.ProcID{1, 2, 3, 4}
+	waitAgreement(t, nodes, ids...)
+
+	// Session 1: every node halts, retires, and reports zero live state.
+	for _, id := range ids {
+		waitRetired(t, nodes[id])
+		assertBaseline(t, nodes[id])
+	}
+
+	// Sessions 2 and 3: restart the cluster (a fresh agreement session
+	// per incarnation) and assert the same release between sessions.
+	for session := 2; session <= 3; session++ {
+		for _, id := range ids {
+			nodes[id].Stop()
+		}
+		for _, id := range ids {
+			ep, err := mesh.ResetEndpoint(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ep.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := nodes[id].Restart(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitAgreement(t, nodes, ids...)
+		for _, id := range ids {
+			waitRetired(t, nodes[id])
+			assertBaseline(t, nodes[id])
+		}
+	}
+}
+
+// TestRetirementKeepsDecision pins that retirement releases state but
+// not the outcome: decision and stats survive, and the retired stack
+// drops late traffic instead of regrowing instances.
+func TestRetirementKeepsDecision(t *testing.T) {
+	const n = 4
+	nodes, _ := startMeshCluster(t, n, nil)
+	ids := []sim.ProcID{1, 2, 3, 4}
+	want := waitAgreement(t, nodes, ids...)
+	for _, id := range ids {
+		waitRetired(t, nodes[id])
+		v, ok := nodes[id].Decision()
+		if !ok || v != want {
+			t.Fatalf("node %d: decision after retirement = (%d,%v), want (%d,true)", id, v, ok, want)
+		}
+	}
+}
+
+// TestStateCountsBeforeHalt sanity-checks the accounting surface: a
+// node stopped before deciding reports its (nonzero) live state in the
+// shutdown snapshot.
+func TestStateCountsBeforeHalt(t *testing.T) {
+	mesh := transport.NewMesh(4)
+	codec := core.NewCodec()
+	ep, err := mesh.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	nd, err := node.New(node.Config{ID: 1, N: 4, Seed: 1, Input: 1, Codec: codec}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Alone in the mesh the node cannot decide; its Init-time sharing
+	// still creates local state.
+	time.Sleep(50 * time.Millisecond)
+	nd.Stop()
+	c, ok := nd.StateCounts()
+	if !ok {
+		t.Fatal("no state snapshot after Stop")
+	}
+	if nd.Retired() {
+		t.Fatal("undecided node must not retire")
+	}
+	if c.Total() == 0 {
+		t.Fatalf("expected live protocol state on an undecided node, got %+v", c)
+	}
+}

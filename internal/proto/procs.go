@@ -1,0 +1,33 @@
+package proto
+
+import (
+	"svssba/internal/intern"
+	"svssba/internal/sim"
+)
+
+// ValidProcs reports whether ps contains only process ids in 1..n with
+// no duplicates — the shared validation rule for every process-set
+// broadcast value (attach sets, gather sets, L/M/G sets). Dedup is a
+// stack bitset, so validation is allocation-free for n ≤ 64.
+func ValidProcs(ps []sim.ProcID, n int) bool {
+	var seen intern.ProcSet
+	for _, p := range ps {
+		if p < 1 || int(p) > n || !seen.Add(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeProcSet decodes a canonically encoded process set and
+// validates it with ValidProcs. Every layer that broadcasts process
+// sets decodes through this single helper so the validation rule
+// cannot diverge between layers.
+func DecodeProcSet(b []byte, n int) ([]sim.ProcID, bool) {
+	r := NewReader(b)
+	ps := r.Procs()
+	if r.Close() != nil || !ValidProcs(ps, n) {
+		return nil, false
+	}
+	return ps, true
+}

@@ -28,6 +28,7 @@
 package rb
 
 import (
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 	"svssba/internal/wrb"
@@ -92,27 +93,27 @@ type instKey struct {
 
 type instance struct {
 	sentType3 bool
-	voted     map[sim.ProcID]bool
-	counts    map[string]int
 	accepted  bool
+	voted     intern.ProcSet
+	counts    intern.ValCounts
 }
 
-// Engine runs all RB instances for one process.
+// Engine runs all RB instances for one process. Instances are
+// slab-allocated: the key table interns (origin, tag) to a dense id
+// indexing insts, so one delivery costs one key lookup plus bitset and
+// inline-counter updates — no per-instance maps (see internal/intern).
 type Engine struct {
 	self     sim.ProcID
 	weak     *wrb.Engine
-	insts    map[instKey]*instance
+	table    intern.Table[instKey]
+	insts    []instance
 	onAccept AcceptFunc
 }
 
 // New returns an RB engine for process self delivering accepts to
 // onAccept.
 func New(self sim.ProcID, onAccept AcceptFunc) *Engine {
-	e := &Engine{
-		self:     self,
-		insts:    make(map[instKey]*instance),
-		onAccept: onAccept,
-	}
+	e := &Engine{self: self, onAccept: onAccept}
 	e.weak = wrb.New(self, e.onWRBAccept)
 	return e
 }
@@ -123,21 +124,41 @@ func (e *Engine) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
 	e.weak.Broadcast(ctx, tag, value)
 }
 
-func (e *Engine) inst(k instKey) *instance {
-	in, ok := e.insts[k]
-	if !ok {
-		in = &instance{
-			voted:  make(map[sim.ProcID]bool),
-			counts: make(map[string]int),
-		}
-		e.insts[k] = in
+// inst returns the slab id for k, growing the slab for a fresh id.
+func (e *Engine) inst(k instKey) uint32 {
+	id, fresh := e.table.Intern(k)
+	if int(id) >= len(e.insts) {
+		e.insts = append(e.insts, instance{})
+	} else if fresh {
+		e.insts[id] = instance{}
 	}
-	return in
+	return id
+}
+
+// Live returns the number of live RB instances (retirement tests).
+func (e *Engine) Live() int { return e.table.Len() }
+
+// SlabCap returns the instance slab's high-water slot count.
+func (e *Engine) SlabCap() int { return e.table.HighWater() }
+
+// Weak exposes the inner WRB engine (for state accounting).
+func (e *Engine) Weak() *wrb.Engine { return e.weak }
+
+// Reset releases every RB and WRB instance and their interned ids,
+// keeping allocated capacity. Used when the owning stack retires and by
+// benchmarks to recycle slots.
+func (e *Engine) Reset() {
+	for i := range e.insts {
+		e.insts[i] = instance{}
+	}
+	e.insts = e.insts[:0]
+	e.table.Reset()
+	e.weak.Reset()
 }
 
 // onWRBAccept is step 2: echo the WRB-accepted value as type 3.
 func (e *Engine) onWRBAccept(ctx sim.Context, a wrb.Accept) {
-	in := e.inst(instKey{origin: a.Origin, tag: a.Tag})
+	in := &e.insts[e.inst(instKey{origin: a.Origin, tag: a.Tag})]
 	e.sendType3(ctx, in, a.Origin, a.Tag, a.Value)
 }
 
@@ -162,15 +183,14 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	if !ok {
 		return false
 	}
-	k := instKey{origin: msg.Origin, tag: msg.Tag}
-	in := e.inst(k)
+	in := &e.insts[e.inst(instKey{origin: msg.Origin, tag: msg.Tag})]
 	// Echo pruning: once n−t matching echoes are recorded the instance
 	// has accepted, and acceptance implies the t+1 amplification (step 3)
 	// already sent our echo — t+1 ≤ n−t for n > 3t, so the send trigger
 	// fires strictly before the accept trigger. Every later echo is
 	// therefore inert: it can neither cause a send (sentType3 holds) nor
 	// a second accept, so it is dropped before touching the vote and
-	// count maps. This bounds per-instance state and makes the tail of
+	// count state. This bounds per-instance state and makes the tail of
 	// each echo storm (the last t of n echoes) O(1) per delivery.
 	//
 	// Note what is deliberately NOT pruned: the echo *send* itself. With
@@ -183,25 +203,25 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	if in.accepted {
 		return true
 	}
-	if in.voted[m.From] {
+	if !in.voted.Add(m.From) {
 		return true
 	}
-	in.voted[m.From] = true
-	v := string(msg.Value)
-	in.counts[v]++
+	c := in.counts.Incr(msg.Value)
 	// Step 3: amplify after t+1 matching echoes.
-	if in.counts[v] >= ctx.T()+1 {
+	if c >= ctx.T()+1 {
 		e.sendType3(ctx, in, msg.Origin, msg.Tag, msg.Value)
 	}
 	// Step 4: accept after n−t matching echoes.
-	if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
+	if c >= ctx.N()-ctx.T() {
 		in.accepted = true
-		// The maps are dead weight from here on (see the pruning note
-		// above); release them so long runs with millions of broadcast
-		// instances keep a bounded footprint.
-		in.voted, in.counts = nil, nil
+		v := append([]byte(nil), msg.Value...)
+		// The vote state is dead weight from here on (see the pruning
+		// note above); drop the retained value copies so long runs with
+		// millions of broadcast instances keep a bounded footprint.
+		in.voted.Clear()
+		in.counts.Reset()
 		if e.onAccept != nil {
-			e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
+			e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: v})
 		}
 	}
 	return true

@@ -421,12 +421,16 @@ func Quick() *Matrix {
 	}
 }
 
-// Full returns the deep matrix: 5 schedulers × 10 behaviours × 3 scales
-// × 3 seeds = 450 cells, including the n=7/t=2 axis that the send-path
-// batching and echo-pruning pass opened up (an n7 cell runs tens of
-// millions of deliveries — the axis is for deliberate deep runs, not
-// CI; slice it with cmd/scenario -scale). The step budget is sized for
-// the n7 cells, whose honest runs need well past the 30M default.
+// Full returns the deep matrix: 5 schedulers × 10 behaviours × 4 scales
+// × 3 seeds = 600 cells, including the n=7/t=2 axis that the send-path
+// batching and echo-pruning pass opened up and the n=10/t=3 axis that
+// the interned-tag dense-state port (PR 5) made affordable (an n7 cell
+// runs tens of millions of deliveries, an n10 cell ~125M per coin
+// round — the big axes are for deliberate deep runs, not CI; slice
+// them with cmd/scenario -scale). The step budget is sized for the
+// n10 cells, whose honest runs need well past the n7 budget (per-
+// round traffic grows steeply: n² sessions × 2n(n−1) MW sub-
+// instances, each echoing through n²-message reliable broadcasts).
 func Full() *Matrix {
 	scheds := append(DefaultSchedulers(), Scheduler{
 		Name: "delay-uniform", Kind: svssba.SchedDelayUniform, DelayLo: 1, DelayHi: 100,
@@ -443,9 +447,10 @@ func Full() *Matrix {
 			{Name: "n4", N: 4, T: 1},
 			{Name: "n5", N: 5, T: 1},
 			{Name: "n7", N: 7, T: 2},
+			{Name: "n10", N: 10, T: 3},
 		},
 		Seeds:    []int64{1000, 1001, 1002},
-		MaxSteps: 150_000_000,
+		MaxSteps: 500_000_000,
 	}
 }
 

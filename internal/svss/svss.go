@@ -19,10 +19,10 @@ package svss
 
 import (
 	"fmt"
-	"sort"
 
 	"svssba/internal/dmm"
 	"svssba/internal/field"
+	"svssba/internal/intern"
 	"svssba/internal/mwsvss"
 	"svssba/internal/poly"
 	"svssba/internal/proto"
@@ -127,14 +127,26 @@ func mkPair(x, y sim.ProcID) pairKey {
 }
 
 // instance is the per-session state of one process.
+//
+// The per-sub-instance collections are dense: an MW key with canonical
+// coordinates (dealer, moderator in 1..n, slot 0 or 1) maps to a small
+// index (keyIdx) into bitsets and slabs, so the per-completion
+// bookkeeping and the allPairsShared/Reconstructed scans that run on
+// every advance do bit arithmetic instead of map operations. Keys a
+// Byzantine process can mint outside the canonical ranges (e.g. a
+// bogus slot in a crafted tag) fall back to tiny spill maps that are
+// never allocated in honest runs.
 type instance struct {
 	sid proto.SessionID
 	ref proto.MWID // session-level reference (zero MW key)
+	n   int        // system size (sizes the dense index space)
 
 	// Dealer state.
+	pairCount  []uint16         // completed sub-shares out of 4, (a,b) a<b
+	pairSpill  map[pairKey]int  // non-canonical pairs
+	gSub       []intern.ProcSet // G_j under construction (index j)
+	gSubSpill  map[sim.ProcID]map[sim.ProcID]bool
 	dealing    bool
-	pairCount  map[pairKey]int                    // completed sub-shares out of 4
-	gSub       map[sim.ProcID]map[sim.ProcID]bool // G_j under construction
 	gBroadcast bool
 
 	// Participant state.
@@ -143,63 +155,165 @@ type instance struct {
 	polySet bool
 	joined  bool // initiated the pairwise MW instances
 
-	mwShareDone map[proto.MWKey]bool
+	mwDone      intern.Bits // completed sub-shares by keyIdx
+	mwDoneSpill map[proto.MWKey]bool
 
 	gKnown    bool
-	g         []sim.ProcID                // Ĝ
-	gSets     map[sim.ProcID][]sim.ProcID // Ĝ_j for j ∈ Ĝ
+	g         []sim.ProcID   // Ĝ
+	gSets     [][]sim.ProcID // Ĝ_j for j ∈ Ĝ (index j)
 	shareDone bool
 
 	// Reconstruct state.
 	reconWanted  bool
 	reconStarted bool
-	mwOut        map[proto.MWKey]mwsvss.Output
+	mwOut        []mwsvss.Output // by keyIdx
+	mwOutSet     intern.Bits
+	mwOutSpill   map[proto.MWKey]mwsvss.Output
 	reconDone    bool
 }
 
+// keyIdx maps a canonical MW key to its dense index, or -1 for keys
+// outside the canonical ranges.
+func (in *instance) keyIdx(k proto.MWKey) int {
+	d, m := int(k.Dealer), int(k.Moderator)
+	if d < 1 || d > in.n || m < 1 || m > in.n || k.Slot > 1 {
+		return -1
+	}
+	return (d*(in.n+1)+m)*2 + int(k.Slot)
+}
+
+// markShared records a completed sub-share.
+func (in *instance) markShared(k proto.MWKey) {
+	if i := in.keyIdx(k); i >= 0 {
+		in.mwDone.Add(i)
+		return
+	}
+	if in.mwDoneSpill == nil {
+		in.mwDoneSpill = make(map[proto.MWKey]bool)
+	}
+	in.mwDoneSpill[k] = true
+}
+
+// shared reports whether the sub-share of k completed.
+func (in *instance) shared(k proto.MWKey) bool {
+	if i := in.keyIdx(k); i >= 0 {
+		return in.mwDone.Has(i)
+	}
+	return in.mwDoneSpill[k]
+}
+
+// putOut records a sub-reconstruction output, reporting whether it is
+// the first for k.
+func (in *instance) putOut(k proto.MWKey, out mwsvss.Output) bool {
+	if i := in.keyIdx(k); i >= 0 {
+		if !in.mwOutSet.Add(i) {
+			return false
+		}
+		if in.mwOut == nil {
+			in.mwOut = make([]mwsvss.Output, 2*(in.n+1)*(in.n+1))
+		}
+		in.mwOut[i] = out
+		return true
+	}
+	if _, dup := in.mwOutSpill[k]; dup {
+		return false
+	}
+	if in.mwOutSpill == nil {
+		in.mwOutSpill = make(map[proto.MWKey]mwsvss.Output)
+	}
+	in.mwOutSpill[k] = out
+	return true
+}
+
+// getOut returns the recorded sub-reconstruction output for k.
+func (in *instance) getOut(k proto.MWKey) (mwsvss.Output, bool) {
+	if i := in.keyIdx(k); i >= 0 {
+		if !in.mwOutSet.Has(i) {
+			return mwsvss.Output{}, false
+		}
+		return in.mwOut[i], true
+	}
+	out, ok := in.mwOutSpill[k]
+	return out, ok
+}
+
 // Engine runs all SVSS sessions of one process, driving a shared MW-SVSS
-// engine for the pairwise sub-instances.
+// engine for the pairwise sub-instances. Session ids are interned; the
+// slab holds pointers because advance keeps an instance alive across
+// broadcasts and MW calls that can re-enter the engine.
 type Engine struct {
 	host  Host
 	mw    *mwsvss.Engine
 	cb    Callbacks
-	insts map[proto.SessionID]*instance
+	table intern.Table[proto.SessionID]
+	insts []*instance
+	n     int
 }
 
 // New returns an SVSS engine using mw for its sub-instances. The caller
 // must route MW-SVSS callbacks for non-KindMW sessions into
 // OnMWShareComplete / OnMWReconComplete (core.AttachStack does this).
 func New(host Host, mw *mwsvss.Engine, cb Callbacks) *Engine {
-	return &Engine{host: host, mw: mw, cb: cb, insts: make(map[proto.SessionID]*instance)}
+	return &Engine{host: host, mw: mw, cb: cb}
 }
 
-func (e *Engine) inst(sid proto.SessionID) *instance {
-	in, ok := e.insts[sid]
-	if !ok {
-		in = &instance{
-			sid:         sid,
-			ref:         proto.MWID{Session: sid},
-			pairCount:   make(map[pairKey]int),
-			gSub:        make(map[sim.ProcID]map[sim.ProcID]bool),
-			mwShareDone: make(map[proto.MWKey]bool),
-			mwOut:       make(map[proto.MWKey]mwsvss.Output),
+func (e *Engine) inst(ctx sim.Context, sid proto.SessionID) *instance {
+	slot, fresh := e.table.Intern(sid)
+	if int(slot) >= len(e.insts) {
+		e.insts = append(e.insts, nil)
+	}
+	if fresh {
+		if e.n == 0 {
+			e.n = ctx.N()
 		}
-		e.insts[sid] = in
+		in := e.insts[slot]
+		if in == nil {
+			in = &instance{}
+			e.insts[slot] = in
+		}
+		*in = instance{sid: sid, ref: proto.MWID{Session: sid}, n: e.n}
 		e.host.DMM().BeginShare(in.ref)
 	}
-	return in
+	return e.insts[slot]
+}
+
+// lookup returns the session instance, or nil.
+func (e *Engine) lookup(sid proto.SessionID) *instance {
+	slot := e.table.Lookup(sid)
+	if slot == intern.NoID {
+		return nil
+	}
+	return e.insts[slot]
 }
 
 // ShareDone reports whether S completed locally for sid.
 func (e *Engine) ShareDone(sid proto.SessionID) bool {
-	in, ok := e.insts[sid]
-	return ok && in.shareDone
+	in := e.lookup(sid)
+	return in != nil && in.shareDone
 }
 
 // ReconDone reports whether R completed locally for sid.
 func (e *Engine) ReconDone(sid proto.SessionID) bool {
-	in, ok := e.insts[sid]
-	return ok && in.reconDone
+	in := e.lookup(sid)
+	return in != nil && in.reconDone
+}
+
+// Live returns the number of live sessions (retirement tests).
+func (e *Engine) Live() int { return e.table.Len() }
+
+// SlabCap returns the session slab's high-water slot count.
+func (e *Engine) SlabCap() int { return e.table.HighWater() }
+
+// Reset releases every session and its interned id. The slab keeps its
+// instance objects for reuse (freshly interned ids re-initialize them
+// in place). Used when the owning stack retires.
+func (e *Engine) Reset() {
+	for _, in := range e.insts {
+		if in != nil {
+			*in = instance{}
+		}
+	}
+	e.table.Reset()
 }
 
 // mwid builds a sub-instance id within a session.
@@ -213,7 +327,7 @@ func (e *Engine) Share(ctx sim.Context, sid proto.SessionID, secret field.Elemen
 	if sid.Dealer != e.host.Self() {
 		return fmt.Errorf("svss: process %d is not dealer of %s", e.host.Self(), sid)
 	}
-	in := e.inst(sid)
+	in := e.inst(ctx, sid)
 	if in.dealing {
 		return fmt.Errorf("svss: session %s already dealt", sid)
 	}
@@ -236,7 +350,7 @@ func (e *Engine) Share(ctx sim.Context, sid proto.SessionID, secret field.Elemen
 // Reconstruct begins protocol R for sid; if the share phase has not
 // completed locally it starts as soon as it does.
 func (e *Engine) Reconstruct(ctx sim.Context, sid proto.SessionID) {
-	in := e.inst(sid)
+	in := e.inst(ctx, sid)
 	in.reconWanted = true
 	e.advance(ctx, in)
 }
@@ -247,7 +361,7 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 	if !ok {
 		return
 	}
-	in := e.inst(d.Session)
+	in := e.inst(ctx, d.Session)
 	if m.From != d.Session.Dealer || in.polySet ||
 		len(d.RowPts) != ctx.T()+1 || len(d.ColPts) != ctx.T()+1 {
 		return
@@ -270,7 +384,7 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 	if t.Step != StepG || origin != t.Session.Dealer {
 		return
 	}
-	in := e.inst(t.Session)
+	in := e.inst(ctx, t.Session)
 	if in.gKnown {
 		return
 	}
@@ -283,8 +397,8 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 	if len(g) < ctx.N()-ctx.T() {
 		return
 	}
-	for _, members := range gSets {
-		if len(members) < ctx.N()-ctx.T() {
+	for _, j := range g {
+		if len(gSets[j]) < ctx.N()-ctx.T() {
 			return
 		}
 	}
@@ -296,15 +410,13 @@ func (e *Engine) OnBroadcast(ctx sim.Context, origin sim.ProcID, t proto.Tag, va
 
 // OnMWShareComplete receives sub-instance share completions.
 func (e *Engine) OnMWShareComplete(ctx sim.Context, id proto.MWID) {
-	in := e.inst(id.Session)
-	in.mwShareDone[id.Key] = true
+	in := e.inst(ctx, id.Session)
+	in.markShared(id.Key)
 
 	// Share step 3 (dealer): count the four instances of the pair.
 	if in.dealing {
-		pk := mkPair(id.Key.Dealer, id.Key.Moderator)
-		in.pairCount[pk]++
-		if in.pairCount[pk] == 4 {
-			e.dealerPairDone(ctx, in, pk)
+		if in.pairBump(mkPair(id.Key.Dealer, id.Key.Moderator)) == 4 {
+			e.dealerPairDone(ctx, in, mkPair(id.Key.Dealer, id.Key.Moderator))
 		}
 	}
 	e.advance(ctx, in)
@@ -312,27 +424,54 @@ func (e *Engine) OnMWShareComplete(ctx sim.Context, id proto.MWID) {
 
 // OnMWReconComplete receives sub-instance reconstruction outputs.
 func (e *Engine) OnMWReconComplete(ctx sim.Context, id proto.MWID, out mwsvss.Output) {
-	in := e.inst(id.Session)
-	if _, dup := in.mwOut[id.Key]; dup {
+	in := e.inst(ctx, id.Session)
+	if !in.putOut(id.Key, out) {
 		return
 	}
-	in.mwOut[id.Key] = out
 	e.advance(ctx, in)
+}
+
+// pairBump increments the completed-sub-share count of a pair and
+// returns the new count.
+func (in *instance) pairBump(pk pairKey) int {
+	a, b := int(pk.a), int(pk.b)
+	if a >= 1 && b <= in.n {
+		if in.pairCount == nil {
+			in.pairCount = make([]uint16, (in.n+1)*(in.n+1))
+		}
+		in.pairCount[a*(in.n+1)+b]++
+		return int(in.pairCount[a*(in.n+1)+b])
+	}
+	if in.pairSpill == nil {
+		in.pairSpill = make(map[pairKey]int)
+	}
+	in.pairSpill[pk]++
+	return in.pairSpill[pk]
 }
 
 // dealerPairDone implements share steps 3-4: record mutual membership and
 // broadcast G once it reaches n−t.
 func (e *Engine) dealerPairDone(ctx sim.Context, in *instance, pk pairKey) {
 	add := func(j, l sim.ProcID) {
-		set, ok := in.gSub[j]
-		if !ok {
-			set = make(map[sim.ProcID]bool)
+		if j >= 1 && int(j) <= in.n && l >= 1 && int(l) <= in.n {
+			if in.gSub == nil {
+				in.gSub = make([]intern.ProcSet, in.n+1)
+			}
 			// j vouches for itself: the paper's termination argument
 			// needs |G_j| ≥ n−t to be reachable with only n−t nonfaulty
 			// processes, so G_j counts j (the four self-invocations are
 			// vacuous).
-			set[j] = true
-			in.gSub[j] = set
+			in.gSub[j].Add(j)
+			in.gSub[j].Add(l)
+			return
+		}
+		set, ok := in.gSubSpill[j]
+		if !ok {
+			if in.gSubSpill == nil {
+				in.gSubSpill = make(map[sim.ProcID]map[sim.ProcID]bool)
+			}
+			set = map[sim.ProcID]bool{j: true}
+			in.gSubSpill[j] = set
 		}
 		set[l] = true
 	}
@@ -344,24 +483,21 @@ func (e *Engine) dealerPairDone(ctx sim.Context, in *instance, pk pairKey) {
 	}
 	nt := ctx.N() - ctx.T()
 	var g []sim.ProcID
-	for j, set := range in.gSub {
-		if len(set) >= nt {
-			g = append(g, j)
+	for j := 1; j <= in.n && in.gSub != nil; j++ {
+		if in.gSub[j].Count() >= nt {
+			g = append(g, sim.ProcID(j))
 		}
 	}
+	// Spill members (out-of-range process ids) can never be announced:
+	// G must decode as valid 1..n process sets at the receivers, and a
+	// set rooted at an out-of-range j would be rejected there anyway.
 	if len(g) < nt {
 		return
 	}
-	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
 	in.gBroadcast = true
-	gSets := make(map[sim.ProcID][]sim.ProcID, len(g))
+	gSets := make([][]sim.ProcID, in.n+1)
 	for _, j := range g {
-		members := make([]sim.ProcID, 0, len(in.gSub[j]))
-		for l := range in.gSub[j] {
-			members = append(members, l)
-		}
-		sort.Slice(members, func(i, k int) bool { return members[i] < members[k] })
-		gSets[j] = members
+		gSets[j] = in.gSub[j].Slice()
 	}
 	tag := proto.Tag{Proto: proto.ProtoSVSS, Session: in.sid, Step: StepG}
 	e.host.Broadcast(ctx, tag, encodeGSets(g, gSets))
@@ -432,12 +568,12 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 }
 
 // forAllPairInstances visits the four MW ids of every pair (k ∈ Ĝ,
-// l ∈ Ĝ_k), deduplicated.
+// l ∈ Ĝ_k), deduplicated. Ĝ and every Ĝ_k decode-validated to 1..n, so
+// the dense key index covers every visited id.
 func (e *Engine) forAllPairInstances(in *instance, fn func(proto.MWID)) {
-	seen := make(map[proto.MWKey]bool)
+	var seen intern.Bits
 	visit := func(id proto.MWID) {
-		if !seen[id.Key] {
-			seen[id.Key] = true
+		if seen.Add(in.keyIdx(id.Key)) {
 			fn(id)
 		}
 	}
@@ -455,23 +591,39 @@ func (e *Engine) forAllPairInstances(in *instance, fn func(proto.MWID)) {
 }
 
 func (e *Engine) allPairsShared(in *instance) bool {
-	ok := true
-	e.forAllPairInstances(in, func(id proto.MWID) {
-		if !in.mwShareDone[id.Key] {
-			ok = false
+	for _, k := range in.g {
+		for _, l := range in.gSets[k] {
+			if k == l {
+				continue
+			}
+			if !in.shared(proto.MWKey{Dealer: k, Moderator: l, Slot: 0}) ||
+				!in.shared(proto.MWKey{Dealer: k, Moderator: l, Slot: 1}) ||
+				!in.shared(proto.MWKey{Dealer: l, Moderator: k, Slot: 0}) ||
+				!in.shared(proto.MWKey{Dealer: l, Moderator: k, Slot: 1}) {
+				return false
+			}
 		}
-	})
-	return ok
+	}
+	return true
 }
 
 func (e *Engine) allPairsReconstructed(in *instance) bool {
-	ok := true
-	e.forAllPairInstances(in, func(id proto.MWID) {
-		if _, done := in.mwOut[id.Key]; !done {
-			ok = false
+	for _, k := range in.g {
+		for _, l := range in.gSets[k] {
+			if k == l {
+				continue
+			}
+			for slot := uint8(0); slot <= 1; slot++ {
+				if !in.mwOutSet.Has(in.keyIdx(proto.MWKey{Dealer: k, Moderator: l, Slot: slot})) {
+					return false
+				}
+				if !in.mwOutSet.Has(in.keyIdx(proto.MWKey{Dealer: l, Moderator: k, Slot: slot})) {
+					return false
+				}
+			}
 		}
-	})
-	return ok
+	}
+	return true
 }
 
 // computeOutput implements reconstruct steps 2 and 3.
@@ -492,8 +644,8 @@ func (e *Engine) computeOutput(ctx sim.Context, in *instance) Output {
 			if l == k {
 				continue
 			}
-			rkl, ok1 := in.mwOut[proto.MWKey{Dealer: k, Moderator: l, Slot: 1}]
-			rlk, ok0 := in.mwOut[proto.MWKey{Dealer: k, Moderator: l, Slot: 0}]
+			rkl, ok1 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 1})
+			rlk, ok0 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 0})
 			if !ok1 || !ok0 || rkl.Bottom || rlk.Bottom {
 				bad = true
 				break
@@ -557,8 +709,8 @@ func (e *Engine) computeOutput(ctx sim.Context, in *instance) Output {
 }
 
 // encodeGSets canonically encodes (G, {G_j}): the sorted G list followed
-// by each member's sorted G_j list.
-func encodeGSets(g []sim.ProcID, gSets map[sim.ProcID][]sim.ProcID) []byte {
+// by each member's sorted G_j list. gSets is indexed by process id.
+func encodeGSets(g []sim.ProcID, gSets [][]sim.ProcID) []byte {
 	var w proto.Writer
 	w.Procs(g)
 	for _, j := range g {
@@ -567,17 +719,18 @@ func encodeGSets(g []sim.ProcID, gSets map[sim.ProcID][]sim.ProcID) []byte {
 	return w.Bytes()
 }
 
-// decodeGSets decodes and validates a G announcement.
-func decodeGSets(b []byte, n int) ([]sim.ProcID, map[sim.ProcID][]sim.ProcID, bool) {
+// decodeGSets decodes and validates a G announcement; the returned
+// gSets slice is indexed by process id (members of G only).
+func decodeGSets(b []byte, n int) ([]sim.ProcID, [][]sim.ProcID, bool) {
 	r := proto.NewReader(b)
 	g := r.Procs()
-	if r.Err() != nil || !validProcs(g, n) {
+	if r.Err() != nil || !proto.ValidProcs(g, n) {
 		return nil, nil, false
 	}
-	gSets := make(map[sim.ProcID][]sim.ProcID, len(g))
+	gSets := make([][]sim.ProcID, n+1)
 	for _, j := range g {
 		members := r.Procs()
-		if r.Err() != nil || !validProcs(members, n) {
+		if r.Err() != nil || !proto.ValidProcs(members, n) {
 			return nil, nil, false
 		}
 		gSets[j] = members
@@ -586,15 +739,4 @@ func decodeGSets(b []byte, n int) ([]sim.ProcID, map[sim.ProcID][]sim.ProcID, bo
 		return nil, nil, false
 	}
 	return g, gSets, true
-}
-
-func validProcs(ps []sim.ProcID, n int) bool {
-	seen := make(map[sim.ProcID]bool, len(ps))
-	for _, p := range ps {
-		if p < 1 || int(p) > n || seen[p] {
-			return false
-		}
-		seen[p] = true
-	}
-	return true
 }

@@ -13,9 +13,16 @@
 //
 // Instances are identified by (origin, tag); values are opaque byte
 // strings whose equality is the paper's value equality.
+//
+// Representation: instance keys are interned to dense ids and instances
+// live in a per-engine slab indexed by id, with the per-sender vote set
+// a bitset and the per-value tally an inline counter (intern package).
+// One delivery costs one key lookup plus word-sized bit arithmetic —
+// no per-instance map writes and no warm-path allocation.
 package wrb
 
 import (
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 )
@@ -96,25 +103,24 @@ type instKey struct {
 
 type instance struct {
 	sentType2 bool
-	voted     map[sim.ProcID]bool // senders whose type-2 was counted
-	counts    map[string]int      // value -> distinct type-2 count
 	accepted  bool
+	voted     intern.ProcSet   // senders whose type-2 was counted
+	counts    intern.ValCounts // value -> distinct type-2 count
 }
 
-// Engine runs all WRB instances for one process.
+// Engine runs all WRB instances for one process. Instances are
+// slab-allocated: the key table interns (origin, tag) to a dense id
+// indexing insts.
 type Engine struct {
 	self     sim.ProcID
 	onAccept AcceptFunc
-	insts    map[instKey]*instance
+	table    intern.Table[instKey]
+	insts    []instance
 }
 
 // New returns a WRB engine for process self.
 func New(self sim.ProcID, onAccept AcceptFunc) *Engine {
-	return &Engine{
-		self:     self,
-		onAccept: onAccept,
-		insts:    make(map[instKey]*instance),
-	}
+	return &Engine{self: self, onAccept: onAccept}
 }
 
 // Broadcast starts a WRB instance with this process as dealer (step 1).
@@ -125,16 +131,34 @@ func (e *Engine) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
 	}
 }
 
-func (e *Engine) inst(k instKey) *instance {
-	in, ok := e.insts[k]
-	if !ok {
-		in = &instance{
-			voted:  make(map[sim.ProcID]bool),
-			counts: make(map[string]int),
-		}
-		e.insts[k] = in
+// inst returns the slab id for k, growing the slab for a fresh id.
+// Callers index e.insts with the returned id; the pointer must not be
+// held across anything that could intern another instance.
+func (e *Engine) inst(k instKey) uint32 {
+	id, fresh := e.table.Intern(k)
+	if int(id) >= len(e.insts) {
+		e.insts = append(e.insts, instance{})
+	} else if fresh {
+		e.insts[id] = instance{}
 	}
-	return in
+	return id
+}
+
+// Live returns the number of live instances (for retirement tests).
+func (e *Engine) Live() int { return e.table.Len() }
+
+// SlabCap returns the instance slab's high-water slot count.
+func (e *Engine) SlabCap() int { return e.table.HighWater() }
+
+// Reset releases every instance and its interned id, keeping allocated
+// capacity. Used when the owning stack retires (the agreement decided
+// and halted) and by benchmarks to recycle slots.
+func (e *Engine) Reset() {
+	for i := range e.insts {
+		e.insts[i] = instance{}
+	}
+	e.insts = e.insts[:0]
+	e.table.Reset()
 }
 
 // Handle processes a message if it belongs to WRB, reporting whether it
@@ -144,8 +168,7 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	if !ok {
 		return false
 	}
-	k := instKey{origin: msg.Origin, tag: msg.Tag}
-	in := e.inst(k)
+	in := &e.insts[e.inst(instKey{origin: msg.Origin, tag: msg.Tag})]
 	switch msg.Phase {
 	case phaseType1:
 		// Step 2: the type 1 message must come from the instance dealer.
@@ -161,7 +184,7 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 		// Echo pruning: an accepted instance can neither accept again nor
 		// send anything in response to a type 2, so the remaining echoes
 		// of the storm (up to t per instance) skip the vote and count
-		// maps entirely. The type 1 branch above stays live — a slow
+		// state entirely. The type 1 branch above stays live — a slow
 		// process must still echo the dealer's value so its peers can
 		// reach their own n−t thresholds (suppressing the echo of an
 		// already-accepted process would strand peers at n−t−1 matching
@@ -170,19 +193,19 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 			return true
 		}
 		// Step 3: count the first type 2 from each sender.
-		if in.voted[m.From] {
+		if !in.voted.Add(m.From) {
 			return true
 		}
-		in.voted[m.From] = true
-		v := string(msg.Value)
-		in.counts[v]++
-		if !in.accepted && in.counts[v] >= ctx.N()-ctx.T() {
+		if in.counts.Incr(msg.Value) >= ctx.N()-ctx.T() {
 			in.accepted = true
-			// Dead from here on (see pruning note); keep the per-instance
-			// footprint bounded across millions of broadcasts.
-			in.voted, in.counts = nil, nil
+			v := append([]byte(nil), msg.Value...)
+			// Dead from here on (see pruning note); drop the retained
+			// value copies so the per-instance footprint stays bounded
+			// across millions of broadcasts.
+			in.voted.Clear()
+			in.counts.Reset()
 			if e.onAccept != nil {
-				e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: []byte(v)})
+				e.onAccept(ctx, Accept{Origin: msg.Origin, Tag: msg.Tag, Value: v})
 			}
 		}
 	}

@@ -1,0 +1,51 @@
+package svssba_test
+
+import (
+	"testing"
+	"time"
+
+	"svssba"
+)
+
+// TestAgreementN10 is the n=10/t=3 smoke test the interned-tag dense-
+// state port (PR 5) opened up: one full-stack agreement run at the
+// scale the fast-ABA literature benchmarks against.
+//
+// Reality check on cost: one n10 coin round alone is ~125M deliveries
+// (per-round traffic grows steeply — n² concurrent SVSS sessions ×
+// 2n(n−1) MW sub-instances, each echoing through n²-message reliable
+// broadcasts), so the complete run is ~129M deliveries ≈ 7 minutes of
+// single-core work on the dense hot path (measured in BENCH_pr5.json;
+// the PR-4 map-based path was ~1.3× slower per delivery at this scale
+// on top). The test therefore skips under -short, and under a default
+// `go test` budget it skips unless enough deadline headroom remains —
+// run it deliberately with
+//
+//	make n10    # go test -run TestAgreementN10 -timeout 90m .
+func TestAgreementN10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10/t=3 agreement is a multi-minute deep run; skipped under -short")
+	}
+	const headroom = 20 * time.Minute
+	if dl, ok := t.Deadline(); ok && time.Until(dl) < headroom {
+		t.Skipf("n=10/t=3 agreement needs ~%v of budget (have %v); run via make n10", headroom, time.Until(dl).Round(time.Second))
+	}
+	inputs := make([]int, 10)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	res, err := svssba.Run(svssba.Config{N: 10, T: 3, Seed: 1, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("n10 run exhausted %d steps (rounds=%d)", res.Steps, res.MaxRound)
+	}
+	if !res.AllDecided || !res.Agreed {
+		t.Fatalf("no agreement: decided=%v agreed=%v decisions=%v", res.AllDecided, res.Agreed, res.Decisions)
+	}
+	if res.Value != 1 {
+		t.Fatalf("validity violated: unanimous input 1, decided %d", res.Value)
+	}
+	t.Logf("n10/t3 agreement: steps=%d rounds=%d msgs=%d", res.Steps, res.MaxRound, res.Messages)
+}
