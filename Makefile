@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,22 @@ fuzz-batch:
 # in-process transport).
 cluster-race:
 	$(GO) test -race ./internal/transport/ ./internal/node/
+
+# parity diffs both wire variants' quick-matrix digests against their
+# pinned goldens: v1 must stay byte-identical across representation
+# changes; v2 is the declared burst-coalescing variant pinned
+# separately. Regenerate a golden only as a deliberate act:
+#   go run ./cmd/paritydigest -variant v2 > cmd/paritydigest/testdata/parity_v2.txt
+parity:
+	$(GO) run ./cmd/paritydigest -variant v1 | diff cmd/paritydigest/testdata/parity_v1.txt -
+	$(GO) run ./cmd/paritydigest -variant v2 | diff cmd/paritydigest/testdata/parity_v2.txt -
+	@echo parity OK: both wire variants match their pinned digests
+
+# n13 runs the n=13/t=4 agreement smoke under wire v2 — the scale the
+# burst-coalescing message-complexity pass (PR 6) opened. Deliberate
+# deep run; the default `go test` budget skips it.
+n13:
+	$(GO) test -run TestAgreementN13 -v -timeout 90m .
 
 # n10 runs the n=10/t=3 agreement smoke end to end — a deliberate deep
 # run (>100M deliveries per coin round; see BENCH_pr5.json for the

@@ -62,6 +62,11 @@ type ClusterConfig struct {
 	// a single multi-payload batch frame. Decisions and logical payload
 	// stats are unaffected; the frame counters show the reduction.
 	Batching bool
+	// Wire selects the wire variant every node runs ("v1" default, "v2"
+	// burst coalescing — see Config.Wire). All nodes of one cluster must
+	// agree: v2 traffic (bundle broadcasts, pack frames) is only decoded
+	// by v2 peers.
+	Wire string
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
 }
@@ -93,6 +98,14 @@ type ClusterNodeStats struct {
 
 	SentFrames, SentFrameBytes int64
 	RecvFrames, RecvFrameBytes int64
+
+	// Complexity denominators: how many coin rounds this node observed
+	// and how many protocol instances each layer opened (cumulative, so
+	// retirement does not zero them). Recv / CoinRounds is the node's
+	// deliveries-per-coin-round figure; Recv / MWCreated its deliveries
+	// per MW sub-instance.
+	CoinRounds                                    uint64
+	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
 
 	ByLayer map[string]ClusterLayerStats
 }
@@ -162,6 +175,13 @@ func (c *ClusterConfig) normalize() error {
 	}
 	if len(seen) > c.T {
 		return fmt.Errorf("svssba: %d faulty nodes exceed t=%d", len(seen), c.T)
+	}
+	switch c.Wire {
+	case "":
+		c.Wire = "v1"
+	case "v1", "v2":
+	default:
+		return fmt.Errorf("svssba: unknown wire variant %q", c.Wire)
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 60 * time.Second
@@ -262,6 +282,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			Input:    cfg.Inputs[i-1],
 			Codec:    codec,
 			Batching: cfg.Batching,
+			Wire:     cfg.Wire,
 		}, trs[i])
 		if err != nil {
 			return nil, err
@@ -371,6 +392,13 @@ func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeS
 	if v, ok := nd.Decision(); ok {
 		out.Decided, out.Decision = true, v
 	}
+	out.CoinRounds = nd.CoinRounds()
+	if sc, ok := nd.StateCounts(); ok {
+		out.RBCreated = sc.RBCreated
+		out.WRBCreated = sc.WRBCreated
+		out.MWCreated = sc.MWCreated
+		out.SVSSCreated = sc.SVSSCreated
+	}
 	for layer, l := range st.ByLayer() {
 		out.ByLayer[layer] = ClusterLayerStats{
 			SentMsgs: l.SentMsgs, SentFrames: l.SentFrames, SentBytes: l.SentBytes,
@@ -394,6 +422,10 @@ type ClusterSpec struct {
 	// on it, though mixed clusters interoperate (batch frames are
 	// self-describing).
 	Batching bool `json:"batching,omitempty"`
+	// Wire selects the wire variant on every process (see
+	// ClusterConfig.Wire). Unlike Batching, all processes must agree —
+	// v1 peers drop v2 bundle broadcasts and pack frames.
+	Wire string `json:"wire,omitempty"`
 }
 
 // ClusterNodeAddr binds a node id to its listen address.
@@ -489,6 +521,7 @@ func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*Spec
 		Seed:     nodeSeed(spec.Seed, id),
 		Input:    input,
 		Batching: spec.Batching,
+		Wire:     spec.Wire,
 	}, tr)
 	if err != nil {
 		return nil, err
@@ -514,6 +547,50 @@ func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*Spec
 		Elapsed:  elapsed,
 		Stats:    clusterNodeStats(id, nd, false, false),
 	}, nil
+}
+
+// ClusterComplexity is the message-complexity report over a set of
+// nodes: total logical deliveries (received payloads) normalized by the
+// protocol's unit counts. Deliveries is the sum over the nodes;
+// CoinRounds is the maximum any node observed (the protocol-level round
+// count — every honest node sees every coin round); the created counts
+// sum each layer's instances across the nodes.
+type ClusterComplexity struct {
+	Deliveries uint64
+	CoinRounds uint64
+	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
+}
+
+// PerCoinRound returns deliveries per coin round (0 when no coin ran).
+func (c ClusterComplexity) PerCoinRound() float64 { return ratio(c.Deliveries, c.CoinRounds) }
+
+// PerMWInstance returns deliveries per MW-SVSS sub-instance.
+func (c ClusterComplexity) PerMWInstance() float64 { return ratio(c.Deliveries, c.MWCreated) }
+
+// PerRBSession returns deliveries per RB broadcast session.
+func (c ClusterComplexity) PerRBSession() float64 { return ratio(c.Deliveries, c.RBCreated) }
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Complexity folds per-node stats into the message-complexity report.
+func Complexity(nodes []ClusterNodeStats) ClusterComplexity {
+	var c ClusterComplexity
+	for _, nd := range nodes {
+		c.Deliveries += uint64(nd.Recv)
+		if nd.CoinRounds > c.CoinRounds {
+			c.CoinRounds = nd.CoinRounds
+		}
+		c.RBCreated += nd.RBCreated
+		c.WRBCreated += nd.WRBCreated
+		c.MWCreated += nd.MWCreated
+		c.SVSSCreated += nd.SVSSCreated
+	}
+	return c
 }
 
 // ClusterLayerTable flattens aggregate per-layer stats over the given

@@ -43,6 +43,7 @@ func run() error {
 		drop       = flag.Float64("drop", 0, "outbound frame drop probability for dropper nodes")
 		droppers   = flag.Int("droppers", 0, "number of dropper nodes (taken below the crashed ids)")
 		batch      = flag.Bool("batch", false, "coalesce same-destination payloads into multi-payload batch frames")
+		wire       = flag.String("wire", "v1", "wire variant: v1 (baseline shape) | v2 (burst coalescing inside the stack)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "run deadline")
 		inputsArg  = flag.String("inputs", "", "comma-separated binary inputs (default alternating)")
 		verbose    = flag.Bool("v", false, "print per-node stats lines")
@@ -59,6 +60,7 @@ func run() error {
 		Delay:      *delay,
 		Drop:       *drop,
 		Batching:   *batch,
+		Wire:       *wire,
 		Timeout:    *timeout,
 	}
 	// Fault ids are carved off the top of the id range: crashes take the
@@ -83,8 +85,8 @@ func run() error {
 	if effT == 0 {
 		effT = (cfg.N - 1) / 3
 	}
-	fmt.Printf("cluster       n=%d t=%d seed=%d transport=%s batch=%v timeout=%v\n",
-		cfg.N, effT, cfg.Seed, cfg.Transport, cfg.Batching, cfg.Timeout)
+	fmt.Printf("cluster       n=%d t=%d seed=%d transport=%s batch=%v wire=%s timeout=%v\n",
+		cfg.N, effT, cfg.Seed, cfg.Transport, cfg.Batching, *wire, cfg.Timeout)
 	if len(cfg.Crash) > 0 {
 		fmt.Printf("crash         %v (after %v)\n", cfg.Crash, cfg.CrashAfter)
 	}
@@ -158,6 +160,21 @@ func run() error {
 	if plds > 0 {
 		fmt.Printf("\nphysical      %d frames (%d B on the wire) for %d payloads — %.1f%% frame reduction\n",
 			frames, fbytes, plds, 100*(1-float64(frames)/float64(plds)))
+	}
+
+	// Message-complexity report: logical deliveries normalized by the
+	// protocol's unit counts over the honest nodes.
+	cx := svssba.Complexity(honestStats)
+	fmt.Printf("\ncomplexity    %d deliveries | coin rounds=%d rb=%d wrb=%d mw=%d svss=%d\n",
+		cx.Deliveries, cx.CoinRounds, cx.RBCreated, cx.WRBCreated, cx.MWCreated, cx.SVSSCreated)
+	if cx.CoinRounds > 0 {
+		fmt.Printf("              %.0f deliveries/coin-round\n", cx.PerCoinRound())
+	}
+	if cx.MWCreated > 0 {
+		fmt.Printf("              %.1f deliveries/mw-instance\n", cx.PerMWInstance())
+	}
+	if cx.RBCreated > 0 {
+		fmt.Printf("              %.1f deliveries/rb-session\n", cx.PerRBSession())
 	}
 
 	if *verbose {

@@ -6,88 +6,70 @@
 // PR claims to be a pure representation change (capture the output
 // before, diff after).
 //
-//	go run ./cmd/paritydigest           # quick matrix (seconds)
-//	go run ./cmd/paritydigest -deep     # adds the n7/t2 cell (minutes)
+// Each wire variant has its own digest: v1 (the default) must stay
+// byte-identical across representation changes; v2 (burst coalescing)
+// is a declared protocol variant pinned separately.
+//
+//	go run ./cmd/paritydigest               # quick matrix, wire v1 (seconds)
+//	go run ./cmd/paritydigest -variant v2   # same matrix under wire v2
+//	go run ./cmd/paritydigest -deep         # adds the n7/t2 cells (minutes)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"svssba"
+	"svssba/internal/paritycells"
 )
 
 func main() {
-	deep := flag.Bool("deep", false, "include the n7/t2 agreement cell (minutes of deliveries)")
+	deep := flag.Bool("deep", false, "include the n7/t2 agreement cells (minutes of deliveries)")
+	variant := flag.String("variant", "v1", "wire variant to digest (v1 or v2)")
 	flag.Parse()
+	emit(os.Stdout, *deep, *variant)
+}
 
-	type cell struct {
-		name string
-		cfg  svssba.Config
-	}
-	cells := []cell{
-		{"n4-random-s1", svssba.Config{N: 4, Seed: 1}},
-		{"n4-random-s2", svssba.Config{N: 4, Seed: 2}},
-		{"n4-random-s3", svssba.Config{N: 4, Seed: 3}},
-		{"n4-fifo-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedFIFO}},
-		{"n4-delayexp-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedDelayExp}},
-		{"n4-partition-s1", svssba.Config{N: 4, Seed: 1, Scheduler: svssba.SchedPartition}},
-		{"n4-batched-s1", svssba.Config{N: 4, Seed: 1, Batching: true}},
-		{"n5-crash-s1", svssba.Config{N: 5, T: 1, Seed: 1, Faults: []svssba.Fault{{Proc: 5, Kind: svssba.FaultCrash}}}},
-		{"n4-silent-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultSilent}}}},
-		{"n4-voteflip-s1", svssba.Config{N: 4, Seed: 1, Inputs: []int{1, 1, 1, 1}, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteFlip}}}},
-		{"n4-voteequiv-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultVoteEquivocate}}}},
-		{"n4-rvallie-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultRValLie}}}},
-		{"n4-echolie-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultEchoLie}}}},
-		{"n4-dealcorrupt-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultDealCorrupt}}}},
-		{"n4-muteburst-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultMuteBurst}}}},
-		{"n4-targdelay-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultTargetedDelay}}}},
-		{"n4-crossequiv-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCrossEquivocate}}}},
-		{"n4-coinbias-s1", svssba.Config{N: 4, Seed: 1, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCoinBias}}}},
-		{"n5-coinbias-s7", svssba.Config{N: 5, T: 1, Seed: 7, Faults: []svssba.Fault{{Proc: 5, Kind: svssba.FaultCoinBias}}}},
-		{"n4-benor", svssba.Config{N: 4, Seed: 1, Protocol: svssba.ProtocolBenOr}},
-		{"n4-localcoin", svssba.Config{N: 4, Seed: 1, Protocol: svssba.ProtocolLocalCoin}},
-	}
-	if *deep {
-		cells = append(cells,
-			cell{"n7-random-s1", svssba.Config{N: 7, T: 2, Seed: 1}},
-			cell{"n7-batched-s1", svssba.Config{N: 7, T: 2, Seed: 1, Batching: true}},
-		)
-	}
-
-	for _, c := range cells {
-		res, err := svssba.Run(c.cfg)
+// emit writes the full digest for one wire variant (also driven by the
+// golden test against testdata/parity_<variant>.txt and `make parity`).
+func emit(w io.Writer, deep bool, variant string) {
+	for _, c := range paritycells.Agreement(deep) {
+		cfg := c.Cfg
+		cfg.Wire = variant
+		res, err := svssba.Run(cfg)
 		if err != nil {
-			fmt.Printf("%s: ERR %v\n", c.name, err)
+			fmt.Fprintf(w, "%s: ERR %v\n", c.Name, err)
 			continue
 		}
-		fmt.Printf("%s: %s\n", c.name, digest(res))
+		fmt.Fprintf(w, "%s: %s\n", c.Name, digest(res))
 	}
 
-	sres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 1, Secret: 7})
+	sres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 1, Secret: 7, Wire: variant})
 	if err != nil {
-		fmt.Printf("svss-n4: ERR %v\n", err)
+		fmt.Fprintf(w, "svss-n4: ERR %v\n", err)
 	} else {
-		fmt.Printf("svss-n4: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
+		fmt.Fprintf(w, "svss-n4: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
 			sortedKV(sres.Outputs), sres.ShareCompleted, sres.Shuns, sres.Messages, sres.Bytes)
 	}
-	lres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 2, Secret: 9,
+	lres, err := svssba.RunSVSS(svssba.SVSSConfig{N: 4, Seed: 2, Secret: 9, Wire: variant,
 		Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultRValLie}}})
 	if err != nil {
-		fmt.Printf("svss-n4-rvallie: ERR %v\n", err)
+		fmt.Fprintf(w, "svss-n4-rvallie: ERR %v\n", err)
 	} else {
-		fmt.Printf("svss-n4-rvallie: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
+		fmt.Fprintf(w, "svss-n4-rvallie: outs=%v shared=%v shuns=%v msgs=%d bytes=%d\n",
 			sortedKV(lres.Outputs), lres.ShareCompleted, lres.Shuns, lres.Messages, lres.Bytes)
 	}
-	cres, err := svssba.RunCoin(svssba.CoinConfig{N: 4, Seed: 1, Rounds: 2})
+	cres, err := svssba.RunCoin(svssba.CoinConfig{N: 4, Seed: 1, Rounds: 2, Wire: variant})
 	if err != nil {
-		fmt.Printf("coin-n4: ERR %v\n", err)
+		fmt.Fprintf(w, "coin-n4: ERR %v\n", err)
 	} else {
 		for i, rr := range cres.RoundResults {
-			fmt.Printf("coin-n4 r%d: bits=%v agreed=%v value=%d\n", i+1, sortedKV(rr.Bits), rr.Agreed, rr.Value)
+			fmt.Fprintf(w, "coin-n4 r%d: bits=%v agreed=%v value=%d\n", i+1, sortedKV(rr.Bits), rr.Agreed, rr.Value)
 		}
-		fmt.Printf("coin-n4: msgs=%d bytes=%d shuns=%v\n", cres.Messages, cres.Bytes, cres.Shuns)
+		fmt.Fprintf(w, "coin-n4: msgs=%d bytes=%d shuns=%v\n", cres.Messages, cres.Bytes, cres.Shuns)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	scenario -full               # 5×10×4×3 = 600 cells (includes n7/t2, n10/t3)
 //	scenario -scale n4           # restrict the scale axis (CI smoke)
 //	scenario -batch              # coalescing-outbox frame model on every cell
+//	scenario -wire v2            # burst-coalesced wire variant on every cell
 //	scenario -seeds 5            # override the seed axis (1000..1004)
 //	scenario -workers 0          # one worker per CPU (default)
 //	scenario -json               # machine-readable report
@@ -41,6 +42,7 @@ func main() {
 		list    = flag.Bool("list", false, "list cell ids and exit")
 		replay  = flag.String("replay", "", "re-run a single cell by id and print its JSON")
 		batch   = flag.Bool("batch", false, "run every cell with the coalescing-outbox frame model (decisions and logical stats are unchanged)")
+		wire    = flag.String("wire", "", "wire variant for every cell: v1 (default, baseline shape) | v2 (burst coalescing — a declared variant with its own schedules)")
 	)
 	flag.Parse()
 	_ = quick // quick is the default; the flag exists for explicitness
@@ -50,6 +52,7 @@ func main() {
 		m = scenario.Full()
 	}
 	m.Batching = *batch
+	m.Wire = *wire
 	if *seeds > 0 {
 		m.Seeds = nil
 		for s := 0; s < *seeds; s++ {
@@ -131,6 +134,9 @@ func main() {
 		}
 		if *batch {
 			matrixFlags += " -batch"
+		}
+		if *wire != "" {
+			matrixFlags += fmt.Sprintf(" -wire %s", *wire)
 		}
 		fmt.Fprintf(os.Stderr, "replay any cell above with: go run ./cmd/scenario%s -replay <cell-id>\n", matrixFlags)
 		os.Exit(1)

@@ -1,0 +1,86 @@
+// Command wirebench measures the wire-v2 message-complexity win: it
+// runs the same unanimous-input agreement seed under both wire variants
+// at several scales and prints one JSON record per run with delivery
+// counts, coin rounds, per-coin-round deliveries and wall clock — the
+// numbers tracked in BENCH_pr6.json.
+//
+//	wirebench -scales n7,n10 -wires v1,v2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"svssba"
+)
+
+type record struct {
+	Scale      string  `json:"scale"`
+	N          int     `json:"n"`
+	T          int     `json:"t"`
+	Wire       string  `json:"wire"`
+	Steps      int     `json:"steps"`
+	CoinRounds uint64  `json:"coin_rounds"`
+	PerCoin    uint64  `json:"deliveries_per_coin_round"`
+	MWCreated  uint64  `json:"mw_created"`
+	RBCreated  uint64  `json:"rb_created"`
+	Messages   int64   `json:"msgs"`
+	Bytes      int64   `json:"bytes"`
+	WallSecs   float64 `json:"wall_secs"`
+	Value      int     `json:"value"`
+	Agreed     bool    `json:"agreed"`
+}
+
+var scaleTable = map[string][2]int{
+	"n4": {4, 1}, "n5": {5, 1}, "n7": {7, 2}, "n10": {10, 3}, "n13": {13, 4},
+}
+
+func main() {
+	scales := flag.String("scales", "n7,n10", "comma-separated scales (n4,n5,n7,n10,n13)")
+	wires := flag.String("wires", "v1,v2", "comma-separated wire variants")
+	seed := flag.Int64("seed", 1, "run seed")
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, sc := range strings.Split(*scales, ",") {
+		nt, ok := scaleTable[sc]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wirebench: unknown scale %q\n", sc)
+			os.Exit(1)
+		}
+		n, t := nt[0], nt[1]
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = 1
+		}
+		for _, wire := range strings.Split(*wires, ",") {
+			start := time.Now()
+			res, err := svssba.Run(svssba.Config{N: n, T: t, Seed: *seed, Inputs: inputs, Wire: wire})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wirebench: %s/%s: %v\n", sc, wire, err)
+				os.Exit(1)
+			}
+			if res.TimedOut || !res.AllDecided || !res.Agreed {
+				fmt.Fprintf(os.Stderr, "wirebench: %s/%s: timeout=%v decided=%v agreed=%v\n",
+					sc, wire, res.TimedOut, res.AllDecided, res.Agreed)
+				os.Exit(1)
+			}
+			rec := record{
+				Scale: sc, N: n, T: t, Wire: wire,
+				Steps: res.Steps, CoinRounds: res.CoinRounds,
+				MWCreated: res.MWCreated, RBCreated: res.RBCreated,
+				Messages: res.Messages, Bytes: res.Bytes,
+				WallSecs: time.Since(start).Seconds(),
+				Value:    res.Value, Agreed: res.Agreed,
+			}
+			if rec.CoinRounds > 0 {
+				rec.PerCoin = uint64(rec.Steps) / rec.CoinRounds
+			}
+			enc.Encode(rec)
+		}
+	}
+}

@@ -65,6 +65,19 @@ type Node struct {
 
 	sendTamper  SendTamper
 	bcastTamper BcastTamper
+
+	// Wire v2 burst state (see wire2.go). packBuf is indexed by
+	// destination-1 and packOrder preserves first-send order so flushes
+	// are deterministic.
+	wire2       bool
+	inBurst     bool
+	packOrder   []sim.ProcID
+	packBuf     [][]sim.Payload
+	bunTags     []proto.Tag
+	bunVals     [][]byte
+	bunSeq      uint32
+	echoSeen    map[echoKey]struct{}
+	echoDeduped uint64
 }
 
 var _ sim.Handler = (*Node)(nil)
@@ -99,6 +112,10 @@ func (n *Node) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
 		}
 		value = out
 	}
+	if n.wire2 && n.inBurst {
+		n.bundleAdd(tag, value)
+		return
+	}
 	n.rbEng.Broadcast(n.wrap(ctx), tag, value)
 }
 
@@ -123,11 +140,19 @@ func (n *Node) AddInit(f InitFunc) { n.inits = append(n.inits, f) }
 
 // Init implements sim.Handler.
 func (n *Node) Init(ctx sim.Context) {
+	raw := ctx
 	ctx = n.wrap(ctx)
+	if n.wire2 {
+		n.inBurst = true
+	}
 	for _, f := range n.inits {
 		f(ctx)
 	}
 	n.drain(ctx)
+	if n.wire2 {
+		n.flushBurst(raw, ctx)
+		n.inBurst = false
+	}
 }
 
 // Retire drops the node's routing-independent protocol state — every
@@ -154,17 +179,32 @@ func (n *Node) Deliver(ctx sim.Context, m sim.Message) {
 	if n.retired {
 		return
 	}
+	raw := ctx
 	ctx = n.wrap(ctx)
 	// DMM step 4: any message sent by a process in D_i is discarded.
 	if n.dmmSt.IsFaulty(m.From) {
 		return
 	}
-	if n.rbEng.Handle(ctx, m) {
+	if !n.wire2 {
+		if n.rbEng.Handle(ctx, m) {
+			n.drain(ctx)
+			return
+		}
+		n.dispatchDirect(ctx, m)
 		n.drain(ctx)
 		return
 	}
-	n.dispatchDirect(ctx, m)
-	n.drain(ctx)
+	n.inBurst = true
+	if pk, ok := m.Payload.(proto.Pack); ok {
+		n.deliverPack(ctx, m, pk)
+	} else if n.rbEng.Handle(ctx, m) {
+		n.drain(ctx)
+	} else {
+		n.dispatchDirect(ctx, m)
+		n.drain(ctx)
+	}
+	n.flushBurst(raw, ctx)
+	n.inBurst = false
 }
 
 func (n *Node) dispatchDirect(ctx sim.Context, m sim.Message) {
@@ -206,31 +246,54 @@ func (n *Node) onRBAccept(ctx sim.Context, a rb.Accept) {
 		// index per-origin state by process id.
 		return
 	}
-	if n.dmmSt.IsFaulty(a.Origin) {
+	if a.Tag.Proto == proto.ProtoBundle {
+		if !n.wire2 {
+			return
+		}
+		items, err := proto.DecodeBundle(a.Value)
+		if err != nil {
+			// Corrupt bundle body: drop it whole. Only its Byzantine
+			// origin loses messages.
+			return
+		}
+		for _, it := range items {
+			n.acceptOne(ctx, a.Origin, it.Tag, it.Value)
+		}
 		return
 	}
-	if a.Tag.Proto >= maxProtoNS {
+	n.acceptOne(ctx, a.Origin, a.Tag, a.Value)
+}
+
+// acceptOne routes one logical accepted broadcast — the v1 accept body,
+// applied per bundle item under wire v2.
+func (n *Node) acceptOne(ctx sim.Context, origin sim.ProcID, tag proto.Tag, value []byte) {
+	// Re-checked per item: an earlier bundle item may have shunned the
+	// origin.
+	if n.dmmSt.IsFaulty(origin) {
+		return
+	}
+	if tag.Proto >= maxProtoNS {
 		// No layer can be registered for this namespace; a crafted tag
 		// must not index past the routing tables.
 		return
 	}
 	// Expectation resolution (DMM steps 2/3) runs before filtering.
-	for _, obs := range n.observers[a.Tag.Proto] {
-		obs(a.Origin, a.Tag, a.Value)
+	for _, obs := range n.observers[tag.Proto] {
+		obs(origin, tag, value)
 	}
-	if a.Tag.Session.IsZero() {
-		n.deliverBcast(ctx, a.Origin, a.Tag, a.Value)
+	if tag.Session.IsZero() {
+		n.deliverBcast(ctx, origin, tag, value)
 		return
 	}
 	ev := dmm.Event{
 		Class: dmm.ClassBroadcast,
-		From:  a.Origin,
-		Ref:   proto.MWID{Session: a.Tag.Session, Key: a.Tag.MW},
-		Tag:   a.Tag,
-		Value: a.Value,
+		From:  origin,
+		Ref:   proto.MWID{Session: tag.Session, Key: tag.MW},
+		Tag:   tag,
+		Value: value,
 	}
 	if n.dmmSt.Filter(ev) == dmm.Forward {
-		n.deliverBcast(ctx, a.Origin, a.Tag, a.Value)
+		n.deliverBcast(ctx, origin, tag, value)
 	}
 }
 

@@ -139,8 +139,14 @@ func NewCodec() *proto.Codec {
 	mwsvss.RegisterCodec(c)
 	svss.RegisterCodec(c)
 	aba.RegisterCodec(c)
+	proto.RegisterPackCodec(c)
 	return c
 }
+
+// EnableWireV2 switches the stack's node to burst-coalesced traffic
+// (wire variant v2). Call before the run starts; all processes of a run
+// must agree on the variant.
+func (st *Stack) EnableWireV2() { st.Node.EnableWireV2() }
 
 // StateCounts is a snapshot of the stack's live protocol state: per
 // engine, the number of live instances and (where slab-allocated) the
@@ -154,6 +160,11 @@ type StateCounts struct {
 	GatherRounds          int
 	ABARounds             int
 	DMMPending, DMMParked int
+
+	// Cumulative creation counters (never reset, unlike the live counts
+	// above): how many instances each layer ever opened. The denominators
+	// of the per-instance message-complexity report.
+	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
 }
 
 // Total sums the live-instance counts (slab capacities excluded).
@@ -174,6 +185,10 @@ func (st *Stack) StateCounts() StateCounts {
 		ABARounds:    st.ABA.Rounds(),
 		DMMPending:   st.Node.DMM().PendingCount(),
 		DMMParked:    st.Node.DMM().ParkedCount(),
+		RBCreated:    rb.Created(),
+		WRBCreated:   rb.Weak().Created(),
+		MWCreated:    st.MW.Created(),
+		SVSSCreated:  st.SVSS.Created(),
 	}
 }
 

@@ -39,9 +39,16 @@ func (c tamperCtx) Send(to sim.ProcID, p sim.Payload) {
 	c.Context.Send(to, out)
 }
 
-// wrap returns ctx unchanged for honest nodes, or a tampering context
-// when a send interceptor is installed.
+// wrap returns ctx unchanged for honest v1 nodes, a tampering context
+// when a send interceptor is installed, or a burst context under wire v2
+// (which applies the tamper itself before pack-buffering).
 func (n *Node) wrap(ctx sim.Context) sim.Context {
+	if n.wire2 {
+		if _, already := ctx.(burstCtx); already {
+			return ctx
+		}
+		return burstCtx{Context: ctx, node: n}
+	}
 	if n.sendTamper == nil {
 		return ctx
 	}

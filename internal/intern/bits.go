@@ -53,6 +53,31 @@ func (b *Bits) Add(i int) bool {
 	return true
 }
 
+// Remove deletes i from the set, reporting whether it was present.
+func (b *Bits) Remove(i int) bool {
+	if uint(i) < 64 {
+		m := uint64(1) << uint(i)
+		if b.lo&m == 0 {
+			return false
+		}
+		b.lo &^= m
+		return true
+	}
+	if i < 0 {
+		return false
+	}
+	w := (i - 64) >> 6
+	if w >= len(b.hi) {
+		return false
+	}
+	m := uint64(1) << (uint(i-64) & 63)
+	if b.hi[w]&m == 0 {
+		return false
+	}
+	b.hi[w] &^= m
+	return true
+}
+
 // Count returns the number of set indices.
 func (b *Bits) Count() int {
 	c := bits.OnesCount64(b.lo)

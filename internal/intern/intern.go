@@ -34,7 +34,16 @@ type Table[K comparable] struct {
 	// storms), so consecutive lookups usually hit the same key.
 	lastKey K
 	lastID  uint32
+
+	// created counts fresh interns cumulatively (never reset): each
+	// fresh key is one protocol instance, so created is the denominator
+	// of per-instance complexity reports.
+	created uint64
 }
+
+// Created returns the cumulative number of fresh interns (instances
+// ever created); Release and Reset do not decrease it.
+func (t *Table[K]) Created() uint64 { return t.created }
 
 // Lookup returns the id interned for k, or NoID.
 func (t *Table[K]) Lookup(k K) uint32 {
@@ -71,6 +80,7 @@ func (t *Table[K]) Intern(k K) (id uint32, fresh bool) {
 	}
 	t.ids[k] = id
 	t.lastKey, t.lastID = k, id
+	t.created++
 	return id, true
 }
 

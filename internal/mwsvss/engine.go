@@ -175,6 +175,9 @@ func (e *Engine) Live() int { return e.table.Len() }
 // SlabCap returns the instance slab's high-water slot count.
 func (e *Engine) SlabCap() int { return e.table.HighWater() }
 
+// Created returns the cumulative number of MW-SVSS instances ever created.
+func (e *Engine) Created() uint64 { return e.table.Created() }
+
 // Reset releases every instance and its interned id. The slab keeps
 // its instance objects for reuse (freshly interned ids re-initialize
 // them in place), so a reset-and-refill cycle allocates nothing. Used

@@ -49,6 +49,11 @@ type Config struct {
 	// provides the batch format, as core.NewCodec does). Decisions and
 	// logical payload counts are unaffected; frame counts drop.
 	Batching bool
+	// Wire selects the wire variant ("" or "v1" for the baseline shape,
+	// "v2" for burst coalescing: broadcast bundling + per-destination
+	// packs inside the protocol stack). All nodes of a cluster must
+	// agree — v1 peers drop v2 bundle and pack traffic.
+	Wire string
 	// OnDecide observes the local decision (called once per incarnation,
 	// on the node's delivery goroutine).
 	OnDecide func(value int)
@@ -161,6 +166,7 @@ type Node struct {
 	decided    bool
 	value      int
 	retired    bool
+	coinRounds uint64
 	counts     core.StateCounts
 	haveCounts bool
 	errs       []error
@@ -205,6 +211,13 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.Codec == nil {
 		cfg.Codec = core.NewCodec()
 	}
+	switch cfg.Wire {
+	case "":
+		cfg.Wire = "v1"
+	case "v1", "v2":
+	default:
+		return nil, fmt.Errorf("node: unknown wire variant %q", cfg.Wire)
+	}
 	if tr == nil {
 		return nil, fmt.Errorf("node: nil transport")
 	}
@@ -248,6 +261,14 @@ func (n *Node) startLocked() error {
 		}
 	})
 	st.OnDecide(func(_ sim.Context, v int) { n.recordDecision(v) })
+	st.OnCoin(func(_ sim.Context, _ uint64, _ int) {
+		n.mu.Lock()
+		n.coinRounds++
+		n.mu.Unlock()
+	})
+	if n.cfg.Wire == "v2" {
+		st.EnableWireV2()
+	}
 	input := n.cfg.Input
 	st.Node.AddInit(func(ctx sim.Context) {
 		_ = st.ABA.Propose(ctx, input)
@@ -339,6 +360,15 @@ func (n *Node) snapshotState(st *core.Stack) {
 	n.counts = c
 	n.haveCounts = true
 	n.mu.Unlock()
+}
+
+// CoinRounds returns how many coin flips this node observed (cumulative
+// across incarnations, like the traffic counters) — the denominator of
+// the per-coin-round message-complexity report.
+func (n *Node) CoinRounds() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coinRounds
 }
 
 // Retired reports whether the current incarnation retired its protocol

@@ -1,0 +1,189 @@
+package proto
+
+import (
+	"fmt"
+
+	"svssba/internal/sim"
+)
+
+// Wire v2 message grouping. Two shapes exist:
+//
+//   - A broadcast *bundle* is the RB value of a ProtoBundle broadcast:
+//     all logical broadcasts a process produces within one delivery
+//     burst share one RB instance, so the ack/echo storm of many MW
+//     sub-instances (a dealer pair's 4 slots, a reveal cascade's many
+//     StepRVal reveals) is paid once per bundle instead of once per
+//     logical broadcast. Body: u32 count, then per item a Tag followed
+//     by a VarBytes value.
+//
+//   - A *pack* is a direct payload carrying every point-to-point payload
+//     a process produced for one destination within one burst; the
+//     receiver unpacks and delivers each item through the normal
+//     per-payload path (DMM filtering included). Encoding: u32 count,
+//     then per item a u16-length-prefixed kind and a u32-length-prefixed
+//     body in the item's own MarshalTo encoding.
+//
+// Both shapes refuse nesting on decode: a bundle item's tag must not be
+// ProtoBundle and a pack item's kind must not be KindPack, so a
+// Byzantine sender cannot build recursive frames.
+
+// BundleItem is one logical broadcast inside a bundle body.
+type BundleItem struct {
+	Tag   Tag
+	Value []byte
+}
+
+// BundleBodySize returns the encoded size of a bundle body holding the
+// given value lengths.
+func BundleBodySize(valueLens []int) int {
+	size := 4
+	for _, l := range valueLens {
+		size += tagEncodedSize + VarBytesSize(l)
+	}
+	return size
+}
+
+// AppendEncodeBundle appends the bundle body for (tags[i], values[i])
+// pairs to dst. The two slices must have equal length.
+func AppendEncodeBundle(dst []byte, tags []Tag, values [][]byte) []byte {
+	w := writerPool.Get().(*Writer)
+	w.buf = dst
+	w.U32(uint32(len(tags)))
+	for i, t := range tags {
+		t.MarshalTo(w)
+		w.VarBytes(values[i])
+	}
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out
+}
+
+// EncodeBundle encodes the bundle body in one pre-sized allocation.
+func EncodeBundle(tags []Tag, values [][]byte) []byte {
+	size := 4
+	for _, v := range values {
+		size += tagEncodedSize + VarBytesSize(len(v))
+	}
+	return AppendEncodeBundle(make([]byte, 0, size), tags, values)
+}
+
+// DecodeBundle decodes a bundle body. Corrupt or truncated bodies, and
+// bodies containing a nested ProtoBundle tag, return an error and no
+// items — callers discard such bundles whole.
+func DecodeBundle(b []byte) ([]BundleItem, error) {
+	r := NewReader(b)
+	count := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("proto: bundle header: %w", r.Err())
+	}
+	// Each item costs at least its tag plus the value length prefix.
+	if count > r.Remaining()/(tagEncodedSize+4) {
+		return nil, fmt.Errorf("proto: bundle count %d: %w", count, ErrShortBuffer)
+	}
+	items := make([]BundleItem, 0, count)
+	for i := 0; i < count; i++ {
+		t := ReadTag(r)
+		v := r.VarBytes()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("proto: bundle item %d: %w", i, r.Err())
+		}
+		if t.Proto == ProtoBundle {
+			return nil, fmt.Errorf("proto: bundle item %d: nested bundle tag", i)
+		}
+		items = append(items, BundleItem{Tag: t, Value: v})
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("proto: bundle body: %w", err)
+	}
+	return items, nil
+}
+
+// KindPack is the payload kind of a wire-v2 direct pack.
+const KindPack = "pack/v2"
+
+// Pack is the wire-v2 multi-payload direct message: every payload the
+// sender produced for one destination within one delivery burst. The
+// receiving node unpacks it and runs each item through the standard
+// single-payload delivery path.
+type Pack struct {
+	Items []sim.Payload
+}
+
+var _ Marshaler = Pack{}
+
+// Kind implements sim.Payload.
+func (Pack) Kind() string { return KindPack }
+
+// Size implements sim.Payload.
+func (p Pack) Size() int {
+	size := 4
+	for _, it := range p.Items {
+		size += 2 + len(it.Kind()) + 4 + it.Size()
+	}
+	return size
+}
+
+// MarshalTo implements proto.Marshaler. Every item must itself be a
+// Marshaler (all honest protocol payloads are; the encode path reports
+// violations through the codec's Size check).
+func (p Pack) MarshalTo(w *Writer) {
+	w.U32(uint32(len(p.Items)))
+	for _, it := range p.Items {
+		kind := it.Kind()
+		w.U16(uint16(len(kind)))
+		w.buf = append(w.buf, kind...)
+		w.U32(uint32(it.Size()))
+		if m, ok := it.(Marshaler); ok {
+			m.MarshalTo(w)
+		}
+	}
+}
+
+// RegisterPackCodec registers the pack decoder on c. It closes over c so
+// item bodies decode through the same kind registry; nested packs are
+// rejected.
+func RegisterPackCodec(c *Codec) {
+	c.Register(KindPack, func(r *Reader) (sim.Payload, error) {
+		count := int(r.U32())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		// Each item costs at least its kind-length and body-length
+		// prefixes.
+		if count > r.Remaining()/6 {
+			return nil, fmt.Errorf("proto: pack count %d: %w", count, ErrShortBuffer)
+		}
+		items := make([]sim.Payload, 0, count)
+		for i := 0; i < count; i++ {
+			kl := int(r.U16())
+			kb := r.take(kl)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("proto: pack item %d kind: %w", i, r.Err())
+			}
+			kind := string(kb)
+			if kind == KindPack {
+				return nil, fmt.Errorf("proto: pack item %d: nested pack", i)
+			}
+			dec, ok := c.decoders[kind]
+			if !ok {
+				return nil, fmt.Errorf("proto: no decoder for kind %q", kind)
+			}
+			bl := int(r.U32())
+			if r.Err() != nil || bl > r.Remaining() {
+				return nil, fmt.Errorf("proto: pack item %d length: %w", i, ErrShortBuffer)
+			}
+			body := r.take(bl)
+			pr := NewReader(body)
+			p, err := dec(pr)
+			if err != nil {
+				return nil, fmt.Errorf("proto: pack decode %q: %w", kind, err)
+			}
+			if err := pr.Close(); err != nil {
+				return nil, fmt.Errorf("proto: pack decode %q: %w", kind, err)
+			}
+			items = append(items, p)
+		}
+		return Pack{Items: items}, nil
+	})
+}

@@ -1,0 +1,117 @@
+package proto_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"svssba/internal/proto"
+	"svssba/internal/rb"
+	"svssba/internal/sim"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	tags, vals := seedBundleItems()
+	body := proto.EncodeBundle(tags, vals)
+	if want := proto.BundleBodySize(lens(vals)); len(body) != want {
+		t.Fatalf("encoded %d bytes, BundleBodySize says %d", len(body), want)
+	}
+	items, err := proto.DecodeBundle(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(tags) {
+		t.Fatalf("decoded %d items, want %d", len(items), len(tags))
+	}
+	for i, it := range items {
+		if it.Tag != tags[i] {
+			t.Errorf("item %d tag changed: %v != %v", i, it.Tag, tags[i])
+		}
+		if !bytesEq(it.Value, vals[i]) {
+			t.Errorf("item %d value changed", i)
+		}
+	}
+}
+
+func lens(vals [][]byte) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = len(v)
+	}
+	return out
+}
+
+func TestBundleRejectsNestedTag(t *testing.T) {
+	body := proto.EncodeBundle(
+		[]proto.Tag{{Proto: proto.ProtoBundle, A: 1}},
+		[][]byte{[]byte("inner")})
+	if _, err := proto.DecodeBundle(body); err == nil {
+		t.Fatal("bundle with a nested ProtoBundle tag decoded")
+	}
+}
+
+func TestBundleRejectsOverCount(t *testing.T) {
+	// A count far beyond the body length must be rejected before any
+	// allocation sized by it.
+	if _, err := proto.DecodeBundle([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("absurd count decoded")
+	}
+}
+
+func TestPackSizeMatchesEncoding(t *testing.T) {
+	c := fullCodec()
+	pk := proto.Pack{Items: []sim.Payload{
+		rb.Msg{Origin: 1, Tag: proto.Tag{Proto: proto.ProtoMW, Step: 1}, Value: []byte("xyz")},
+		rb.Msg{Origin: 2, Tag: proto.Tag{Proto: proto.ProtoSVSS, Step: 2}, Value: nil},
+	}}
+	enc, err := c.Encode(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codec framing adds the u16 kind prefix + kind bytes around Size().
+	if want := 2 + len(pk.Kind()) + pk.Size(); len(enc) != want {
+		t.Fatalf("encoded %d bytes, kind framing + Size() says %d", len(enc), want)
+	}
+	p, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.(proto.Pack)
+	if !ok {
+		t.Fatalf("decoded %T, want Pack", p)
+	}
+	if len(got.Items) != 2 {
+		t.Fatalf("decoded %d items, want 2", len(got.Items))
+	}
+}
+
+func TestPackRejectsNestedPack(t *testing.T) {
+	c := fullCodec()
+	inner := proto.Pack{Items: []sim.Payload{
+		rb.Msg{Origin: 1, Tag: proto.Tag{Proto: proto.ProtoMW}, Value: []byte("v")},
+	}}
+	outer := proto.Pack{Items: []sim.Payload{inner}}
+	enc, err := c.Encode(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(enc); err == nil {
+		t.Fatal("nested pack decoded")
+	}
+}
+
+func TestPackRejectsUnknownKind(t *testing.T) {
+	c := fullCodec()
+	// Hand-build a pack frame holding one item of an unregistered kind:
+	// u16 kindlen + kind (codec framing), then u32 count, u16 itemKindLen
+	// + itemKind, u32 bodyLen.
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(proto.KindPack)))
+	frame = append(frame, proto.KindPack...)
+	frame = binary.LittleEndian.AppendUint32(frame, 1)
+	frame = binary.LittleEndian.AppendUint16(frame, 4)
+	frame = append(frame, "nope"...)
+	frame = binary.LittleEndian.AppendUint32(frame, 0)
+	if _, err := c.Decode(frame); err == nil {
+		t.Fatal("pack with unknown inner kind decoded")
+	}
+}

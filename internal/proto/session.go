@@ -84,6 +84,11 @@ const (
 	ProtoCoin   uint8 = 5
 	ProtoABA    uint8 = 6
 	ProtoGather uint8 = 7
+	// ProtoBundle carries a wire-v2 broadcast bundle: the RB value is a
+	// bundle body (see EncodeBundle) holding many logical (tag, value)
+	// broadcasts that share one RB instance. Tag.A is a per-origin
+	// sequence number; Session/MW/Step are zero.
+	ProtoBundle uint8 = 8
 )
 
 // Tag identifies one logical reliable-broadcast instance together with its

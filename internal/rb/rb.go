@@ -103,10 +103,17 @@ type instance struct {
 // indexing insts, so one delivery costs one key lookup plus bitset and
 // inline-counter updates — no per-instance maps (see internal/intern).
 type Engine struct {
-	self     sim.ProcID
-	weak     *wrb.Engine
-	table    intern.Table[instKey]
-	insts    []instance
+	self  sim.ProcID
+	weak  *wrb.Engine
+	table intern.Table[instKey]
+	insts []instance
+
+	// accepted mirrors the instances' accepted flags indexed by slab id,
+	// so the echo-storm tail (every echo arriving after acceptance) is
+	// dropped on a table lookup plus one bit test, without touching the
+	// intern write path or the instance slab.
+	accepted intern.Bits
+
 	onAccept AcceptFunc
 }
 
@@ -131,9 +138,13 @@ func (e *Engine) inst(k instKey) uint32 {
 		e.insts = append(e.insts, instance{})
 	} else if fresh {
 		e.insts[id] = instance{}
+		e.accepted.Remove(int(id)) // recycled slot: drop the old occupant's bit
 	}
 	return id
 }
+
+// Created returns the cumulative number of RB instances ever created.
+func (e *Engine) Created() uint64 { return e.table.Created() }
 
 // Live returns the number of live RB instances (retirement tests).
 func (e *Engine) Live() int { return e.table.Len() }
@@ -152,6 +163,7 @@ func (e *Engine) Reset() {
 		e.insts[i] = instance{}
 	}
 	e.insts = e.insts[:0]
+	e.accepted.Clear()
 	e.table.Reset()
 	e.weak.Reset()
 }
@@ -167,9 +179,11 @@ func (e *Engine) sendType3(ctx sim.Context, in *instance, origin sim.ProcID, tag
 		return
 	}
 	in.sentType3 = true
-	m := Msg{Origin: origin, Tag: tag, Value: value}
+	// Box the payload once: n sends of the same echo otherwise cost n
+	// interface-conversion allocations on the hottest send path.
+	var pl sim.Payload = Msg{Origin: origin, Tag: tag, Value: value}
 	for p := 1; p <= ctx.N(); p++ {
-		ctx.Send(sim.ProcID(p), m)
+		ctx.Send(sim.ProcID(p), pl)
 	}
 }
 
@@ -183,7 +197,15 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	if !ok {
 		return false
 	}
-	in := &e.insts[e.inst(instKey{origin: msg.Origin, tag: msg.Tag})]
+	k := instKey{origin: msg.Origin, tag: msg.Tag}
+	// Fast accepted drop: the post-acceptance tail of an echo storm is
+	// the hottest delivery class, so it exits on one lookup (usually the
+	// table's one-slot cache) and one bit test — before the interning
+	// write path below.
+	if id := e.table.Lookup(k); id != intern.NoID && e.accepted.Has(int(id)) {
+		return true
+	}
+	in := &e.insts[e.inst(k)]
 	// Echo pruning: once n−t matching echoes are recorded the instance
 	// has accepted, and acceptance implies the t+1 amplification (step 3)
 	// already sent our echo — t+1 ≤ n−t for n > 3t, so the send trigger
@@ -214,6 +236,7 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 	// Step 4: accept after n−t matching echoes.
 	if c >= ctx.N()-ctx.T() {
 		in.accepted = true
+		e.accepted.Add(int(e.table.Lookup(k)))
 		v := append([]byte(nil), msg.Value...)
 		// The vote state is dead weight from here on (see the pruning
 		// note above); drop the retained value copies so long runs with

@@ -72,6 +72,11 @@ type Matrix struct {
 	// stats are byte-identical to the unbatched matrix; only the Frames
 	// counters change — the batched-vs-unbatched parity test pins this.
 	Batching bool
+	// Wire runs every cell under the given wire variant ("" or "v1" for
+	// the baseline shape, "v2" for burst coalescing). Unlike Batching,
+	// v2 is a declared protocol variant: schedules and delivery counts
+	// differ from v1, so it carries its own parity digest.
+	Wire string
 }
 
 // Cell is one fully-instantiated matrix entry.
@@ -117,6 +122,7 @@ func (m *Matrix) Cells() []Cell {
 						PartitionCut: sch.Cut, PartitionHealAt: sch.HealAt,
 						MaxSteps: maxSteps,
 						Batching: m.Batching,
+						Wire:     m.Wire,
 					}
 					if b.Faults != nil {
 						cfg.Faults = b.Faults(sc.N, sc.T)
@@ -302,10 +308,11 @@ func (r *Report) Table() *trace.Table {
 	tb := trace.NewTable(
 		"scenario matrix — invariants checked on every cell",
 		"scheduler", "behavior", "scale", "cells", "decided", "agreed", "violations",
-		"errs", "mean_rounds", "mean_steps", "shuns")
+		"errs", "mean_rounds", "mean_steps", "del/coin", "del/mw", "del/rb", "shuns")
 	type agg struct {
 		cells, ran, decided, agreed, violations, errs, shuns int
 		rounds, steps                                        float64
+		coinRounds, mwCreated, rbCreated                     float64
 	}
 	var order []string
 	groups := make(map[string]*agg)
@@ -334,6 +341,9 @@ func (r *Report) Table() *trace.Table {
 			}
 			g.rounds += float64(cr.Result.MaxRound)
 			g.steps += float64(cr.Result.Steps)
+			g.coinRounds += float64(cr.Result.CoinRounds)
+			g.mwCreated += float64(cr.Result.MWCreated)
+			g.rbCreated += float64(cr.Result.RBCreated)
 			g.shuns += len(cr.Result.Shuns)
 		}
 	}
@@ -343,12 +353,24 @@ func (r *Report) Table() *trace.Table {
 		// Means are over the cells that actually produced a result, so an
 		// errored cell cannot dilute them.
 		meanRounds, meanSteps := any("-"), any("-")
+		// Deliveries per protocol unit, pooled over the group's cells —
+		// the message-complexity view the wire-v2 pass optimizes.
+		perCoin, perMW, perRB := any("-"), any("-"), any("-")
 		if g.ran > 0 {
 			meanRounds = g.rounds / float64(g.ran)
 			meanSteps = g.steps / float64(g.ran)
+			if g.coinRounds > 0 {
+				perCoin = g.steps / g.coinRounds
+			}
+			if g.mwCreated > 0 {
+				perMW = g.steps / g.mwCreated
+			}
+			if g.rbCreated > 0 {
+				perRB = g.steps / g.rbCreated
+			}
 		}
 		tb.Add(c.Scheduler, c.Behavior, c.Scale, g.cells, g.decided, g.agreed,
-			g.violations, g.errs, meanRounds, meanSteps, g.shuns)
+			g.violations, g.errs, meanRounds, meanSteps, perCoin, perMW, perRB, g.shuns)
 	}
 	return tb
 }
@@ -448,6 +470,10 @@ func Full() *Matrix {
 			{Name: "n5", N: 5, T: 1},
 			{Name: "n7", N: 7, T: 2},
 			{Name: "n10", N: 10, T: 3},
+			// The n13/t4 axis rides the wire-v2 message-complexity pass
+			// (PR 6): under v1 shapes one n13 coin round alone would blow
+			// the step budget. Run it with -wire v2.
+			{Name: "n13", N: 13, T: 4},
 		},
 		Seeds:    []int64{1000, 1001, 1002},
 		MaxSteps: 500_000_000,

@@ -304,6 +304,9 @@ func (e *Engine) Live() int { return e.table.Len() }
 // SlabCap returns the session slab's high-water slot count.
 func (e *Engine) SlabCap() int { return e.table.HighWater() }
 
+// Created returns the cumulative number of SVSS sessions ever created.
+func (e *Engine) Created() uint64 { return e.table.Created() }
+
 // Reset releases every session and its interned id. The slab keeps its
 // instance objects for reuse (freshly interned ids re-initialize them
 // in place). Used when the owning stack retires.

@@ -125,9 +125,10 @@ func New(self sim.ProcID, onAccept AcceptFunc) *Engine {
 
 // Broadcast starts a WRB instance with this process as dealer (step 1).
 func (e *Engine) Broadcast(ctx sim.Context, tag proto.Tag, value []byte) {
-	m := Msg{Origin: e.self, Tag: tag, Phase: phaseType1, Value: value}
+	// Box the payload once for all n sends (see rb.sendType3).
+	var pl sim.Payload = Msg{Origin: e.self, Tag: tag, Phase: phaseType1, Value: value}
 	for p := 1; p <= ctx.N(); p++ {
-		ctx.Send(sim.ProcID(p), m)
+		ctx.Send(sim.ProcID(p), pl)
 	}
 }
 
@@ -149,6 +150,9 @@ func (e *Engine) Live() int { return e.table.Len() }
 
 // SlabCap returns the instance slab's high-water slot count.
 func (e *Engine) SlabCap() int { return e.table.HighWater() }
+
+// Created returns the cumulative number of WRB instances ever created.
+func (e *Engine) Created() uint64 { return e.table.Created() }
 
 // Reset releases every instance and its interned id, keeping allocated
 // capacity. Used when the owning stack retires (the agreement decided
@@ -176,7 +180,7 @@ func (e *Engine) Handle(ctx sim.Context, m sim.Message) bool {
 			return true
 		}
 		in.sentType2 = true
-		echo := Msg{Origin: msg.Origin, Tag: msg.Tag, Phase: phaseType2, Value: msg.Value}
+		var echo sim.Payload = Msg{Origin: msg.Origin, Tag: msg.Tag, Phase: phaseType2, Value: msg.Value}
 		for p := 1; p <= ctx.N(); p++ {
 			ctx.Send(sim.ProcID(p), echo)
 		}

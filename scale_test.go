@@ -49,3 +49,51 @@ func TestAgreementN10(t *testing.T) {
 	}
 	t.Logf("n10/t3 agreement: steps=%d rounds=%d msgs=%d", res.Steps, res.MaxRound, res.Messages)
 }
+
+// TestAgreementN13 is the n=13/t=4 smoke test the wire-v2 message-
+// complexity pass (PR 6) opened up. It runs under wire v2 — the burst-
+// coalescing variant that bundles the MW layer's concurrent broadcasts
+// into shared RB sessions and packs per-destination direct traffic —
+// because under v1 shapes a single n13 coin round alone (~450M
+// deliveries by extrapolation) would dwarf the n10 run that already
+// needs minutes. Measured (BENCH_pr6.json): ~8.96M deliveries over 3
+// coin rounds, ~41 minutes single-core. Deep run; skipped under -short
+// and under a default `go test` budget — run deliberately with
+//
+//	make n13    # go test -run TestAgreementN13 -timeout 90m .
+func TestAgreementN13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=13/t=4 agreement is a deep run; skipped under -short")
+	}
+	const headroom = 60 * time.Minute
+	if dl, ok := t.Deadline(); ok && time.Until(dl) < headroom {
+		t.Skipf("n=13/t=4 agreement needs ~%v of budget (have %v); run via make n13", headroom, time.Until(dl).Round(time.Second))
+	}
+	inputs := make([]int, 13)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	res, err := svssba.Run(svssba.Config{N: 13, T: 4, Seed: 1, Inputs: inputs, Wire: "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("n13 run exhausted %d steps (rounds=%d)", res.Steps, res.MaxRound)
+	}
+	if !res.AllDecided || !res.Agreed {
+		t.Fatalf("no agreement: decided=%v agreed=%v decisions=%v", res.AllDecided, res.Agreed, res.Decisions)
+	}
+	if res.Value != 1 {
+		t.Fatalf("validity violated: unanimous input 1, decided %d", res.Value)
+	}
+	t.Logf("n13/t4 agreement: steps=%d rounds=%d msgs=%d coinrounds=%d per-coin=%d",
+		res.Steps, res.MaxRound, res.Messages, res.CoinRounds, perCoin(res))
+}
+
+// perCoin is the deliveries-per-coin-round figure of a finished run.
+func perCoin(res *svssba.Result) uint64 {
+	if res.CoinRounds == 0 {
+		return 0
+	}
+	return uint64(res.Steps) / res.CoinRounds
+}

@@ -21,6 +21,9 @@ type SVSSConfig struct {
 	Faults []Fault
 	// MaxSteps bounds the run (defaults to 200M deliveries).
 	MaxSteps int
+	// Wire selects the wire variant ("v1" default, "v2" burst
+	// coalescing); see Config.Wire.
+	Wire string
 }
 
 // SecretValue is one process's reconstruction output: a value or ⊥.
@@ -69,6 +72,13 @@ func RunSVSS(cfg SVSSConfig) (*SVSSResult, error) {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 200_000_000
 	}
+	switch cfg.Wire {
+	case "":
+		cfg.Wire = "v1"
+	case "v1", "v2":
+	default:
+		return nil, fmt.Errorf("svssba: unknown wire variant %q", cfg.Wire)
+	}
 
 	nw := sim.NewNetwork(cfg.N, cfg.T, cfg.Seed)
 	res := &SVSSResult{Outputs: make(map[int]SecretValue)}
@@ -103,6 +113,9 @@ func RunSVSS(cfg SVSSConfig) (*SVSSResult, error) {
 				res.Outputs[pid] = SecretValue{Value: out.Value.Uint64(), Bottom: out.Bottom}
 			},
 		})
+		if cfg.Wire == "v2" {
+			st.EnableWireV2()
+		}
 		if kind, bad := faults[i]; bad && kind != FaultCrash {
 			if b, ok := behaviorFor(kind, cfg.T); ok {
 				adversary.Apply(st, b)
@@ -196,6 +209,9 @@ type CoinConfig struct {
 	Faults []Fault
 	// MaxSteps bounds each round (defaults to 200M deliveries).
 	MaxSteps int
+	// Wire selects the wire variant ("v1" default, "v2" burst
+	// coalescing); see Config.Wire.
+	Wire string
 }
 
 // CoinRound reports one coin invocation.
@@ -230,6 +246,13 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 200_000_000
 	}
+	switch cfg.Wire {
+	case "":
+		cfg.Wire = "v1"
+	case "v1", "v2":
+	default:
+		return nil, fmt.Errorf("svssba: unknown wire variant %q", cfg.Wire)
+	}
 
 	nw := sim.NewNetwork(cfg.N, cfg.T, cfg.Seed)
 	res := &CoinResult{}
@@ -263,6 +286,9 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 			}
 			m[pid] = bit
 		})
+		if cfg.Wire == "v2" {
+			st.EnableWireV2()
+		}
 		if kind, bad := faults[i]; bad && kind != FaultCrash {
 			if b, ok := behaviorFor(kind, cfg.T); ok {
 				adversary.Apply(st, b)

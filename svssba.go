@@ -150,6 +150,15 @@ type Config struct {
 	// every logical counter are byte-identical to the unbatched run of
 	// the same seed.
 	Batching bool
+	// Wire selects the wire variant for ProtocolADH: "v1" (default, one
+	// message per logical payload) or "v2" (burst coalescing — per-
+	// destination packs, ProtoBundle broadcast bundles, within-burst echo
+	// dedup; see internal/core/wire2.go). v2 is a declared protocol
+	// variant: decisions and coin outcomes match v1 (see the cross-
+	// variant equivalence test) but message shapes, schedules and counts
+	// differ, so it carries its own parity digest. Baseline protocols
+	// ignore Wire.
+	Wire string
 }
 
 func (c *Config) normalize() error {
@@ -181,6 +190,13 @@ func (c *Config) normalize() error {
 	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 500_000_000
+	}
+	switch c.Wire {
+	case "":
+		c.Wire = "v1"
+	case "v1", "v2":
+	default:
+		return fmt.Errorf("svssba: unknown wire variant %q", c.Wire)
 	}
 	for _, f := range c.Faults {
 		if f.Proc < 1 || f.Proc > c.N {
@@ -299,6 +315,18 @@ type Result struct {
 	Shuns []Shun
 	// TimedOut reports that MaxSteps was exhausted first.
 	TimedOut bool
+	// CoinRounds is the largest number of common-coin outputs any honest
+	// process observed (ProtocolADH only) — the denominator of the
+	// deliveries-per-coin-round complexity metric.
+	CoinRounds uint64
+	// RBCreated/WRBCreated/MWCreated/SVSSCreated are cumulative instance
+	// creation counts summed over all processes (ProtocolADH only): the
+	// per-layer denominators of the message-complexity report.
+	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
+	// EchoDeduped counts within-burst duplicate echoes suppressed under
+	// Wire "v2" (expected 0 for honest traffic; the counter is an
+	// invariant check as much as an optimization metric).
+	EchoDeduped uint64
 }
 
 // Run executes one agreement run described by cfg.
@@ -322,8 +350,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	roundOf := make(map[int]func() uint64, cfg.N)
+	var stacks []*core.Stack
+	coinFlips := make([]uint64, cfg.N+1)
 	switch cfg.Protocol {
 	case ProtocolADH:
+		stacks = make([]*core.Stack, cfg.N+1)
 		for i := 1; i <= cfg.N; i++ {
 			id := sim.ProcID(i)
 			pid := i
@@ -331,16 +362,21 @@ func Run(cfg Config) (*Result, error) {
 				res.Shuns = append(res.Shuns, Shun{By: pid, Detected: int(j)})
 			})
 			st.OnDecide(func(_ sim.Context, v int) { res.Decisions[pid] = v })
+			st.OnCoin(func(_ sim.Context, _ uint64, _ int) { coinFlips[pid]++ })
 			input := cfg.Inputs[i-1]
 			st.Node.AddInit(func(ctx sim.Context) {
 				// Input validity is checked in normalize.
 				_ = st.ABA.Propose(ctx, input)
 			})
+			if cfg.Wire == "v2" {
+				st.EnableWireV2()
+			}
 			if kind, bad := faults[i]; bad && kind != FaultCrash {
 				if b, ok := behaviorFor(kind, cfg.T); ok {
 					adversary.Apply(st, b)
 				}
 			}
+			stacks[i] = st
 			eng := st.ABA
 			roundOf[pid] = func() uint64 { return eng.Round() }
 			if err := nw.Register(st.Node); err != nil {
@@ -432,6 +468,20 @@ func Run(cfg Config) (*Result, error) {
 		if r := roundOf[i](); r > res.MaxRound {
 			res.MaxRound = r
 		}
+		if coinFlips[i] > res.CoinRounds {
+			res.CoinRounds = coinFlips[i]
+		}
+	}
+	for _, st := range stacks {
+		if st == nil {
+			continue
+		}
+		rbe := st.Node.RB()
+		res.RBCreated += rbe.Created()
+		res.WRBCreated += rbe.Weak().Created()
+		res.MWCreated += st.MW.Created()
+		res.SVSSCreated += st.SVSS.Created()
+		res.EchoDeduped += st.Node.EchoDeduped()
 	}
 	return res, nil
 }

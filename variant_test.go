@@ -1,0 +1,148 @@
+package svssba_test
+
+import (
+	"testing"
+
+	"svssba"
+	"svssba/internal/paritycells"
+)
+
+// TestWireVariantEquivalence is the proof-of-equivalence for the wire-v2
+// declared variant: across the full parity-cell matrix (schedulers ×
+// fault behaviours × scales), v1 and v2 runs of the same seed must both
+// reach agreement among honest processes. Where the protocol pins the
+// outcome — unanimous honest inputs force the decision by validity —
+// the decided values must also coincide. Message-level schedules
+// necessarily differ (v2 coalesces traffic, so the scheduler draws a
+// different delivery sequence), which is exactly why v2 carries its own
+// parity digest instead of the byte-identical guardrail.
+func TestWireVariantEquivalence(t *testing.T) {
+	for _, c := range paritycells.Agreement(false) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(wire string) *svssba.Result {
+				cfg := c.Cfg
+				cfg.Wire = wire
+				res, err := svssba.Run(cfg)
+				if err != nil {
+					t.Fatalf("wire %s: %v", wire, err)
+				}
+				if res.TimedOut {
+					t.Fatalf("wire %s: timed out after %d steps", wire, res.Steps)
+				}
+				if !res.AllDecided || !res.Agreed {
+					t.Fatalf("wire %s: decided=%v agreed=%v decisions=%v",
+						wire, res.AllDecided, res.Agreed, res.Decisions)
+				}
+				return res
+			}
+			v1, v2 := run("v1"), run("v2")
+
+			// Validity pins the outcome when the honest inputs are
+			// unanimous; then the two variants must decide identically.
+			unanimous, first := true, -1
+			faulty := make(map[int]bool, len(c.Cfg.Faults))
+			for _, f := range c.Cfg.Faults {
+				faulty[f.Proc] = true
+			}
+			inputs := c.Cfg.Inputs
+			if len(inputs) == 0 {
+				unanimous = false // default alternating 0/1 inputs
+			}
+			for i, in := range inputs {
+				if faulty[i+1] {
+					continue
+				}
+				if first == -1 {
+					first = in
+				} else if in != first {
+					unanimous = false
+				}
+			}
+			if unanimous && first != -1 {
+				if v1.Value != first || v2.Value != first {
+					t.Fatalf("validity: unanimous input %d, v1 decided %d, v2 decided %d",
+						first, v1.Value, v2.Value)
+				}
+			}
+			if v2.EchoDeduped != 0 {
+				// The engines' one-shot guards make honest duplicate
+				// echoes impossible; a nonzero count means a guard broke.
+				t.Errorf("v2 deduplicated %d echoes (expected 0)", v2.EchoDeduped)
+			}
+			// Baseline protocols don't use the core stack and ignore Wire.
+			adh := c.Cfg.Protocol == "" || c.Cfg.Protocol == svssba.ProtocolADH
+			if adh && v2.Steps >= v1.Steps {
+				t.Errorf("v2 used %d deliveries, v1 %d — coalescing should reduce deliveries",
+					v2.Steps, v1.Steps)
+			}
+		})
+	}
+}
+
+// TestWireVariantSVSSEquivalence asserts both variants reconstruct the
+// same secret (and detect the same liar) in standalone SVSS sessions.
+func TestWireVariantSVSSEquivalence(t *testing.T) {
+	cases := []svssba.SVSSConfig{
+		{N: 4, Seed: 1, Secret: 7},
+		{N: 4, Seed: 2, Secret: 9, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultRValLie}}},
+		{N: 7, T: 2, Seed: 3, Secret: 123456},
+	}
+	for _, base := range cases {
+		for _, wire := range []string{"v1", "v2"} {
+			cfg := base
+			cfg.Wire = wire
+			res, err := svssba.RunSVSS(cfg)
+			if err != nil {
+				t.Fatalf("wire %s: %v", wire, err)
+			}
+			if res.TimedOut {
+				t.Fatalf("wire %s: timed out", wire)
+			}
+			for pid, out := range res.Outputs {
+				if faultyProc(base.Faults, pid) {
+					continue
+				}
+				if out.Bottom && len(base.Faults) == 0 {
+					t.Errorf("wire %s: honest process %d output ⊥ with no faults", wire, pid)
+				}
+				if !out.Bottom && out.Value != base.Secret {
+					t.Errorf("wire %s: process %d reconstructed %d, want %d",
+						wire, pid, out.Value, base.Secret)
+				}
+			}
+		}
+	}
+}
+
+// TestWireVariantCoinEquivalence asserts both variants produce agreed
+// coin bits every round.
+func TestWireVariantCoinEquivalence(t *testing.T) {
+	for _, wire := range []string{"v1", "v2"} {
+		res, err := svssba.RunCoin(svssba.CoinConfig{N: 4, Seed: 1, Rounds: 2, Wire: wire})
+		if err != nil {
+			t.Fatalf("wire %s: %v", wire, err)
+		}
+		if res.TimedOut {
+			t.Fatalf("wire %s: timed out", wire)
+		}
+		if len(res.RoundResults) != 2 {
+			t.Fatalf("wire %s: %d rounds completed, want 2", wire, len(res.RoundResults))
+		}
+		for i, rr := range res.RoundResults {
+			if !rr.Agreed {
+				t.Errorf("wire %s round %d: coin outputs disagree: %v", wire, i+1, rr.Bits)
+			}
+		}
+	}
+}
+
+func faultyProc(faults []svssba.Fault, pid int) bool {
+	for _, f := range faults {
+		if f.Proc == pid {
+			return true
+		}
+	}
+	return false
+}
