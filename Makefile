@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke service-check
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,18 @@ cluster:
 # batch frames on the wire, payloads-vs-frames stats table.
 cluster-batch:
 	$(GO) run ./cmd/cluster -n 4 -transport tcp -batch -timeout 60s
+
+# loadgen-smoke is the agreement-as-a-service throughput smoke CI runs:
+# 30s of sustained concurrent ACS sessions on the chan transport, with
+# cross-node subset equality, >0 decisions/sec, and per-session state
+# retiring back to baseline all asserted (exit nonzero on violation).
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -n 4 -duration 30s -minrate 0.05
+
+# service-check runs the scenario-style multi-session invariant cell:
+# agreement/validity/termination per session across the service nodes.
+service-check:
+	$(GO) run ./cmd/scenario -service
 
 # fuzz-batch fuzzes the batch-frame decode surface for a short, fixed
 # duration (CI runs the same leg).

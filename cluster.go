@@ -107,6 +107,13 @@ type ClusterNodeStats struct {
 	CoinRounds                                    uint64
 	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
 
+	// Drop accounting (see node.Stats): outbound payloads dropped for
+	// exceeding the frame cap, inbound frames dropped whole after
+	// retirement, and scoped payloads dropped for a retired session.
+	OversizedDropped    int64
+	DroppedLateFrames   int64
+	DroppedLatePayloads int64
+
 	ByLayer map[string]ClusterLayerStats
 }
 
@@ -385,9 +392,12 @@ func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeS
 		RecvBytes:      st.RecvBytes,
 		SentFrames:     st.SentFrames,
 		SentFrameBytes: st.SentFrameBytes,
-		RecvFrames:     st.RecvFrames,
-		RecvFrameBytes: st.RecvFrameBytes,
-		ByLayer:        make(map[string]ClusterLayerStats),
+		RecvFrames:          st.RecvFrames,
+		RecvFrameBytes:      st.RecvFrameBytes,
+		OversizedDropped:    st.OversizedDropped,
+		DroppedLateFrames:   st.DroppedLateFrames,
+		DroppedLatePayloads: st.DroppedLatePayloads,
+		ByLayer:             make(map[string]ClusterLayerStats),
 	}
 	if v, ok := nd.Decision(); ok {
 		out.Decided, out.Decision = true, v

@@ -1,0 +1,317 @@
+// Command loadgen drives sustained agreement-as-a-service traffic: it
+// boots an n-node service cluster (svssba.StartService), keeps every
+// node's submit window full of fresh values for the run duration, then
+// drains to quiescence and verifies the service contract — every
+// session's common subset identical on every node with at least n−t
+// members, and all per-session protocol state retired back to zero.
+// It reports decisions/sec and p50/p95/p99 session latency, the repo's
+// first throughput (not single-run wall-clock) metrics.
+//
+// Examples:
+//
+//	loadgen -n 4 -duration 30s
+//	loadgen -n 4 -window 20 -minpeak 20 -duration 60s -json
+//	loadgen -n 4 -transport tcp -bytes 256 -duration 30s
+//
+// The process exits nonzero if any contract check fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"svssba"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	N            int     `json:"n"`
+	T            int     `json:"t"`
+	Transport    string  `json:"transport"`
+	Wire         string  `json:"wire"`
+	Window       int     `json:"window"`
+	ValueBytes   int     `json:"value_bytes"`
+	DurationSecs float64 `json:"duration_secs"`
+	DrainSecs    float64 `json:"drain_secs"`
+
+	Sessions     int     `json:"sessions"`
+	DecisionsSec float64 `json:"decisions_per_sec"`
+	P50Ms        float64 `json:"latency_p50_ms"`
+	P95Ms        float64 `json:"latency_p95_ms"`
+	P99Ms        float64 `json:"latency_p99_ms"`
+	MaxInFlight  []int   `json:"max_in_flight_per_node"`
+	PeakSessions int     `json:"peak_concurrent_sessions"`
+
+	SentFrames int64 `json:"sent_frames"`
+	SentBytes  int64 `json:"sent_frame_bytes"`
+	RecvFrames int64 `json:"recv_frames"`
+
+	LatePayloadsDropped int64 `json:"late_payloads_dropped"`
+	LateFramesDropped   int64 `json:"late_frames_dropped"`
+	OversizedDropped    int64 `json:"oversized_dropped"`
+	DroppedDecisions    int   `json:"dropped_decisions"`
+
+	BaselineOK bool `json:"baseline_ok"`
+	SubsetsOK  bool `json:"subsets_ok"`
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 4, "number of nodes")
+		t          = flag.Int("t", 0, "resilience bound (default (n-1)/3)")
+		seed       = flag.Int64("seed", 1, "seed for node randomness and generated values")
+		transportK = flag.String("transport", "chan", "chan | tcp")
+		wire       = flag.String("wire", "v2", "wire variant for the scoped stacks: v1 | v2")
+		window     = flag.Int("window", 8, "per-node cap on self-initiated concurrent sessions")
+		valBytes   = flag.Int("bytes", 64, "size of each submitted value")
+		duration   = flag.Duration("duration", 30*time.Second, "submission phase length")
+		drain      = flag.Duration("drain", 2*time.Minute, "post-submission drain budget")
+		minPeak    = flag.Int("minpeak", 0, "fail unless some node's concurrent-session high-water mark reaches this")
+		minRate    = flag.Float64("minrate", 0, "fail unless decisions/sec exceeds this")
+		asJSON     = flag.Bool("json", false, "emit the JSON report instead of the text summary")
+		verbose    = flag.Bool("v", false, "print per-node stats lines")
+	)
+	flag.Parse()
+
+	cl, err := svssba.StartService(svssba.ServiceConfig{
+		N:         *n,
+		T:         *t,
+		Seed:      *seed,
+		Transport: svssba.TransportKind(*transportK),
+		Wire:      *wire,
+		Window:    *window,
+		// The verifier must see every decision; size the queue so the
+		// collector goroutines never race the drop-oldest bound.
+		DecisionBuffer: 1 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	// Collect every node's decision stream concurrently.
+	var (
+		mu   sync.Mutex
+		decs = make([]map[uint64]svssba.ServiceDecision, *n+1)
+		lats []time.Duration
+		wg   sync.WaitGroup
+	)
+	for i := 1; i <= *n; i++ {
+		decs[i] = make(map[uint64]svssba.ServiceDecision)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for d := range cl.Node(i).Decisions() {
+				mu.Lock()
+				decs[i][d.Session] = d
+				lats = append(lats, d.Elapsed)
+				mu.Unlock()
+			}
+		}(i)
+	}
+
+	// Submission phase: keep every node's window topped up with fresh
+	// values so the service runs at its configured concurrency.
+	rnd := rand.New(rand.NewSource(*seed))
+	value := func() []byte {
+		b := make([]byte, *valBytes)
+		rnd.Read(b)
+		return b
+	}
+	start := time.Now()
+	stop := start.Add(*duration)
+	for time.Now().Before(stop) {
+		for i := 1; i <= *n; i++ {
+			nd := cl.Node(i)
+			for nd.QueueLen()+nd.InFlight() < *window {
+				if err := nd.Submit(value()); err != nil {
+					return fmt.Errorf("node %d: submit: %v", i, err)
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	submitted := time.Since(start)
+
+	// Drain phase: queues empty, nothing in flight, every node converged
+	// on the same completed count.
+	deadline := time.Now().Add(*drain)
+	for {
+		quiet := true
+		completed := cl.Node(1).Completed()
+		for i := 1; i <= *n; i++ {
+			nd := cl.Node(i)
+			if nd.QueueLen() != 0 || nd.InFlight() != 0 || nd.Completed() != completed {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i := 1; i <= *n; i++ {
+				nd := cl.Node(i)
+				fmt.Fprintf(os.Stderr, "  node %d: queue=%d inflight=%d completed=%d\n",
+					i, nd.QueueLen(), nd.InFlight(), nd.Completed())
+			}
+			return fmt.Errorf("drain: service did not quiesce within %v", *drain)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	drained := time.Since(start) - submitted
+	total := cl.Node(1).Completed()
+
+	// Per-session retirement: live scopes and protocol state must return
+	// to zero on every node.
+	rep := report{
+		N: *n, T: cl.T(), Transport: *transportK, Wire: *wire,
+		Window: *window, ValueBytes: *valBytes,
+		DurationSecs: submitted.Seconds(), DrainSecs: drained.Seconds(),
+		Sessions: total, BaselineOK: true, SubsetsOK: true,
+	}
+	baselineDeadline := time.Now().Add(*drain)
+	for {
+		ok := true
+		for i := 1; i <= *n; i++ {
+			c, isSvc := cl.Node(i).Counts()
+			if !isSvc {
+				return fmt.Errorf("node %d: not a service node", i)
+			}
+			if c.Live != 0 || c.State.Total() != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(baselineDeadline) {
+			rep.BaselineOK = false
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Let the collectors finish, then verify the cross-node contract.
+	cl.Close()
+	wg.Wait()
+
+	for sid, ref := range decs[1] {
+		if len(ref.Members) < *n-cl.T() {
+			fmt.Fprintf(os.Stderr, "  session %d: subset %v smaller than n-t=%d\n", sid, ref.Members, *n-cl.T())
+			rep.SubsetsOK = false
+		}
+		for i := 2; i <= *n; i++ {
+			d, ok := decs[i][sid]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "  session %d: missing on node %d\n", sid, i)
+				rep.SubsetsOK = false
+				continue
+			}
+			if fmt.Sprint(d.Members) != fmt.Sprint(ref.Members) {
+				fmt.Fprintf(os.Stderr, "  session %d: node %d members %v != node 1 members %v\n", sid, i, d.Members, ref.Members)
+				rep.SubsetsOK = false
+				continue
+			}
+			for k := range ref.Values {
+				if !bytes.Equal(d.Values[k], ref.Values[k]) {
+					fmt.Fprintf(os.Stderr, "  session %d member %d: value mismatch node %d vs node 1\n", sid, ref.Members[k], i)
+					rep.SubsetsOK = false
+				}
+			}
+		}
+	}
+	for i := 2; i <= *n; i++ {
+		if len(decs[i]) != len(decs[1]) {
+			fmt.Fprintf(os.Stderr, "  node %d decided %d sessions, node 1 decided %d\n", i, len(decs[i]), len(decs[1]))
+			rep.SubsetsOK = false
+		}
+	}
+	if total != len(decs[1]) {
+		fmt.Fprintf(os.Stderr, "  completed=%d but node 1 streamed %d decisions\n", total, len(decs[1]))
+		rep.SubsetsOK = false
+	}
+
+	rep.DecisionsSec = float64(total) / submitted.Seconds()
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+
+	for i := 1; i <= *n; i++ {
+		nd := cl.Node(i)
+		peak := nd.MaxInFlight()
+		rep.MaxInFlight = append(rep.MaxInFlight, peak)
+		if peak > rep.PeakSessions {
+			rep.PeakSessions = peak
+		}
+		rep.DroppedDecisions += nd.DroppedDecisions()
+		st := nd.Stats()
+		rep.SentFrames += st.SentFrames
+		rep.SentBytes += st.SentFrameBytes
+		rep.RecvFrames += st.RecvFrames
+		rep.LatePayloadsDropped += st.DroppedLatePayloads
+		rep.LateFramesDropped += st.DroppedLateFrames
+		rep.OversizedDropped += st.OversizedDropped
+		if errs := nd.Errs(); len(errs) > 0 {
+			return fmt.Errorf("node %d: runtime errors (%d), first: %v", i, len(errs), errs[0])
+		}
+		if *verbose {
+			fmt.Printf("node %d: completed=%d peak=%d sentFrames=%d recvFrames=%d latePayloads=%d\n",
+				i, nd.Completed(), peak, st.SentFrames, st.RecvFrames, st.DroppedLatePayloads)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("loadgen: n=%d t=%d transport=%s wire=%s window=%d bytes=%d\n",
+			rep.N, rep.T, rep.Transport, rep.Wire, rep.Window, rep.ValueBytes)
+		fmt.Printf("  %d sessions in %.1fs (+%.1fs drain) = %.1f decisions/sec\n",
+			rep.Sessions, rep.DurationSecs, rep.DrainSecs, rep.DecisionsSec)
+		fmt.Printf("  latency p50=%.0fms p95=%.0fms p99=%.0fms; peak concurrent sessions=%d\n",
+			rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.PeakSessions)
+		fmt.Printf("  frames sent=%d (%.1f MiB) recv=%d; late payloads dropped=%d\n",
+			rep.SentFrames, float64(rep.SentBytes)/(1<<20), rep.RecvFrames, rep.LatePayloadsDropped)
+	}
+
+	if !rep.SubsetsOK {
+		return fmt.Errorf("cross-node subset verification failed")
+	}
+	if !rep.BaselineOK {
+		return fmt.Errorf("per-session state did not retire to baseline")
+	}
+	if total == 0 {
+		return fmt.Errorf("no sessions completed")
+	}
+	if *minRate > 0 && rep.DecisionsSec < *minRate {
+		return fmt.Errorf("decisions/sec %.2f below required %.2f", rep.DecisionsSec, *minRate)
+	}
+	if *minPeak > 0 && rep.PeakSessions < *minPeak {
+		return fmt.Errorf("peak concurrent sessions %d below required %d", rep.PeakSessions, *minPeak)
+	}
+	return nil
+}

@@ -43,9 +43,25 @@ func main() {
 		replay  = flag.String("replay", "", "re-run a single cell by id and print its JSON")
 		batch   = flag.Bool("batch", false, "run every cell with the coalescing-outbox frame model (decisions and logical stats are unchanged)")
 		wire    = flag.String("wire", "", "wire variant for every cell: v1 (default, baseline shape) | v2 (burst coalescing — a declared variant with its own schedules)")
+		service = flag.Bool("service", false, "run the agreement-as-a-service check instead of the matrix (concurrent ACS sessions on the node runtime)")
 	)
 	flag.Parse()
 	_ = quick // quick is the default; the flag exists for explicitness
+
+	if *service {
+		// One multi-session cell on the real node runtime: agreement,
+		// validity and termination checked per session across nodes.
+		start := time.Now()
+		violations := scenario.ServiceCheck(4, 42, 3, 2*time.Minute)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("service check OK (%v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	m := scenario.Quick()
 	if *full {

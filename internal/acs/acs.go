@@ -1,0 +1,406 @@
+// Package acs composes the paper's binary agreement into Agreement on a
+// Common Subset, the BKR (Ben-Or/Kelmer/Rabin) construction that
+// HoneyBadger-style atomic broadcast builds on: every process reliably
+// broadcasts a proposal, one binary agreement per proposer votes on
+// whether that proposal "made it", and once n−t agreements decide 1 the
+// processes input 0 to the rest. All correct processes output the same
+// subset of at least n−t proposals.
+//
+// The package is a node.ServiceDriver: one Driver runs any number of
+// concurrent ACS sessions over a single node runtime. Each session
+// spreads across n+1 scopes — scope (sid, 0) hosts the proposal plane
+// (a stack whose ProtoACS broadcasts carry the proposals) and scope
+// (sid, j) for j in 1..n hosts the binary agreement voting on proposer
+// j. Scopes retire independently through the node's service machinery:
+// an ABA scope as soon as its agreement halts, the plane scope when the
+// session completes, so a long-lived service node returns to baseline
+// state after every session no matter how the sessions interleave.
+package acs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svssba/internal/core"
+	"svssba/internal/node"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// maxSlots bounds the per-session slot namespace packed into the low
+// byte of a scope (slot 0 = proposal plane, 1..n = per-proposer ABA).
+const maxSlots = 255
+
+// ScopeOf packs an ACS session id and slot into a node service scope.
+func ScopeOf(sid uint64, slot int) uint64 { return sid<<8 | uint64(slot) }
+
+// SplitScope unpacks a service scope into session id and slot.
+func SplitScope(scope uint64) (sid uint64, slot int) {
+	return scope >> 8, int(scope & 0xff)
+}
+
+// Config describes one process's ACS driver.
+type Config struct {
+	// N, T mirror the cluster's agreement parameters (T defaults to
+	// floor((N-1)/3)).
+	N, T int
+	// Self is this process's id.
+	Self sim.ProcID
+	// Wire selects the wire variant for every scoped stack ("" = "v2":
+	// a throughput service wants burst coalescing; "v1" is accepted for
+	// baseline comparison).
+	Wire string
+	// Window bounds how many sessions this process initiates concurrently
+	// (defaults to 8). Sessions joined because a peer's traffic arrived
+	// first do not wait on the window — refusing them would stall peers.
+	Window int
+	// OnDecide observes every completed session (delivery goroutine; must
+	// not block).
+	OnDecide func(Decision)
+	// Tamper, when set, runs over every freshly built scoped stack before
+	// it goes live — the hook the adversarial tests use to plant
+	// misbehavior in selected scopes. Production configs leave it nil.
+	Tamper func(sid uint64, slot int, st *core.Stack)
+}
+
+// Decision is one completed ACS session: the common subset, as the
+// sorted proposer ids whose agreement decided 1 and their proposal
+// values (parallel slices).
+type Decision struct {
+	Session uint64
+	Members []sim.ProcID
+	Values  [][]byte
+	// Elapsed is the local time from joining the session to completing
+	// it.
+	Elapsed time.Duration
+}
+
+// session is the per-ACS-session composition state (delivery goroutine
+// only).
+type session struct {
+	sid     uint64
+	started time.Time
+
+	ownValue     []byte
+	proposalSent bool
+
+	plane *node.Session
+	aba   []*node.Session // 1..n; nil until the slot's scope opens
+
+	has      []bool   // proposal delivered, by proposer
+	values   [][]byte // delivered proposals
+	proposed []bool   // ABA_j was given an input (by us)
+	decided  []int8   // -1 undecided, else 0/1
+	ones     int
+	decCount int
+
+	zeroFlood bool // n−t ones reached, 0s flooded to the rest
+	completed bool
+}
+
+// Driver runs concurrent ACS sessions over one service-mode node.
+// Create with New, wire with Bind before the node starts, submit with
+// Submit.
+type Driver struct {
+	cfg Config
+	nd  *node.Node
+
+	qmu   sync.Mutex
+	queue [][]byte
+
+	// Delivery-goroutine state.
+	sessions  map[uint64]*session
+	completed map[uint64]bool
+	nextSid   uint64
+
+	// Gauges (atomics: read by loadgen/tests off-goroutine).
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+	decidedN    atomic.Int64
+}
+
+var _ node.ServiceDriver = (*Driver)(nil)
+
+// New validates cfg and creates a driver (not yet bound to a node).
+func New(cfg Config) (*Driver, error) {
+	if cfg.N < 2 || cfg.N > maxSlots-1 {
+		return nil, fmt.Errorf("acs: n=%d out of range 2..%d", cfg.N, maxSlots-1)
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 3
+	}
+	if cfg.Self < 1 || int(cfg.Self) > cfg.N {
+		return nil, fmt.Errorf("acs: self %d out of range 1..%d", cfg.Self, cfg.N)
+	}
+	switch cfg.Wire {
+	case "":
+		cfg.Wire = "v2"
+	case "v1", "v2":
+	default:
+		return nil, fmt.Errorf("acs: unknown wire variant %q", cfg.Wire)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	return &Driver{
+		cfg:       cfg,
+		sessions:  make(map[uint64]*session),
+		completed: make(map[uint64]bool),
+		nextSid:   1,
+	}, nil
+}
+
+// Bind attaches the driver to its node. The node's Config.Service must
+// be this driver; call before the node starts.
+func (d *Driver) Bind(nd *node.Node) { d.nd = nd }
+
+// Submit queues value as a proposal for a future session and kicks the
+// session pump. Values are copied. Safe from any goroutine.
+func (d *Driver) Submit(value []byte) error {
+	d.qmu.Lock()
+	d.queue = append(d.queue, append([]byte(nil), value...))
+	d.qmu.Unlock()
+	return d.nd.Inject(d.pump)
+}
+
+// InFlight returns the number of joined, not-yet-completed sessions.
+func (d *Driver) InFlight() int { return int(d.inFlight.Load()) }
+
+// MaxInFlight returns the high-water concurrent session count.
+func (d *Driver) MaxInFlight() int { return int(d.maxInFlight.Load()) }
+
+// Completed returns how many sessions completed.
+func (d *Driver) Completed() int { return int(d.decidedN.Load()) }
+
+// QueueLen returns the number of submitted values not yet attached to a
+// session.
+func (d *Driver) QueueLen() int {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	return len(d.queue)
+}
+
+// pump starts new sessions while the window allows and values are
+// queued (delivery goroutine).
+func (d *Driver) pump() {
+	for int(d.inFlight.Load()) < d.cfg.Window && d.QueueLen() > 0 {
+		for d.sessions[d.nextSid] != nil || d.completed[d.nextSid] {
+			d.nextSid++
+		}
+		sid := d.nextSid
+		d.nextSid++
+		d.newSession(sid)
+		// Opening the plane scope runs Open+Opened, which broadcasts the
+		// proposal this session carries for us.
+		d.nd.OpenScope(ScopeOf(sid, 0))
+	}
+}
+
+// popValue takes the oldest queued value ([]byte{} when none — a
+// session joined on peer traffic still participates, with an empty
+// proposal).
+func (d *Driver) popValue() []byte {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	if len(d.queue) == 0 {
+		return []byte{}
+	}
+	v := d.queue[0]
+	d.queue = d.queue[1:]
+	return v
+}
+
+// newSession creates the composition record for sid (delivery
+// goroutine). The scoped stacks open separately — lazily for sessions
+// joined on inbound traffic.
+func (d *Driver) newSession(sid uint64) *session {
+	n := d.cfg.N
+	s := &session{
+		sid:      sid,
+		started:  time.Now(),
+		ownValue: d.popValue(),
+		aba:      make([]*node.Session, n+1),
+		has:      make([]bool, n+1),
+		values:   make([][]byte, n+1),
+		proposed: make([]bool, n+1),
+		decided:  make([]int8, n+1),
+	}
+	for j := range s.decided {
+		s.decided[j] = -1
+	}
+	d.sessions[sid] = s
+	if f := d.inFlight.Add(1); f > d.maxInFlight.Load() {
+		d.maxInFlight.Store(f)
+	}
+	return s
+}
+
+// Open implements node.ServiceDriver: build the scoped stack for one
+// (session, slot) pair. Rejects malformed slots and scopes of completed
+// sessions (the node tombstones them, so late traffic dies at the
+// envelope).
+func (d *Driver) Open(sess *node.Session) *core.Stack {
+	sid, slot := SplitScope(sess.Scope())
+	if slot > d.cfg.N || sid == 0 {
+		return nil
+	}
+	if d.completed[sid] {
+		return nil
+	}
+	s := d.sessions[sid]
+	if s == nil {
+		// A peer reached this session first: join it.
+		s = d.newSession(sid)
+	}
+	st := core.NewStack(d.cfg.Self, nil)
+	if d.cfg.Wire == "v2" {
+		st.EnableWireV2()
+	}
+	if slot == 0 {
+		st.Node.HandleBroadcast(proto.ProtoACS, func(_ sim.Context, origin sim.ProcID, _ proto.Tag, value []byte) {
+			d.onProposal(s, origin, value)
+		})
+	} else {
+		j := slot
+		st.OnDecide(func(_ sim.Context, v int) { d.onABADecide(s, j, v) })
+	}
+	if d.cfg.Tamper != nil {
+		d.cfg.Tamper(sid, slot, st)
+	}
+	return st
+}
+
+// Opened implements node.ServiceDriver: the scope's stack is live; bind
+// it into the session record and fire first sends.
+func (d *Driver) Opened(sess *node.Session) {
+	sid, slot := SplitScope(sess.Scope())
+	s := d.sessions[sid]
+	if s == nil {
+		return
+	}
+	if slot == 0 {
+		s.plane = sess
+		if !s.proposalSent {
+			s.proposalSent = true
+			tag := proto.Tag{Proto: proto.ProtoACS, A: uint32(sid)}
+			sess.Stack().Node.Broadcast(sess.Ctx(), tag, s.ownValue)
+		}
+		return
+	}
+	s.aba[slot] = sess
+}
+
+// MayRetire implements node.ServiceDriver: an ABA scope retires when
+// its agreement halted (n−t DECIDEs — the rest of the cluster finishes
+// without it, same argument as single-session retirement); the plane
+// scope when its session completed (every proposal this process will
+// ever use has been delivered).
+func (d *Driver) MayRetire(sess *node.Session) bool {
+	sid, slot := SplitScope(sess.Scope())
+	if slot == 0 {
+		return d.completed[sid]
+	}
+	st := sess.Stack()
+	return st != nil && st.ABA.Halted()
+}
+
+// abaSession returns the ABA scope for proposer j, opening it on first
+// use (delivery goroutine).
+func (d *Driver) abaSession(s *session, j int) *node.Session {
+	if s.aba[j] == nil {
+		d.nd.OpenScope(ScopeOf(s.sid, j)) // Opened fills s.aba[j]
+	}
+	return s.aba[j]
+}
+
+// onProposal handles an RB-delivered proposal from origin: record the
+// value and input 1 to the proposer's agreement (BKR step: "on
+// delivering a proposal, vote for it").
+func (d *Driver) onProposal(s *session, origin sim.ProcID, value []byte) {
+	if s.completed || origin < 1 || int(origin) > d.cfg.N {
+		return
+	}
+	j := int(origin)
+	if s.has[j] {
+		return // RB delivers once per origin, but stay first-wins regardless
+	}
+	s.has[j] = true
+	s.values[j] = append([]byte(nil), value...)
+	if !s.proposed[j] && s.decided[j] == -1 {
+		s.proposed[j] = true
+		ab := d.abaSession(s, j)
+		if st := ab.Stack(); st != nil {
+			ab.Touch()
+			_ = st.ABA.Propose(ab.Ctx(), 1)
+		}
+	}
+	d.checkComplete(s)
+}
+
+// onABADecide handles agreement j's decision. Reaching n−t ones floods
+// 0 into every agreement not yet given an input (BKR step: late
+// proposals can no longer join the subset), which is what guarantees
+// all n agreements terminate.
+func (d *Driver) onABADecide(s *session, j, v int) {
+	if s.decided[j] != -1 {
+		return
+	}
+	s.decided[j] = int8(v)
+	s.decCount++
+	if v == 1 {
+		s.ones++
+		if s.ones >= d.cfg.N-d.cfg.T && !s.zeroFlood {
+			s.zeroFlood = true
+			for k := 1; k <= d.cfg.N; k++ {
+				if s.proposed[k] || s.decided[k] != -1 {
+					continue
+				}
+				s.proposed[k] = true
+				ab := d.abaSession(s, k)
+				if st := ab.Stack(); st != nil {
+					ab.Touch()
+					_ = st.ABA.Propose(ab.Ctx(), 0)
+				}
+			}
+		}
+	}
+	d.checkComplete(s)
+}
+
+// checkComplete outputs the subset once every agreement decided and
+// every 1-decided proposer's proposal is delivered. (A 1 decision with
+// the proposal still in flight is possible locally — the agreement only
+// needs t+1 honest inputs of 1 — so completion waits for the RB
+// delivery; it must arrive, since some honest process delivered it to
+// input 1.)
+func (d *Driver) checkComplete(s *session) {
+	if s.completed || s.decCount < d.cfg.N {
+		return
+	}
+	for j := 1; j <= d.cfg.N; j++ {
+		if s.decided[j] == 1 && !s.has[j] {
+			return
+		}
+	}
+	s.completed = true
+	d.completed[s.sid] = true
+	delete(d.sessions, s.sid)
+	d.inFlight.Add(-1)
+	d.decidedN.Add(1)
+	if s.plane != nil {
+		s.plane.Touch() // plane retires this burst via MayRetire
+	}
+	if d.cfg.OnDecide != nil {
+		dec := Decision{Session: s.sid, Elapsed: time.Since(s.started)}
+		for j := 1; j <= d.cfg.N; j++ {
+			if s.decided[j] == 1 {
+				dec.Members = append(dec.Members, sim.ProcID(j))
+				dec.Values = append(dec.Values, s.values[j])
+			}
+		}
+		d.cfg.OnDecide(dec)
+	}
+	d.pump()
+}

@@ -140,6 +140,7 @@ func NewCodec() *proto.Codec {
 	svss.RegisterCodec(c)
 	aba.RegisterCodec(c)
 	proto.RegisterPackCodec(c)
+	proto.RegisterScopedCodec(c)
 	return c
 }
 
@@ -165,6 +166,27 @@ type StateCounts struct {
 	// above): how many instances each layer ever opened. The denominators
 	// of the per-instance message-complexity report.
 	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
+}
+
+// Add accumulates o into c (used to sum counts across the scoped
+// stacks of a service-mode node).
+func (c *StateCounts) Add(o StateCounts) {
+	c.RBInstances += o.RBInstances
+	c.RBSlab += o.RBSlab
+	c.WRBInstances += o.WRBInstances
+	c.WRBSlab += o.WRBSlab
+	c.MWInstances += o.MWInstances
+	c.MWSlab += o.MWSlab
+	c.SVSSSessions += o.SVSSSessions
+	c.SVSSlab += o.SVSSlab
+	c.GatherRounds += o.GatherRounds
+	c.ABARounds += o.ABARounds
+	c.DMMPending += o.DMMPending
+	c.DMMParked += o.DMMParked
+	c.RBCreated += o.RBCreated
+	c.WRBCreated += o.WRBCreated
+	c.MWCreated += o.MWCreated
+	c.SVSSCreated += o.SVSSCreated
 }
 
 // Total sums the live-instance counts (slab capacities excluded).

@@ -59,6 +59,13 @@ type Config struct {
 	OnDecide func(value int)
 	// OnShun observes DMM shun events (same goroutine rules).
 	OnShun func(detected sim.ProcID)
+	// Service switches the node into multi-session service mode: instead
+	// of one stack per incarnation, the node hosts one stack per scope,
+	// opened and retired through the driver (see ServiceDriver). Input,
+	// Wire and OnDecide are ignored in service mode — the driver owns
+	// stack construction and decision routing. Service nodes do not
+	// support Restart.
+	Service ServiceDriver
 }
 
 // LayerStats aggregates traffic for one protocol layer (the prefix of
@@ -94,6 +101,17 @@ type Stats struct {
 	RecvFrames, RecvFrameBytes int64
 
 	DecodeErrs int64
+
+	// OversizedDropped counts outbound payloads dropped because their
+	// standalone frame would exceed the frame cap (a poison frame for the
+	// TCP transport's reconnecting dialer). DroppedLateFrames counts
+	// inbound frames dropped whole because the node already retired;
+	// DroppedLatePayloads counts scoped payloads dropped because their
+	// scope retired (service mode). Neither late class is counted as
+	// received.
+	OversizedDropped    int64
+	DroppedLateFrames   int64
+	DroppedLatePayloads int64
 
 	SentByKind, SentBytesByKind map[string]int64
 	RecvByKind, RecvBytesByKind map[string]int64
@@ -174,6 +192,18 @@ type Node struct {
 	done       chan struct{}
 	decideC    chan struct{}
 
+	// Service-mode state (delivery goroutine only, except injectC which
+	// Inject sends on under the running-state check).
+	runC            *runCtx
+	injectC         chan func()
+	sessions        map[uint64]*Session
+	touchedSessions []*Session
+	// retiredGate short-circuits inbound frames once the (single-mode)
+	// stack retired: set on the delivery goroutine at retirement, read
+	// there on every frame, so late echo storms are dropped before any
+	// decoding.
+	retiredGate bool
+
 	// Traffic counters, interned by kind like sim.Network (smu keeps
 	// Stats() safe while the delivery goroutine counts). Payload counters
 	// are logical; frame counters are physical (see Stats).
@@ -183,6 +213,8 @@ type Node struct {
 	sentF, sentFB            int64
 	recvF, recvFB            int64
 	decodeErrs               int64
+	oversizedDropped         int64
+	lateFrames, latePayloads int64
 	kindIDs                  map[string]int
 	kindNames                []string
 	sentByKind, sentBByKind  []int64
@@ -255,24 +287,27 @@ func (n *Node) startLocked() error {
 	if err := n.tr.Start(); err != nil {
 		return fmt.Errorf("node %d: %w", n.cfg.ID, err)
 	}
-	st := core.NewStack(n.cfg.ID, func(detected sim.ProcID, _ proto.MWID) {
-		if n.cfg.OnShun != nil {
-			n.cfg.OnShun(detected)
+	var st *core.Stack
+	if n.cfg.Service == nil {
+		st = core.NewStack(n.cfg.ID, func(detected sim.ProcID, _ proto.MWID) {
+			if n.cfg.OnShun != nil {
+				n.cfg.OnShun(detected)
+			}
+		})
+		st.OnDecide(func(_ sim.Context, v int) { n.recordDecision(v) })
+		st.OnCoin(func(_ sim.Context, _ uint64, _ int) {
+			n.mu.Lock()
+			n.coinRounds++
+			n.mu.Unlock()
+		})
+		if n.cfg.Wire == "v2" {
+			st.EnableWireV2()
 		}
-	})
-	st.OnDecide(func(_ sim.Context, v int) { n.recordDecision(v) })
-	st.OnCoin(func(_ sim.Context, _ uint64, _ int) {
-		n.mu.Lock()
-		n.coinRounds++
-		n.mu.Unlock()
-	})
-	if n.cfg.Wire == "v2" {
-		st.EnableWireV2()
+		input := n.cfg.Input
+		st.Node.AddInit(func(ctx sim.Context) {
+			_ = st.ABA.Propose(ctx, input)
+		})
 	}
-	input := n.cfg.Input
-	st.Node.AddInit(func(ctx sim.Context) {
-		_ = st.ABA.Propose(ctx, input)
-	})
 
 	n.state = stateRunning
 	n.start = time.Now()
@@ -285,6 +320,13 @@ func (n *Node) startLocked() error {
 	}
 	if n.cfg.Batching {
 		ctx.ob = sim.NewCoalescer[sim.Payload](n.cfg.N)
+	}
+	n.runC = ctx
+	n.injectC = make(chan func())
+	n.retiredGate = false
+	if n.cfg.Service != nil {
+		n.sessions = make(map[uint64]*Session)
+		n.touchedSessions = n.touchedSessions[:0]
 	}
 	go n.run(st, ctx, n.tr, n.stop, n.done)
 	return nil
@@ -304,12 +346,19 @@ const maxDrainBurst = 64
 func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, done chan struct{}) {
 	defer close(done)
 	defer n.snapshotState(st)
-	st.Node.Init(ctx)
+	if st != nil {
+		st.Node.Init(ctx)
+	}
 	ctx.flushOutbox()
+	inject := n.injectC
 	for {
 		select {
 		case <-stop:
 			return
+		case fn := <-inject:
+			fn()
+			ctx.flushOutbox()
+			n.afterBurst(st)
 		case f, ok := <-tr.Recv():
 			if !ok {
 				return
@@ -330,9 +379,19 @@ func (n *Node) run(st *core.Stack, ctx *runCtx, tr transport.Transport, stop, do
 				}
 			}
 			ctx.flushOutbox()
-			n.maybeRetire(st)
+			n.afterBurst(st)
 		}
 	}
+}
+
+// afterBurst runs the end-of-burst retirement pass: per scope in
+// service mode, whole-stack in single mode.
+func (n *Node) afterBurst(st *core.Stack) {
+	if n.cfg.Service != nil {
+		n.processScopeRetirements()
+		return
+	}
+	n.maybeRetire(st)
 }
 
 // maybeRetire releases the stack's instance state once the agreement
@@ -346,6 +405,7 @@ func (n *Node) maybeRetire(st *core.Stack) {
 		return
 	}
 	st.Retire()
+	n.retiredGate = true
 	n.snapshotState(st)
 	n.mu.Lock()
 	n.retired = true
@@ -353,8 +413,12 @@ func (n *Node) maybeRetire(st *core.Stack) {
 }
 
 // snapshotState publishes the stack's state counts (delivery goroutine
-// only; readers go through StateCounts).
+// only; readers go through StateCounts). Service-mode nodes have no
+// single stack — their counts live in ServiceCounts.
 func (n *Node) snapshotState(st *core.Stack) {
+	if st == nil {
+		return
+	}
 	c := st.StateCounts()
 	n.mu.Lock()
 	n.counts = c
@@ -388,7 +452,8 @@ func (n *Node) StateCounts() (core.StateCounts, bool) {
 }
 
 // handleFrame decodes one inbound frame — single-payload or batch — and
-// delivers its payloads to the stack in frame order.
+// delivers its payloads to the stack (or, in service mode, to the
+// scoped stacks the payloads' envelopes name) in frame order.
 func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 	if f.From < 1 || int(f.From) > n.cfg.N {
 		// A sender outside 1..N would count as a phantom voter
@@ -396,6 +461,14 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 		n.noteDecodeErr(fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
 		return
 	}
+	if n.retiredGate {
+		// The stack retired: nothing in this frame can affect any outcome.
+		// Drop it before decoding — a late echo storm must cost a counter
+		// bump, not a full batch/pack/bundle unpack.
+		n.countLateFrame()
+		return
+	}
+	service := n.cfg.Service != nil
 	if proto.IsBatch(f.Data) {
 		bd, ok := n.codec.(batchDecoder)
 		if !ok {
@@ -408,6 +481,13 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 			// let a Byzantine sender smuggle prefix payloads past the
 			// frame-level integrity check.
 			n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+			return
+		}
+		if service {
+			n.countRecvFrameOnly(len(f.Data))
+			for _, p := range ps {
+				n.deliverScoped(ctx, f.From, p)
+			}
 			return
 		}
 		n.countRecvFrame(ps, len(f.Data))
@@ -424,6 +504,11 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 	p, err := n.codec.Decode(f.Data)
 	if err != nil {
 		n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+		return
+	}
+	if service {
+		n.countRecvFrameOnly(len(f.Data))
+		n.deliverScoped(ctx, f.From, p)
 		return
 	}
 	ctx.one[0] = p
@@ -476,6 +561,12 @@ func (n *Node) halt(crash bool) {
 // incarnation must be stopped or crashed. Decision state resets; the
 // node re-proposes its configured input.
 func (n *Node) Restart(tr transport.Transport) error {
+	if n.cfg.Service != nil {
+		// A driver's composition state spans sessions and cannot survive a
+		// stack-losing restart coherently; service nodes are torn down and
+		// rebuilt instead.
+		return fmt.Errorf("node %d: service nodes do not support Restart", n.cfg.ID)
+	}
 	if tr == nil {
 		return fmt.Errorf("node %d: nil transport", n.cfg.ID)
 	}
@@ -600,7 +691,14 @@ func (n *Node) countSentFrame(ps []sim.Payload, frameBytes int) {
 		n.sent++
 		sb := int64(standaloneSize(p))
 		n.sentB += sb
-		id := n.kindIDLocked(p.Kind())
+		kind := p.Kind()
+		if sc, ok := p.(proto.Scoped); ok && sc.Inner != nil {
+			// Service mode: attribute the payload to the wrapped kind so
+			// per-kind and per-layer stats stay protocol-meaningful (the
+			// byte counters keep the envelope's full size).
+			kind = sc.Inner.Kind()
+		}
+		id := n.kindIDLocked(kind)
 		n.sentByKind[id]++
 		n.sentBByKind[id] += sb
 		if id != lastGroup {
@@ -642,7 +740,10 @@ func (n *Node) Stats() Stats {
 		Recv: n.recv, RecvBytes: n.recvB,
 		SentFrames: n.sentF, SentFrameBytes: n.sentFB,
 		RecvFrames: n.recvF, RecvFrameBytes: n.recvFB,
-		DecodeErrs:       n.decodeErrs,
+		DecodeErrs:          n.decodeErrs,
+		OversizedDropped:    n.oversizedDropped,
+		DroppedLateFrames:   n.lateFrames,
+		DroppedLatePayloads: n.latePayloads,
 		SentByKind:       make(map[string]int64, len(n.kindNames)),
 		SentBytesByKind:  make(map[string]int64, len(n.kindNames)),
 		RecvByKind:       make(map[string]int64, len(n.kindNames)),
@@ -720,9 +821,25 @@ func (c *runCtx) Send(to sim.ProcID, p sim.Payload) {
 	c.sendOne(to, p)
 }
 
-// sendOne ships p as a single-payload frame.
+// sendOne ships p as a single-payload frame. A payload whose standalone
+// frame would exceed maxBatchFrameBytes is dropped instead of sent: the
+// TCP transport kills any connection carrying a frame over its limit,
+// and the reconnecting dialer would retransmit the same oversized frame
+// forever — a Byzantine peer that baits the stack into minting one
+// (e.g. a near-limit value that fans out with framing overhead) must
+// cost an error and a counter, not a wedged link. This is the only send
+// path without a size bound of its own: flushOutbox routes every
+// 1-payload chunk (including any payload too big to share a frame)
+// here, and the batch chunks it builds itself are capped by
+// construction.
 func (c *runCtx) sendOne(to sim.ProcID, p sim.Payload) {
 	n := c.n
+	if size := standaloneSize(p); size > maxBatchFrameBytes {
+		n.noteErr(fmt.Errorf("node %d: drop oversized %q to %d: %d bytes exceeds frame cap %d",
+			n.cfg.ID, p.Kind(), to, size, maxBatchFrameBytes))
+		n.countOversized()
+		return
+	}
 	enc, err := n.codec.Encode(p)
 	if err != nil {
 		n.noteErr(fmt.Errorf("node %d: encode %q: %w", n.cfg.ID, p.Kind(), err))

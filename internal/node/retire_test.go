@@ -11,17 +11,27 @@ import (
 )
 
 // waitRetired polls until the node's stack retired (decided, halted,
-// released its state) or the deadline passes.
+// released its state) or the budget runs out. The budget is
+// deadline-aware like TestAgreementN10/N13: a heavy-tail coin schedule
+// can push retirement well past the fixed waitFor, so when the test
+// binary has more deadline left than waitFor, use it (minus teardown
+// headroom) instead of rolling dice on the fixed budget.
 func waitRetired(t *testing.T, nd *node.Node) {
 	t.Helper()
-	deadline := time.Now().Add(waitFor)
+	budget := waitFor
+	if dl, ok := t.Deadline(); ok {
+		if until := time.Until(dl) - 10*time.Second; until > budget {
+			budget = until
+		}
+	}
+	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		if nd.Retired() {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	t.Fatalf("node %d: stack never retired", nd.ID())
+	t.Fatalf("node %d: stack never retired after %v", nd.ID(), budget)
 }
 
 // assertBaseline asserts a post-retirement snapshot holds no live

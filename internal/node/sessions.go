@@ -1,0 +1,312 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svssba/internal/core"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// Service mode. A node normally hosts exactly one protocol stack whose
+// lifetime is the node's incarnation. With Config.Service set, the node
+// instead hosts many concurrent stacks, one per *scope* — an opaque
+// uint64 the driver assigns (internal/acs packs a session id and a slot
+// into it). Every payload a scoped stack sends is wrapped in a
+// proto.Scoped envelope; inbound envelopes route to the scope's stack,
+// auto-opening it through the driver on first traffic. Scopes retire
+// independently: after each delivery burst the node asks the driver
+// which touched scopes are done and releases exactly those stacks,
+// keeping a tombstone so late traffic for a finished scope is dropped
+// before its inner payload is even decoded.
+//
+// All driver callbacks run on the node's delivery goroutine — they may
+// touch sessions and stacks freely and must not block or call Inject.
+
+// ServiceDriver plugs a multi-session protocol composition into a
+// node's delivery loop.
+type ServiceDriver interface {
+	// Open builds the protocol stack for a new scope: create it, wire
+	// handlers/observers, but send nothing — the node binds the stack and
+	// runs its Init before traffic can flow. Returning nil rejects the
+	// scope permanently (the node keeps a tombstone and drops its
+	// traffic).
+	Open(s *Session) *core.Stack
+	// Opened runs after the scope's stack is bound and initialized;
+	// first sends (e.g. a proposal broadcast) belong here.
+	Opened(s *Session)
+	// MayRetire reports whether a touched scope's stack can be released.
+	// Called after each delivery burst for every scope that saw traffic
+	// in it.
+	MayRetire(s *Session) bool
+}
+
+// Session is one scoped protocol stack hosted by a service-mode node.
+// All methods are delivery-goroutine only.
+type Session struct {
+	scope    uint64
+	n        *Node
+	ctx      *scopedCtx
+	stack    *core.Stack
+	touched  bool
+	retired  bool
+	rejected bool
+}
+
+// Scope returns the session's scope id.
+func (s *Session) Scope() uint64 { return s.scope }
+
+// Stack returns the session's protocol stack (nil once retired or when
+// the driver rejected the scope).
+func (s *Session) Stack() *core.Stack { return s.stack }
+
+// Ctx returns the session's scoped send context: everything sent
+// through it crosses the wire inside a proto.Scoped envelope carrying
+// this session's scope.
+func (s *Session) Ctx() sim.Context { return s.ctx }
+
+// Retired reports whether the scope's stack was released.
+func (s *Session) Retired() bool { return s.retired }
+
+// Touch marks the session for the end-of-burst retirement check. The
+// node touches a session automatically when delivering to it; a driver
+// must Touch any *other* session it mutates during a callback (e.g.
+// proposing into a sibling scope), or that scope's retirement waits for
+// its next inbound traffic.
+func (s *Session) Touch() {
+	if s.touched || s.retired {
+		return
+	}
+	s.touched = true
+	s.n.touchedSessions = append(s.n.touchedSessions, s)
+}
+
+// scopedCtx wraps the node's runCtx so every send is wrapped in the
+// session's scope envelope. Batching and burst coalescing compose
+// underneath: envelopes from many scopes share one outbox group (they
+// all carry the proto.KindScoped kind) and leave as one batch frame.
+type scopedCtx struct {
+	scope uint64
+	rc    *runCtx
+}
+
+var _ sim.Context = (*scopedCtx)(nil)
+
+func (c *scopedCtx) N() int           { return c.rc.N() }
+func (c *scopedCtx) T() int           { return c.rc.T() }
+func (c *scopedCtx) Rand() *rand.Rand { return c.rc.Rand() }
+func (c *scopedCtx) Now() int64       { return c.rc.Now() }
+
+func (c *scopedCtx) Send(to sim.ProcID, p sim.Payload) {
+	m, ok := p.(proto.Marshaler)
+	if !ok {
+		n := c.rc.n
+		n.noteErr(fmt.Errorf("node %d: scope %d: payload %q is not wire-encodable", n.cfg.ID, c.scope, p.Kind()))
+		return
+	}
+	c.rc.Send(to, proto.Scoped{Scope: c.scope, Inner: m})
+}
+
+// OpenScope finds or creates the session for scope, driving the
+// ServiceDriver's Open/Opened on a miss. Delivery goroutine only —
+// drivers call it from callbacks, everyone else goes through Inject.
+func (n *Node) OpenScope(scope uint64) *Session {
+	if s, ok := n.sessions[scope]; ok {
+		return s
+	}
+	s := &Session{scope: scope, n: n, ctx: &scopedCtx{scope: scope, rc: n.runC}}
+	n.sessions[scope] = s
+	st := n.cfg.Service.Open(s)
+	if st == nil {
+		s.rejected = true
+		s.retired = true
+		return s
+	}
+	s.stack = st
+	st.Node.Init(s.ctx)
+	s.Touch()
+	n.cfg.Service.Opened(s)
+	return s
+}
+
+// Inject runs fn on the node's delivery goroutine, between bursts, with
+// a full outbox flush and retirement pass after it — the only safe way
+// into driver and session state from outside. It blocks until the loop
+// accepts fn (not until fn ran) and fails once the node stops. fn must
+// not call Inject (the loop runs one function at a time).
+func (n *Node) Inject(fn func()) error {
+	n.mu.Lock()
+	if n.state != stateRunning || n.injectC == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("node %d: not running", n.cfg.ID)
+	}
+	stop, inj := n.stop, n.injectC
+	n.mu.Unlock()
+	select {
+	case inj <- fn:
+		return nil
+	case <-stop:
+		return fmt.Errorf("node %d: stopped", n.cfg.ID)
+	}
+}
+
+// deliverScoped routes one decoded batch element (or single-frame
+// payload) in service mode: check the envelope, check the scope is
+// live, and only then pay for the inner decode.
+func (n *Node) deliverScoped(ctx *runCtx, from sim.ProcID, p sim.Payload) {
+	sc, ok := p.(proto.Scoped)
+	if !ok {
+		n.noteDecodeErr(fmt.Errorf("node %d: from %d: unscoped payload %q in service mode", n.cfg.ID, from, p.Kind()))
+		return
+	}
+	sess := n.sessions[sc.Scope]
+	if sess == nil {
+		sess = n.OpenScope(sc.Scope)
+	}
+	if sess.retired {
+		n.countLatePayload()
+		return
+	}
+	inner, err := n.codec.Decode(sc.Raw)
+	if err != nil {
+		n.noteDecodeErr(fmt.Errorf("node %d: from %d: scope %d: %w", n.cfg.ID, from, sc.Scope, err))
+		return
+	}
+	if _, nested := inner.(proto.Scoped); nested {
+		n.noteDecodeErr(fmt.Errorf("node %d: from %d: nested scope envelope in scope %d", n.cfg.ID, from, sc.Scope))
+		return
+	}
+	n.countRecvPayload(inner.Kind(), standaloneSize(sc))
+	sess.Touch()
+	sess.stack.Node.Deliver(sess.ctx, sim.Message{
+		From:    from,
+		To:      n.cfg.ID,
+		Payload: inner,
+		SentAt:  ctx.Now(),
+	})
+}
+
+// processScopeRetirements ends a service-mode burst: every session the
+// burst touched is offered to the driver for retirement. Retiring keeps
+// the Session as a tombstone (late traffic for the scope must still be
+// counted and dropped) but releases the stack.
+func (n *Node) processScopeRetirements() {
+	drv := n.cfg.Service
+	// Index loop: MayRetire may Touch further sessions (e.g. a completed
+	// composition touching its siblings), growing the slice mid-pass.
+	for i := 0; i < len(n.touchedSessions); i++ {
+		s := n.touchedSessions[i]
+		s.touched = false
+		if s.retired || s.stack == nil {
+			continue
+		}
+		if drv.MayRetire(s) {
+			s.stack.Retire()
+			s.stack = nil
+			s.retired = true
+		}
+	}
+	n.touchedSessions = n.touchedSessions[:0]
+}
+
+// ServiceCounts aggregates a service-mode node's session state.
+type ServiceCounts struct {
+	// Live and Retired count scopes ever opened this incarnation
+	// (rejected scopes count as Retired).
+	Live, Retired int
+	// State sums StateCounts over the live stacks — the number that must
+	// return to baseline when sessions retire.
+	State core.StateCounts
+}
+
+// ServiceCounts snapshots the session table. The snapshot runs on the
+// delivery goroutine (via Inject) so it is consistent with a burst
+// boundary; once the node stopped it reads directly. Returns false on a
+// non-service node.
+func (n *Node) ServiceCounts() (ServiceCounts, bool) {
+	if n.cfg.Service == nil {
+		return ServiceCounts{}, false
+	}
+	var out ServiceCounts
+	done := make(chan struct{})
+	if err := n.Inject(func() {
+		out = n.serviceCountsNow()
+		close(done)
+	}); err != nil {
+		// Not running: wait out the delivery goroutine, then read directly.
+		n.mu.Lock()
+		nd := n.done
+		n.mu.Unlock()
+		if nd != nil {
+			<-nd
+		}
+		return n.serviceCountsNow(), true
+	}
+	<-done
+	return out, true
+}
+
+// serviceCountsNow sums the session table (delivery goroutine, or
+// stopped node).
+func (n *Node) serviceCountsNow() ServiceCounts {
+	var out ServiceCounts
+	for _, s := range n.sessions {
+		if s.retired {
+			out.Retired++
+			continue
+		}
+		out.Live++
+		if s.stack != nil {
+			out.State.Add(s.stack.StateCounts())
+		}
+	}
+	return out
+}
+
+// countRecvFrameOnly records one inbound physical frame whose payloads
+// are counted individually (the service-mode path, where each envelope
+// is inspected before its inner payload exists).
+func (n *Node) countRecvFrameOnly(frameBytes int) {
+	n.smu.Lock()
+	n.recvF++
+	n.recvFB += int64(frameBytes)
+	n.smu.Unlock()
+}
+
+// countRecvPayload records one logical inbound payload under kind.
+func (n *Node) countRecvPayload(kind string, size int) {
+	n.smu.Lock()
+	n.recv++
+	n.recvB += int64(size)
+	id := n.kindIDLocked(kind)
+	n.recvByKind[id]++
+	n.recvBByKind[id] += int64(size)
+	n.recvGByKind[id]++
+	n.smu.Unlock()
+}
+
+// countLateFrame records a frame dropped whole because the node (single
+// mode) already retired. Late frames are not counted as received — they
+// were never processed — only as dropped.
+func (n *Node) countLateFrame() {
+	n.smu.Lock()
+	n.lateFrames++
+	n.smu.Unlock()
+}
+
+// countLatePayload records a scoped payload dropped because its scope
+// already retired (service mode).
+func (n *Node) countLatePayload() {
+	n.smu.Lock()
+	n.latePayloads++
+	n.smu.Unlock()
+}
+
+// countOversized records an outbound payload dropped for exceeding the
+// frame cap.
+func (n *Node) countOversized() {
+	n.smu.Lock()
+	n.oversizedDropped++
+	n.smu.Unlock()
+}

@@ -89,6 +89,11 @@ const (
 	// broadcasts that share one RB instance. Tag.A is a per-origin
 	// sequence number; Session/MW/Step are zero.
 	ProtoBundle uint8 = 8
+	// ProtoACS carries an ACS proposal broadcast (internal/acs): the RB
+	// value is the origin's proposal for the session named by Tag.A.
+	// Session/MW/Step are zero — session identity lives in the service
+	// scope, not the tag.
+	ProtoACS uint8 = 9
 )
 
 // Tag identifies one logical reliable-broadcast instance together with its

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"svssba"
+)
+
+// ServiceCheck boots an agreement-as-a-service cluster on the real node
+// runtime (chan transport), runs sessions concurrent submissions per
+// node, and evaluates the multi-session analogues of the matrix
+// invariants: agreement (every session's subset identical on every
+// node), validity (subsets carry at least n−t members, values intact),
+// and termination (the service quiesces and retires all per-session
+// state within the deadline). The cell id is synthetic — the check is
+// one deterministic-config cell of the service surface, replayable by
+// rerunning with the same arguments.
+func ServiceCheck(n int, seed int64, sessions int, deadline time.Duration) []Violation {
+	cell := fmt.Sprintf("service/n%d/s%d/seed%d", n, sessions, seed)
+	viol := func(invariant, format string, args ...any) Violation {
+		return Violation{Cell: cell, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	cl, err := svssba.StartService(svssba.ServiceConfig{
+		N: n, Seed: seed, Window: sessions,
+		DecisionBuffer: 16 * sessions * n,
+	})
+	if err != nil {
+		return []Violation{viol("termination", "start: %v", err)}
+	}
+	defer cl.Close()
+	for i := 1; i <= n; i++ {
+		for k := 0; k < sessions; k++ {
+			if err := cl.Node(i).Submit([]byte(fmt.Sprintf("n%d-v%d", i, k))); err != nil {
+				return []Violation{viol("termination", "node %d submit: %v", i, err)}
+			}
+		}
+	}
+
+	// Termination: queues drain, nothing stays in flight, completed
+	// counts converge.
+	limit := time.Now().Add(deadline)
+	var total int
+	for {
+		quiet := true
+		total = cl.Node(1).Completed()
+		for i := 1; i <= n; i++ {
+			nd := cl.Node(i)
+			if nd.QueueLen() != 0 || nd.InFlight() != 0 || nd.Completed() != total {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			break
+		}
+		if time.Now().After(limit) {
+			return []Violation{viol("termination", "service did not quiesce within %v", deadline)}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var out []Violation
+	// Each node drains `sessions` own values, one per joined session.
+	if total < sessions {
+		out = append(out, viol("termination", "completed %d sessions, want >= %d", total, sessions))
+	}
+
+	decs := make([]map[uint64]svssba.ServiceDecision, n+1)
+	for i := 1; i <= n; i++ {
+		decs[i] = make(map[uint64]svssba.ServiceDecision, total)
+		for len(decs[i]) < total {
+			select {
+			case d, ok := <-cl.Node(i).Decisions():
+				if !ok {
+					return append(out, viol("termination", "node %d: decision stream ended after %d/%d", i, len(decs[i]), total))
+				}
+				decs[i][d.Session] = d
+			case <-time.After(deadline):
+				return append(out, viol("termination", "node %d: %d/%d decisions before deadline", i, len(decs[i]), total))
+			}
+		}
+	}
+
+	// Agreement + validity, per session across nodes.
+	for sid, ref := range decs[1] {
+		if len(ref.Members) < n-cl.T() {
+			out = append(out, viol("validity", "session %d: subset %v smaller than n-t=%d", sid, ref.Members, n-cl.T()))
+		}
+		for i := 2; i <= n; i++ {
+			d, ok := decs[i][sid]
+			if !ok {
+				out = append(out, viol("agreement", "session %d missing on node %d", sid, i))
+				continue
+			}
+			if fmt.Sprint(d.Members) != fmt.Sprint(ref.Members) {
+				out = append(out, viol("agreement", "session %d: node %d members %v != node 1 members %v", sid, i, d.Members, ref.Members))
+				continue
+			}
+			for k := range ref.Values {
+				if !bytes.Equal(d.Values[k], ref.Values[k]) {
+					out = append(out, viol("agreement", "session %d member %d: node %d value differs from node 1", sid, ref.Members[k], i))
+				}
+			}
+		}
+	}
+
+	// Retirement: live scopes and protocol state back to zero everywhere.
+	limit = time.Now().Add(deadline)
+	for {
+		clean := true
+		for i := 1; i <= n; i++ {
+			c, ok := cl.Node(i).Counts()
+			if !ok {
+				return append(out, viol("termination", "node %d: not a service node", i))
+			}
+			if c.Live != 0 || c.State.Total() != 0 {
+				clean = false
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(limit) {
+			for i := 1; i <= n; i++ {
+				c, _ := cl.Node(i).Counts()
+				out = append(out, viol("termination", "node %d: state not retired: live=%d stateTotal=%d", i, c.Live, c.State.Total()))
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package svssba_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"svssba"
+	"svssba/internal/adversary"
+	"svssba/internal/core"
+)
+
+// TestServiceSessionIsolation is the session-isolation suite: two
+// concurrent ACS sessions share one node runtime, and node 4 runs a
+// CrossSessionEquivocator inside session 1's scopes only. The adversary
+// traffic must not perturb session 2 — its subset must be identical on
+// all four nodes and carry the submitter's value — while session 1
+// still completes with agreement among the honest nodes (t=1 tolerated).
+// Afterwards both sessions' state must retire to baseline on every node,
+// adversary scopes included.
+func TestServiceSessionIsolation(t *testing.T) {
+	cl, err := svssba.StartService(svssba.ServiceConfig{
+		N: 4, Seed: 11, Window: 2,
+		Tamper: func(id int, sid uint64, slot int, st *core.Stack) {
+			if id == 4 && sid == 1 {
+				adversary.Apply(st, adversary.CrossSessionEquivocator(5))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Only node 1 submits, so the session ids are deterministic: its pump
+	// opens sid 1 for v1 and sid 2 for v2; peers traffic-join with empty
+	// proposals and never open sessions of their own.
+	v1, v2 := []byte("tampered-session"), []byte("clean-session")
+	if err := cl.Node(1).Submit(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Node(1).Submit(v2); err != nil {
+		t.Fatal(err)
+	}
+
+	total := waitServiceQuiescent(t, cl)
+	if total != 2 {
+		t.Fatalf("completed %d sessions, want 2", total)
+	}
+	decs := collectDecisions(t, cl, total)
+
+	valueOf := func(d svssba.ServiceDecision, member int) ([]byte, bool) {
+		for k, m := range d.Members {
+			if m == member {
+				return d.Values[k], true
+			}
+		}
+		return nil, false
+	}
+
+	// Session 2 (clean): every node — the adversary included, since it is
+	// honest there — must report the identical subset with node 1's value.
+	clean, ok := decs[1][2]
+	if !ok {
+		t.Fatal("node 1: no decision for session 2")
+	}
+	if len(clean.Members) < cl.N()-cl.T() {
+		t.Fatalf("session 2: subset %v smaller than n-t=%d", clean.Members, cl.N()-cl.T())
+	}
+	if got, ok := valueOf(clean, 1); !ok || !bytes.Equal(got, v2) {
+		t.Fatalf("session 2: submitter's value %q not in subset (members %v)", v2, clean.Members)
+	}
+	for i := 2; i <= cl.N(); i++ {
+		d, ok := decs[i][2]
+		if !ok {
+			t.Fatalf("node %d: no decision for session 2", i)
+		}
+		if fmt.Sprint(d.Members) != fmt.Sprint(clean.Members) {
+			t.Fatalf("session 2: node %d members %v != node 1 members %v", i, d.Members, clean.Members)
+		}
+		for k := range clean.Values {
+			if !bytes.Equal(d.Values[k], clean.Values[k]) {
+				t.Fatalf("session 2 member %d: node %d value %q != node 1 value %q",
+					clean.Members[k], i, d.Values[k], clean.Values[k])
+			}
+		}
+	}
+
+	// Session 1 (tampered): agreement holds among the honest nodes 1-3.
+	ref, ok := decs[1][1]
+	if !ok {
+		t.Fatal("node 1: no decision for session 1")
+	}
+	if len(ref.Members) < cl.N()-cl.T() {
+		t.Fatalf("session 1: subset %v smaller than n-t=%d", ref.Members, cl.N()-cl.T())
+	}
+	for i := 2; i <= 3; i++ {
+		d, ok := decs[i][1]
+		if !ok {
+			t.Fatalf("node %d: no decision for session 1", i)
+		}
+		if fmt.Sprint(d.Members) != fmt.Sprint(ref.Members) {
+			t.Fatalf("session 1: node %d members %v != node 1 members %v", i, d.Members, ref.Members)
+		}
+		for k := range ref.Values {
+			if !bytes.Equal(d.Values[k], ref.Values[k]) {
+				t.Fatalf("session 1 member %d: node %d value %q != node 1 value %q",
+					ref.Members[k], i, d.Values[k], ref.Values[k])
+			}
+		}
+	}
+
+	waitServiceBaseline(t, cl)
+	// Honest nodes must see no runtime errors; the adversary's own node
+	// may (its corrupted frames are its peers' problem, not its own).
+	for i := 1; i <= 3; i++ {
+		if errs := cl.Node(i).Errs(); len(errs) > 0 {
+			t.Errorf("node %d: runtime errors: %v", i, errs[0])
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package svssba
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"svssba/internal/acs"
+	"svssba/internal/core"
+	"svssba/internal/node"
+	"svssba/internal/sim"
+	"svssba/internal/transport"
+)
+
+// ServiceConfig describes an agreement-as-a-service cluster: n
+// long-lived service nodes, each hosting any number of concurrent ACS
+// sessions (internal/acs) over one transport. Submit a value on any
+// node and every node eventually emits the session's decision — a
+// common subset of at least n−t proposals, identical across nodes.
+type ServiceConfig struct {
+	// N is the cluster size; T the resilience bound (defaults to
+	// floor((N-1)/3)).
+	N, T int
+	// Seed derives each node's local randomness.
+	Seed int64
+	// Transport selects the backend (default TransportChan).
+	Transport TransportKind
+	// BasePort, for TransportTCP, binds node i to 127.0.0.1:BasePort+i-1.
+	// Zero picks ephemeral ports.
+	BasePort int
+	// Batching turns on every node's coalescing outbox. A service wants
+	// it on — cross-session coalescing is where concurrent sessions
+	// amortize frames — so the default is on; set NoBatching to measure
+	// without it.
+	NoBatching bool
+	// Wire selects the wire variant for every scoped stack ("" = "v2").
+	Wire string
+	// Window bounds how many sessions each node initiates concurrently
+	// (default 8). Sessions joined on peer traffic bypass the window.
+	Window int
+	// DecisionBuffer bounds each node's decision queue handed to
+	// Decisions() consumers (default 1024; beyond it the oldest pending
+	// decisions are dropped — a service consumer that stops reading must
+	// not wedge the delivery goroutine).
+	DecisionBuffer int
+	// Tamper, when set, is installed on every node's driver — the hook
+	// adversarial tests use to plant misbehavior in selected scopes of
+	// selected nodes (node id is the first argument).
+	Tamper func(id int, sid uint64, slot int, st *core.Stack)
+}
+
+// ServiceDecision is one completed session as reported by one node.
+type ServiceDecision struct {
+	Session uint64
+	// Members are the proposer ids of the common subset (sorted);
+	// Values their proposals (parallel to Members).
+	Members []int
+	Values  [][]byte
+	// Elapsed is that node's local join-to-completion latency.
+	Elapsed time.Duration
+}
+
+// ServiceNode is one node of a service cluster.
+type ServiceNode struct {
+	id  int
+	nd  *node.Node
+	drv *acs.Driver
+
+	mu      sync.Mutex
+	pending []ServiceDecision
+	dropped int
+	notify  chan struct{}
+	out     chan ServiceDecision
+	stopped chan struct{}
+	bufCap  int
+}
+
+// ServiceCluster is a running agreement service.
+type ServiceCluster struct {
+	cfg   ServiceConfig
+	nodes []*ServiceNode
+	once  sync.Once
+}
+
+func (c *ServiceConfig) normalize() error {
+	if c.N < 2 {
+		return fmt.Errorf("svssba: need at least 2 processes, have %d", c.N)
+	}
+	if c.T == 0 {
+		c.T = (c.N - 1) / 3
+	}
+	if c.Transport == "" {
+		c.Transport = TransportChan
+	}
+	if c.Transport != TransportChan && c.Transport != TransportTCP {
+		return fmt.Errorf("svssba: unknown transport %q", c.Transport)
+	}
+	switch c.Wire {
+	case "":
+		c.Wire = "v2"
+	case "v1", "v2":
+	default:
+		return fmt.Errorf("svssba: unknown wire variant %q", c.Wire)
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.DecisionBuffer <= 0 {
+		c.DecisionBuffer = 1024
+	}
+	return nil
+}
+
+// StartService boots an agreement-as-a-service cluster. Close it when
+// done.
+func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+
+	// Bring up the transport fabric (same shape as RunCluster: listeners
+	// and endpoints up before any node boots).
+	trs := make([]transport.Transport, cfg.N+1)
+	switch cfg.Transport {
+	case TransportTCP:
+		tcps := make([]*transport.TCP, cfg.N+1)
+		addrs := make(map[sim.ProcID]string, cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			listen := "127.0.0.1:0"
+			if cfg.BasePort != 0 {
+				listen = fmt.Sprintf("127.0.0.1:%d", cfg.BasePort+i-1)
+			}
+			tcps[i] = transport.NewTCP(sim.ProcID(i), listen, nil)
+			if err := tcps[i].Start(); err != nil {
+				for j := 1; j < i; j++ {
+					tcps[j].Close()
+				}
+				return nil, err
+			}
+			addrs[sim.ProcID(i)] = tcps[i].Addr()
+		}
+		for i := 1; i <= cfg.N; i++ {
+			tcps[i].SetPeers(addrs)
+			trs[i] = tcps[i]
+		}
+	default:
+		mesh := transport.NewMesh(cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			ep, err := mesh.Endpoint(sim.ProcID(i))
+			if err != nil {
+				return nil, err
+			}
+			if err := ep.Start(); err != nil {
+				return nil, err
+			}
+			trs[i] = ep
+		}
+	}
+
+	cl := &ServiceCluster{cfg: cfg, nodes: make([]*ServiceNode, cfg.N+1)}
+	codec := core.NewCodec()
+	for i := 1; i <= cfg.N; i++ {
+		sn := &ServiceNode{
+			id:      i,
+			notify:  make(chan struct{}, 1),
+			out:     make(chan ServiceDecision, 64),
+			stopped: make(chan struct{}),
+			bufCap:  cfg.DecisionBuffer,
+		}
+		id := i
+		acfg := acs.Config{
+			N:        cfg.N,
+			T:        cfg.T,
+			Self:     sim.ProcID(i),
+			Wire:     cfg.Wire,
+			Window:   cfg.Window,
+			OnDecide: sn.push,
+		}
+		if cfg.Tamper != nil {
+			acfg.Tamper = func(sid uint64, slot int, st *core.Stack) {
+				cfg.Tamper(id, sid, slot, st)
+			}
+		}
+		drv, err := acs.New(acfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		nd, err := node.New(node.Config{
+			ID:       sim.ProcID(i),
+			N:        cfg.N,
+			T:        cfg.T,
+			Seed:     nodeSeed(cfg.Seed, i),
+			Codec:    codec,
+			Batching: !cfg.NoBatching,
+			Service:  drv,
+		}, trs[i])
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		drv.Bind(nd)
+		sn.nd, sn.drv = nd, drv
+		cl.nodes[i] = sn
+		if err := nd.Start(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		go sn.pumpDecisions()
+	}
+	return cl, nil
+}
+
+// N returns the cluster size.
+func (c *ServiceCluster) N() int { return c.cfg.N }
+
+// T returns the resilience bound.
+func (c *ServiceCluster) T() int { return c.cfg.T }
+
+// Node returns node i (1..N).
+func (c *ServiceCluster) Node(i int) *ServiceNode { return c.nodes[i] }
+
+// Close stops every node and ends the decision streams.
+func (c *ServiceCluster) Close() {
+	c.once.Do(func() {
+		for _, sn := range c.nodes {
+			if sn == nil {
+				continue
+			}
+			sn.nd.Stop()
+			close(sn.stopped)
+		}
+	})
+}
+
+// ID returns the node's process id.
+func (n *ServiceNode) ID() int { return n.id }
+
+// Submit queues value as this node's proposal for a future session.
+// Every submitted value eventually rides some session's proposal slot
+// for this node (the Window paces how many at once).
+func (n *ServiceNode) Submit(value []byte) error { return n.drv.Submit(value) }
+
+// Decisions streams completed sessions as this node observes them. The
+// channel closes when the cluster closes.
+func (n *ServiceNode) Decisions() <-chan ServiceDecision { return n.out }
+
+// Completed returns how many sessions this node completed.
+func (n *ServiceNode) Completed() int { return n.drv.Completed() }
+
+// InFlight returns this node's joined, not-yet-completed session count.
+func (n *ServiceNode) InFlight() int { return n.drv.InFlight() }
+
+// MaxInFlight returns this node's high-water concurrent session count.
+func (n *ServiceNode) MaxInFlight() int { return n.drv.MaxInFlight() }
+
+// QueueLen returns submitted values not yet attached to a session.
+func (n *ServiceNode) QueueLen() int { return n.drv.QueueLen() }
+
+// Counts snapshots the node's session table: live/retired scopes and
+// the protocol-state sum over live stacks.
+func (n *ServiceNode) Counts() (node.ServiceCounts, bool) { return n.nd.ServiceCounts() }
+
+// Stats returns the node's traffic stats in the cluster report shape.
+func (n *ServiceNode) Stats() ClusterNodeStats { return clusterNodeStats(n.id, n.nd, false, false) }
+
+// Errs returns the node's decode and transport errors so far.
+func (n *ServiceNode) Errs() []error { return n.nd.Errs() }
+
+// DroppedDecisions returns how many decisions were discarded because
+// the consumer fell more than DecisionBuffer behind.
+func (n *ServiceNode) DroppedDecisions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// push runs on the node's delivery goroutine: queue the decision and
+// signal the pump without ever blocking.
+func (n *ServiceNode) push(d acs.Decision) {
+	sd := ServiceDecision{Session: d.Session, Values: d.Values, Elapsed: d.Elapsed}
+	for _, m := range d.Members {
+		sd.Members = append(sd.Members, int(m))
+	}
+	n.mu.Lock()
+	if len(n.pending) >= n.bufCap {
+		n.pending = n.pending[1:]
+		n.dropped++
+	}
+	n.pending = append(n.pending, sd)
+	n.mu.Unlock()
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pumpDecisions moves queued decisions onto the consumer channel off
+// the delivery goroutine.
+func (n *ServiceNode) pumpDecisions() {
+	defer close(n.out)
+	for {
+		select {
+		case <-n.notify:
+		case <-n.stopped:
+			// Drain what's already queued, then end the stream.
+			n.mu.Lock()
+			batch := n.pending
+			n.pending = nil
+			n.mu.Unlock()
+			for _, d := range batch {
+				select {
+				case n.out <- d:
+				default:
+					return
+				}
+			}
+			return
+		}
+		for {
+			n.mu.Lock()
+			if len(n.pending) == 0 {
+				n.mu.Unlock()
+				break
+			}
+			d := n.pending[0]
+			n.pending = n.pending[1:]
+			n.mu.Unlock()
+			select {
+			case n.out <- d:
+			case <-n.stopped:
+				return
+			}
+		}
+	}
+}
