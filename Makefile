@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke service-check
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke service-check obs-smoke soak
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,19 @@ loadgen-smoke:
 # agreement/validity/termination per session across the service nodes.
 service-check:
 	$(GO) run ./cmd/scenario -service
+
+# obs-smoke exercises the observability layer end to end: a short
+# loadgen with the HTTP introspection endpoint up, /metrics curled and
+# validated mid-run, /trace spot-checked, and the final report asserted
+# (CI runs the same script).
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+# soak is the watchdog run: sustained service traffic with throughput
+# flatness, protocol-state boundedness and per-session budgets asserted;
+# exits nonzero on violation. Tune -duration up for real soaks.
+soak:
+	$(GO) run ./cmd/loadgen -n 4 -duration 5m -soak -report 30s -maxlat 2m
 
 # fuzz-batch fuzzes the batch-frame decode surface for a short, fixed
 # duration (CI runs the same leg).

@@ -8,6 +8,7 @@ import (
 
 	"svssba/internal/core"
 	"svssba/internal/node"
+	"svssba/internal/obs"
 	"svssba/internal/sim"
 	"svssba/internal/transport"
 )
@@ -69,6 +70,13 @@ type ClusterConfig struct {
 	Wire string
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
+	// Metrics, when set, registers every node's instruments on the
+	// registry (under "node<i>." prefixes — see node.Config.Metrics).
+	Metrics *obs.Registry
+	// TraceCap, when positive, attaches a protocol round tracer of that
+	// capacity to every node; the tracers come back in
+	// ClusterResult.Traces.
+	TraceCap int
 }
 
 // ClusterLayerStats aggregates one node's traffic for one protocol
@@ -132,6 +140,9 @@ type ClusterResult struct {
 	Elapsed time.Duration
 	// Nodes holds per-node stats, ordered by id.
 	Nodes []ClusterNodeStats
+	// Traces holds each node's protocol round tracer, ordered by id
+	// (nil unless ClusterConfig.TraceCap was set).
+	Traces []*obs.Tracer
 }
 
 func (c *ClusterConfig) normalize() error {
@@ -280,7 +291,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	// Build and boot the nodes.
 	codec := core.NewCodec()
 	nodes := make([]*node.Node, cfg.N+1)
+	var tracers []*obs.Tracer
 	for i := 1; i <= cfg.N; i++ {
+		var tracer *obs.Tracer
+		if cfg.TraceCap > 0 {
+			tracer = obs.NewTracer(i, cfg.TraceCap)
+			tracers = append(tracers, tracer)
+		}
 		nd, err := node.New(node.Config{
 			ID:       sim.ProcID(i),
 			N:        cfg.N,
@@ -290,6 +307,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			Codec:    codec,
 			Batching: cfg.Batching,
 			Wire:     cfg.Wire,
+			Metrics:  cfg.Metrics,
+			Trace:    tracer,
 		}, trs[i])
 		if err != nil {
 			return nil, err
@@ -357,6 +376,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		Honest:    honest,
 		Agreed:    true,
 		Elapsed:   elapsed,
+		Traces:    tracers,
 	}
 	for i := 1; i <= cfg.N; i++ {
 		if v, ok := nodes[i].Decision(); ok {
@@ -383,15 +403,15 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeStats {
 	st := nd.Stats()
 	out := ClusterNodeStats{
-		ID:             id,
-		Crashed:        crashed,
-		Dropper:        dropper,
-		Sent:           st.Sent,
-		SentBytes:      st.SentBytes,
-		Recv:           st.Recv,
-		RecvBytes:      st.RecvBytes,
-		SentFrames:     st.SentFrames,
-		SentFrameBytes: st.SentFrameBytes,
+		ID:                  id,
+		Crashed:             crashed,
+		Dropper:             dropper,
+		Sent:                st.Sent,
+		SentBytes:           st.SentBytes,
+		Recv:                st.Recv,
+		RecvBytes:           st.RecvBytes,
+		SentFrames:          st.SentFrames,
+		SentFrameBytes:      st.SentFrameBytes,
 		RecvFrames:          st.RecvFrames,
 		RecvFrameBytes:      st.RecvFrameBytes,
 		OversizedDropped:    st.OversizedDropped,
@@ -497,6 +517,14 @@ type SpecNodeResult struct {
 // slower peers can finish (processes in a real deployment do not halt
 // the moment they decide).
 func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*SpecNodeResult, error) {
+	return RunSpecNodeObs(spec, id, timeout, linger, nil, nil)
+}
+
+// RunSpecNodeObs is RunSpecNode with observability attached: reg (may
+// be nil) receives the node's instruments, tracer (may be nil) records
+// its protocol round events. Both can be served live with obs.Serve
+// while the run is in flight.
+func RunSpecNodeObs(spec ClusterSpec, id int, timeout, linger time.Duration, reg *obs.Registry, tracer *obs.Tracer) (*SpecNodeResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -532,6 +560,8 @@ func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*Spec
 		Input:    input,
 		Batching: spec.Batching,
 		Wire:     spec.Wire,
+		Metrics:  reg,
+		Trace:    tracer,
 	}, tr)
 	if err != nil {
 		return nil, err
@@ -566,8 +596,8 @@ func RunSpecNode(spec ClusterSpec, id int, timeout, linger time.Duration) (*Spec
 // count — every honest node sees every coin round); the created counts
 // sum each layer's instances across the nodes.
 type ClusterComplexity struct {
-	Deliveries uint64
-	CoinRounds uint64
+	Deliveries                                    uint64
+	CoinRounds                                    uint64
 	RBCreated, WRBCreated, MWCreated, SVSSCreated uint64
 }
 

@@ -9,6 +9,7 @@
 //	cluster -n 4 -crash 1
 //	cluster -n 7 -crash 1 -droppers 1 -drop 0.3 -delay 2ms
 //	cluster -n 4 -transport chan -seed 7 -v
+//	cluster -n 4 -http 127.0.0.1:8780 -tracefile trace.jsonl
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"svssba"
+	"svssba/internal/obs"
 )
 
 func main() {
@@ -47,8 +49,15 @@ func run() error {
 		timeout    = flag.Duration("timeout", 60*time.Second, "run deadline")
 		inputsArg  = flag.String("inputs", "", "comma-separated binary inputs (default alternating)")
 		verbose    = flag.Bool("v", false, "print per-node stats lines")
+
+		httpAddr  = flag.String("http", "", "serve live /metrics and /debug/pprof on this address during the run")
+		traceCap  = flag.Int("trace", 0, "per-node protocol round tracer capacity (0 = off; -tracefile defaults to 4096)")
+		traceFile = flag.String("tracefile", "", "write all nodes' round traces as JSONL to this file at exit")
 	)
 	flag.Parse()
+	if *traceCap == 0 && *traceFile != "" {
+		*traceCap = 4096
+	}
 
 	cfg := svssba.ClusterConfig{
 		N:          *n,
@@ -62,6 +71,16 @@ func run() error {
 		Batching:   *batch,
 		Wire:       *wire,
 		Timeout:    *timeout,
+		TraceCap:   *traceCap,
+	}
+	if *httpAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAddr, cfg.Metrics)
+		if err != nil {
+			return fmt.Errorf("http endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cluster: observability endpoint on http://%s\n", srv.Addr())
 	}
 	// Fault ids are carved off the top of the id range: crashes take the
 	// last -crash ids, droppers the ids just below them.
@@ -162,6 +181,18 @@ func run() error {
 			frames, fbytes, plds, 100*(1-float64(frames)/float64(plds)))
 	}
 
+	// Shedding counters over the honest nodes: frames/payloads that
+	// arrived for already-settled state and were dropped at the door, and
+	// frames rejected by the size guard.
+	var lateFrames, latePlds, oversized int64
+	for _, nd := range honestStats {
+		lateFrames += nd.DroppedLateFrames
+		latePlds += nd.DroppedLatePayloads
+		oversized += nd.OversizedDropped
+	}
+	fmt.Printf("drops         late frames=%d late payloads=%d oversized=%d\n",
+		lateFrames, latePlds, oversized)
+
 	// Message-complexity report: logical deliveries normalized by the
 	// protocol's unit counts over the honest nodes.
 	cx := svssba.Complexity(honestStats)
@@ -194,6 +225,23 @@ func run() error {
 			fmt.Printf("node %-3d %-8s decision=%-2s sent=%d plds / %d frames (%d B) recv=%d plds / %d frames (%d B)\n",
 				nd.ID, status, decision, nd.Sent, nd.SentFrames, nd.SentFrameBytes, nd.Recv, nd.RecvFrames, nd.RecvFrameBytes)
 		}
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		for _, tr := range res.Traces {
+			if err := tr.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cluster: wrote round traces to %s\n", *traceFile)
 	}
 
 	if !res.Agreed {

@@ -4,16 +4,27 @@
 // drains to quiescence and verifies the service contract — every
 // session's common subset identical on every node with at least n−t
 // members, and all per-session protocol state retired back to zero.
-// It reports decisions/sec and p50/p95/p99 session latency, the repo's
-// first throughput (not single-run wall-clock) metrics.
+// It reports decisions/sec, p50/p95/p99 session latency and the
+// coin-rounds-per-session distribution (the luck number behind the
+// latency tail).
+//
+// Observability: -http serves live metric snapshots, protocol round
+// traces and pprof; -report prints a periodic one-line status;
+// -trace/-tracefile capture per-node round traces to JSONL.
+//
+// Soak mode (-soak) arms the watchdog: the run is sampled every
+// -soakinterval, and the process exits nonzero if throughput sags below
+// -flatness of its first-half rate, protocol state grows without bound
+// (or past -statebudget), or any session exceeds -maxlat / -maxcoin.
 //
 // Examples:
 //
 //	loadgen -n 4 -duration 30s
 //	loadgen -n 4 -window 20 -minpeak 20 -duration 60s -json
-//	loadgen -n 4 -transport tcp -bytes 256 -duration 30s
+//	loadgen -n 4 -http 127.0.0.1:8780 -report 5s -duration 60s
+//	loadgen -n 4 -soak -duration 10m -maxlat 2m
 //
-// The process exits nonzero if any contract check fails.
+// The process exits nonzero if any contract or watchdog check fails.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"time"
 
 	"svssba"
+	"svssba/internal/obs"
 )
 
 func main() {
@@ -56,6 +68,16 @@ type report struct {
 	MaxInFlight  []int   `json:"max_in_flight_per_node"`
 	PeakSessions int     `json:"peak_concurrent_sessions"`
 
+	// Coin-rounds-per-session distribution, node-1 view (every honest
+	// node observes each agreement's flips; the per-node numbers agree
+	// up to scheduling). The histogram is the fixed-bucket snapshot fed
+	// by every node's decisions, so it is the cross-node view.
+	CoinMean float64                `json:"coin_rounds_mean"`
+	CoinMax  uint64                 `json:"coin_rounds_max"`
+	CoinP50  float64                `json:"coin_rounds_p50"`
+	CoinP95  float64                `json:"coin_rounds_p95"`
+	CoinHist *obs.HistogramSnapshot `json:"coin_rounds_hist,omitempty"`
+
 	SentFrames int64 `json:"sent_frames"`
 	SentBytes  int64 `json:"sent_frame_bytes"`
 	RecvFrames int64 `json:"recv_frames"`
@@ -67,6 +89,28 @@ type report struct {
 
 	BaselineOK bool `json:"baseline_ok"`
 	SubsetsOK  bool `json:"subsets_ok"`
+
+	Soak *soakReport `json:"soak,omitempty"`
+}
+
+// soakReport is the watchdog's verdict (-soak).
+type soakReport struct {
+	Samples        int     `json:"samples"`
+	RateFirstHalf  float64 `json:"rate_first_half"`
+	RateSecondHalf float64 `json:"rate_second_half"`
+	FlatnessOK     bool    `json:"flatness_ok"`
+	StateMax       int     `json:"state_max"`
+	BoundedOK      bool    `json:"bounded_ok"`
+	// Per-session budget violations (0 when the budget flag is unset).
+	LatencyViolations int `json:"latency_violations"`
+	CoinViolations    int `json:"coin_violations"`
+}
+
+// soakSample is one watchdog observation during the submission phase.
+type soakSample struct {
+	at        time.Time
+	decisions int
+	state     int
 }
 
 func run() error {
@@ -84,9 +128,29 @@ func run() error {
 		minRate    = flag.Float64("minrate", 0, "fail unless decisions/sec exceeds this")
 		asJSON     = flag.Bool("json", false, "emit the JSON report instead of the text summary")
 		verbose    = flag.Bool("v", false, "print per-node stats lines")
+
+		httpAddr  = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address")
+		reportInt = flag.Duration("report", 0, "periodic one-line status interval (0 = off; -soak defaults to the soak interval)")
+		traceCap  = flag.Int("trace", 0, "per-node protocol round tracer capacity (0 = off; -http and -tracefile default to 4096)")
+		traceFile = flag.String("tracefile", "", "write all nodes' round traces as JSONL to this file at exit")
+
+		soak     = flag.Bool("soak", false, "arm the soak watchdog (flatness, boundedness, per-session budgets)")
+		soakInt  = flag.Duration("soakinterval", 5*time.Second, "watchdog sampling interval")
+		maxLat   = flag.Duration("maxlat", 0, "flag sessions slower than this (0 = off)")
+		maxCoin  = flag.Uint64("maxcoin", 0, "flag sessions with more coin rounds than this (0 = off)")
+		stateCap = flag.Int("statebudget", 0, "hard cap on summed live protocol state (0 = relative-growth check)")
+		flatness = flag.Float64("flatness", 0.5, "fail if second-half decisions/sec falls below this fraction of first-half")
 	)
 	flag.Parse()
 
+	if *traceCap == 0 && (*httpAddr != "" || *traceFile != "") {
+		*traceCap = 4096
+	}
+	if *soak && *reportInt == 0 {
+		*reportInt = *soakInt
+	}
+
+	reg := obs.NewRegistry()
 	cl, err := svssba.StartService(svssba.ServiceConfig{
 		N:         *n,
 		T:         *t,
@@ -97,11 +161,46 @@ func run() error {
 		// The verifier must see every decision; size the queue so the
 		// collector goroutines never race the drop-oldest bound.
 		DecisionBuffer: 1 << 20,
+		Metrics:        reg,
+		TraceCap:       *traceCap,
 	})
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, reg, cl.Tracers()...)
+		if err != nil {
+			return fmt.Errorf("http endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: observability endpoint on http://%s\n", srv.Addr())
+	}
+	if *reportInt > 0 {
+		var meter obs.Meter
+		rep := obs.StartReporter(os.Stderr, *reportInt, func() string {
+			s := reg.Snapshot()
+			dec := s.Counters["service.decisions"]
+			rate := meter.Tick(dec)
+			lat := s.Histograms["service.session_latency_ms"]
+			coin := s.Histograms["service.session_coin_rounds"]
+			var scopes, queue int64
+			for name, v := range s.Gauges {
+				if matchSuffix(name, ".scopes_live") {
+					scopes += v
+				}
+				if matchSuffix(name, ".queue_depth") {
+					queue += v
+				}
+			}
+			return fmt.Sprintf("dec=%d (%.1f/s) lat(ms) p50/p95/p99=%.0f/%.0f/%.0f coin p50/p95=%.0f/%.0f scopes=%d queue=%d",
+				dec, rate,
+				lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99),
+				coin.Quantile(0.50), coin.Quantile(0.95), scopes, queue)
+		})
+		defer rep.Stop()
+	}
 
 	// Collect every node's decision stream concurrently.
 	var (
@@ -122,6 +221,41 @@ func run() error {
 				mu.Unlock()
 			}
 		}(i)
+	}
+
+	// Soak watchdog sampler: decisions and summed live protocol state at
+	// a fixed cadence through the submission phase.
+	var (
+		samples    []soakSample
+		samplerWG  sync.WaitGroup
+		samplerEnd chan struct{}
+	)
+	if *soak {
+		samplerEnd = make(chan struct{})
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(*soakInt)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerEnd:
+					return
+				case at := <-tick.C:
+					state := 0
+					for i := 1; i <= *n; i++ {
+						if c, ok := cl.Node(i).Counts(); ok {
+							state += c.State.Total()
+						}
+					}
+					samples = append(samples, soakSample{
+						at:        at,
+						decisions: cl.Node(1).Completed(),
+						state:     state,
+					})
+				}
+			}
+		}()
 	}
 
 	// Submission phase: keep every node's window topped up with fresh
@@ -146,6 +280,10 @@ func run() error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	submitted := time.Since(start)
+	if *soak {
+		close(samplerEnd)
+		samplerWG.Wait()
+	}
 
 	// Drain phase: queues empty, nothing in flight, every node converged
 	// on the same completed count.
@@ -206,6 +344,22 @@ func run() error {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		for _, tr := range cl.Tracers() {
+			if err := tr.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	// Let the collectors finish, then verify the cross-node contract.
 	cl.Close()
 	wg.Wait()
@@ -257,6 +411,24 @@ func run() error {
 	}
 	rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
 
+	// Coin-rounds-per-session: node-1 mean/max plus the registry's
+	// cross-node fixed-bucket histogram (fed by every node's push path).
+	var coinSum uint64
+	for _, d := range decs[1] {
+		coinSum += d.CoinRounds
+		if d.CoinRounds > rep.CoinMax {
+			rep.CoinMax = d.CoinRounds
+		}
+	}
+	if len(decs[1]) > 0 {
+		rep.CoinMean = float64(coinSum) / float64(len(decs[1]))
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["service.session_coin_rounds"]; ok && h.Count > 0 {
+		rep.CoinP50, rep.CoinP95 = h.Quantile(0.50), h.Quantile(0.95)
+		rep.CoinHist = &h
+	}
+
 	for i := 1; i <= *n; i++ {
 		nd := cl.Node(i)
 		peak := nd.MaxInFlight()
@@ -281,6 +453,34 @@ func run() error {
 		}
 	}
 
+	// Soak verdict.
+	var soakErr error
+	if *soak {
+		sr := evalSoak(samples, *flatness, *stateCap)
+		for _, d := range decs[1] {
+			if *maxLat > 0 && d.Elapsed > *maxLat {
+				sr.LatencyViolations++
+				fmt.Fprintf(os.Stderr, "  soak: session %d latency %v exceeds budget %v\n", d.Session, d.Elapsed.Round(time.Millisecond), *maxLat)
+			}
+			if *maxCoin > 0 && d.CoinRounds > *maxCoin {
+				sr.CoinViolations++
+				fmt.Fprintf(os.Stderr, "  soak: session %d coin rounds %d exceed budget %d\n", d.Session, d.CoinRounds, *maxCoin)
+			}
+		}
+		rep.Soak = &sr
+		switch {
+		case !sr.FlatnessOK:
+			soakErr = fmt.Errorf("soak: throughput sagged: second-half %.2f/s < %.2f × first-half %.2f/s",
+				sr.RateSecondHalf, *flatness, sr.RateFirstHalf)
+		case !sr.BoundedOK:
+			soakErr = fmt.Errorf("soak: protocol state not bounded (max %d live instances)", sr.StateMax)
+		case sr.LatencyViolations > 0:
+			soakErr = fmt.Errorf("soak: %d sessions over the %v latency budget", sr.LatencyViolations, *maxLat)
+		case sr.CoinViolations > 0:
+			soakErr = fmt.Errorf("soak: %d sessions over the %d coin-round budget", sr.CoinViolations, *maxCoin)
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -294,8 +494,15 @@ func run() error {
 			rep.Sessions, rep.DurationSecs, rep.DrainSecs, rep.DecisionsSec)
 		fmt.Printf("  latency p50=%.0fms p95=%.0fms p99=%.0fms; peak concurrent sessions=%d\n",
 			rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.PeakSessions)
+		fmt.Printf("  coin rounds/session mean=%.1f p50=%.0f p95=%.0f max=%d\n",
+			rep.CoinMean, rep.CoinP50, rep.CoinP95, rep.CoinMax)
 		fmt.Printf("  frames sent=%d (%.1f MiB) recv=%d; late payloads dropped=%d\n",
 			rep.SentFrames, float64(rep.SentBytes)/(1<<20), rep.RecvFrames, rep.LatePayloadsDropped)
+		if rep.Soak != nil {
+			fmt.Printf("  soak: samples=%d rate %.2f/s → %.2f/s stateMax=%d latViol=%d coinViol=%d\n",
+				rep.Soak.Samples, rep.Soak.RateFirstHalf, rep.Soak.RateSecondHalf,
+				rep.Soak.StateMax, rep.Soak.LatencyViolations, rep.Soak.CoinViolations)
+		}
 	}
 
 	if !rep.SubsetsOK {
@@ -313,5 +520,82 @@ func run() error {
 	if *minPeak > 0 && rep.PeakSessions < *minPeak {
 		return fmt.Errorf("peak concurrent sessions %d below required %d", rep.PeakSessions, *minPeak)
 	}
-	return nil
+	return soakErr
+}
+
+// evalSoak turns the sampler's observations into the watchdog verdict.
+// Throughput flatness: per-interval decision deltas, warmup dropped,
+// second-half mean must stay above flatness × first-half mean. State
+// boundedness: hard cap when stateCap > 0, else the median of the last
+// third must stay under 2× the median of the first third plus slack
+// (live state legitimately fluctuates with the session window). Short
+// runs (under 6 samples) pass vacuously — the watchdog needs a curve.
+func evalSoak(samples []soakSample, flatness float64, stateCap int) soakReport {
+	sr := soakReport{Samples: len(samples), FlatnessOK: true, BoundedOK: true}
+	for _, s := range samples {
+		if s.state > sr.StateMax {
+			sr.StateMax = s.state
+		}
+	}
+	if stateCap > 0 && sr.StateMax > stateCap {
+		sr.BoundedOK = false
+	}
+	if len(samples) < 6 {
+		return sr
+	}
+
+	// Flatness over per-interval decision deltas (skip the first delta:
+	// session startup makes it unrepresentative).
+	deltas := make([]float64, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].at.Sub(samples[i-1].at).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		deltas = append(deltas, float64(samples[i].decisions-samples[i-1].decisions)/dt)
+	}
+	if len(deltas) >= 4 {
+		deltas = deltas[1:]
+		half := len(deltas) / 2
+		mean := func(xs []float64) float64 {
+			var s float64
+			for _, x := range xs {
+				s += x
+			}
+			return s / float64(len(xs))
+		}
+		sr.RateFirstHalf = mean(deltas[:half])
+		sr.RateSecondHalf = mean(deltas[half:])
+		if sr.RateFirstHalf > 0 && sr.RateSecondHalf < flatness*sr.RateFirstHalf {
+			sr.FlatnessOK = false
+		}
+	}
+
+	// Relative boundedness when no hard cap was given.
+	if stateCap <= 0 {
+		third := len(samples) / 3
+		if third >= 2 {
+			first := medianState(samples[:third])
+			last := medianState(samples[len(samples)-third:])
+			if last > 2*first+64 {
+				sr.BoundedOK = false
+			}
+		}
+	}
+	return sr
+}
+
+func medianState(samples []soakSample) int {
+	states := make([]int, len(samples))
+	for i, s := range samples {
+		states[i] = s.state
+	}
+	sort.Ints(states)
+	return states[len(states)/2]
+}
+
+// matchSuffix reports whether name ends with suffix (tiny helper so the
+// reporter can sum per-node gauges without regexp).
+func matchSuffix(name, suffix string) bool {
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
 }

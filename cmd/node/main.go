@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"svssba"
+	"svssba/internal/obs"
 )
 
 func main() {
@@ -40,6 +41,10 @@ func run() error {
 		id       = flag.Int("id", 0, "this node's id in the spec")
 		timeout  = flag.Duration("timeout", 60*time.Second, "decision deadline")
 		linger   = flag.Duration("linger", 2*time.Second, "keep serving peers this long after deciding")
+
+		httpAddr  = flag.String("http", "", "serve live /metrics, /trace and /debug/pprof on this address during the run")
+		traceCap  = flag.Int("trace", 0, "protocol round tracer capacity (0 = off; -http and -tracefile default to 4096)")
+		traceFile = flag.String("tracefile", "", "write this node's round trace as JSONL to this file at exit")
 
 		gen      = flag.Bool("gen", false, "generate a localhost spec to stdout instead of running")
 		n        = flag.Int("n", 4, "(with -gen) number of nodes")
@@ -70,10 +75,43 @@ func run() error {
 		return fmt.Errorf("parse %s: %v", *specPath, err)
 	}
 
+	if *traceCap == 0 && (*httpAddr != "" || *traceFile != "") {
+		*traceCap = 4096
+	}
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *traceCap > 0 {
+		tracer = obs.NewTracer(*id, *traceCap)
+	}
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAddr, reg, tracer)
+		if err != nil {
+			return fmt.Errorf("http endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "node %d: observability endpoint on http://%s\n", *id, srv.Addr())
+	}
+
 	fmt.Printf("node %d of %d starting (spec %s, timeout %v)\n", *id, spec.N, *specPath, *timeout)
-	res, err := svssba.RunSpecNode(spec, *id, *timeout, *linger)
+	res, err := svssba.RunSpecNodeObs(spec, *id, *timeout, *linger, reg, tracer)
 	if err != nil {
 		return err
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("decision      %d\n", res.Decision)
 	fmt.Printf("elapsed       %v\n", res.Elapsed.Round(time.Millisecond))

@@ -186,6 +186,10 @@ type Engine struct {
 	decSeen  intern.ProcSet // senders with a recorded DECIDE
 	decOne   intern.ProcSet // subset that decided 1
 	halted   bool
+
+	// onRound observes round entry (tracing). Observation-only: it must
+	// not send, and it runs after the round state is installed.
+	onRound func(r uint64)
 }
 
 // New returns an agreement engine. Coin outputs must be routed into
@@ -248,10 +252,18 @@ func (e *Engine) Propose(ctx sim.Context, value int) error {
 	return nil
 }
 
+// OnRound registers an observer called each time the engine enters a
+// round (nil to clear). Tracing only — the observer must not feed back
+// into the protocol.
+func (e *Engine) OnRound(fn func(r uint64)) { e.onRound = fn }
+
 func (e *Engine) enter(ctx sim.Context, r uint64) {
 	e.current = r
 	rd := e.round(r)
 	rd.entered = true
+	if e.onRound != nil {
+		e.onRound(r)
+	}
 	e.sendBVal(ctx, rd, e.est)
 	e.advance(ctx, rd)
 }

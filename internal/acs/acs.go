@@ -75,6 +75,11 @@ type Decision struct {
 	// Elapsed is the local time from joining the session to completing
 	// it.
 	Elapsed time.Duration
+	// CoinRounds is the total number of common-coin flips this process
+	// observed across the session's n agreements — the coin-round-luck
+	// number behind the latency tail (the paper's expected-O(n²)-rounds
+	// bound is about exactly this distribution).
+	CoinRounds uint64
 }
 
 // session is the per-ACS-session composition state (delivery goroutine
@@ -98,6 +103,8 @@ type session struct {
 
 	zeroFlood bool // n−t ones reached, 0s flooded to the rest
 	completed bool
+
+	coinRounds uint64 // coin flips observed across the session's agreements
 }
 
 // Driver runs concurrent ACS sessions over one service-mode node.
@@ -265,6 +272,7 @@ func (d *Driver) Open(sess *node.Session) *core.Stack {
 	} else {
 		j := slot
 		st.OnDecide(func(_ sim.Context, v int) { d.onABADecide(s, j, v) })
+		st.OnCoin(func(_ sim.Context, _ uint64, _ int) { s.coinRounds++ })
 	}
 	if d.cfg.Tamper != nil {
 		d.cfg.Tamper(sid, slot, st)
@@ -393,7 +401,7 @@ func (d *Driver) checkComplete(s *session) {
 		s.plane.Touch() // plane retires this burst via MayRetire
 	}
 	if d.cfg.OnDecide != nil {
-		dec := Decision{Session: s.sid, Elapsed: time.Since(s.started)}
+		dec := Decision{Session: s.sid, Elapsed: time.Since(s.started), CoinRounds: s.coinRounds}
 		for j := 1; j <= d.cfg.N; j++ {
 			if s.decided[j] == 1 {
 				dec.Members = append(dec.Members, sim.ProcID(j))

@@ -78,6 +78,10 @@ type Node struct {
 	bunSeq      uint32
 	echoSeen    map[echoKey]struct{}
 	echoDeduped uint64
+
+	// accTrace observes every logically accepted broadcast (tracing).
+	// Nil when observability is off — the hot path pays one nil check.
+	accTrace func(origin sim.ProcID, tag proto.Tag, size int)
 }
 
 var _ sim.Handler = (*Node)(nil)
@@ -264,9 +268,19 @@ func (n *Node) onRBAccept(ctx sim.Context, a rb.Accept) {
 	n.acceptOne(ctx, a.Origin, a.Tag, a.Value)
 }
 
+// SetAcceptTrace registers an observer for logically accepted
+// broadcasts (nil to clear). Observation-only: it runs before routing
+// and must not send or mutate protocol state.
+func (n *Node) SetAcceptTrace(fn func(origin sim.ProcID, tag proto.Tag, size int)) {
+	n.accTrace = fn
+}
+
 // acceptOne routes one logical accepted broadcast — the v1 accept body,
 // applied per bundle item under wire v2.
 func (n *Node) acceptOne(ctx sim.Context, origin sim.ProcID, tag proto.Tag, value []byte) {
+	if n.accTrace != nil {
+		n.accTrace(origin, tag, len(value))
+	}
 	// Re-checked per item: an earlier bundle item may have shunned the
 	// origin.
 	if n.dmmSt.IsFaulty(origin) {

@@ -56,6 +56,43 @@ type Stack struct {
 	svssConsumers map[proto.SessionKind]SVSSConsumer
 	onDecide      func(ctx sim.Context, value int)
 	onCoin        func(ctx sim.Context, round uint64, bit int)
+	hooks         *TraceHooks
+}
+
+// TraceHooks observes protocol round transitions across the stack.
+// All hooks are optional (nil fields are skipped) and observation-only:
+// they must not send, and they run synchronously on the delivery path,
+// so they must be cheap. With no hooks installed every call site pays a
+// single nil check — the stack's behavior and message schedule are
+// identical either way (pinned by the obs parity test).
+type TraceHooks struct {
+	// RBAccept fires per logically accepted broadcast (per bundle item
+	// under wire v2), before DMM filtering and routing.
+	RBAccept func(origin sim.ProcID, tag proto.Tag, size int)
+	// MWShare fires when an MW-SVSS sharing completes (any kind,
+	// including the SVSS-embedded sessions).
+	MWShare func(id proto.MWID)
+	// MWRecon fires when an MW-SVSS reconstruction completes.
+	MWRecon func(id proto.MWID)
+	// Coin fires when a common-coin flip resolves locally.
+	Coin func(round uint64, bit int)
+	// ABARound fires when the agreement engine enters a round.
+	ABARound func(round uint64)
+	// Decide fires on the local agreement decision.
+	Decide func(value int)
+}
+
+// SetTraceHooks installs (or, with nil, removes) trace hooks on the
+// stack. Call before the run starts.
+func (st *Stack) SetTraceHooks(h *TraceHooks) {
+	st.hooks = h
+	if h == nil {
+		st.Node.SetAcceptTrace(nil)
+		st.ABA.OnRound(nil)
+		return
+	}
+	st.Node.SetAcceptTrace(h.RBAccept)
+	st.ABA.OnRound(h.ABARound)
 }
 
 // NewStack builds the protocol stack for process id. onShun may be nil.
@@ -67,6 +104,9 @@ func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID
 
 	st.MW = AttachMWSVSS(st.Node, mwsvss.Callbacks{
 		ShareComplete: func(ctx sim.Context, mid proto.MWID) {
+			if st.hooks != nil && st.hooks.MWShare != nil {
+				st.hooks.MWShare(mid)
+			}
 			if mid.Session.Kind == proto.KindMW {
 				if st.mwConsumer.ShareComplete != nil {
 					st.mwConsumer.ShareComplete(ctx, mid)
@@ -76,6 +116,9 @@ func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID
 			st.SVSS.OnMWShareComplete(ctx, mid)
 		},
 		ReconstructComplete: func(ctx sim.Context, mid proto.MWID, out mwsvss.Output) {
+			if st.hooks != nil && st.hooks.MWRecon != nil {
+				st.hooks.MWRecon(mid)
+			}
 			if mid.Session.Kind == proto.KindMW {
 				if st.mwConsumer.ReconComplete != nil {
 					st.mwConsumer.ReconComplete(ctx, mid, out)
@@ -103,12 +146,18 @@ func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID
 
 	// Common coin (§5) over SVSS, and binary agreement over the coin.
 	st.Coin = coin.New(st.Node, st.SVSS, func(ctx sim.Context, round uint64, bit int) {
+		if st.hooks != nil && st.hooks.Coin != nil {
+			st.hooks.Coin(round, bit)
+		}
 		if st.onCoin != nil {
 			st.onCoin(ctx, round, bit)
 		}
 		st.ABA.OnCoin(ctx, round, bit)
 	})
 	st.ABA = aba.New(id, st.Coin, func(ctx sim.Context, v int) {
+		if st.hooks != nil && st.hooks.Decide != nil {
+			st.hooks.Decide(v)
+		}
 		if st.onDecide != nil {
 			st.onDecide(ctx, v)
 		}

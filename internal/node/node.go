@@ -19,9 +19,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"svssba/internal/core"
+	"svssba/internal/obs"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 	"svssba/internal/transport"
@@ -66,6 +68,20 @@ type Config struct {
 	// stack construction and decision routing. Service nodes do not
 	// support Restart.
 	Service ServiceDriver
+	// Metrics attaches the node to an observability registry: the
+	// traffic, drop and protocol-state counters the node already keeps
+	// are exposed as pull-based gauges under the "node<ID>." prefix
+	// (read at snapshot time — the delivery hot path is unchanged), plus
+	// push counters for protocol events (RB accepts, coin flips,
+	// decisions). Nil disables.
+	Metrics *obs.Registry
+	// Trace attaches a protocol round tracer: RB accepts, MW-SVSS
+	// completions, coin flips, ABA round advances, decisions and scope
+	// open/retire transitions are recorded as ring-buffered events.
+	// Instrumentation is observation-only — decisions and message
+	// schedules are identical with or without it. Nil disables; then the
+	// stack pays one nil pointer check per hook site.
+	Trace *obs.Tracer
 }
 
 // LayerStats aggregates traffic for one protocol layer (the prefix of
@@ -223,6 +239,16 @@ type Node struct {
 	lastKind                 string
 	lastKindID               int
 
+	// Observability state. The scope gauges are atomics (not smu) so
+	// metric snapshots never contend with the delivery goroutine's
+	// session bookkeeping; the event counters are nil when Config.Metrics
+	// is unset.
+	scopesLive    atomic.Int64
+	scopesRetired atomic.Int64
+	mRBAccepts    *obs.Counter
+	mCoinFlips    *obs.Counter
+	mDecisions    *obs.Counter
+
 	start time.Time
 }
 
@@ -256,14 +282,103 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if tr.Self() != cfg.ID {
 		return nil, fmt.Errorf("node: transport is endpoint %d, node is %d", tr.Self(), cfg.ID)
 	}
-	return &Node{
+	n := &Node{
 		cfg:        cfg,
 		codec:      cfg.Codec,
 		tr:         tr,
 		kindIDs:    make(map[string]int, 16),
 		lastKindID: -1,
 		decideC:    make(chan struct{}),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		n.registerMetrics(cfg.Metrics)
+	}
+	return n, nil
+}
+
+// registerMetrics exposes the node's counters on reg under the
+// "node<ID>." prefix. Everything the node already tracks becomes a
+// pull-based gauge — read under the same locks Stats() takes, but only
+// at snapshot time — so enabling metrics adds nothing to the delivery
+// path beyond the event counters the trace hooks bump.
+func (n *Node) registerMetrics(reg *obs.Registry) {
+	p := fmt.Sprintf("node%d.", n.cfg.ID)
+	smuGauge := func(v *int64) func() int64 {
+		return func() int64 {
+			n.smu.Lock()
+			defer n.smu.Unlock()
+			return *v
+		}
+	}
+	reg.GaugeFunc(p+"sent_payloads", smuGauge(&n.sent))
+	reg.GaugeFunc(p+"recv_payloads", smuGauge(&n.recv))
+	reg.GaugeFunc(p+"sent_frames", smuGauge(&n.sentF))
+	reg.GaugeFunc(p+"recv_frames", smuGauge(&n.recvF))
+	reg.GaugeFunc(p+"sent_frame_bytes", smuGauge(&n.sentFB))
+	reg.GaugeFunc(p+"recv_frame_bytes", smuGauge(&n.recvFB))
+	reg.GaugeFunc(p+"decode_errs", smuGauge(&n.decodeErrs))
+	reg.GaugeFunc(p+"oversized_dropped", smuGauge(&n.oversizedDropped))
+	reg.GaugeFunc(p+"dropped_late_frames", smuGauge(&n.lateFrames))
+	reg.GaugeFunc(p+"dropped_late_payloads", smuGauge(&n.latePayloads))
+	reg.GaugeFunc(p+"coin_rounds", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.coinRounds)
+	})
+	reg.GaugeFunc(p+"state_total", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.haveCounts {
+			return 0
+		}
+		return int64(n.counts.Total())
+	})
+	if n.cfg.Service != nil {
+		reg.GaugeFunc(p+"scopes_live", n.scopesLive.Load)
+		reg.GaugeFunc(p+"scopes_retired", n.scopesRetired.Load)
+	}
+	n.mRBAccepts = reg.Counter(p + "rb_accepts")
+	n.mCoinFlips = reg.Counter(p + "coin_flips")
+	n.mDecisions = reg.Counter(p + "decisions")
+}
+
+// obsHooks builds the stack trace hooks for one scope, feeding the
+// node's tracer and event counters. Returns nil when observability is
+// fully off so the stack keeps its zero-cost nil hooks.
+func (n *Node) obsHooks(scope uint64) *core.TraceHooks {
+	tr := n.cfg.Trace // nil-receiver Record is a no-op
+	if tr == nil && n.cfg.Metrics == nil {
+		return nil
+	}
+	return &core.TraceHooks{
+		RBAccept: func(origin sim.ProcID, tag proto.Tag, size int) {
+			if n.mRBAccepts != nil {
+				n.mRBAccepts.Inc()
+			}
+			tr.Record(obs.KindRBAccept, scope, int(origin), uint64(tag.Proto), uint64(tag.Step), uint64(size))
+		},
+		MWShare: func(id proto.MWID) {
+			tr.Record(obs.KindMWShare, scope, int(id.Key.Dealer), uint64(id.Key.Moderator), uint64(id.Key.Slot), uint64(id.Session.Kind))
+		},
+		MWRecon: func(id proto.MWID) {
+			tr.Record(obs.KindMWRecon, scope, int(id.Key.Dealer), uint64(id.Key.Moderator), uint64(id.Key.Slot), uint64(id.Session.Kind))
+		},
+		Coin: func(round uint64, bit int) {
+			if n.mCoinFlips != nil {
+				n.mCoinFlips.Inc()
+			}
+			tr.Record(obs.KindCoin, scope, 0, round, uint64(bit), 0)
+		},
+		ABARound: func(round uint64) {
+			tr.Record(obs.KindABARound, scope, 0, round, 0, 0)
+		},
+		Decide: func(v int) {
+			if n.mDecisions != nil {
+				n.mDecisions.Inc()
+			}
+			tr.Record(obs.KindDecide, scope, 0, uint64(v), 0, 0)
+		},
+	}
 }
 
 // ID returns the node's process id.
@@ -302,6 +417,9 @@ func (n *Node) startLocked() error {
 		})
 		if n.cfg.Wire == "v2" {
 			st.EnableWireV2()
+		}
+		if h := n.obsHooks(0); h != nil {
+			st.SetTraceHooks(h)
 		}
 		input := n.cfg.Input
 		st.Node.AddInit(func(ctx sim.Context) {
@@ -744,12 +862,12 @@ func (n *Node) Stats() Stats {
 		OversizedDropped:    n.oversizedDropped,
 		DroppedLateFrames:   n.lateFrames,
 		DroppedLatePayloads: n.latePayloads,
-		SentByKind:       make(map[string]int64, len(n.kindNames)),
-		SentBytesByKind:  make(map[string]int64, len(n.kindNames)),
-		RecvByKind:       make(map[string]int64, len(n.kindNames)),
-		RecvBytesByKind:  make(map[string]int64, len(n.kindNames)),
-		SentGroupsByKind: make(map[string]int64, len(n.kindNames)),
-		RecvGroupsByKind: make(map[string]int64, len(n.kindNames)),
+		SentByKind:          make(map[string]int64, len(n.kindNames)),
+		SentBytesByKind:     make(map[string]int64, len(n.kindNames)),
+		RecvByKind:          make(map[string]int64, len(n.kindNames)),
+		RecvBytesByKind:     make(map[string]int64, len(n.kindNames)),
+		SentGroupsByKind:    make(map[string]int64, len(n.kindNames)),
+		RecvGroupsByKind:    make(map[string]int64, len(n.kindNames)),
 	}
 	for id, name := range n.kindNames {
 		if n.sentByKind[id] > 0 {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"svssba/internal/core"
+	"svssba/internal/obs"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 )
@@ -121,9 +122,15 @@ func (n *Node) OpenScope(scope uint64) *Session {
 	if st == nil {
 		s.rejected = true
 		s.retired = true
+		n.scopesRetired.Add(1)
 		return s
 	}
 	s.stack = st
+	if h := n.obsHooks(scope); h != nil {
+		st.SetTraceHooks(h)
+	}
+	n.scopesLive.Add(1)
+	n.cfg.Trace.Record(obs.KindScopeOpen, scope, 0, 0, 0, 0)
 	st.Node.Init(s.ctx)
 	s.Touch()
 	n.cfg.Service.Opened(s)
@@ -205,6 +212,9 @@ func (n *Node) processScopeRetirements() {
 			s.stack.Retire()
 			s.stack = nil
 			s.retired = true
+			n.scopesLive.Add(-1)
+			n.scopesRetired.Add(1)
+			n.cfg.Trace.Record(obs.KindScopeRetire, s.scope, 0, 0, 0, 0)
 		}
 	}
 	n.touchedSessions = n.touchedSessions[:0]

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// Server is the live introspection endpoint: /metrics serves a JSON
+// snapshot of the registry, /trace serves JSONL from the attached
+// tracers, and /debug/pprof/* exposes the standard profiles.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an introspection server on addr (e.g. "127.0.0.1:0";
+// use Addr to learn the bound port). Routes:
+//
+//	/            plain-text index
+//	/metrics     registry snapshot as JSON
+//	/trace       all tracer events as JSONL (merged, per-tracer order)
+//	/debug/pprof the net/http/pprof handlers
+func Serve(addr string, reg *Registry, tracers ...*Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "svssba observability endpoint")
+		fmt.Fprintln(w, "  /metrics      metric snapshot (JSON)")
+		fmt.Fprintln(w, "  /trace        protocol round trace (JSONL)")
+		fmt.Fprintln(w, "  /debug/pprof  go profiles")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			fmt.Fprintln(w, `{"counters":{},"gauges":{},"histograms":{}}`)
+			return
+		}
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, t := range tracers {
+			if t == nil {
+				continue
+			}
+			if err := t.WriteJSONL(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// FormatBrief renders a compact one-line "k=v k=v" view of selected
+// snapshot entries, in the order given; names absent from the snapshot
+// are skipped. Histograms render as name(p50/p95/p99).
+func (s Snapshot) FormatBrief(names ...string) string {
+	out := make([]byte, 0, 128)
+	appendKV := func(k, v string) {
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, k...)
+		out = append(out, '=')
+		out = append(out, v...)
+	}
+	for _, name := range names {
+		if v, ok := s.Counters[name]; ok {
+			appendKV(name, fmt.Sprintf("%d", v))
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			appendKV(name, fmt.Sprintf("%d", v))
+			continue
+		}
+		if h, ok := s.Histograms[name]; ok {
+			appendKV(name, fmt.Sprintf("%.0f/%.0f/%.0f",
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)))
+		}
+	}
+	return string(out)
+}
+
+// Names returns every instrument name in the snapshot, sorted.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeMetricsAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("decisions").Add(9)
+	reg.Histogram("lat_ms", []int64{10, 100}).Observe(42)
+	tr := NewTracer(0, 16)
+	tr.Record(KindDecide, 5, 0, 1, 0, 0)
+
+	srv, err := Serve("127.0.0.1:0", reg, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body := httpGet(t, base+"/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["decisions"] != 9 || snap.Histograms["lat_ms"].Count != 1 {
+		t.Fatalf("metrics mismatch: %+v", snap)
+	}
+
+	trace := string(httpGet(t, base+"/trace"))
+	if !strings.Contains(trace, `"kind":"decide"`) || !strings.Contains(trace, `"scope":5`) {
+		t.Fatalf("trace output missing event: %q", trace)
+	}
+
+	idx := string(httpGet(t, base+"/"))
+	if !strings.Contains(idx, "/metrics") {
+		t.Fatalf("index missing routes: %q", idx)
+	}
+
+	// pprof index must answer (profiles themselves are exercised enough
+	// by being routable).
+	pp := string(httpGet(t, base+"/debug/pprof/"))
+	if !strings.Contains(pp, "goroutine") {
+		t.Fatalf("pprof index unexpected: %.120q", pp)
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, "http://"+srv.Addr()+"/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("nil-registry metrics not JSON: %v", err)
+	}
+}
+
+func TestFormatBrief(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dec").Add(3)
+	r.Gauge("live").Set(2)
+	h := r.Histogram("lat", []int64{10, 100})
+	h.Observe(50)
+	s := r.Snapshot()
+	line := s.FormatBrief("dec", "live", "lat", "missing")
+	if !strings.Contains(line, "dec=3") || !strings.Contains(line, "live=2") || !strings.Contains(line, "lat=") {
+		t.Fatalf("brief line = %q", line)
+	}
+	if strings.Contains(line, "missing") {
+		t.Fatalf("missing name must be skipped: %q", line)
+	}
+}
+
+func TestReporterEmitsAndStops(t *testing.T) {
+	var sb safeBuffer
+	rep := StartReporter(&sb, 10*time.Millisecond, func() string { return "tick" })
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(sb.String(), "tick") {
+		if time.Now().After(deadline) {
+			t.Fatal("reporter never emitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.Stop()
+	rep.Stop() // idempotent
+}
+
+func TestMeterRates(t *testing.T) {
+	var m Meter
+	if r := m.Tick(100); r != 0 {
+		t.Fatalf("first tick = %v, want 0", r)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if r := m.Tick(200); r <= 0 {
+		t.Fatalf("second tick = %v, want > 0", r)
+	}
+}
+
+// safeBuffer guards a strings.Builder so the reporter goroutine can
+// write while the test polls.
+type safeBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

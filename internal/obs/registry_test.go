@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	r.GaugeFunc("a.fn", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 5 || s.Gauges["a.gauge"] != 4 || s.Gauges["a.fn"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestNameKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge under a counter name")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i) // 1..100: 10 in bucket0, 90 in bucket1
+	}
+	h.Observe(5000) // overflow
+	s := h.snapshot()
+	if s.Count != 101 || s.Max != 5000 {
+		t.Fatalf("count=%d max=%d", s.Count, s.Max)
+	}
+	want := []int64{10, 90, 0, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 10 || p50 > 100 {
+		t.Fatalf("p50 = %v, want within (10,100]", p50)
+	}
+	if m := s.Mean(); math.Abs(m-float64(s.Sum)/101) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestExpBucketsStrictlyIncreasing(t *testing.T) {
+	b := ExpBuckets(1, 1.3, 30)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+}
+
+// TestConcurrentWritersAndSnapshotReader is the -race coverage the
+// registry needs: hammer counters and a histogram from several
+// goroutines (standing in for delivery goroutines) while a reader
+// snapshots continuously, then verify totals.
+func TestConcurrentWritersAndSnapshotReader(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	h := r.Histogram("obs", ExpBuckets(1, 2, 16))
+	r.GaugeFunc("live", func() int64 { return c.Value() })
+
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() { // snapshot reader racing the writers
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			hs := s.Histograms["obs"]
+			var bucketSum int64
+			for _, n := range hs.Counts {
+				bucketSum += n
+			}
+			// Observe bumps the bucket before the total, and snapshot
+			// reads the total before the buckets — so the bucket sum may
+			// run ahead of the total mid-update, but never behind it.
+			if bucketSum < hs.Count {
+				t.Errorf("bucket sum %d behind count %d", bucketSum, hs.Count)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestSnapshotJSONWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h", []int64{1, 2}).Observe(1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if back.Counters["c"] != 3 || back.Gauges["g"] != -1 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench", ExpBuckets(1, 2, 24))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}

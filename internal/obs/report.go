@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter periodically writes one status line produced by a callback.
+// Meant for long soak/load runs where a scrolling one-line-per-interval
+// log is the observability floor.
+type Reporter struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter invokes line every interval and writes the result
+// (with a timestamp prefix) to w until Stop is called. A line callback
+// returning "" skips that interval.
+func StartReporter(w io.Writer, interval time.Duration, line func() string) *Reporter {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	r := &Reporter{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				s := line()
+				if s == "" {
+					continue
+				}
+				fmt.Fprintf(w, "[%7.1fs] %s\n", time.Since(start).Seconds(), s)
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the reporter and waits for the goroutine to exit. Safe to
+// call multiple times.
+func (r *Reporter) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Meter converts a monotonically growing counter into a rate between
+// successive Tick calls.
+type Meter struct {
+	last   int64
+	lastAt time.Time
+}
+
+// Tick reports the per-second rate since the previous Tick given the
+// counter's current value. The first call returns 0 and arms the meter.
+func (m *Meter) Tick(current int64) float64 {
+	now := time.Now()
+	if m.lastAt.IsZero() {
+		m.last, m.lastAt = current, now
+		return 0
+	}
+	dt := now.Sub(m.lastAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	rate := float64(current-m.last) / dt
+	m.last, m.lastAt = current, now
+	return rate
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTracerRetainsAndOrders(t *testing.T) {
+	tr := NewTracer(3, 32)
+	for i := uint64(0); i < 10; i++ {
+		tr.Record(KindABARound, 0, 0, i, 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 10 {
+		t.Fatalf("len = %d, want 10", len(ev))
+	}
+	for i, e := range ev {
+		if e.A != uint64(i) || e.Node != 3 || e.Kind != KindABARound {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(0, 16)
+	for i := uint64(0); i < 40; i++ {
+		tr.Record(KindCoin, 0, 0, i, i&1, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 16 {
+		t.Fatalf("len = %d, want capacity 16", len(ev))
+	}
+	// Must hold the last 16 events (24..39) oldest-first.
+	for i, e := range ev {
+		if want := uint64(24 + i); e.A != want {
+			t.Fatalf("event %d: a = %d, want %d", i, e.A, want)
+		}
+	}
+	if tr.Total() != 40 {
+		t.Fatalf("total = %d, want 40", tr.Total())
+	}
+}
+
+func TestTracerJSONLWellFormed(t *testing.T) {
+	tr := NewTracer(1, 16)
+	tr.Record(KindRBAccept, 257, 2, 3, 1, 100)
+	tr.Record(KindDecide, 257, 0, 1, 0, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	kinds := []string{"rb-accept", "decide"}
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v (%s)", lines, err, sc.Text())
+		}
+		if got := obj["kind"]; got != kinds[lines] {
+			t.Fatalf("line %d kind = %v, want %s", lines, got, kinds[lines])
+		}
+		if obj["scope"].(float64) != 257 {
+			t.Fatalf("line %d scope = %v", lines, obj["scope"])
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Record(KindCoin, 0, 0, 0, 0, 0) // must not panic
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer must report empty")
+	}
+}
+
+// The tracer's contract is single-writer + concurrent readers; this
+// pins it under -race.
+func TestTracerConcurrentReaderWriter(t *testing.T) {
+	tr := NewTracer(0, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Events()
+				_ = tr.Total()
+			}
+		}
+	}()
+	for i := uint64(0); i < 20000; i++ {
+		tr.Record(KindABARound, 0, 0, i, 0, 0)
+	}
+	close(stop)
+	wg.Wait()
+	if tr.Total() != 20000 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindRBAccept; k <= KindScopeRetire; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds must stringify as unknown")
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(KindRBAccept, 1, 2, 3, 4, 5)
+	}
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — CI smoke for the observability layer.
+#
+# Leg 1: run a short loadgen with the HTTP introspection endpoint up,
+# curl /metrics mid-run, and assert the snapshot is well-formed JSON
+# that eventually reports nonzero decisions. Leg 2 (OBS_SOAK=1): a 60s
+# -soak run that must exit 0 — the watchdog itself under test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:8779"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/loadgen" ./cmd/loadgen
+
+echo "== obs-smoke: loadgen with live endpoint =="
+"$OUT/loadgen" -n 4 -duration 20s -http "$ADDR" -report 5s -json \
+    > "$OUT/report.json" 2> "$OUT/loadgen.err" &
+LG=$!
+
+# Wait for the endpoint, then poll /metrics until decisions show up.
+deadline=$((SECONDS + 15))
+until curl -fsS "http://$ADDR/metrics" -o "$OUT/metrics.json" 2>/dev/null; do
+    if (( SECONDS >= deadline )); then
+        echo "obs-smoke: endpoint never came up" >&2
+        cat "$OUT/loadgen.err" >&2 || true
+        kill "$LG" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.5
+done
+
+decisions=0
+deadline=$((SECONDS + 30))
+while (( SECONDS < deadline )); do
+    curl -fsS "http://$ADDR/metrics" -o "$OUT/metrics.json"
+    # Well-formed JSON with the expected sections, every poll.
+    python3 - "$OUT/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+for key in ("counters", "gauges", "histograms"):
+    if key not in snap:
+        raise SystemExit(f"metrics snapshot missing {key!r}")
+EOF
+    decisions=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['counters'].get('service.decisions', 0))" "$OUT/metrics.json")
+    if (( decisions > 0 )); then
+        break
+    fi
+    sleep 1
+done
+if (( decisions == 0 )); then
+    echo "obs-smoke: /metrics never reported a decision" >&2
+    cat "$OUT/metrics.json" >&2
+    kill "$LG" 2>/dev/null || true
+    exit 1
+fi
+echo "obs-smoke: /metrics live, service.decisions=$decisions"
+
+curl -fsS "http://$ADDR/trace" -o "$OUT/trace.jsonl"
+head -1 "$OUT/trace.jsonl" | python3 -c "import json,sys; line=sys.stdin.readline().strip(); line and json.loads(line)"
+
+if ! wait "$LG"; then
+    echo "obs-smoke: loadgen run failed" >&2
+    cat "$OUT/loadgen.err" >&2
+    exit 1
+fi
+python3 - "$OUT/report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+assert rep["sessions"] > 0, "no sessions completed"
+assert rep["subsets_ok"] and rep["baseline_ok"], "service contract violated"
+EOF
+echo "obs-smoke: report OK ($(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['sessions'])" "$OUT/report.json") sessions)"
+
+if [[ "${OBS_SOAK:-0}" == "1" ]]; then
+    echo "== obs-smoke: 60s soak leg (watchdog must pass) =="
+    "$OUT/loadgen" -n 4 -duration 60s -soak -soakinterval 5s -statebudget 2000000
+    echo "obs-smoke: soak leg OK"
+fi
+
+echo "obs-smoke: PASS"

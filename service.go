@@ -8,6 +8,7 @@ import (
 	"svssba/internal/acs"
 	"svssba/internal/core"
 	"svssba/internal/node"
+	"svssba/internal/obs"
 	"svssba/internal/sim"
 	"svssba/internal/transport"
 )
@@ -47,6 +48,15 @@ type ServiceConfig struct {
 	// adversarial tests use to plant misbehavior in selected scopes of
 	// selected nodes (node id is the first argument).
 	Tamper func(id int, sid uint64, slot int, st *core.Stack)
+	// Metrics, when set, registers every node's instruments (under
+	// "node<i>." prefixes) plus service-level aggregates ("service.*":
+	// decisions counter, session latency and coin-round histograms,
+	// in-flight/queue-depth/pending gauges) on the registry. Serve it
+	// with obs.Serve or snapshot it directly.
+	Metrics *obs.Registry
+	// TraceCap, when positive, attaches a ring-buffered protocol tracer
+	// of that capacity to every node (see Tracer/Tracers).
+	TraceCap int
 }
 
 // ServiceDecision is one completed session as reported by one node.
@@ -58,13 +68,24 @@ type ServiceDecision struct {
 	Values  [][]byte
 	// Elapsed is that node's local join-to-completion latency.
 	Elapsed time.Duration
+	// CoinRounds is the number of common-coin flips that node observed
+	// across the session's n agreements — the luck number behind the
+	// latency tail.
+	CoinRounds uint64
 }
 
 // ServiceNode is one node of a service cluster.
 type ServiceNode struct {
-	id  int
-	nd  *node.Node
-	drv *acs.Driver
+	id     int
+	nd     *node.Node
+	drv    *acs.Driver
+	tracer *obs.Tracer
+
+	// Service-level instruments, shared across the cluster's nodes (nil
+	// without ServiceConfig.Metrics).
+	mDecisions *obs.Counter
+	mLatMs     *obs.Histogram
+	mCoin      *obs.Histogram
 
 	mu      sync.Mutex
 	pending []ServiceDecision
@@ -159,13 +180,28 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 
 	cl := &ServiceCluster{cfg: cfg, nodes: make([]*ServiceNode, cfg.N+1)}
 	codec := core.NewCodec()
+	var mDecisions *obs.Counter
+	var mLatMs, mCoin *obs.Histogram
+	if cfg.Metrics != nil {
+		mDecisions = cfg.Metrics.Counter("service.decisions")
+		// Latency buckets 1ms..~9h, coin buckets 1..~6k flips: wide
+		// enough that the heavy tail lands in real buckets, not overflow.
+		mLatMs = cfg.Metrics.Histogram("service.session_latency_ms", obs.ExpBuckets(1, 1.8, 28))
+		mCoin = cfg.Metrics.Histogram("service.session_coin_rounds", obs.ExpBuckets(1, 1.5, 22))
+	}
 	for i := 1; i <= cfg.N; i++ {
 		sn := &ServiceNode{
-			id:      i,
-			notify:  make(chan struct{}, 1),
-			out:     make(chan ServiceDecision, 64),
-			stopped: make(chan struct{}),
-			bufCap:  cfg.DecisionBuffer,
+			id:         i,
+			notify:     make(chan struct{}, 1),
+			out:        make(chan ServiceDecision, 64),
+			stopped:    make(chan struct{}),
+			bufCap:     cfg.DecisionBuffer,
+			mDecisions: mDecisions,
+			mLatMs:     mLatMs,
+			mCoin:      mCoin,
+		}
+		if cfg.TraceCap > 0 {
+			sn.tracer = obs.NewTracer(i, cfg.TraceCap)
 		}
 		id := i
 		acfg := acs.Config{
@@ -194,6 +230,8 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 			Codec:    codec,
 			Batching: !cfg.NoBatching,
 			Service:  drv,
+			Metrics:  cfg.Metrics,
+			Trace:    sn.tracer,
 		}, trs[i])
 		if err != nil {
 			cl.Close()
@@ -202,6 +240,9 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 		drv.Bind(nd)
 		sn.nd, sn.drv = nd, drv
 		cl.nodes[i] = sn
+		if cfg.Metrics != nil {
+			sn.registerMetrics(cfg.Metrics)
+		}
 		if err := nd.Start(); err != nil {
 			cl.Close()
 			return nil, err
@@ -209,6 +250,21 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 		go sn.pumpDecisions()
 	}
 	return cl, nil
+}
+
+// registerMetrics exposes the node's service-layer gauges (session
+// window, submission queue, decision queue) under "service.node<i>.".
+func (n *ServiceNode) registerMetrics(reg *obs.Registry) {
+	p := fmt.Sprintf("service.node%d.", n.id)
+	reg.GaugeFunc(p+"in_flight", func() int64 { return int64(n.drv.InFlight()) })
+	reg.GaugeFunc(p+"max_in_flight", func() int64 { return int64(n.drv.MaxInFlight()) })
+	reg.GaugeFunc(p+"completed", func() int64 { return int64(n.drv.Completed()) })
+	reg.GaugeFunc(p+"queue_depth", func() int64 { return int64(n.drv.QueueLen()) })
+	reg.GaugeFunc(p+"pending_decisions", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.pending))
+	})
 }
 
 // N returns the cluster size.
@@ -275,12 +331,33 @@ func (n *ServiceNode) DroppedDecisions() int {
 	return n.dropped
 }
 
+// Tracer returns the node's protocol round tracer (nil unless
+// ServiceConfig.TraceCap was set).
+func (n *ServiceNode) Tracer() *obs.Tracer { return n.tracer }
+
+// Tracers returns every node's tracer, indexed 1..N (index 0 nil), for
+// handing to obs.Serve. Empty slice unless TraceCap was set.
+func (c *ServiceCluster) Tracers() []*obs.Tracer {
+	out := make([]*obs.Tracer, 0, c.cfg.N)
+	for i := 1; i <= c.cfg.N; i++ {
+		if c.nodes[i] != nil && c.nodes[i].tracer != nil {
+			out = append(out, c.nodes[i].tracer)
+		}
+	}
+	return out
+}
+
 // push runs on the node's delivery goroutine: queue the decision and
 // signal the pump without ever blocking.
 func (n *ServiceNode) push(d acs.Decision) {
-	sd := ServiceDecision{Session: d.Session, Values: d.Values, Elapsed: d.Elapsed}
+	sd := ServiceDecision{Session: d.Session, Values: d.Values, Elapsed: d.Elapsed, CoinRounds: d.CoinRounds}
 	for _, m := range d.Members {
 		sd.Members = append(sd.Members, int(m))
+	}
+	if n.mDecisions != nil {
+		n.mDecisions.Inc()
+		n.mLatMs.Observe(d.Elapsed.Milliseconds())
+		n.mCoin.Observe(int64(d.CoinRounds))
 	}
 	n.mu.Lock()
 	if len(n.pending) >= n.bufCap {
