@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke service-check obs-smoke soak
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke loadgen-smoke-pool service-check obs-smoke soak
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ cluster-batch:
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -n 4 -duration 30s -minrate 0.05
 
+# loadgen-smoke-pool is the pooled variant of the same leg: the coin
+# dealing pool plus pipelined refill must keep the submission window
+# fully in flight (-minpeak = the default window) and clear a
+# decisions/sec floor an order of magnitude above the unpooled
+# smoke's; the report additionally asserts the pool ledger contract
+# (zero double handouts, zero leaked supplies after drain).
+loadgen-smoke-pool:
+	$(GO) run ./cmd/loadgen -n 4 -duration 30s -pool -minpeak 8 -minrate 0.5
+
 # service-check runs the scenario-style multi-session invariant cell:
 # agreement/validity/termination per session across the service nodes.
 service-check:
@@ -72,9 +81,10 @@ fuzz-batch:
 
 # cluster-race runs the node/transport runtime tests under the race
 # detector (the same Node code path cmd/cluster uses, on the
-# in-process transport).
+# in-process transport), plus the coin-pool layer whose refill and
+# handout paths run on the service's delivery goroutines.
 cluster-race:
-	$(GO) test -race ./internal/transport/ ./internal/node/
+	$(GO) test -race ./internal/transport/ ./internal/node/ ./internal/coinpool/
 
 # parity diffs both wire variants' quick-matrix digests against their
 # pinned goldens: v1 must stay byte-identical across representation

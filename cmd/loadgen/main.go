@@ -59,14 +59,23 @@ type report struct {
 	ValueBytes   int     `json:"value_bytes"`
 	DurationSecs float64 `json:"duration_secs"`
 	DrainSecs    float64 `json:"drain_secs"`
+	Pool         bool    `json:"pool"`
+	PoolRounds   int     `json:"pool_rounds,omitempty"`
 
-	Sessions     int     `json:"sessions"`
-	DecisionsSec float64 `json:"decisions_per_sec"`
-	P50Ms        float64 `json:"latency_p50_ms"`
-	P95Ms        float64 `json:"latency_p95_ms"`
-	P99Ms        float64 `json:"latency_p99_ms"`
-	MaxInFlight  []int   `json:"max_in_flight_per_node"`
-	PeakSessions int     `json:"peak_concurrent_sessions"`
+	Sessions int `json:"sessions"`
+	// DecisionsSec counts only sessions that completed during the
+	// submission phase; DrainCompleted is the tail that finished during
+	// the drain. Crediting the drain tail to the rate would overstate
+	// sustained throughput (the window is no longer being refilled), and
+	// pooled runs — which front-load dealing and drain a deeper in-flight
+	// set — would be the most over-credited.
+	DrainCompleted int     `json:"drain_completed"`
+	DecisionsSec   float64 `json:"decisions_per_sec"`
+	P50Ms          float64 `json:"latency_p50_ms"`
+	P95Ms          float64 `json:"latency_p95_ms"`
+	P99Ms          float64 `json:"latency_p99_ms"`
+	MaxInFlight    []int   `json:"max_in_flight_per_node"`
+	PeakSessions   int     `json:"peak_concurrent_sessions"`
 
 	// Coin-rounds-per-session distribution, node-1 view (every honest
 	// node observes each agreement's flips; the per-node numbers agree
@@ -86,6 +95,12 @@ type report struct {
 	LateFramesDropped   int64 `json:"late_frames_dropped"`
 	OversizedDropped    int64 `json:"oversized_dropped"`
 	DroppedDecisions    int   `json:"dropped_decisions"`
+
+	// Coin-pool counters, summed across nodes (pooled runs only).
+	PoolRefills        int64 `json:"pool_refills,omitempty"`
+	PoolHandouts       int64 `json:"pool_handouts,omitempty"`
+	PoolDoubleHandouts int64 `json:"pool_double_handouts,omitempty"`
+	PoolLeakedSupplies int64 `json:"pool_leaked_supplies,omitempty"`
 
 	BaselineOK bool `json:"baseline_ok"`
 	SubsetsOK  bool `json:"subsets_ok"`
@@ -121,6 +136,8 @@ func run() error {
 		transportK = flag.String("transport", "chan", "chan | tcp")
 		wire       = flag.String("wire", "v2", "wire variant for the scoped stacks: v1 | v2")
 		window     = flag.Int("window", 8, "per-node cap on self-initiated concurrent sessions")
+		pool       = flag.Bool("pool", false, "amortize coin setup through the shared dealing pool (batched MW-SVSS)")
+		poolRounds = flag.Int("poolrounds", 0, "coin-round coverage per pooled dealing (default 4)")
 		valBytes   = flag.Int("bytes", 64, "size of each submitted value")
 		duration   = flag.Duration("duration", 30*time.Second, "submission phase length")
 		drain      = flag.Duration("drain", 2*time.Minute, "post-submission drain budget")
@@ -152,12 +169,14 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	cl, err := svssba.StartService(svssba.ServiceConfig{
-		N:         *n,
-		T:         *t,
-		Seed:      *seed,
-		Transport: svssba.TransportKind(*transportK),
-		Wire:      *wire,
-		Window:    *window,
+		N:          *n,
+		T:          *t,
+		Seed:       *seed,
+		Transport:  svssba.TransportKind(*transportK),
+		Wire:       *wire,
+		Window:     *window,
+		Pool:       *pool,
+		PoolRounds: *poolRounds,
 		// The verifier must see every decision; size the queue so the
 		// collector goroutines never race the drop-oldest bound.
 		DecisionBuffer: 1 << 20,
@@ -280,6 +299,10 @@ func run() error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	submitted := time.Since(start)
+	// Decisions/sec is measured over the submission phase only: snapshot
+	// the completed count now, before the drain lets the in-flight tail
+	// finish without competition for the window.
+	liveTotal := cl.Node(1).Completed()
 	if *soak {
 		close(samplerEnd)
 		samplerWG.Wait()
@@ -319,8 +342,10 @@ func run() error {
 	rep := report{
 		N: *n, T: cl.T(), Transport: *transportK, Wire: *wire,
 		Window: *window, ValueBytes: *valBytes,
+		Pool: *pool, PoolRounds: *poolRounds,
 		DurationSecs: submitted.Seconds(), DrainSecs: drained.Seconds(),
-		Sessions: total, BaselineOK: true, SubsetsOK: true,
+		Sessions: total, DrainCompleted: total - liveTotal,
+		BaselineOK: true, SubsetsOK: true,
 	}
 	baselineDeadline := time.Now().Add(*drain)
 	for {
@@ -400,7 +425,7 @@ func run() error {
 		rep.SubsetsOK = false
 	}
 
-	rep.DecisionsSec = float64(total) / submitted.Seconds()
+	rep.DecisionsSec = float64(liveTotal) / submitted.Seconds()
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
 	pct := func(p float64) float64 {
 		if len(lats) == 0 {
@@ -444,6 +469,12 @@ func run() error {
 		rep.LatePayloadsDropped += st.DroppedLatePayloads
 		rep.LateFramesDropped += st.DroppedLateFrames
 		rep.OversizedDropped += st.OversizedDropped
+		if ps, ok := nd.PoolStats(); ok {
+			rep.PoolRefills += ps.Refills
+			rep.PoolHandouts += ps.Handouts
+			rep.PoolDoubleHandouts += ps.DoubleHandouts
+			rep.PoolLeakedSupplies += ps.Live
+		}
 		if errs := nd.Errs(); len(errs) > 0 {
 			return fmt.Errorf("node %d: runtime errors (%d), first: %v", i, len(errs), errs[0])
 		}
@@ -488,16 +519,20 @@ func run() error {
 			return err
 		}
 	} else {
-		fmt.Printf("loadgen: n=%d t=%d transport=%s wire=%s window=%d bytes=%d\n",
-			rep.N, rep.T, rep.Transport, rep.Wire, rep.Window, rep.ValueBytes)
-		fmt.Printf("  %d sessions in %.1fs (+%.1fs drain) = %.1f decisions/sec\n",
-			rep.Sessions, rep.DurationSecs, rep.DrainSecs, rep.DecisionsSec)
+		fmt.Printf("loadgen: n=%d t=%d transport=%s wire=%s window=%d bytes=%d pool=%v\n",
+			rep.N, rep.T, rep.Transport, rep.Wire, rep.Window, rep.ValueBytes, rep.Pool)
+		fmt.Printf("  %d sessions in %.1fs (+%.1fs drain) = %.1f decisions/sec (%d completed in drain, excluded)\n",
+			rep.Sessions, rep.DurationSecs, rep.DrainSecs, rep.DecisionsSec, rep.DrainCompleted)
 		fmt.Printf("  latency p50=%.0fms p95=%.0fms p99=%.0fms; peak concurrent sessions=%d\n",
 			rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.PeakSessions)
 		fmt.Printf("  coin rounds/session mean=%.1f p50=%.0f p95=%.0f max=%d\n",
 			rep.CoinMean, rep.CoinP50, rep.CoinP95, rep.CoinMax)
 		fmt.Printf("  frames sent=%d (%.1f MiB) recv=%d; late payloads dropped=%d\n",
 			rep.SentFrames, float64(rep.SentBytes)/(1<<20), rep.RecvFrames, rep.LatePayloadsDropped)
+		if rep.Pool {
+			fmt.Printf("  pool: refills=%d handouts=%d doubleHandouts=%d leakedSupplies=%d\n",
+				rep.PoolRefills, rep.PoolHandouts, rep.PoolDoubleHandouts, rep.PoolLeakedSupplies)
+		}
 		if rep.Soak != nil {
 			fmt.Printf("  soak: samples=%d rate %.2f/s → %.2f/s stateMax=%d latViol=%d coinViol=%d\n",
 				rep.Soak.Samples, rep.Soak.RateFirstHalf, rep.Soak.RateSecondHalf,
@@ -510,6 +545,12 @@ func run() error {
 	}
 	if !rep.BaselineOK {
 		return fmt.Errorf("per-session state did not retire to baseline")
+	}
+	if rep.PoolDoubleHandouts > 0 {
+		return fmt.Errorf("coin pool handed out %d sharings twice", rep.PoolDoubleHandouts)
+	}
+	if rep.PoolLeakedSupplies > 0 {
+		return fmt.Errorf("coin pool leaked %d live supplies after drain", rep.PoolLeakedSupplies)
 	}
 	if total == 0 {
 		return fmt.Errorf("no sessions completed")

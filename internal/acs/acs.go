@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"svssba/internal/coinpool"
 	"svssba/internal/core"
 	"svssba/internal/node"
 	"svssba/internal/proto"
@@ -59,6 +60,15 @@ type Config struct {
 	// OnDecide observes every completed session (delivery goroutine; must
 	// not block).
 	OnDecide func(Decision)
+	// Pool turns on the coin-dealing pool (internal/coinpool): each
+	// session runs one batched dealing round on its proposal plane and
+	// its n agreements consume slots from it, amortizing MW-SVSS setup.
+	// The window also pipelines — it refills when a session's dealing is
+	// reserved and share-complete, not when its slowest agreement drains.
+	Pool bool
+	// PoolRounds is the coin-round coverage of each pooled dealing
+	// (default 4; later rounds fall back to classic dealing).
+	PoolRounds int
 	// Tamper, when set, runs over every freshly built scoped stack before
 	// it goes live — the hook the adversarial tests use to plant
 	// misbehavior in selected scopes. Production configs leave it nil.
@@ -104,6 +114,11 @@ type session struct {
 	zeroFlood bool // n−t ones reached, 0s flooded to the rest
 	completed bool
 
+	// pooledStarting marks a session we initiated whose dealing has not
+	// yet share-completed locally — the pipelined window counts these
+	// instead of all in-flight sessions.
+	pooledStarting bool
+
 	coinRounds uint64 // coin flips observed across the session's agreements
 }
 
@@ -121,11 +136,13 @@ type Driver struct {
 	sessions  map[uint64]*session
 	completed map[uint64]bool
 	nextSid   uint64
+	pool      *coinpool.Pool // nil when Config.Pool is off
 
 	// Gauges (atomics: read by loadgen/tests off-goroutine).
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
 	decidedN    atomic.Int64
+	starting    atomic.Int64 // pooled sessions awaiting their dealing
 }
 
 var _ node.ServiceDriver = (*Driver)(nil)
@@ -151,12 +168,24 @@ func New(cfg Config) (*Driver, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 8
 	}
-	return &Driver{
+	d := &Driver{
 		cfg:       cfg,
 		sessions:  make(map[uint64]*session),
 		completed: make(map[uint64]bool),
 		nextSid:   1,
-	}, nil
+	}
+	if cfg.Pool {
+		if cfg.PoolRounds <= 0 {
+			cfg.PoolRounds = 4
+			d.cfg.PoolRounds = 4
+		}
+		pcfg := coinpool.Config{N: cfg.N, T: cfg.T, Self: cfg.Self, Rounds: cfg.PoolRounds}
+		if err := pcfg.Validate(); err != nil {
+			return nil, err
+		}
+		d.pool = coinpool.New(pcfg)
+	}
+	return d, nil
 }
 
 // Bind attaches the driver to its node. The node's Config.Service must
@@ -181,6 +210,19 @@ func (d *Driver) MaxInFlight() int { return int(d.maxInFlight.Load()) }
 // Completed returns how many sessions completed.
 func (d *Driver) Completed() int { return int(d.decidedN.Load()) }
 
+// Starting returns the number of pooled sessions this process initiated
+// whose dealing has not yet share-completed locally (always 0 unpooled).
+func (d *Driver) Starting() int { return int(d.starting.Load()) }
+
+// PoolStats snapshots the coin pool gauges; ok is false when pooling is
+// off. Safe from any goroutine.
+func (d *Driver) PoolStats() (coinpool.Stats, bool) {
+	if d.pool == nil {
+		return coinpool.Stats{}, false
+	}
+	return d.pool.Stats(), true
+}
+
 // QueueLen returns the number of submitted values not yet attached to a
 // session.
 func (d *Driver) QueueLen() int {
@@ -190,19 +232,49 @@ func (d *Driver) QueueLen() int {
 }
 
 // pump starts new sessions while the window allows and values are
-// queued (delivery goroutine).
+// queued (delivery goroutine). Unpooled, the window counts every
+// in-flight session — it refills only when a whole session completes.
+// Pooled, it counts sessions still *starting* (own dealing not yet
+// share-complete), so the next session's setup pipelines behind the
+// previous ones' agreement phases; a hard cap of 4× the window on total
+// in-flight sessions bounds memory when agreements drain slowly.
 func (d *Driver) pump() {
-	for int(d.inFlight.Load()) < d.cfg.Window && d.QueueLen() > 0 {
+	for d.windowOpen() && d.QueueLen() > 0 {
 		for d.sessions[d.nextSid] != nil || d.completed[d.nextSid] {
 			d.nextSid++
 		}
 		sid := d.nextSid
 		d.nextSid++
-		d.newSession(sid)
+		s := d.newSession(sid)
+		if d.pool != nil {
+			s.pooledStarting = true
+			d.starting.Add(1)
+		}
 		// Opening the plane scope runs Open+Opened, which broadcasts the
 		// proposal this session carries for us.
 		d.nd.OpenScope(ScopeOf(sid, 0))
 	}
+}
+
+// windowOpen reports whether the pump may start another session.
+func (d *Driver) windowOpen() bool {
+	if d.pool == nil {
+		return int(d.inFlight.Load()) < d.cfg.Window
+	}
+	return int(d.starting.Load()) < d.cfg.Window &&
+		int(d.inFlight.Load()) < 4*d.cfg.Window
+}
+
+// sessionReady clears a pooled session's starting mark (its dealing
+// share-completed locally, or its plane released) and refills the
+// window.
+func (d *Driver) sessionReady(s *session) {
+	if !s.pooledStarting {
+		return
+	}
+	s.pooledStarting = false
+	d.starting.Add(-1)
+	d.pump()
 }
 
 // popValue takes the oldest queued value ([]byte{} when none — a
@@ -238,6 +310,15 @@ func (d *Driver) newSession(sid uint64) *session {
 		s.decided[j] = -1
 	}
 	d.sessions[sid] = s
+	if sid >= d.nextSid {
+		// Fast-forward the allocator past sids observed on peer traffic.
+		// For a continuously-live node this is a no-op (every locally
+		// allocated or joined sid is already in sessions/completed, which
+		// pump skips), but a restarted incarnation has empty maps: without
+		// the bump it would re-issue a sid its peers tombstoned and wedge
+		// on a session nobody else can join.
+		d.nextSid = sid + 1
+	}
 	if f := d.inFlight.Add(1); f > d.maxInFlight.Load() {
 		d.maxInFlight.Store(f)
 	}
@@ -260,6 +341,12 @@ func (d *Driver) Open(sess *node.Session) *core.Stack {
 	if s == nil {
 		// A peer reached this session first: join it.
 		s = d.newSession(sid)
+	}
+	if d.pool != nil && slot > 0 && s.plane == nil {
+		// The pooled agreement consumes the plane's dealing; make sure the
+		// plane scope (and with it the session's supply) exists first.
+		// OpenScope re-enters the driver for the plane scope only.
+		d.nd.OpenScope(ScopeOf(sid, 0))
 	}
 	st := core.NewStack(d.cfg.Self, nil)
 	if d.cfg.Wire == "v2" {
@@ -290,6 +377,11 @@ func (d *Driver) Opened(sess *node.Session) {
 	}
 	if slot == 0 {
 		s.plane = sess
+		if d.pool != nil {
+			d.pool.Open(sid, sess.Stack(), sess.Ctx(), sess.Touch, func() {
+				d.sessionReady(s)
+			})
+		}
 		if !s.proposalSent {
 			s.proposalSent = true
 			tag := proto.Tag{Proto: proto.ProtoACS, A: uint32(sid)}
@@ -298,6 +390,11 @@ func (d *Driver) Opened(sess *node.Session) {
 		return
 	}
 	s.aba[slot] = sess
+	if d.pool != nil {
+		if sup := d.pool.Supply(sid); sup != nil {
+			sup.Attach(slot, sess.Stack().Coin, sess.Ctx(), sess.Touch)
+		}
+	}
 }
 
 // MayRetire implements node.ServiceDriver: an ABA scope retires when
@@ -308,10 +405,42 @@ func (d *Driver) Opened(sess *node.Session) {
 func (d *Driver) MayRetire(sess *node.Session) bool {
 	sid, slot := SplitScope(sess.Scope())
 	if slot == 0 {
-		return d.completed[sid]
+		if d.pool == nil {
+			return d.completed[sid]
+		}
+		// Pooled: the plane hosts the dealings the agreements consume, so
+		// it must outlive every agreement scope. By the time all have
+		// halted, DECIDE amplification finishes the cluster without
+		// further coin reconstructions from this process.
+		s := d.sessions[sid]
+		if !d.completed[sid] || s == nil {
+			return d.completed[sid] && s == nil
+		}
+		for j := 1; j <= d.cfg.N; j++ {
+			if ab := s.aba[j]; ab != nil && !ab.Retired() {
+				return false
+			}
+		}
+		d.sessionReady(s) // never leave the window blocked on a dead plane
+		d.pool.Release(sid)
+		delete(d.sessions, sid)
+		return true
 	}
 	st := sess.Stack()
-	return st != nil && st.ABA.Halted()
+	if st == nil || !st.ABA.Halted() {
+		return false
+	}
+	if d.pool != nil {
+		if sup := d.pool.Supply(sid); sup != nil {
+			sup.Detach(slot)
+		}
+		if s := d.sessions[sid]; s != nil && s.plane != nil {
+			// Re-check the plane this burst: this may be the last agreement
+			// holding it open.
+			s.plane.Touch()
+		}
+	}
+	return true
 }
 
 // abaSession returns the ABA scope for proposer j, opening it on first
@@ -394,7 +523,13 @@ func (d *Driver) checkComplete(s *session) {
 	}
 	s.completed = true
 	d.completed[s.sid] = true
-	delete(d.sessions, s.sid)
+	if d.pool == nil {
+		delete(d.sessions, s.sid)
+	} else {
+		// Pooled: keep the record until the plane retires (MayRetire walks
+		// the agreement scopes through it), but free the window now.
+		d.sessionReady(s)
+	}
 	d.inFlight.Add(-1)
 	d.decidedN.Add(1)
 	if s.plane != nil {

@@ -117,7 +117,11 @@ func EchoLiar(offset uint64) Behavior {
 		Name: "echo-liar",
 		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
 			if e, ok := p.(mwsvss.Echo); ok {
-				return mwsvss.Echo{MW: e.MW, Val: e.Val.Add(field.New(offset))}, true
+				vals := make([]field.Element, len(e.Vals))
+				for i, v := range e.Vals {
+					vals[i] = v.Add(field.New(offset))
+				}
+				return mwsvss.Echo{MW: e.MW, Vals: vals}, true
 			}
 			return p, true
 		},
@@ -277,7 +281,11 @@ func CrossSessionEquivocator(offset uint64) Behavior {
 		Name: "cross-equivocate",
 		Send: func(_ sim.Context, _ sim.ProcID, p sim.Payload) (sim.Payload, bool) {
 			if e, ok := p.(mwsvss.Echo); ok && lying(e.MW.Session) {
-				return mwsvss.Echo{MW: e.MW, Val: e.Val.Add(field.New(offset))}, true
+				vals := make([]field.Element, len(e.Vals))
+				for i, v := range e.Vals {
+					vals[i] = v.Add(field.New(offset))
+				}
+				return mwsvss.Echo{MW: e.MW, Vals: vals}, true
 			}
 			return p, true
 		},

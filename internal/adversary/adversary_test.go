@@ -69,11 +69,11 @@ func TestVoteEquivocatorSplitsByParity(t *testing.T) {
 func TestEchoLiarOffsetsEchoes(t *testing.T) {
 	st := core.NewStack(1, nil)
 	adversary.Apply(st, adversary.EchoLiar(5))
-	in := mwsvss.Echo{MW: proto.MWID{}, Val: field.New(10)}
+	in := mwsvss.Echo{MW: proto.MWID{}, Vals: []field.Element{field.New(10)}}
 	sent := sendThrough(t, st, in, 2)
 	got := sent[0].Payload.(mwsvss.Echo)
-	if got.Val != field.New(15) {
-		t.Errorf("val = %v, want 15", got.Val)
+	if got.Vals[0] != field.New(15) {
+		t.Errorf("val = %v, want 15", got.Vals[0])
 	}
 }
 
@@ -190,12 +190,12 @@ func TestCrossSessionEquivocatorLiesByRoundParity(t *testing.T) {
 
 	oddID := proto.MWID{Session: proto.SessionID{Dealer: 1, Kind: proto.KindApp, Round: 1}}
 	evenID := proto.MWID{Session: proto.SessionID{Dealer: 1, Kind: proto.KindApp, Round: 2}}
-	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: oddID, Val: field.New(10)}); !keep ||
-		out.(mwsvss.Echo).Val != field.New(15) {
+	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: oddID, Vals: []field.Element{field.New(10)}}); !keep ||
+		out.(mwsvss.Echo).Vals[0] != field.New(15) {
 		t.Errorf("odd-session echo not offset: %v", out)
 	}
-	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: evenID, Val: field.New(10)}); !keep ||
-		out.(mwsvss.Echo).Val != field.New(10) {
+	if out, keep := b.Send(nil, 2, mwsvss.Echo{MW: evenID, Vals: []field.Element{field.New(10)}}); !keep ||
+		out.(mwsvss.Echo).Vals[0] != field.New(10) {
 		t.Errorf("even-session echo changed: %v", out)
 	}
 

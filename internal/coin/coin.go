@@ -63,17 +63,63 @@ type Host interface {
 // SVSSPort is the slice of the SVSS engine the coin drives.
 type SVSSPort interface {
 	Share(ctx sim.Context, sid proto.SessionID, secret field.Element) error
+	ShareVec(ctx sim.Context, sid proto.SessionID, secrets []field.Element) error
 	Reconstruct(ctx sim.Context, sid proto.SessionID)
+	ReconstructSlot(ctx sim.Context, sid proto.SessionID, slot int)
+	ReconstructSlots(ctx sim.Context, sid proto.SessionID, slots []int)
+}
+
+// Supply is a source of pre-dealt batched lottery sharings covering coin
+// rounds 1..Rounds(). For those rounds the engine consumes slots from
+// the supply instead of dealing per-round sessions; rounds beyond
+// Rounds() fall back to classic self-dealing (the mode of a round is a
+// pure function of its number, so all processes agree on it without
+// communication). Implementations: the engine's own self-batch (sim
+// mode, EnableSelfBatch) and the cross-session pool consumer
+// (internal/coinpool).
+type Supply interface {
+	// Rounds is the number of coin rounds the supply covers (fixed).
+	Rounds() int
+	// EnsureDealt makes this process deal its own batch if it has not
+	// yet (idempotent; a pool supply that dealt ahead of demand no-ops).
+	EnsureDealt(ctx sim.Context)
+	// DoneOrder lists dealers whose batch sharings completed locally, in
+	// completion order.
+	DoneOrder() []sim.ProcID
+	// Reconstruct opens the slots holding dealer k's secrets attached to
+	// the given targets in round r, as one grouped request (the targets
+	// of one coin pass map to adjacent slots, which the layers below
+	// reveal together). Implementations must hand out each slot at most
+	// once (one-shot handout), skipping — and counting — repeats.
+	Reconstruct(ctx sim.Context, k sim.ProcID, r uint64, targets []sim.ProcID)
 }
 
 // CoinFunc receives the coin output for a round.
 type CoinFunc func(ctx sim.Context, round uint64, bit int)
 
 // SessionFor returns the SVSS session id of dealer k's secret attached
-// to target j in coin round r.
+// to target j in coin round r (classic, unbatched dealing).
 func SessionFor(k sim.ProcID, r uint64, j sim.ProcID) proto.SessionID {
 	return proto.SessionID{Dealer: k, Kind: proto.KindCoin, Round: r, Index: uint32(j)}
 }
+
+// BatchSessionFor returns dealer k's batched coin dealing session. The
+// id is disjoint from every classic coin session: classic ids carry the
+// attach target in Index (1..n), batched ids use Index 0.
+func BatchSessionFor(k sim.ProcID) proto.SessionID {
+	return proto.SessionID{Dealer: k, Kind: proto.KindCoin, Round: 0, Index: 0}
+}
+
+// BatchSlot flattens (round r, target j) into the batch slot index of a
+// batched dealing covering rounds 1..R: slot = (r-1)*n + j-1, so one
+// batch carries R*n secrets in round-major order.
+func BatchSlot(n int, r uint64, j sim.ProcID) int {
+	return (int(r)-1)*n + int(j) - 1
+}
+
+// BatchWidth is the secret count of a batched dealing covering rounds
+// 1..rounds of an n-process system.
+func BatchWidth(n, rounds int) int { return rounds * n }
 
 // round holds one coin round's state, dense per process: sets of
 // parties are bitsets and per-party collections are slices indexed by
@@ -83,6 +129,7 @@ func SessionFor(k sim.ProcID, r uint64, j sim.ProcID) proto.SessionID {
 type round struct {
 	r       uint64
 	started bool
+	batch   bool // lottery secrets come from the batch supply
 
 	// completion order of dealers per target (share phases done locally)
 	doneDealers [][]sim.ProcID // index: target
@@ -114,6 +161,9 @@ type Engine struct {
 	onCoin CoinFunc
 	rounds map[uint64]*round
 	n      int // system size, captured from the first ctx
+
+	supply Supply     // nil: every round deals classically
+	selfB  *selfBatch // non-nil iff supply is the in-stack self-batch
 }
 
 // New returns a coin engine. The gather engine's broadcasts must be
@@ -145,9 +195,27 @@ func (e *Engine) round(ctx sim.Context, r uint64) *round {
 			doneDealers: make([][]sim.ProcID, e.n+1),
 			attach:      make([][]sim.ProcID, e.n+1),
 		}
+		rd.batch = e.supply != nil && r >= 1 && r <= uint64(e.supply.Rounds())
 		e.rounds[r] = rd
+		if rd.batch {
+			// Seed from dealings that completed before this round opened.
+			for _, k := range e.supply.DoneOrder() {
+				e.markBatchDealer(rd, k)
+			}
+		}
 	}
 	return rd
+}
+
+// markBatchDealer records that dealer k's batched sharing is complete:
+// in a batch round every (k, target) lottery session is done at once.
+func (e *Engine) markBatchDealer(rd *round, k sim.ProcID) {
+	for j := 1; j <= e.n; j++ {
+		si := e.sessIdx(k, sim.ProcID(j))
+		if si >= 0 && rd.doneSet.Add(si) {
+			rd.doneDealers[j] = append(rd.doneDealers[j], k)
+		}
+	}
 }
 
 // sessIdx flattens a (dealer, target) pair of round r into the dense
@@ -171,11 +239,15 @@ func (e *Engine) Done(r uint64) bool {
 // Rounds returns the number of live round records (retirement tests).
 func (e *Engine) Rounds() int { return len(e.rounds) }
 
-// Reset drops every coin round and the inner gather engine's rounds.
-// Used when the owning stack retires.
+// Reset drops every coin round, the inner gather engine's rounds, and
+// any self-batch dealing state. Used when the owning stack retires.
 func (e *Engine) Reset() {
 	clear(e.rounds)
 	e.gat.Reset()
+	if e.selfB != nil {
+		e.selfB = &selfBatch{eng: e, rounds: e.selfB.rounds}
+		e.supply = e.selfB
+	}
 }
 
 // Bit returns the coin output for a finished round.
@@ -194,20 +266,152 @@ func lotteryMod(n int) uint64 {
 }
 
 // Start begins coin round r: share one lottery secret attached to every
-// process (step 1). Idempotent.
+// process (step 1), or — in a batch round — ensure the batched dealing
+// is underway and consume its slots. Idempotent.
 func (e *Engine) Start(ctx sim.Context, r uint64) {
 	rd := e.round(ctx, r)
 	if rd.started {
 		return
 	}
 	rd.started = true
-	u := lotteryMod(ctx.N())
-	for j := 1; j <= ctx.N(); j++ {
-		secret := field.New(uint64(ctx.Rand().Int63n(int64(u))))
-		// Errors cannot occur: we are the dealer and the session is new.
-		_ = e.sv.Share(ctx, SessionFor(e.host.Self(), r, sim.ProcID(j)), secret)
+	if rd.batch {
+		e.supply.EnsureDealt(ctx)
+	} else {
+		u := lotteryMod(ctx.N())
+		for j := 1; j <= ctx.N(); j++ {
+			secret := field.New(uint64(ctx.Rand().Int63n(int64(u))))
+			// Errors cannot occur: we are the dealer and the session is new.
+			_ = e.sv.Share(ctx, SessionFor(e.host.Self(), r, sim.ProcID(j)), secret)
+		}
 	}
 	e.advance(ctx, rd)
+}
+
+// SetSupply installs a batch supply covering coin rounds 1..s.Rounds().
+// Call before the run starts; all processes of a run must agree on the
+// supply's round count (round mode is a pure function of round number).
+func (e *Engine) SetSupply(s Supply) { e.supply = s }
+
+// EnableSelfBatch installs the in-stack self-batch supply: this process
+// deals ONE batched SVSS session of rounds*n lottery secrets the first
+// time a batch round starts, and coin rounds 1..rounds consume its
+// slots. The n+2n² MW quorum setup is paid once instead of rounds*n
+// times. Sim-mode counterpart of the cross-session pool.
+func (e *Engine) EnableSelfBatch(rounds int) {
+	e.selfB = &selfBatch{eng: e, rounds: rounds}
+	e.supply = e.selfB
+}
+
+// OnBatchShareDone feeds a batch-dealing share completion (dealer k)
+// into every batch round. External supplies (the pool) call this; the
+// self-batch routes through it too.
+func (e *Engine) OnBatchShareDone(ctx sim.Context, k sim.ProcID) {
+	e.forEachBatchRound(ctx, func(rd *round) { e.markBatchDealer(rd, k) })
+}
+
+// OnBatchRecon feeds a reconstructed batch slot (dealer k, round r,
+// target j) into the round, exactly like a classic per-session
+// reconstruction output.
+func (e *Engine) OnBatchRecon(ctx sim.Context, k sim.ProcID, r uint64, j sim.ProcID, out svss.Output) {
+	rd := e.round(ctx, r)
+	si := e.sessIdx(k, j)
+	if si < 0 || !rd.outSet.Add(si) {
+		return
+	}
+	if rd.outs == nil {
+		rd.outs = make([]svss.Output, e.n*e.n)
+	}
+	rd.outs[si] = out
+	e.advance(ctx, rd)
+}
+
+// forEachBatchRound applies fn to every live batch round and advances
+// it, in ascending round order (determinism: advance sends).
+func (e *Engine) forEachBatchRound(ctx sim.Context, fn func(rd *round)) {
+	rs := make([]uint64, 0, len(e.rounds))
+	for r, rd := range e.rounds {
+		if rd.batch {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	for _, r := range rs {
+		rd := e.rounds[r]
+		fn(rd)
+		e.advance(ctx, rd)
+	}
+}
+
+// selfBatch is the in-stack Supply: one batched dealing per process
+// covering rounds 1..rounds, dealt lazily on first demand.
+type selfBatch struct {
+	eng    *Engine
+	rounds int
+	dealt  bool
+	order  []sim.ProcID // dealers in local batch share-completion order
+	done   intern.ProcSet
+	handed intern.Bits // one-shot handout: (dealer-1)*width + slot
+	reused uint64      // slots requested twice (bug counter; must stay 0)
+}
+
+// Rounds implements Supply.
+func (s *selfBatch) Rounds() int { return s.rounds }
+
+// EnsureDealt implements Supply: deal our batch of rounds*n lottery
+// secrets, slot-major by round then target (BatchSlot order).
+func (s *selfBatch) EnsureDealt(ctx sim.Context) {
+	if s.dealt {
+		return
+	}
+	s.dealt = true
+	u := lotteryMod(ctx.N())
+	secrets := make([]field.Element, BatchWidth(ctx.N(), s.rounds))
+	for i := range secrets {
+		secrets[i] = field.New(uint64(ctx.Rand().Int63n(int64(u))))
+	}
+	// Errors cannot occur: we are the dealer and the session is new.
+	_ = s.eng.sv.ShareVec(ctx, BatchSessionFor(s.eng.host.Self()), secrets)
+}
+
+// DoneOrder implements Supply.
+func (s *selfBatch) DoneOrder() []sim.ProcID { return s.order }
+
+// Reconstruct implements Supply: open the slots of dealer k's batch
+// attached to the given targets, asserting the one-shot handout (no
+// slot is ever opened twice).
+func (s *selfBatch) Reconstruct(ctx sim.Context, k sim.ProcID, r uint64, targets []sim.ProcID) {
+	n := ctx.N()
+	slots := make([]int, 0, len(targets))
+	for _, j := range targets {
+		slot := BatchSlot(n, r, j)
+		idx := (int(k)-1)*BatchWidth(n, s.rounds) + slot
+		if !s.handed.Add(idx) {
+			s.reused++
+			continue
+		}
+		slots = append(slots, slot)
+	}
+	if len(slots) > 0 {
+		s.eng.sv.ReconstructSlots(ctx, BatchSessionFor(k), slots)
+	}
+}
+
+// markDone records dealer k's batch share completion.
+func (s *selfBatch) markDone(k sim.ProcID) bool {
+	if !s.done.Add(k) {
+		return false
+	}
+	s.order = append(s.order, k)
+	return true
+}
+
+// SlotReuses returns the count of one-shot-handout violations observed
+// by the self-batch supply (must be zero; asserted by tests).
+func (e *Engine) SlotReuses() uint64 {
+	if e.selfB == nil {
+		return 0
+	}
+	return e.selfB.reused
 }
 
 func tag(r uint64, step uint8) proto.Tag {
@@ -215,8 +419,14 @@ func tag(r uint64, step uint8) proto.Tag {
 }
 
 // OnSVSSShareComplete records a locally completed coin sharing (dealer
-// sid.Dealer, target sid.Index).
+// sid.Dealer, target sid.Index; Index 0 is a batched dealing).
 func (e *Engine) OnSVSSShareComplete(ctx sim.Context, sid proto.SessionID) {
+	if sid.Index == 0 {
+		if e.selfB != nil && e.selfB.markDone(sid.Dealer) {
+			e.OnBatchShareDone(ctx, sid.Dealer)
+		}
+		return
+	}
 	rd := e.round(ctx, sid.Round)
 	target := sim.ProcID(sid.Index)
 	si := e.sessIdx(sid.Dealer, target)
@@ -227,8 +437,19 @@ func (e *Engine) OnSVSSShareComplete(ctx sim.Context, sid proto.SessionID) {
 	e.advance(ctx, rd)
 }
 
-// OnSVSSReconComplete records a reconstructed lottery share.
-func (e *Engine) OnSVSSReconComplete(ctx sim.Context, sid proto.SessionID, out svss.Output) {
+// OnSVSSReconComplete records a reconstructed lottery share. For a
+// batched dealing (Index 0) the slot decodes to (round, target); for
+// classic sessions slot is always 0 and the id carries both.
+func (e *Engine) OnSVSSReconComplete(ctx sim.Context, sid proto.SessionID, slot int, out svss.Output) {
+	if sid.Index == 0 {
+		if e.selfB == nil || e.n == 0 {
+			return
+		}
+		r := uint64(slot/e.n) + 1
+		j := sim.ProcID(slot%e.n) + 1
+		e.OnBatchRecon(ctx, sid.Dealer, r, j, out)
+		return
+	}
 	rd := e.round(ctx, sid.Round)
 	si := e.sessIdx(sid.Dealer, sim.ProcID(sid.Index))
 	if si < 0 || !rd.outSet.Add(si) {
@@ -312,7 +533,12 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 	// reconstruct announcement therefore cannot leak values the
 	// adversary could use to steer verification adaptively.
 	if rd.haveGather {
-		// Process-id order for the same determinism reason as step 3.
+		// Process-id order for the same determinism reason as step 3. In
+		// supply mode the pass first collects every target that becomes
+		// ready, then issues one grouped request per dealer: the targets
+		// map to adjacent supply slots, which the layers below reveal in
+		// a single slab broadcast instead of one per slot.
+		var started []sim.ProcID
 		for p := 1; p <= ctx.N(); p++ {
 			j := sim.ProcID(p)
 			if !rd.reconTargets.Has(j) || rd.reconStarted.Has(j) {
@@ -322,8 +548,26 @@ func (e *Engine) advance(ctx sim.Context, rd *round) {
 				continue
 			}
 			rd.reconStarted.Add(j)
+			if rd.batch {
+				started = append(started, j)
+				continue
+			}
 			for _, k := range rd.attach[j] {
 				e.sv.Reconstruct(ctx, SessionFor(k, rd.r, j))
+			}
+		}
+		if len(started) > 0 {
+			for p := 1; p <= ctx.N(); p++ {
+				k := sim.ProcID(p)
+				var targets []sim.ProcID
+				for _, j := range started {
+					if procsContain(rd.attach[j], k) {
+						targets = append(targets, j)
+					}
+				}
+				if len(targets) > 0 {
+					e.supply.Reconstruct(ctx, k, rd.r, targets)
+				}
 			}
 		}
 	}
@@ -394,6 +638,15 @@ func (e *Engine) tryFinish(ctx sim.Context, rd *round) {
 	if e.onCoin != nil {
 		e.onCoin(ctx, rd.r, rd.bit)
 	}
+}
+
+func procsContain(ps []sim.ProcID, p sim.ProcID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 func encodeProcs(ps []sim.ProcID) []byte {

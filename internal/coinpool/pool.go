@@ -1,0 +1,321 @@
+// Package coinpool amortizes common-coin dealing across the concurrent
+// ACS sessions of a service node. Classic operation pays a full MW-SVSS
+// dealing setup — n sessions of n² moderated sharings each, the "n+2n²
+// echo storm" — for every coin round of every binary agreement. The
+// pool instead runs ONE batched dealing round per ACS session on the
+// session's proposal-plane stack: each process deals a single SVSS
+// session carrying n_aba × rounds × n lottery secrets, and the n binary
+// agreements of the session consume disjoint slots of that batch as
+// their coin rounds fire. Setup quorum traffic is paid once per
+// (session, dealer) instead of once per (ABA, coin round, dealer,
+// target).
+//
+// Safety rests on three arguments, asserted in tests:
+//
+//   - One-shot handout. A slot (one dealt secret of one dealer) is
+//     reconstructed at most once, ever; Supply.Reconstruct records every
+//     handout in a bitset and counts (never performs) duplicates. Reuse
+//     would correlate two coin rounds and break the (1/4,1/4) bound.
+//   - Per-slot hiding. Reconstruction reveals exactly the requested
+//     slot (internal/mwsvss reveals per-slot shares, not dealt vectors),
+//     so slots still pooled stay uniform and unknown to the adversary.
+//   - Plane-outlives-ABAs retirement. The dealing lives on the plane
+//     scope, so the plane retires only after every ABA scope of the
+//     session halted; by then n−t DECIDE amplification finishes the
+//     cluster without further coin reconstructions from this process.
+package coinpool
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"svssba/internal/coin"
+	"svssba/internal/core"
+	"svssba/internal/field"
+	"svssba/internal/intern"
+	"svssba/internal/mwsvss"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+// Config sizes a pool.
+type Config struct {
+	// N, T are the cluster's agreement parameters.
+	N, T int
+	// Self is the owning process.
+	Self sim.ProcID
+	// Rounds is the number of coin rounds per binary agreement covered
+	// by the pooled dealing (later rounds fall back to classic per-round
+	// dealing). The batch width is N*Rounds*N secrets per dealer.
+	Rounds int
+}
+
+// Validate checks the batch width fits the MW-SVSS slot bound.
+func (c Config) Validate() error {
+	if c.Rounds < 1 {
+		return fmt.Errorf("coinpool: rounds %d < 1", c.Rounds)
+	}
+	if w := c.Width(); w > mwsvss.MaxBatchSlots {
+		return fmt.Errorf("coinpool: width %d (n=%d rounds=%d) exceeds %d slots",
+			w, c.N, c.Rounds, mwsvss.MaxBatchSlots)
+	}
+	return nil
+}
+
+// Width is the per-dealer batch width: n agreements × Rounds coin
+// rounds × n attach targets.
+func (c Config) Width() int { return c.N * c.Rounds * c.N }
+
+// slotOf flattens (agreement j, coin round r, target) into a batch
+// slot: agreement-major, then round, then target — so one agreement's
+// slots are contiguous and low agreements use low slots.
+func (c Config) slotOf(abaJ int, r uint64, target sim.ProcID) int {
+	return ((abaJ-1)*c.Rounds+int(r)-1)*c.N + int(target) - 1
+}
+
+// Stats is an atomic snapshot of the pool gauges.
+type Stats struct {
+	// Depth is the number of dealt-and-unconsumed slots across live
+	// supplies (a dealer's slots enter when its batch share completes
+	// locally, leave one per handout or when the supply releases).
+	Depth int64
+	// Reserved is the number of slots reserved by open sessions whose
+	// dealing is still in flight (reserved at supply open, moving to
+	// Depth per completed dealer).
+	Reserved int64
+	// Refills counts dealing rounds started (one per supply).
+	Refills int64
+	// Handouts counts slots handed out (one-shot, each to one coin
+	// round).
+	Handouts int64
+	// DoubleHandouts counts handout requests for an already-consumed
+	// slot. Must be zero: a reuse would correlate coin rounds.
+	DoubleHandouts int64
+	// Live is the number of live supplies (sessions holding pool state).
+	Live int64
+}
+
+// Pool owns the per-session supplies of one service node. All methods
+// are delivery-goroutine only unless noted; Stats is safe anywhere.
+type Pool struct {
+	cfg      Config
+	supplies map[uint64]*Supply
+
+	depth, reserved, refills, handouts, doubleHandouts, live atomic.Int64
+}
+
+// New builds a pool. Call Validate on the config first.
+func New(cfg Config) *Pool {
+	return &Pool{cfg: cfg, supplies: make(map[uint64]*Supply)}
+}
+
+// Rounds returns the configured coin-round coverage.
+func (p *Pool) Rounds() int { return p.cfg.Rounds }
+
+// Stats snapshots the pool gauges (safe from any goroutine).
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Depth:          p.depth.Load(),
+		Reserved:       p.reserved.Load(),
+		Refills:        p.refills.Load(),
+		Handouts:       p.handouts.Load(),
+		DoubleHandouts: p.doubleHandouts.Load(),
+		Live:           p.live.Load(),
+	}
+}
+
+// Supply returns session sid's supply (nil when none).
+func (p *Pool) Supply(sid uint64) *Supply { return p.supplies[sid] }
+
+// Supply is one ACS session's slice of the pool: the batched dealings
+// hosted on that session's plane stack, the handout ledger, and the
+// per-agreement consumers.
+type Supply struct {
+	pool  *Pool
+	sid   uint64
+	plane *planeRef
+
+	order     []sim.ProcID // dealers whose batch share completed locally
+	done      intern.ProcSet
+	handed    intern.Bits // (dealer-1)*width + slot
+	consumers []*Consumer // 1..n by agreement slot
+	onReady   func()      // fires once when self's own dealing completes
+	released  bool
+}
+
+// planeRef is what the supply needs from the plane scope: the stack
+// whose SVSS hosts the dealings, a scoped send context, and a way to
+// mark the scope touched after mutating it.
+type planeRef struct {
+	stack *core.Stack
+	ctx   sim.Context
+	touch func()
+}
+
+// Open creates the supply for session sid, installs the KindCoin
+// consumer on the plane stack, and deals this process's batch through
+// the plane's scoped context. onReady (optional) fires once when our
+// own dealing share-completes locally — the pipelined-startup signal.
+// Call from the plane scope's Opened hook.
+func (p *Pool) Open(sid uint64, st *core.Stack, ctx sim.Context, touch func(), onReady func()) *Supply {
+	if s := p.supplies[sid]; s != nil {
+		return s
+	}
+	s := &Supply{
+		pool:      p,
+		sid:       sid,
+		plane:     &planeRef{stack: st, ctx: ctx, touch: touch},
+		consumers: make([]*Consumer, p.cfg.N+1),
+		onReady:   onReady,
+	}
+	p.supplies[sid] = s
+	p.live.Add(1)
+	p.refills.Add(1)
+	p.reserved.Add(int64(p.cfg.N * p.cfg.Width()))
+	st.ConsumeSVSS(proto.KindCoin, core.SVSSConsumer{
+		ShareComplete: s.onShareComplete,
+		ReconComplete: s.onReconComplete,
+	})
+	// Deal our batch: width independent uniform lottery secrets.
+	u := uint64(p.cfg.N)
+	u = u * u * u * u
+	secrets := make([]field.Element, p.cfg.Width())
+	for i := range secrets {
+		secrets[i] = field.New(uint64(ctx.Rand().Int63n(int64(u))))
+	}
+	// Errors cannot occur: we are the dealer and the session is new.
+	_ = st.SVSS.ShareVec(ctx, coin.BatchSessionFor(p.cfg.Self), secrets)
+	return s
+}
+
+// Attach wires agreement slot j's coin engine to this supply and
+// replays dealings that completed before the agreement's scope opened.
+// abaCtx/abaTouch scope the engine's sends and retirement bookkeeping.
+func (s *Supply) Attach(j int, eng *coin.Engine, abaCtx sim.Context, abaTouch func()) *Consumer {
+	c := &Consumer{sup: s, j: j, eng: eng, ctx: abaCtx, touch: abaTouch}
+	s.consumers[j] = c
+	eng.SetSupply(c)
+	return c
+}
+
+// Detach drops agreement slot j's consumer (its scope retired); later
+// dealing and reconstruction events for it are discarded.
+func (s *Supply) Detach(j int) {
+	if j >= 1 && j < len(s.consumers) {
+		s.consumers[j] = nil
+	}
+}
+
+// Release drops the supply when its session's plane retires, returning
+// unconsumed state to the gauges. Idempotent.
+func (p *Pool) Release(sid uint64) {
+	s := p.supplies[sid]
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	delete(p.supplies, sid)
+	p.live.Add(-1)
+	width := int64(p.cfg.Width())
+	completed := int64(s.done.Count())
+	p.reserved.Add(-(int64(p.cfg.N) - completed) * width)
+	p.depth.Add(-(completed*width - int64(s.handed.Count())))
+}
+
+// onShareComplete runs on the plane stack's SVSS completion path:
+// dealer sid.Dealer's batch is locally shared; every pooled coin round
+// of every attached agreement can now count it.
+func (s *Supply) onShareComplete(_ sim.Context, svsid proto.SessionID) {
+	if svsid.Index != 0 || s.released {
+		return // not a batched dealing (classic coin never lives here)
+	}
+	k := svsid.Dealer
+	if !s.done.Add(k) {
+		return
+	}
+	s.order = append(s.order, k)
+	s.pool.reserved.Add(-int64(s.pool.cfg.Width()))
+	s.pool.depth.Add(int64(s.pool.cfg.Width()))
+	for j := 1; j < len(s.consumers); j++ {
+		if c := s.consumers[j]; c != nil {
+			c.touch()
+			c.eng.OnBatchShareDone(c.ctx, k)
+		}
+	}
+	if k == s.pool.cfg.Self && s.onReady != nil {
+		ready := s.onReady
+		s.onReady = nil
+		ready()
+	}
+}
+
+// onReconComplete routes a reconstructed batch slot to the agreement
+// that owns it.
+func (s *Supply) onReconComplete(_ sim.Context, svsid proto.SessionID, slot int, out svss.Output) {
+	if svsid.Index != 0 || s.released {
+		return
+	}
+	cfg := s.pool.cfg
+	perABA := cfg.Rounds * cfg.N
+	j := slot/perABA + 1
+	if j < 1 || j >= len(s.consumers) {
+		return
+	}
+	rem := slot % perABA
+	r := uint64(rem/cfg.N) + 1
+	target := sim.ProcID(rem%cfg.N) + 1
+	if c := s.consumers[j]; c != nil {
+		c.touch()
+		c.eng.OnBatchRecon(c.ctx, svsid.Dealer, r, target, out)
+	}
+}
+
+// Consumer adapts one agreement's view of the supply to the coin
+// engine's Supply port.
+type Consumer struct {
+	sup   *Supply
+	j     int
+	eng   *coin.Engine
+	ctx   sim.Context
+	touch func()
+}
+
+var _ coin.Supply = (*Consumer)(nil)
+
+// Rounds implements coin.Supply.
+func (c *Consumer) Rounds() int { return c.sup.pool.cfg.Rounds }
+
+// EnsureDealt implements coin.Supply. The plane dealt at session open,
+// ahead of any agreement demand — nothing to do.
+func (c *Consumer) EnsureDealt(sim.Context) {}
+
+// DoneOrder implements coin.Supply.
+func (c *Consumer) DoneOrder() []sim.ProcID { return c.sup.order }
+
+// Reconstruct implements coin.Supply: hand out the slots holding dealer
+// k's secrets attached to the given targets in round r of this
+// agreement, opening their reconstructions on the plane stack as one
+// grouped request (the targets map to adjacent slots, revealed together
+// in one slab). One-shot: a slot requested twice is counted and refused.
+func (c *Consumer) Reconstruct(_ sim.Context, k sim.ProcID, r uint64, targets []sim.ProcID) {
+	s := c.sup
+	cfg := s.pool.cfg
+	slots := make([]int, 0, len(targets))
+	for _, target := range targets {
+		slot := cfg.slotOf(c.j, r, target)
+		idx := (int(k)-1)*cfg.Width() + slot
+		if !s.handed.Add(idx) {
+			s.pool.doubleHandouts.Add(1)
+			continue
+		}
+		s.pool.handouts.Add(1)
+		s.pool.depth.Add(-1)
+		slots = append(slots, slot)
+	}
+	if len(slots) == 0 {
+		return
+	}
+	s.plane.touch()
+	s.plane.stack.SVSS.ReconstructSlots(s.plane.ctx, coin.BatchSessionFor(k), slots)
+}

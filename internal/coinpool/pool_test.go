@@ -1,0 +1,256 @@
+package coinpool
+
+import (
+	"testing"
+
+	"svssba/internal/core"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/svss"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{N: 4, T: 1, Self: 1, Rounds: 0}).Validate(); err == nil {
+		t.Error("rounds 0 accepted")
+	}
+	// 4*65*4 = 1040 > MaxBatchSlots (1024).
+	if err := (Config{N: 4, T: 1, Self: 1, Rounds: 65}).Validate(); err == nil {
+		t.Error("oversized batch width accepted")
+	}
+	cfg := Config{N: 4, T: 1, Self: 1, Rounds: 4}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if w := cfg.Width(); w != 64 {
+		t.Errorf("width = %d, want 64", w)
+	}
+}
+
+// TestSlotLayoutInjective pins the slot map: every (agreement, round,
+// target) triple gets a distinct in-range slot, agreement-major — the
+// property the one-shot handout ledger and the recon router both build
+// on.
+func TestSlotLayoutInjective(t *testing.T) {
+	cfg := Config{N: 4, T: 1, Self: 1, Rounds: 3}
+	seen := make(map[int]bool, cfg.Width())
+	for j := 1; j <= cfg.N; j++ {
+		for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
+			for target := sim.ProcID(1); int(target) <= cfg.N; target++ {
+				s := cfg.slotOf(j, r, target)
+				if s < 0 || s >= cfg.Width() {
+					t.Fatalf("slotOf(%d,%d,%d) = %d out of [0,%d)", j, r, target, s, cfg.Width())
+				}
+				if seen[s] {
+					t.Fatalf("slotOf(%d,%d,%d) = %d collides", j, r, target, s)
+				}
+				seen[s] = true
+				// Agreement-major: everything of agreement j sits below
+				// agreement j+1's first slot.
+				if j < cfg.N && s >= cfg.slotOf(j+1, 1, 1) {
+					t.Fatalf("slot %d of agreement %d not below agreement %d", s, j, j+1)
+				}
+			}
+		}
+	}
+	if len(seen) != cfg.Width() {
+		t.Fatalf("%d distinct slots, want %d", len(seen), cfg.Width())
+	}
+}
+
+// poolCluster is a sim-backed harness: n full protocol stacks over the
+// deterministic network, each with its own pool, supplies opened for
+// one shared session id.
+type poolCluster struct {
+	nw      *sim.Network
+	stacks  map[sim.ProcID]*core.Stack
+	pools   map[sim.ProcID]*Pool
+	ready   map[sim.ProcID]bool
+	shunned int
+}
+
+// newPoolCluster builds the harness. Supplies are opened from each
+// process's Init hook only for ids in open — leaving a process out
+// models a dealer that vanishes mid-refill (its batch never arrives).
+func newPoolCluster(t *testing.T, n, tf, rounds int, seed int64, open map[sim.ProcID]bool) *poolCluster {
+	t.Helper()
+	c := &poolCluster{
+		nw:     sim.NewNetwork(n, tf, seed),
+		stacks: make(map[sim.ProcID]*core.Stack, n),
+		pools:  make(map[sim.ProcID]*Pool, n),
+		ready:  make(map[sim.ProcID]bool, n),
+	}
+	for i := 1; i <= n; i++ {
+		id := sim.ProcID(i)
+		st := core.NewStack(id, func(sim.ProcID, proto.MWID) { c.shunned++ })
+		c.stacks[id] = st
+		if open[id] {
+			cfg := Config{N: n, T: tf, Self: id, Rounds: rounds}
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			p := New(cfg)
+			c.pools[id] = p
+			st.Node.AddInit(func(ctx sim.Context) {
+				p.Open(1, st, ctx, func() {}, func() { c.ready[id] = true })
+			})
+		}
+		if err := c.nw.Register(st.Node); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+func (c *poolCluster) mustReach(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	if _, err := c.nw.RunUntil(cond, 100_000_000); err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if !cond() {
+		t.Fatalf("%s: network quiesced before condition held", what)
+	}
+}
+
+// TestPoolOneShotHandoutAndRelease drives the full supply lifecycle on
+// a real stack cluster: dealing-ahead fills the depth gauge, handouts
+// are one-shot (duplicates counted, never performed), and Release
+// returns every gauge to zero — the no-leak identity the service layer
+// asserts after every session.
+func TestPoolOneShotHandoutAndRelease(t *testing.T) {
+	const n, tf, rounds = 4, 1, 1
+	all := map[sim.ProcID]bool{1: true, 2: true, 3: true, 4: true}
+	c := newPoolCluster(t, n, tf, rounds, 11, all)
+	width := Config{N: n, Rounds: rounds}.Width() // 16
+
+	// Every dealer's batch share-completes at every process; depth fills
+	// to n*width and the pipelined-startup signal fires.
+	c.mustReach(t, "dealings", func() bool {
+		for _, p := range c.pools {
+			if p.Stats().Depth != int64(n*width) {
+				return false
+			}
+		}
+		return len(c.ready) == n
+	})
+	for id, p := range c.pools {
+		st := p.Stats()
+		if st.Refills != 1 || st.Reserved != 0 || st.Live != 1 || st.Handouts != 0 || st.DoubleHandouts != 0 {
+			t.Fatalf("proc %d: gauges after dealing: %+v", id, st)
+		}
+	}
+
+	// Symmetric handouts on every process (agreement 2, round 1, three
+	// targets of dealer 1), so the plane reconstructions complete
+	// cluster-wide. The consumer is detached from any coin engine:
+	// routing of completed slots is covered at the service layer; here
+	// the ledger and gauges are the contract under test.
+	targets := []sim.ProcID{1, 2, 3}
+	recon := func(ks []sim.ProcID, tg []sim.ProcID) {
+		for id := range c.pools {
+			sup := c.pools[id].Supply(1)
+			cons := &Consumer{sup: sup, j: 2, touch: func() {}}
+			if err := c.nw.Inject(id, func(sim.Context) {
+				for _, k := range ks {
+					cons.Reconstruct(nil, k, 1, tg)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recon([]sim.ProcID{1}, targets)
+	for id, p := range c.pools {
+		st := p.Stats()
+		if st.Handouts != 3 || st.Depth != int64(n*width-3) || st.DoubleHandouts != 0 {
+			t.Fatalf("proc %d: gauges after handout: %+v", id, st)
+		}
+	}
+
+	// The same request again: every slot already handed out — counted,
+	// refused, depth untouched.
+	recon([]sim.ProcID{1}, targets)
+	for id, p := range c.pools {
+		st := p.Stats()
+		if st.Handouts != 3 || st.DoubleHandouts != 3 || st.Depth != int64(n*width-3) {
+			t.Fatalf("proc %d: gauges after duplicate: %+v", id, st)
+		}
+	}
+
+	// Overlapping request {3,4}: one fresh slot, one duplicate.
+	recon([]sim.ProcID{1}, []sim.ProcID{3, 4})
+	for id, p := range c.pools {
+		st := p.Stats()
+		if st.Handouts != 4 || st.DoubleHandouts != 4 || st.Depth != int64(n*width-4) {
+			t.Fatalf("proc %d: gauges after overlap: %+v", id, st)
+		}
+	}
+
+	// Drain the reveal traffic the handouts opened; an honest cluster
+	// must not shun.
+	if _, err := c.nw.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.shunned != 0 {
+		t.Fatalf("%d shuns in honest run", c.shunned)
+	}
+
+	// Release: with all n dealings complete and 4 slots handed out the
+	// accounting identity must land every gauge on exactly zero.
+	for id, p := range c.pools {
+		p.Release(1)
+		p.Release(1) // idempotent
+		st := p.Stats()
+		if st.Live != 0 || st.Depth != 0 || st.Reserved != 0 {
+			t.Fatalf("proc %d: gauges after release: %+v", id, st)
+		}
+	}
+}
+
+// TestPoolReleaseMidRefill models a dealer crashing mid-refill: process
+// 4 never opens a supply (so its batch is never dealt), leaving every
+// surviving pool with one dealer permanently reserved. Release must
+// hand those reserved slots back — no gauge may leak — and events that
+// straggle in after release must be ignored.
+func TestPoolReleaseMidRefill(t *testing.T) {
+	const n, tf, rounds = 4, 1, 1
+	c := newPoolCluster(t, n, tf, rounds, 13, map[sim.ProcID]bool{1: true, 2: true, 3: true})
+	width := Config{N: n, Rounds: rounds}.Width()
+
+	// Dealers 1..3 complete everywhere; dealer 4's width stays reserved.
+	c.mustReach(t, "partial dealings", func() bool {
+		for _, p := range c.pools {
+			if p.Stats().Depth != int64(3*width) {
+				return false
+			}
+		}
+		return true
+	})
+	if _, err := c.nw.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range c.pools {
+		st := p.Stats()
+		if st.Reserved != int64(width) || st.Depth != int64(3*width) || st.Live != 1 {
+			t.Fatalf("proc %d: gauges mid-refill: %+v", id, st)
+		}
+	}
+
+	for id, p := range c.pools {
+		sup := p.Supply(1)
+		p.Release(1)
+		st := p.Stats()
+		if st.Live != 0 || st.Depth != 0 || st.Reserved != 0 {
+			t.Fatalf("proc %d: gauges after mid-refill release: %+v", id, st)
+		}
+		// A share completion landing after release (the crashed dealer's
+		// batch finally arriving) must not resurrect any gauge.
+		sup.onShareComplete(nil, proto.SessionID{Dealer: 4, Kind: proto.KindCoin})
+		sup.onReconComplete(nil, proto.SessionID{Dealer: 1, Kind: proto.KindCoin}, 0, svss.Output{})
+		if st := p.Stats(); st.Depth != 0 || st.Reserved != 0 || st.Handouts != 0 {
+			t.Fatalf("proc %d: late event leaked state: %+v", id, st)
+		}
+	}
+	if c.shunned != 0 {
+		t.Fatalf("%d shuns in crash-only run", c.shunned)
+	}
+}

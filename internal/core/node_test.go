@@ -55,7 +55,7 @@ func TestNodeDiscardsFromDi(t *testing.T) {
 	// Put 2 into D_1 via a contradicted expectation.
 	s := mwref(1)
 	n.DMM().Expect(dmm.Expectation{Sender: 2, Target: 1, Session: s, Value: field.New(5), Source: dmm.SourceDEAL})
-	n.DMM().ObserveValueBroadcast(2, s, 1, field.New(6))
+	n.DMM().ObserveValueBroadcast(2, s, 1, 0, field.New(6))
 	ctx := testutil.NewCtx(1, 4, 1)
 	n.Deliver(ctx, sim.Message{From: 2, To: 1, Payload: plain{V: 1}})
 	if calls != 0 {
@@ -95,7 +95,7 @@ func TestNodeParksAndDrainsSessionedMessages(t *testing.T) {
 
 	// Resolving the expectation releases the parked message on the next
 	// delivery's drain.
-	n.DMM().ObserveValueBroadcast(2, s1, 1, field.New(5))
+	n.DMM().ObserveValueBroadcast(2, s1, 1, 0, field.New(5))
 	n.Deliver(ctx, sim.Message{From: 4, To: 1, Payload: plain{V: 0}})
 	if len(delivered) != 2 || delivered[1] != 21 {
 		t.Fatalf("delivered = %v, want [31 21]", delivered)

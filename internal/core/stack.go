@@ -30,16 +30,18 @@ func AttachMWSVSS(n *Node, cb mwsvss.Callbacks) *mwsvss.Engine {
 }
 
 // SVSSConsumer receives completion events for SVSS sessions of one kind.
+// ReconComplete fires once per reconstructed batch slot (slot 0 for
+// classic single-secret sessions).
 type SVSSConsumer struct {
 	ShareComplete func(ctx sim.Context, sid proto.SessionID)
-	ReconComplete func(ctx sim.Context, sid proto.SessionID, out svss.Output)
+	ReconComplete func(ctx sim.Context, sid proto.SessionID, slot int, out svss.Output)
 }
 
 // MWConsumer receives completion events for standalone (KindMW) MW-SVSS
-// sessions.
+// sessions, per reconstructed batch slot.
 type MWConsumer struct {
 	ShareComplete func(ctx sim.Context, id proto.MWID)
-	ReconComplete func(ctx sim.Context, id proto.MWID, out mwsvss.Output)
+	ReconComplete func(ctx sim.Context, id proto.MWID, slot int, out mwsvss.Output)
 }
 
 // Stack is the full per-process protocol stack of the paper: Node (RB +
@@ -115,17 +117,17 @@ func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID
 			}
 			st.SVSS.OnMWShareComplete(ctx, mid)
 		},
-		ReconstructComplete: func(ctx sim.Context, mid proto.MWID, out mwsvss.Output) {
+		ReconstructComplete: func(ctx sim.Context, mid proto.MWID, slot int, out mwsvss.Output) {
 			if st.hooks != nil && st.hooks.MWRecon != nil {
 				st.hooks.MWRecon(mid)
 			}
 			if mid.Session.Kind == proto.KindMW {
 				if st.mwConsumer.ReconComplete != nil {
-					st.mwConsumer.ReconComplete(ctx, mid, out)
+					st.mwConsumer.ReconComplete(ctx, mid, slot, out)
 				}
 				return
 			}
-			st.SVSS.OnMWReconComplete(ctx, mid, out)
+			st.SVSS.OnMWReconComplete(ctx, mid, slot, out)
 		},
 	})
 
@@ -135,9 +137,9 @@ func NewStack(id sim.ProcID, onShun func(detected sim.ProcID, session proto.MWID
 				c.ShareComplete(ctx, sid)
 			}
 		},
-		ReconstructComplete: func(ctx sim.Context, sid proto.SessionID, out svss.Output) {
+		ReconstructComplete: func(ctx sim.Context, sid proto.SessionID, slot int, out svss.Output) {
 			if c, ok := st.svssConsumers[sid.Kind]; ok && c.ReconComplete != nil {
-				c.ReconComplete(ctx, sid, out)
+				c.ReconComplete(ctx, sid, slot, out)
 			}
 		},
 	})
@@ -197,6 +199,12 @@ func NewCodec() *proto.Codec {
 // (wire variant v2). Call before the run starts; all processes of a run
 // must agree on the variant.
 func (st *Stack) EnableWireV2() { st.Node.EnableWireV2() }
+
+// EnableCoinBatch switches coin rounds 1..rounds to the batched dealing
+// mode: each process deals one rounds*n-secret SVSS session instead of
+// rounds separate n-session dealing storms. Call before the run starts;
+// all processes of a run must agree on the round count.
+func (st *Stack) EnableCoinBatch(rounds int) { st.Coin.EnableSelfBatch(rounds) }
 
 // StateCounts is a snapshot of the stack's live protocol state: per
 // engine, the number of live instances and (where slab-allocated) the

@@ -48,11 +48,16 @@ const (
 )
 
 // Expectation is one tuple of ACK_i or DEAL_i in the unified shape
-// (sender, target polynomial index, session, value).
+// (sender, target polynomial index, session, batch slot, value). Slot
+// distinguishes the secrets of a batched dealing: each slot carries an
+// independent polynomial, reconstructs independently, and therefore
+// keeps its own expectation tuples (slot 0 for classic single-secret
+// sessions).
 type Expectation struct {
 	Sender  sim.ProcID
 	Target  sim.ProcID
 	Session proto.MWID
+	Slot    uint16
 	Value   field.Element
 	Source  Source
 }
@@ -62,14 +67,41 @@ func (e Expectation) String() string {
 	if e.Source == SourceDEAL {
 		src = "DEAL"
 	}
-	return fmt.Sprintf("%s{%d->f_%d@%s=%v}", src, e.Sender, e.Target, e.Session, e.Value)
+	return fmt.Sprintf("%s{%d->f_%d@%s#%d=%v}", src, e.Sender, e.Target, e.Session, e.Slot, e.Value)
 }
 
+// expectKey names one expectation entry. Batched sessions keep ALL
+// their slots inside one entry (a value vector plus a pending bitmap),
+// so installing a K-slot dealing's expectations costs one map insert,
+// not K — the point of batching is to pay the quorum bookkeeping once
+// per dealing, and the expectation store must not reintroduce the
+// per-slot cost through the back door.
 type expectKey struct {
 	sender  sim.ProcID
 	target  sim.ProcID
 	session proto.MWID
 	source  Source
+}
+
+// expectEntry holds the per-slot expected values of one key. pending
+// marks slots that are installed and not yet resolved; npend counts
+// them so entry removal is O(1) to detect.
+type expectEntry struct {
+	vals    []field.Element
+	pending []bool
+	npend   int
+}
+
+func (en *expectEntry) has(s int) bool { return s < len(en.pending) && en.pending[s] }
+
+func (en *expectEntry) set(s int, v field.Element) {
+	for len(en.pending) <= s {
+		en.pending = append(en.pending, false)
+		en.vals = append(en.vals, 0)
+	}
+	en.vals[s] = v
+	en.pending[s] = true
+	en.npend++
 }
 
 // EventClass distinguishes parked event payload shapes for the host.
@@ -120,20 +152,29 @@ type DMM struct {
 	began   map[proto.MWID]int64
 	redone  map[proto.MWID]int64
 	faulty  map[sim.ProcID]bool
-	expect  map[expectKey]field.Element
+	expect  map[expectKey]*expectEntry
+	tuples  int
 	perProc map[sim.ProcID]map[expectKey]struct{}
-	// perPair counts pending expectations per (sender, session);
 	// staleBySender indexes, per sender, the completed-reconstruct
-	// sessions that still have pending expectations (with their
+	// session slots that still have pending expectations (with their
 	// completion stamps). The delay predicate of Filter only involves
-	// stale sessions, which are empty in fault-free runs, so indexing
-	// them keeps filtering O(1) on the hot path.
-	perPair       map[senderSession]int
-	staleBySender map[sim.ProcID]map[proto.MWID]int64
-	bySession     map[proto.MWID]map[sim.ProcID]int
-	// keysBySession indexes live expectation keys per session so step 8
-	// (DropDealExpectations) touches only its own session instead of
-	// sweeping every pending expectation in the process.
+	// stale slots, which are empty in fault-free runs, so indexing
+	// them keeps filtering O(1) on the hot path. Staleness is per slot:
+	// a batched session reconstructs slot by slot, and only the tuples
+	// of an actually-reconstructed slot may delay a sender — marking
+	// the whole batch stale on the first slot's completion would delay
+	// honest senders on slots nobody has revealed yet.
+	staleBySender map[sim.ProcID]map[slotRef]int64
+	// redoneBySession stamps the slots each session has completed
+	// reconstruction of (per-slot idempotence for
+	// CompleteReconstructSlot, and the install-after-completion check
+	// in Expect — the session lookup is one map access for a whole
+	// batch install).
+	redoneBySession map[proto.MWID]map[uint16]int64
+	// keysBySession indexes live expectation keys per session (all
+	// slots) so step 8 (DropDealExpectations) touches only its own
+	// session instead of sweeping every pending expectation in the
+	// process.
 	keysBySession map[proto.MWID]map[expectKey]struct{}
 	parked        []Event
 	onShun        ShunFunc
@@ -146,26 +187,25 @@ type DMM struct {
 	Contradictions int
 }
 
-// senderSession keys pending-expectation counts.
-type senderSession struct {
-	sender  sim.ProcID
+// slotRef names one batch slot of one session.
+type slotRef struct {
 	session proto.MWID
+	slot    uint16
 }
 
 // New returns the DMM protocol state for process self.
 func New(self sim.ProcID, onShun ShunFunc) *DMM {
 	return &DMM{
-		self:          self,
-		began:         make(map[proto.MWID]int64),
-		redone:        make(map[proto.MWID]int64),
-		faulty:        make(map[sim.ProcID]bool),
-		expect:        make(map[expectKey]field.Element),
-		perProc:       make(map[sim.ProcID]map[expectKey]struct{}),
-		perPair:       make(map[senderSession]int),
-		staleBySender: make(map[sim.ProcID]map[proto.MWID]int64),
-		bySession:     make(map[proto.MWID]map[sim.ProcID]int),
-		keysBySession: make(map[proto.MWID]map[expectKey]struct{}),
-		onShun:        onShun,
+		self:            self,
+		began:           make(map[proto.MWID]int64),
+		redone:          make(map[proto.MWID]int64),
+		faulty:          make(map[sim.ProcID]bool),
+		expect:          make(map[expectKey]*expectEntry),
+		perProc:         make(map[sim.ProcID]map[expectKey]struct{}),
+		staleBySender:   make(map[sim.ProcID]map[slotRef]int64),
+		redoneBySession: make(map[proto.MWID]map[uint16]int64),
+		keysBySession:   make(map[proto.MWID]map[expectKey]struct{}),
+		onShun:          onShun,
 	}
 }
 
@@ -187,64 +227,91 @@ func (d *DMM) BeginShare(ref proto.MWID) {
 }
 
 // CompleteReconstruct stamps the moment i completes the reconstruct
-// protocol of a session. Idempotent.
+// protocol of a session (all slots at once — the session-level entry
+// used by hosts that treat the session as one unit). Idempotent.
 func (d *DMM) CompleteReconstruct(ref proto.MWID) {
-	if _, ok := d.redone[ref]; ok {
+	// Sweep every slot that still has a pending expectation, then slot 0
+	// (classic single-secret sessions may have resolved all tuples
+	// already but must still stamp the →_i completion).
+	seen := map[uint16]bool{}
+	for k := range d.keysBySession[ref] {
+		en := d.expect[k]
+		if en == nil {
+			continue
+		}
+		for s, p := range en.pending {
+			if p && !seen[uint16(s)] {
+				seen[uint16(s)] = true
+				d.CompleteReconstructSlot(ref, uint16(s))
+			}
+		}
+	}
+	if !seen[0] {
+		d.CompleteReconstructSlot(ref, 0)
+	}
+}
+
+// CompleteReconstructSlot stamps the moment i completes the reconstruct
+// protocol of one batch slot of a session. The session's →_i completion
+// stamp is taken at the first slot to finish; staleness is tracked per
+// slot. Idempotent per slot.
+func (d *DMM) CompleteReconstructSlot(ref proto.MWID, slot uint16) {
+	m, ok := d.redoneBySession[ref]
+	if !ok {
+		m = make(map[uint16]int64)
+		d.redoneBySession[ref] = m
+	}
+	if _, done := m[slot]; done {
 		return
 	}
 	stamp := d.tick()
-	d.redone[ref] = stamp
-	// Any expectations still pending in this session are now stale: the
+	m[slot] = stamp
+	if _, ok := d.redone[ref]; !ok {
+		d.redone[ref] = stamp
+	}
+	// Any expectations still pending in this slot are now stale: the
 	// senders' newer sessions must be delayed (DMM step 5).
-	for sender, cnt := range d.bySession[ref] {
-		if cnt > 0 {
-			d.addStale(sender, ref, stamp)
+	sr := slotRef{ref, slot}
+	for k := range d.keysBySession[ref] {
+		if en := d.expect[k]; en != nil && en.has(int(slot)) {
+			d.addStale(k.sender, sr, stamp)
 		}
 	}
 }
 
-func (d *DMM) addStale(sender sim.ProcID, session proto.MWID, stamp int64) {
+func (d *DMM) addStale(sender sim.ProcID, ref slotRef, stamp int64) {
 	m, ok := d.staleBySender[sender]
 	if !ok {
-		m = make(map[proto.MWID]int64)
+		m = make(map[slotRef]int64)
 		d.staleBySender[sender] = m
 	}
-	m[session] = stamp
+	m[ref] = stamp
 }
 
-func (d *DMM) pairInc(sender sim.ProcID, session proto.MWID) {
-	d.perPair[senderSession{sender, session}]++
-	m, ok := d.bySession[session]
+// maybeClearStale drops the sender's stale marker for the given slot
+// once no pending expectation from them remains in it. The scan over
+// the sender's keys only runs when a marker exists, which requires a
+// completed reconstruction with unresolved tuples — never in fault-free
+// runs, so the hot path stays O(1).
+func (d *DMM) maybeClearStale(sender sim.ProcID, ref slotRef) {
+	m, ok := d.staleBySender[sender]
 	if !ok {
-		m = make(map[sim.ProcID]int)
-		d.bySession[session] = m
+		return
 	}
-	m[sender]++
-	if stamp, done := d.redone[session]; done {
-		d.addStale(sender, session, stamp)
+	if _, ok := m[ref]; !ok {
+		return
 	}
-}
-
-func (d *DMM) pairDec(sender sim.ProcID, session proto.MWID) {
-	k := senderSession{sender, session}
-	d.perPair[k]--
-	if d.perPair[k] <= 0 {
-		delete(d.perPair, k)
-		if m, ok := d.staleBySender[sender]; ok {
-			delete(m, session)
-			if len(m) == 0 {
-				delete(d.staleBySender, sender)
-			}
+	for k := range d.perProc[sender] {
+		if k.session != ref.session {
+			continue
+		}
+		if en := d.expect[k]; en != nil && en.has(int(ref.slot)) {
+			return
 		}
 	}
-	if m, ok := d.bySession[session]; ok {
-		m[sender]--
-		if m[sender] <= 0 {
-			delete(m, sender)
-			if len(m) == 0 {
-				delete(d.bySession, session)
-			}
-		}
+	delete(m, ref)
+	if len(m) == 0 {
+		delete(d.staleBySender, sender)
 	}
 }
 
@@ -288,27 +355,69 @@ func (d *DMM) markFaulty(j sim.ProcID, session proto.MWID) {
 	}
 }
 
-// Expect installs an expectation tuple (share steps 3 and 7). A duplicate
-// (same key) keeps the first value.
-func (d *DMM) Expect(e Expectation) {
-	k := expectKey{sender: e.Sender, target: e.Target, session: e.Session, source: e.Source}
-	if _, dup := d.expect[k]; dup {
-		return
+// entry returns (creating and indexing if needed) the expectation entry
+// for k.
+func (d *DMM) entry(k expectKey) *expectEntry {
+	en, ok := d.expect[k]
+	if ok {
+		return en
 	}
-	d.expect[k] = e.Value
-	m, ok := d.perProc[e.Sender]
+	en = &expectEntry{}
+	d.expect[k] = en
+	m, ok := d.perProc[k.sender]
 	if !ok {
 		m = make(map[expectKey]struct{})
-		d.perProc[e.Sender] = m
+		d.perProc[k.sender] = m
 	}
 	m[k] = struct{}{}
-	ks, ok := d.keysBySession[e.Session]
+	ks, ok := d.keysBySession[k.session]
 	if !ok {
 		ks = make(map[expectKey]struct{})
-		d.keysBySession[e.Session] = ks
+		d.keysBySession[k.session] = ks
 	}
 	ks[k] = struct{}{}
-	d.pairInc(e.Sender, e.Session)
+	return en
+}
+
+// Expect installs one expectation tuple (share steps 3 and 7). A
+// duplicate (same key and slot, still pending) keeps the first value.
+func (d *DMM) Expect(e Expectation) {
+	k := expectKey{sender: e.Sender, target: e.Target, session: e.Session, source: e.Source}
+	en := d.entry(k)
+	if en.has(int(e.Slot)) {
+		return
+	}
+	en.set(int(e.Slot), e.Value)
+	d.tuples++
+	if m := d.redoneBySession[e.Session]; m != nil {
+		if stamp, done := m[e.Slot]; done {
+			d.addStale(e.Sender, slotRef{e.Session, e.Slot}, stamp)
+		}
+	}
+}
+
+// ExpectVec installs the expectation tuples of a whole batched dealing
+// in one shot: vals[s] is the value Sender must broadcast for slot s
+// during reconstruction. Equivalent to K calls of Expect but pays the
+// index bookkeeping once — this is on the per-(pair, dealing) hot path
+// of share steps 3 and 7, where per-slot map traffic would scale the
+// quorum machinery's cost right back up with the batch width.
+func (d *DMM) ExpectVec(sender, target sim.ProcID, session proto.MWID, source Source, vals []field.Element) {
+	k := expectKey{sender: sender, target: target, session: session, source: source}
+	en := d.entry(k)
+	redone := d.redoneBySession[session]
+	for s, v := range vals {
+		if en.has(s) {
+			continue
+		}
+		en.set(s, v)
+		d.tuples++
+		if redone != nil {
+			if stamp, done := redone[uint16(s)]; done {
+				d.addStale(sender, slotRef{session, uint16(s)}, stamp)
+			}
+		}
+	}
 }
 
 // DropDealExpectations removes every DEAL_i tuple of the given session
@@ -319,16 +428,20 @@ func (d *DMM) Expect(e Expectation) {
 func (d *DMM) DropDealExpectations(session proto.MWID) {
 	for k := range d.keysBySession[session] {
 		if k.source == SourceDEAL {
-			d.removeKey(k)
+			d.removeEntry(k)
 		}
 	}
 }
 
-func (d *DMM) removeKey(k expectKey) {
-	if _, ok := d.expect[k]; !ok {
+// removeEntry drops a whole expectation entry (every pending slot) and
+// clears any stale markers its slots were holding up.
+func (d *DMM) removeEntry(k expectKey) {
+	en, ok := d.expect[k]
+	if !ok {
 		return
 	}
 	delete(d.expect, k)
+	d.tuples -= en.npend
 	if m, ok := d.perProc[k.sender]; ok {
 		delete(m, k)
 		if len(m) == 0 {
@@ -341,7 +454,25 @@ func (d *DMM) removeKey(k expectKey) {
 			delete(d.keysBySession, k.session)
 		}
 	}
-	d.pairDec(k.sender, k.session)
+	if en.npend > 0 && len(d.staleBySender[k.sender]) > 0 {
+		for s, p := range en.pending {
+			if p {
+				d.maybeClearStale(k.sender, slotRef{k.session, uint16(s)})
+			}
+		}
+	}
+}
+
+// resolveSlot marks one tuple of en resolved and removes the entry once
+// nothing in it is pending.
+func (d *DMM) resolveSlot(k expectKey, en *expectEntry, s int) {
+	en.pending[s] = false
+	en.npend--
+	d.tuples--
+	d.maybeClearStale(k.sender, slotRef{k.session, uint16(s)})
+	if en.npend == 0 {
+		d.removeEntry(k)
+	}
 }
 
 // Disable turns the DMM into a pass-through (no detection, no delaying,
@@ -357,32 +488,33 @@ func (d *DMM) Reset() {
 	clear(d.redone)
 	clear(d.faulty)
 	clear(d.expect)
+	d.tuples = 0
 	clear(d.perProc)
-	clear(d.perPair)
 	clear(d.staleBySender)
-	clear(d.bySession)
+	clear(d.redoneBySession)
 	clear(d.keysBySession)
 	d.parked = nil
 }
 
 // ObserveValueBroadcast runs DMM steps 2 and 3 on a reconstruct-phase
-// value broadcast: origin RB-broadcast "f_target(origin) = value" in the
-// given session. Matching expectations are resolved; a contradiction adds
-// origin to D_i. Runs unconditionally on receipt (resolution is DMM
-// bookkeeping, not protocol action, and must not itself be delayed).
-func (d *DMM) ObserveValueBroadcast(origin sim.ProcID, session proto.MWID, target sim.ProcID, value field.Element) {
+// value broadcast: origin RB-broadcast "f_target(origin) = value" for one
+// batch slot of the given session. Matching expectations are resolved; a
+// contradiction adds origin to D_i. Runs unconditionally on receipt
+// (resolution is DMM bookkeeping, not protocol action, and must not
+// itself be delayed).
+func (d *DMM) ObserveValueBroadcast(origin sim.ProcID, session proto.MWID, target sim.ProcID, slot uint16, value field.Element) {
 	if d.disabled {
 		return
 	}
-	for _, src := range []Source{SourceACK, SourceDEAL} {
+	for _, src := range [2]Source{SourceACK, SourceDEAL} {
 		k := expectKey{sender: origin, target: target, session: session, source: src}
-		want, ok := d.expect[k]
-		if !ok {
+		en, ok := d.expect[k]
+		if !ok || !en.has(int(slot)) {
 			continue
 		}
-		if want == value {
+		if en.vals[slot] == value {
 			d.Resolved++
-			d.removeKey(k)
+			d.resolveSlot(k, en, int(slot))
 		} else {
 			d.Contradictions++
 			d.markFaulty(origin, session)
@@ -395,20 +527,30 @@ func (d *DMM) PendingFrom(j sim.ProcID) bool {
 	return len(d.perProc[j]) > 0
 }
 
-// PendingCount returns the number of outstanding expectations.
-func (d *DMM) PendingCount() int { return len(d.expect) }
+// PendingCount returns the number of outstanding expectation tuples
+// (per slot — a batched entry counts once per pending slot).
+func (d *DMM) PendingCount() int { return d.tuples }
 
-// StaleExpectations returns expectations whose session already completed
-// reconstruction locally — each is an implicit shun in progress (the
-// sender's newer sessions are being delayed indefinitely).
+// StaleExpectations returns expectations whose session slot already
+// completed reconstruction locally — each is an implicit shun in
+// progress (the sender's newer sessions are being delayed indefinitely).
 func (d *DMM) StaleExpectations() []Expectation {
 	var out []Expectation
-	for k, v := range d.expect {
-		if _, done := d.redone[k.session]; done {
-			out = append(out, Expectation{
-				Sender: k.sender, Target: k.target, Session: k.session,
-				Value: v, Source: k.source,
-			})
+	for k, en := range d.expect {
+		redone := d.redoneBySession[k.session]
+		if redone == nil {
+			continue
+		}
+		for s, p := range en.pending {
+			if !p {
+				continue
+			}
+			if _, done := redone[uint16(s)]; done {
+				out = append(out, Expectation{
+					Sender: k.sender, Target: k.target, Session: k.session,
+					Slot: uint16(s), Value: en.vals[s], Source: k.source,
+				})
+			}
 		}
 	}
 	return out

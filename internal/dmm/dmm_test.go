@@ -67,7 +67,7 @@ func TestObserveResolvesExpectation(t *testing.T) {
 	if !d.PendingFrom(3) {
 		t.Fatal("expectation not pending")
 	}
-	d.ObserveValueBroadcast(3, s, 2, field.New(7))
+	d.ObserveValueBroadcast(3, s, 2, 0, field.New(7))
 	if d.PendingFrom(3) {
 		t.Error("matched expectation not removed")
 	}
@@ -84,7 +84,7 @@ func TestObserveContradictionShuns(t *testing.T) {
 	d := New(1, func(j sim.ProcID, _ proto.MWID) { shunned = append(shunned, j) })
 	s := mwid(1, 1)
 	d.Expect(Expectation{Sender: 3, Target: 2, Session: s, Value: field.New(7), Source: SourceDEAL})
-	d.ObserveValueBroadcast(3, s, 2, field.New(8))
+	d.ObserveValueBroadcast(3, s, 2, 0, field.New(8))
 	if !d.IsFaulty(3) {
 		t.Fatal("contradicting sender not added to D_i")
 	}
@@ -100,7 +100,7 @@ func TestObserveContradictionShuns(t *testing.T) {
 		t.Error("contradicted expectation removed")
 	}
 	// Re-observing must not double-count detections.
-	d.ObserveValueBroadcast(3, s, 2, field.New(9))
+	d.ObserveValueBroadcast(3, s, 2, 0, field.New(9))
 	if d.Detections != 1 {
 		t.Errorf("detections = %d, want 1", d.Detections)
 	}
@@ -108,7 +108,7 @@ func TestObserveContradictionShuns(t *testing.T) {
 
 func TestObserveWithoutExpectationIsNoop(t *testing.T) {
 	d := New(1, nil)
-	d.ObserveValueBroadcast(3, mwid(1, 1), 2, field.New(7))
+	d.ObserveValueBroadcast(3, mwid(1, 1), 2, 0, field.New(7))
 	if d.Resolved != 0 || d.Detections != 0 {
 		t.Error("observation without expectation had effects")
 	}
@@ -118,7 +118,7 @@ func TestFilterDiscardsFaulty(t *testing.T) {
 	d := New(1, nil)
 	s := mwid(1, 1)
 	d.Expect(Expectation{Sender: 3, Target: 2, Session: s, Value: field.New(7), Source: SourceACK})
-	d.ObserveValueBroadcast(3, s, 2, field.New(8)) // 3 becomes faulty
+	d.ObserveValueBroadcast(3, s, 2, 0, field.New(8)) // 3 becomes faulty
 	if got := d.Filter(Event{Class: ClassDirect, From: 3, Ref: mwid(1, 5)}); got != Discarded {
 		t.Errorf("action = %v, want Discarded", got)
 	}
@@ -158,7 +158,7 @@ func TestFilterParksDelayedAndReleases(t *testing.T) {
 	if ready := d.TakeReady(); len(ready) != 0 {
 		t.Fatalf("released early: %d", len(ready))
 	}
-	d.ObserveValueBroadcast(4, s1, 1, field.New(5))
+	d.ObserveValueBroadcast(4, s1, 1, 0, field.New(5))
 	ready := d.TakeReady()
 	if len(ready) != 1 || ready[0].From != 4 || ready[0].Ref != s2 {
 		t.Fatalf("ready = %+v", ready)
@@ -179,7 +179,7 @@ func TestTakeReadyDropsNewlyFaulty(t *testing.T) {
 	}
 	// The pending broadcast arrives with a wrong value: 4 joins D_i and
 	// its parked event must be dropped, not delivered.
-	d.ObserveValueBroadcast(4, s1, 1, field.New(6))
+	d.ObserveValueBroadcast(4, s1, 1, 0, field.New(6))
 	if ready := d.TakeReady(); len(ready) != 0 {
 		t.Fatalf("released events from faulty process: %v", ready)
 	}
@@ -230,7 +230,7 @@ func TestExpectDuplicateKeepsFirst(t *testing.T) {
 		t.Fatalf("pending = %d", d.PendingCount())
 	}
 	// Resolution must match the first value.
-	d.ObserveValueBroadcast(4, s, 1, field.New(5))
+	d.ObserveValueBroadcast(4, s, 1, 0, field.New(5))
 	if d.PendingFrom(4) {
 		t.Error("first-value resolution failed")
 	}
@@ -240,7 +240,7 @@ func TestFaultySetCopy(t *testing.T) {
 	d := New(1, nil)
 	s := mwid(3, 1)
 	d.Expect(Expectation{Sender: 4, Target: 1, Session: s, Value: field.New(5), Source: SourceDEAL})
-	d.ObserveValueBroadcast(4, s, 1, field.New(6))
+	d.ObserveValueBroadcast(4, s, 1, 0, field.New(6))
 	set := d.FaultySet()
 	if len(set) != 1 || set[0] != 4 {
 		t.Errorf("faulty set = %v", set)
@@ -254,7 +254,7 @@ func TestACKAndDEALBothMatchSameBroadcast(t *testing.T) {
 	s := mwid(1, 1)
 	d.Expect(Expectation{Sender: 4, Target: 1, Session: s, Value: field.New(5), Source: SourceACK})
 	d.Expect(Expectation{Sender: 4, Target: 1, Session: s, Value: field.New(5), Source: SourceDEAL})
-	d.ObserveValueBroadcast(4, s, 1, field.New(5))
+	d.ObserveValueBroadcast(4, s, 1, 0, field.New(5))
 	if d.PendingCount() != 0 {
 		t.Errorf("pending = %d, want 0", d.PendingCount())
 	}

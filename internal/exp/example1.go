@@ -81,7 +81,7 @@ func runExample1() (out1, out3 mwsvss.Output, preShun, postShun, ok bool) {
 		p.node = core.NewNode(sim.ProcID(i), nil)
 		p.eng = core.AttachMWSVSS(p.node, mwsvss.Callbacks{
 			ShareComplete: func(_ sim.Context, _ proto.MWID) { p.shareDone = true },
-			ReconstructComplete: func(_ sim.Context, _ proto.MWID, o mwsvss.Output) {
+			ReconstructComplete: func(_ sim.Context, _ proto.MWID, _ int, o mwsvss.Output) {
 				p.out = &o
 			},
 		})

@@ -274,7 +274,7 @@ func newSessionRunner(n, t int, seed int64, liar int, disableDMM bool) *sessionR
 		})
 		r.outputs[pid] = make(map[uint64]svss.Output)
 		st.ConsumeSVSS(proto.KindApp, core.SVSSConsumer{
-			ReconComplete: func(_ sim.Context, sid proto.SessionID, out svss.Output) {
+			ReconComplete: func(_ sim.Context, sid proto.SessionID, _ int, out svss.Output) {
 				r.outputs[pid][sid.Round] = out
 			},
 		})

@@ -107,11 +107,29 @@ func (e Element) Pow(k uint64) Element {
 	return result
 }
 
+// smallInvMax bounds the precomputed inverse table. Lagrange
+// interpolation over process-id abscissas only ever inverts values that
+// are (differences of) process ids, so inversion on the reconstruction
+// hot path is a table load instead of a 61-squaring Fermat ladder.
+const smallInvMax = 512
+
+var smallInv [smallInvMax + 1]Element
+
+func init() {
+	for v := uint64(1); v <= smallInvMax; v++ {
+		smallInv[v] = Element(v).Pow(Modulus - 2)
+	}
+}
+
 // Inv returns the multiplicative inverse of e. Inverting zero returns zero;
 // callers that can receive zero must check IsZero first.
 func (e Element) Inv() Element {
-	if e == 0 {
-		return 0
+	if e <= smallInvMax {
+		return smallInv[e] // smallInv[0] is 0: inverting zero returns zero
+	}
+	if neg := Element(Modulus) - e; neg <= smallInvMax {
+		// e = -neg, so e^-1 = -(neg^-1).
+		return Element(Modulus) - smallInv[neg]
 	}
 	// Fermat: e^(p-2) = e^-1 for prime p.
 	return e.Pow(Modulus - 2)

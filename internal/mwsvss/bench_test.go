@@ -60,7 +60,7 @@ func BenchmarkMWSVSSDeliver(b *testing.B) {
 			msgs[i] = sim.Message{
 				From:    sim.ProcID(2 + i%2),
 				To:      1,
-				Payload: Echo{MW: ids[i/2], Val: field.New(uint64(i))},
+				Payload: Echo{MW: ids[i/2], Vals: []field.Element{field.New(uint64(i))}},
 			}
 		}
 		for i := range msgs {

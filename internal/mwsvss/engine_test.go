@@ -42,7 +42,7 @@ func newProc(id sim.ProcID) *proc {
 		ShareComplete: func(_ sim.Context, id proto.MWID) {
 			p.shareDone[id] = true
 		},
-		ReconstructComplete: func(_ sim.Context, id proto.MWID, out mwsvss.Output) {
+		ReconstructComplete: func(_ sim.Context, id proto.MWID, _ int, out mwsvss.Output) {
 			p.outputs[id] = out
 		},
 	})

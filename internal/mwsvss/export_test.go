@@ -3,11 +3,18 @@ package mwsvss
 import (
 	"fmt"
 
+	"svssba/internal/intern"
 	"svssba/internal/proto"
 )
 
 // SetDebugRecon toggles reconstruction debugging (tests only).
 func SetDebugRecon(v bool) { debugRecon = v }
+
+func bitsSlice(b intern.Bits) []int {
+	var out []int
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
 
 // DumpState prints an instance's internal progress (tests only).
 func (e *Engine) DumpState(id proto.MWID) string {
@@ -16,13 +23,14 @@ func (e *Engine) DumpState(id proto.MWID) string {
 		return "no instance"
 	}
 	ks := map[int]int{}
-	for l, pts := range in.kSets {
+	for idx, pts := range in.kSets {
 		if len(pts) > 0 {
-			ks[l] = len(pts)
+			ks[idx] = len(pts)
 		}
 	}
 	return fmt.Sprintf(
-		"valsSet=%v polySet=%v lDone=%v L=%v mKnown=%v M=%v ok=%v shareDone=%v reconStarted=%v reconDone=%v kSets=%v pendingRV=%d fBarSet=%v",
-		in.valsSet, in.myPolySet, in.lDone, in.lSnapshot, in.mKnown, in.mSet,
-		in.okKnown, in.shareDone, in.reconStarted, in.reconDone, ks, len(in.rvalsPending), in.fBarSet.Slice())
+		"valsSet=%v polySet=%v k=%d lDone=%v L=%v mKnown=%v M=%v ok=%v shareDone=%v reconStarted=%v reconDone=%v kSets=%v pendingRV=%d fBarSet=%v",
+		in.valsSet, in.myPolySet, in.k, in.lDone, in.lSnapshot, in.mKnown, in.mSet,
+		in.okKnown, in.shareDone, bitsSlice(in.reconStarted), bitsSlice(in.reconDone),
+		ks, len(in.rvalsPending), bitsSlice(in.fBarSet))
 }

@@ -34,6 +34,23 @@ const (
 	// StepRVal is the reconstruct-phase value broadcast (R' step 1); the
 	// tag's A field carries the polynomial index l.
 	StepRVal uint8 = 5
+	// StepRValVec is the batched reveal of R' step 1 for multi-slot
+	// sessions: one broadcast per slot carrying the revealer's share of
+	// EVERY monitored polynomial f̂^slot_1 … f̂^slot_n (the tag's A field
+	// is the slot). Only width-k>1 instances emit it — classic width-1
+	// sessions keep the per-l StepRVal, so the v1 wire image is
+	// untouched. Receivers discard entries whose polynomial index never
+	// qualifies, exactly as they would discard the equivalent per-l
+	// broadcasts.
+	StepRValVec uint8 = 6
+	// StepRValSlab is the multi-slot form of StepRValVec: one broadcast
+	// carrying the share rows of every slot that started reconstructing
+	// in one pass (an explicit ascending slot list followed by the rows,
+	// slot-major). A coin flip opens one slot per attach target, so the
+	// whole flip reveals in a single broadcast per (instance, revealer)
+	// instead of one per slot. Like StepRValVec it is only ever emitted
+	// by width-k>1 instances, so v1 wire parity holds.
+	StepRValSlab uint8 = 7
 )
 
 // Payload kinds.
@@ -121,12 +138,15 @@ func (m DealMod) MarshalTo(w *proto.Writer) {
 	w.Elems(m.Shares)
 }
 
-// Echo is share step 2: process j sends process l the value
-// f̂^j_l = f_l(j) it received from the dealer (l's polynomial evaluated
-// at the sender).
+// Echo is share step 2: process j sends process l the per-slot vector
+// f̂^j_l = f^s_l(j) it received from the dealer (l's polynomial of each
+// batch slot, evaluated at the sender). The vector is encoded as the
+// raw concatenation of its elements — no count prefix — so a width-1
+// echo is byte-identical to the classic single-value message; the
+// receiver recovers the width from the payload length.
 type Echo struct {
-	MW  proto.MWID
-	Val field.Element
+	MW   proto.MWID
+	Vals []field.Element
 }
 
 var _ proto.Marshaler = Echo{}
@@ -136,7 +156,7 @@ var _ dmm.Sessioned = Echo{}
 func (Echo) Kind() string { return KindEcho }
 
 // Size implements sim.Payload.
-func (m Echo) Size() int { return mwidSize + 8 }
+func (m Echo) Size() int { return mwidSize + 8*len(m.Vals) }
 
 // SessionRef implements dmm.Sessioned.
 func (m Echo) SessionRef() proto.MWID { return m.MW }
@@ -144,14 +164,18 @@ func (m Echo) SessionRef() proto.MWID { return m.MW }
 // MarshalTo implements proto.Marshaler.
 func (m Echo) MarshalTo(w *proto.Writer) {
 	marshalMWID(w, m.MW)
-	w.Elem(m.Val)
+	for _, v := range m.Vals {
+		w.Elem(v)
+	}
 }
 
-// ModValue is share step 4: process j sends the moderator f̂_j(0), its
-// share of the information needed to compute the secret.
+// ModValue is share step 4: process j sends the moderator the vector
+// f̂^s_j(0) per batch slot — its share of the information needed to
+// compute each slot's secret. Encoded like Echo (raw concatenation,
+// width from length, width 1 byte-identical to the classic message).
 type ModValue struct {
-	MW  proto.MWID
-	Val field.Element
+	MW   proto.MWID
+	Vals []field.Element
 }
 
 var _ proto.Marshaler = ModValue{}
@@ -161,7 +185,7 @@ var _ dmm.Sessioned = ModValue{}
 func (ModValue) Kind() string { return KindModValue }
 
 // Size implements sim.Payload.
-func (m ModValue) Size() int { return mwidSize + 8 }
+func (m ModValue) Size() int { return mwidSize + 8*len(m.Vals) }
 
 // SessionRef implements dmm.Sessioned.
 func (m ModValue) SessionRef() proto.MWID { return m.MW }
@@ -169,7 +193,9 @@ func (m ModValue) SessionRef() proto.MWID { return m.MW }
 // MarshalTo implements proto.Marshaler.
 func (m ModValue) MarshalTo(w *proto.Writer) {
 	marshalMWID(w, m.MW)
-	w.Elem(m.Val)
+	for _, v := range m.Vals {
+		w.Elem(v)
+	}
 }
 
 // mwidSize is the encoded size of a proto.MWID: session(15) + key(5).
@@ -209,11 +235,23 @@ func RegisterCodec(c *proto.Codec) {
 		return DealMod{MW: readMWID(r), Shares: r.Elems()}, r.Err()
 	})
 	c.Register(KindEcho, func(r *proto.Reader) (sim.Payload, error) {
-		return Echo{MW: readMWID(r), Val: r.Elem()}, r.Err()
+		return Echo{MW: readMWID(r), Vals: readElemTail(r)}, r.Err()
 	})
 	c.Register(KindModValue, func(r *proto.Reader) (sim.Payload, error) {
-		return ModValue{MW: readMWID(r), Val: r.Elem()}, r.Err()
+		return ModValue{MW: readMWID(r), Vals: readElemTail(r)}, r.Err()
 	})
+}
+
+// readElemTail decodes the unprefixed element vector that fills the
+// rest of the payload (the Echo/ModValue batch encoding). A tail that
+// is not a whole number of elements leaves its remainder unread, which
+// the codec's Close rejects as trailing bytes.
+func readElemTail(r *proto.Reader) []field.Element {
+	es := make([]field.Element, r.Remaining()/8)
+	for i := range es {
+		es[i] = r.Elem()
+	}
+	return es
 }
 
 // EncodeProcs canonically encodes a process set for RB value equality
@@ -248,4 +286,71 @@ func DecodeElem(b []byte) (field.Element, bool) {
 		return field.Zero, false
 	}
 	return e, true
+}
+
+// EncodeElems encodes a field element vector broadcast value (raw
+// concatenation, like the element tails of Echo and ModValue).
+func EncodeElems(es []field.Element) []byte {
+	var w proto.Writer
+	for _, e := range es {
+		w.Elem(e)
+	}
+	return w.Bytes()
+}
+
+// DecodeElems decodes a field element vector broadcast value; the
+// length is implied by the payload size.
+func DecodeElems(b []byte) ([]field.Element, bool) {
+	if len(b)%8 != 0 {
+		return nil, false
+	}
+	r := proto.NewReader(b)
+	es := readElemTail(r)
+	if r.Close() != nil {
+		return nil, false
+	}
+	return es, true
+}
+
+// EncodeSlab encodes a StepRValSlab value: the slot list (ascending)
+// followed by the slots' share rows concatenated slot-major (len(slots)
+// × n elements).
+func EncodeSlab(slots []int, rows []field.Element) []byte {
+	var w proto.Writer
+	w.U32(uint32(len(slots)))
+	for _, s := range slots {
+		w.U32(uint32(s))
+	}
+	for _, e := range rows {
+		w.Elem(e)
+	}
+	return w.Bytes()
+}
+
+// DecodeSlab decodes a StepRValSlab value for an n-process system. It
+// enforces a strictly ascending slot list below MaxBatchSlots and a row
+// span of exactly len(slots)·n elements, so a Byzantine slab can neither
+// inflate per-slot state nor smuggle rows for slots it does not name.
+func DecodeSlab(b []byte, n int) ([]int, []field.Element, bool) {
+	r := proto.NewReader(b)
+	m := int(r.U32())
+	if r.Err() != nil || m < 1 || m > MaxBatchSlots {
+		return nil, nil, false
+	}
+	slots := make([]int, m)
+	for i := range slots {
+		s := int(r.U32())
+		if r.Err() != nil || s >= MaxBatchSlots || (i > 0 && s <= slots[i-1]) {
+			return nil, nil, false
+		}
+		slots[i] = s
+	}
+	if r.Remaining() != m*n*8 {
+		return nil, nil, false
+	}
+	rows := readElemTail(r)
+	if r.Close() != nil {
+		return nil, nil, false
+	}
+	return slots, rows, true
 }

@@ -42,7 +42,7 @@ func seedPayloads(t testing.TB) [][]byte {
 		aba.Conf{Round: 4, Mask: 3},
 		aba.Decide{Value: 1},
 		rb.Msg{Origin: 2, Tag: tag, Value: []byte("v")},
-		mwsvss.Echo{MW: proto.MWID{Session: tag.Session, Key: tag.MW}, Val: field.New(42)},
+		mwsvss.Echo{MW: proto.MWID{Session: tag.Session, Key: tag.MW}, Vals: []field.Element{field.New(42)}},
 		svss.Deal{
 			Session: tag.Session,
 			RowPts:  []field.Element{field.New(1), field.New(2)},

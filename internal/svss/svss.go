@@ -38,7 +38,10 @@ const KindDeal = "svss/deal"
 
 // Deal is share step 1: the dealer sends process j the evaluations
 // g_j(1..t+1) and h_j(1..t+1) from which j reconstructs its row and
-// column polynomials.
+// column polynomials. A batched session concatenates the k slots'
+// evaluations slot-major (k·(t+1) points per list); the receiver
+// recovers k from the length, so a width-1 deal is byte-identical to
+// the classic message.
 type Deal struct {
 	Session proto.SessionID
 	RowPts  []field.Element
@@ -107,10 +110,12 @@ type Host interface {
 // Callbacks notify the layer above (the common coin, tests, the public
 // API) of session progress.
 type Callbacks struct {
-	// ShareComplete fires when protocol S completes locally (step 6).
+	// ShareComplete fires when protocol S completes locally (step 6),
+	// once per session — the share phase covers every batch slot.
 	ShareComplete func(ctx sim.Context, sid proto.SessionID)
-	// ReconstructComplete fires when protocol R outputs locally (step 3).
-	ReconstructComplete func(ctx sim.Context, sid proto.SessionID, out Output)
+	// ReconstructComplete fires when protocol R outputs locally (step 3)
+	// for one batch slot (slot 0 for classic single-secret sessions).
+	ReconstructComplete func(ctx sim.Context, sid proto.SessionID, slot int, out Output)
 }
 
 // pairDone tracks dealer-side completion of the four instances of an
@@ -140,6 +145,7 @@ type instance struct {
 	sid proto.SessionID
 	ref proto.MWID // session-level reference (zero MW key)
 	n   int        // system size (sizes the dense index space)
+	k   int        // batch width; 0 until the session's geometry is known
 
 	// Dealer state.
 	pairCount  []uint16         // completed sub-shares out of 4, (a,b) a<b
@@ -149,11 +155,11 @@ type instance struct {
 	dealing    bool
 	gBroadcast bool
 
-	// Participant state.
-	rowPoly poly.Poly // g_j
-	colPoly poly.Poly // h_j
-	polySet bool
-	joined  bool // initiated the pairwise MW instances
+	// Participant state (per batch slot where vectorized).
+	rowPolys []poly.Poly // g^s_j per slot
+	colPolys []poly.Poly // h^s_j per slot
+	polySet  bool
+	joined   bool // initiated the pairwise MW instances
 
 	mwDone      intern.Bits // completed sub-shares by keyIdx
 	mwDoneSpill map[proto.MWKey]bool
@@ -163,14 +169,26 @@ type instance struct {
 	gSets     [][]sim.ProcID // Ĝ_j for j ∈ Ĝ (index j)
 	shareDone bool
 
-	// Reconstruct state.
-	reconWanted  bool
-	reconStarted bool
-	mwOut        []mwsvss.Output // by keyIdx
+	// Reconstruct state, per batch slot. Sub-outputs are stored per
+	// (slot, keyIdx): mwOut[slot] is a keyIdx-indexed slab, the set bits
+	// index slot*kspan+keyIdx.
+	reconWanted  intern.Bits // slots requested locally
+	reconStarted intern.Bits // slots whose sub-reconstructions launched
+	mwOut        [][]mwsvss.Output
 	mwOutSet     intern.Bits
-	mwOutSpill   map[proto.MWKey]mwsvss.Output
-	reconDone    bool
+	mwOutSpill   map[slotMWKey]mwsvss.Output
+	reconDone    intern.Bits // slots output
 }
+
+// slotMWKey keys the spill map for sub-outputs of non-canonical keys.
+type slotMWKey struct {
+	key  proto.MWKey
+	slot int
+}
+
+// kspan is the dense keyIdx space size (the per-slot stride of the
+// sub-output index).
+func (in *instance) kspan() int { return 2 * (in.n + 1) * (in.n + 1) }
 
 // keyIdx maps a canonical MW key to its dense index, or -1 for keys
 // outside the canonical ranges.
@@ -202,38 +220,42 @@ func (in *instance) shared(k proto.MWKey) bool {
 	return in.mwDoneSpill[k]
 }
 
-// putOut records a sub-reconstruction output, reporting whether it is
-// the first for k.
-func (in *instance) putOut(k proto.MWKey, out mwsvss.Output) bool {
-	if i := in.keyIdx(k); i >= 0 {
-		if !in.mwOutSet.Add(i) {
+// putOut records a sub-reconstruction output for one batch slot,
+// reporting whether it is the first for (k, slot).
+func (in *instance) putOut(k proto.MWKey, slot int, out mwsvss.Output) bool {
+	if i := in.keyIdx(k); i >= 0 && slot >= 0 && slot < mwsvss.MaxBatchSlots {
+		if !in.mwOutSet.Add(slot*in.kspan() + i) {
 			return false
 		}
-		if in.mwOut == nil {
-			in.mwOut = make([]mwsvss.Output, 2*(in.n+1)*(in.n+1))
+		for len(in.mwOut) <= slot {
+			in.mwOut = append(in.mwOut, nil)
 		}
-		in.mwOut[i] = out
+		if in.mwOut[slot] == nil {
+			in.mwOut[slot] = make([]mwsvss.Output, in.kspan())
+		}
+		in.mwOut[slot][i] = out
 		return true
 	}
-	if _, dup := in.mwOutSpill[k]; dup {
+	sk := slotMWKey{key: k, slot: slot}
+	if _, dup := in.mwOutSpill[sk]; dup {
 		return false
 	}
 	if in.mwOutSpill == nil {
-		in.mwOutSpill = make(map[proto.MWKey]mwsvss.Output)
+		in.mwOutSpill = make(map[slotMWKey]mwsvss.Output)
 	}
-	in.mwOutSpill[k] = out
+	in.mwOutSpill[sk] = out
 	return true
 }
 
-// getOut returns the recorded sub-reconstruction output for k.
-func (in *instance) getOut(k proto.MWKey) (mwsvss.Output, bool) {
-	if i := in.keyIdx(k); i >= 0 {
-		if !in.mwOutSet.Has(i) {
+// getOut returns the recorded sub-reconstruction output for (k, slot).
+func (in *instance) getOut(k proto.MWKey, slot int) (mwsvss.Output, bool) {
+	if i := in.keyIdx(k); i >= 0 && slot >= 0 && slot < mwsvss.MaxBatchSlots {
+		if slot >= len(in.mwOut) || !in.mwOutSet.Has(slot*in.kspan()+i) {
 			return mwsvss.Output{}, false
 		}
-		return in.mwOut[i], true
+		return in.mwOut[slot][i], true
 	}
-	out, ok := in.mwOutSpill[k]
+	out, ok := in.mwOutSpill[slotMWKey{key: k, slot: slot}]
 	return out, ok
 }
 
@@ -292,10 +314,24 @@ func (e *Engine) ShareDone(sid proto.SessionID) bool {
 	return in != nil && in.shareDone
 }
 
-// ReconDone reports whether R completed locally for sid.
+// ReconDone reports whether R completed locally for slot 0 of sid.
 func (e *Engine) ReconDone(sid proto.SessionID) bool {
+	return e.ReconDoneSlot(sid, 0)
+}
+
+// ReconDoneSlot reports whether R completed locally for one slot of sid.
+func (e *Engine) ReconDoneSlot(sid proto.SessionID, slot int) bool {
 	in := e.lookup(sid)
-	return in != nil && in.reconDone
+	return in != nil && in.reconDone.Has(slot)
+}
+
+// Width returns the batch width of sid (0 when unknown).
+func (e *Engine) Width(sid proto.SessionID) int {
+	in := e.lookup(sid)
+	if in == nil {
+		return 0
+	}
+	return in.k
 }
 
 // Live returns the number of live sessions (retirement tests).
@@ -324,38 +360,81 @@ func mwid(sid proto.SessionID, d, m sim.ProcID, slot uint8) proto.MWID {
 	return proto.MWID{Session: sid, Key: proto.MWKey{Dealer: d, Moderator: m, Slot: slot}}
 }
 
-// Share runs share step 1 for a new session: the calling process becomes
-// the dealer of sid and shares secret.
+// Share runs share step 1 for a new single-secret session: the calling
+// process becomes the dealer of sid and shares secret.
 func (e *Engine) Share(ctx sim.Context, sid proto.SessionID, secret field.Element) error {
+	return e.ShareVec(ctx, sid, []field.Element{secret})
+}
+
+// ShareVec runs share step 1 for a batch of secrets: one bivariate
+// polynomial per slot, one Deal message per peer carrying every slot's
+// row/column points, and — through the MW layer's own batching — one
+// quorum phase for the whole batch. Each slot later reconstructs
+// independently via ReconstructSlot.
+func (e *Engine) ShareVec(ctx sim.Context, sid proto.SessionID, secrets []field.Element) error {
 	if sid.Dealer != e.host.Self() {
 		return fmt.Errorf("svss: process %d is not dealer of %s", e.host.Self(), sid)
+	}
+	k := len(secrets)
+	if k < 1 || k > mwsvss.MaxBatchSlots {
+		return fmt.Errorf("svss: batch width %d out of range 1..%d", k, mwsvss.MaxBatchSlots)
 	}
 	in := e.inst(ctx, sid)
 	if in.dealing {
 		return fmt.Errorf("svss: session %s already dealt", sid)
 	}
+	if in.k != 0 && in.k != k {
+		return fmt.Errorf("svss: session %s already has width %d, not %d", sid, in.k, k)
+	}
 	in.dealing = true
+	in.k = k
 
 	t := ctx.T()
-	f := poly.NewRandomBivariate(ctx.Rand(), t, secret)
+	fs := make([]poly.Bivariate, k)
+	for s := 0; s < k; s++ {
+		fs[s] = poly.NewRandomBivariate(ctx.Rand(), t, secrets[s])
+	}
 	for j := 1; j <= ctx.N(); j++ {
-		row := f.Row(uint64(j))
-		col := f.Col(uint64(j))
-		ctx.Send(sim.ProcID(j), Deal{
-			Session: sid,
-			RowPts:  row.EvalRange(t + 1),
-			ColPts:  col.EvalRange(t + 1),
-		})
+		rowPts := make([]field.Element, 0, k*(t+1))
+		colPts := make([]field.Element, 0, k*(t+1))
+		for s := 0; s < k; s++ {
+			rowPts = append(rowPts, fs[s].Row(uint64(j)).EvalRange(t+1)...)
+			colPts = append(colPts, fs[s].Col(uint64(j)).EvalRange(t+1)...)
+		}
+		ctx.Send(sim.ProcID(j), Deal{Session: sid, RowPts: rowPts, ColPts: colPts})
 	}
 	return nil
 }
 
-// Reconstruct begins protocol R for sid; if the share phase has not
-// completed locally it starts as soon as it does.
+// Reconstruct begins protocol R for slot 0 of sid; if the share phase
+// has not completed locally it starts as soon as it does.
 func (e *Engine) Reconstruct(ctx sim.Context, sid proto.SessionID) {
+	e.ReconstructSlot(ctx, sid, 0)
+}
+
+// ReconstructSlot begins protocol R for one batch slot of sid. Only
+// that slot's sub-instances reveal; the batch's other secrets stay
+// hidden.
+func (e *Engine) ReconstructSlot(ctx sim.Context, sid proto.SessionID, slot int) {
+	e.ReconstructSlots(ctx, sid, []int{slot})
+}
+
+// ReconstructSlots begins protocol R for a set of batch slots in one
+// pass. Requesting them together lets the MW layer reveal contiguous
+// runs in one slab broadcast per sub-instance instead of one per slot.
+func (e *Engine) ReconstructSlots(ctx sim.Context, sid proto.SessionID, slots []int) {
+	pump := false
 	in := e.inst(ctx, sid)
-	in.reconWanted = true
-	e.advance(ctx, in)
+	for _, slot := range slots {
+		if slot < 0 || slot >= mwsvss.MaxBatchSlots {
+			continue
+		}
+		pump = true
+		in.reconWanted.Add(slot)
+	}
+	if pump {
+		e.advance(ctx, in)
+	}
 }
 
 // OnMessage handles the dealer's Deal message (share step 2).
@@ -365,20 +444,32 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) {
 		return
 	}
 	in := e.inst(ctx, d.Session)
+	span := ctx.T() + 1
 	if m.From != d.Session.Dealer || in.polySet ||
-		len(d.RowPts) != ctx.T()+1 || len(d.ColPts) != ctx.T()+1 {
+		len(d.RowPts) == 0 || len(d.RowPts) != len(d.ColPts) ||
+		len(d.RowPts)%span != 0 || len(d.RowPts)/span > mwsvss.MaxBatchSlots {
 		return
 	}
-	row, err := poly.InterpolateFromShares(d.RowPts, ctx.T())
-	if err != nil {
+	k := len(d.RowPts) / span
+	if in.k != 0 && in.k != k {
 		return
 	}
-	col, err := poly.InterpolateFromShares(d.ColPts, ctx.T())
-	if err != nil {
-		return
+	rows := make([]poly.Poly, k)
+	cols := make([]poly.Poly, k)
+	for s := 0; s < k; s++ {
+		row, err := poly.InterpolateFromShares(d.RowPts[s*span:(s+1)*span], ctx.T())
+		if err != nil {
+			return
+		}
+		col, err := poly.InterpolateFromShares(d.ColPts[s*span:(s+1)*span], ctx.T())
+		if err != nil {
+			return
+		}
+		rows[s], cols[s] = row, col
 	}
-	in.rowPoly, in.colPoly = row, col
+	in.rowPolys, in.colPolys = rows, cols
 	in.polySet = true
+	in.k = k
 	e.advance(ctx, in)
 }
 
@@ -425,10 +516,11 @@ func (e *Engine) OnMWShareComplete(ctx sim.Context, id proto.MWID) {
 	e.advance(ctx, in)
 }
 
-// OnMWReconComplete receives sub-instance reconstruction outputs.
-func (e *Engine) OnMWReconComplete(ctx sim.Context, id proto.MWID, out mwsvss.Output) {
+// OnMWReconComplete receives sub-instance reconstruction outputs for
+// one batch slot.
+func (e *Engine) OnMWReconComplete(ctx sim.Context, id proto.MWID, slot int, out mwsvss.Output) {
 	in := e.inst(ctx, id.Session)
-	if !in.putOut(id.Key, out) {
+	if !in.putOut(id.Key, slot, out) {
 		return
 	}
 	e.advance(ctx, in)
@@ -511,30 +603,38 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	self := e.host.Self()
 
 	// Share step 2: once the row/column polynomials arrive, join the four
-	// MW-SVSS invocations per peer (two as dealer, two as moderator).
+	// MW-SVSS invocations per peer (two as dealer, two as moderator) —
+	// each invocation carries the whole batch's values as one vector, so
+	// the pairwise quorum machinery runs once regardless of width.
 	if in.polySet && !in.joined {
 		in.joined = true
+		rowVec := make([]field.Element, in.k)
+		colVec := make([]field.Element, in.k)
 		for l := 1; l <= ctx.N(); l++ {
 			peer := sim.ProcID(l)
 			if peer == self {
 				continue
 			}
 			lu := uint64(l)
-			// (a) dealer with secret f(l, j) = h_j(l), moderator l.
-			if err := e.mw.Share(ctx, mwid(in.sid, self, peer, 0), in.colPoly.EvalUint(lu)); err != nil {
+			for s := 0; s < in.k; s++ {
+				rowVec[s] = in.rowPolys[s].EvalUint(lu)
+				colVec[s] = in.colPolys[s].EvalUint(lu)
+			}
+			// (a) dealer with secrets f^s(l, j) = h^s_j(l), moderator l.
+			if err := e.mw.ShareVec(ctx, mwid(in.sid, self, peer, 0), colVec); err != nil {
 				continue
 			}
-			// (b) dealer with secret f(j, l) = g_j(l), moderator l.
-			if err := e.mw.Share(ctx, mwid(in.sid, self, peer, 1), in.rowPoly.EvalUint(lu)); err != nil {
+			// (b) dealer with secrets f^s(j, l) = g^s_j(l), moderator l.
+			if err := e.mw.ShareVec(ctx, mwid(in.sid, self, peer, 1), rowVec); err != nil {
 				continue
 			}
-			// (c) moderator with value f(j, l) = g_j(l), dealer l (slot 0
-			// of the mirrored pair shares f(m, d) = f(j, l)).
-			if err := e.mw.SetModeratorSecret(ctx, mwid(in.sid, peer, self, 0), in.rowPoly.EvalUint(lu)); err != nil {
+			// (c) moderator with values f^s(j, l) = g^s_j(l), dealer l
+			// (slot 0 of the mirrored pair shares f(m, d) = f(j, l)).
+			if err := e.mw.SetModeratorSecretVec(ctx, mwid(in.sid, peer, self, 0), rowVec); err != nil {
 				continue
 			}
-			// (d) moderator with value f(l, j) = h_j(l), dealer l.
-			if err := e.mw.SetModeratorSecret(ctx, mwid(in.sid, peer, self, 1), in.colPoly.EvalUint(lu)); err != nil {
+			// (d) moderator with values f^s(l, j) = h^s_j(l), dealer l.
+			if err := e.mw.SetModeratorSecretVec(ctx, mwid(in.sid, peer, self, 1), colVec); err != nil {
 				continue
 			}
 		}
@@ -550,24 +650,38 @@ func (e *Engine) advance(ctx sim.Context, in *instance) {
 	}
 
 	// Reconstruct step 1: invoke R' for the four instances of every pair
-	// (k ∈ Ĝ, l ∈ Ĝ_k).
-	if in.reconWanted && in.shareDone && !in.reconStarted {
-		in.reconStarted = true
-		e.forAllPairInstances(in, func(id proto.MWID) {
-			e.mw.Reconstruct(ctx, id)
+	// (k ∈ Ĝ, l ∈ Ĝ_k), revealing the wanted slots only. The slots that
+	// start together in one pass go to each sub-instance as one grouped
+	// request, so the MW layer can coalesce their reveals.
+	if in.shareDone {
+		var started []int
+		in.reconWanted.ForEach(func(s int) {
+			if in.reconStarted.Has(s) {
+				return
+			}
+			in.reconStarted.Add(s)
+			started = append(started, s)
 		})
-	}
-
-	// Reconstruct steps 2-3: once every sub-output is in, compute I, the
-	// row/column polynomials, and the final output.
-	if in.reconStarted && !in.reconDone && e.allPairsReconstructed(in) {
-		in.reconDone = true
-		out := e.computeOutput(ctx, in)
-		e.host.DMM().CompleteReconstruct(in.ref)
-		if e.cb.ReconstructComplete != nil {
-			e.cb.ReconstructComplete(ctx, in.sid, out)
+		if len(started) > 0 {
+			e.forAllPairInstances(in, func(id proto.MWID) {
+				e.mw.ReconstructSlots(ctx, id, started)
+			})
 		}
 	}
+
+	// Reconstruct steps 2-3, per started slot: once every sub-output is
+	// in, compute I, the row/column polynomials, and the final output.
+	in.reconStarted.ForEach(func(s int) {
+		if in.reconDone.Has(s) || !e.allPairsReconstructed(in, s) {
+			return
+		}
+		in.reconDone.Add(s)
+		out := e.computeOutput(ctx, in, s)
+		e.host.DMM().CompleteReconstruct(in.ref)
+		if e.cb.ReconstructComplete != nil {
+			e.cb.ReconstructComplete(ctx, in.sid, s, out)
+		}
+	})
 }
 
 // forAllPairInstances visits the four MW ids of every pair (k ∈ Ĝ,
@@ -610,17 +724,17 @@ func (e *Engine) allPairsShared(in *instance) bool {
 	return true
 }
 
-func (e *Engine) allPairsReconstructed(in *instance) bool {
+func (e *Engine) allPairsReconstructed(in *instance, slot int) bool {
 	for _, k := range in.g {
 		for _, l := range in.gSets[k] {
 			if k == l {
 				continue
 			}
-			for slot := uint8(0); slot <= 1; slot++ {
-				if !in.mwOutSet.Has(in.keyIdx(proto.MWKey{Dealer: k, Moderator: l, Slot: slot})) {
+			for mwSlot := uint8(0); mwSlot <= 1; mwSlot++ {
+				if _, ok := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: mwSlot}, slot); !ok {
 					return false
 				}
-				if !in.mwOutSet.Has(in.keyIdx(proto.MWKey{Dealer: l, Moderator: k, Slot: slot})) {
+				if _, ok := in.getOut(proto.MWKey{Dealer: l, Moderator: k, Slot: mwSlot}, slot); !ok {
 					return false
 				}
 			}
@@ -629,8 +743,8 @@ func (e *Engine) allPairsReconstructed(in *instance) bool {
 	return true
 }
 
-// computeOutput implements reconstruct steps 2 and 3.
-func (e *Engine) computeOutput(ctx sim.Context, in *instance) Output {
+// computeOutput implements reconstruct steps 2 and 3 for one batch slot.
+func (e *Engine) computeOutput(ctx sim.Context, in *instance, slot int) Output {
 	t := ctx.T()
 	ignored := make(map[sim.ProcID]bool) // I_j
 
@@ -647,8 +761,8 @@ func (e *Engine) computeOutput(ctx sim.Context, in *instance) Output {
 			if l == k {
 				continue
 			}
-			rkl, ok1 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 1})
-			rlk, ok0 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 0})
+			rkl, ok1 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 1}, slot)
+			rlk, ok0 := in.getOut(proto.MWKey{Dealer: k, Moderator: l, Slot: 0}, slot)
 			if !ok1 || !ok0 || rkl.Bottom || rlk.Bottom {
 				bad = true
 				break

@@ -48,7 +48,7 @@ func newCluster(t *testing.T, n, tf int, seed int64, opts ...sim.NetworkOption) 
 		})
 		p.stack.ConsumeSVSS(proto.KindApp, core.SVSSConsumer{
 			ShareComplete: func(_ sim.Context, s proto.SessionID) { p.shareDone[s] = true },
-			ReconComplete: func(_ sim.Context, s proto.SessionID, out svss.Output) { p.outputs[s] = out },
+			ReconComplete: func(_ sim.Context, s proto.SessionID, _ int, out svss.Output) { p.outputs[s] = out },
 		})
 		c.procs[p.id] = p
 		if err := c.nw.Register(p.stack.Node); err != nil {

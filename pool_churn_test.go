@@ -1,0 +1,226 @@
+package svssba
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svssba/internal/acs"
+	"svssba/internal/core"
+	"svssba/internal/node"
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+	"svssba/internal/transport"
+)
+
+// churnWait bounds each phase of the churn test, trimmed to the test
+// binary's deadline.
+func churnWait(t *testing.T) time.Duration {
+	t.Helper()
+	budget := 2 * time.Minute
+	if dl, ok := t.Deadline(); ok {
+		if until := time.Until(dl) - 10*time.Second; until < budget {
+			if until <= 0 {
+				t.Skip("not enough time left in test deadline")
+			}
+			return until
+		}
+	}
+	return budget
+}
+
+func churnPoll(t *testing.T, what string, cond func() bool, report func()) {
+	t.Helper()
+	deadline := time.Now().Add(churnWait(t))
+	for !cond() {
+		if time.Now().After(deadline) {
+			if report != nil {
+				report()
+			}
+			t.Fatalf("%s: condition never held", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// newPooledServiceNode builds one pooled service-node incarnation bound
+// to ep, mirroring StartService's wiring. PoolRounds 1 keeps the pooled
+// dealing deliberately shallow so coin rounds past the first exhaust the
+// batch and exercise the classic fallback alongside the pool.
+func newPooledServiceNode(t *testing.T, i, n int, seed int64, codec *proto.Codec, ep transport.Transport, decided *atomic.Int64) (*acs.Driver, *node.Node) {
+	t.Helper()
+	drv, err := acs.New(acs.Config{
+		N: n, T: 1, Self: sim.ProcID(i), Wire: "v2", Window: 3,
+		Pool: true, PoolRounds: 1,
+		OnDecide: func(acs.Decision) { decided.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := node.New(node.Config{
+		ID: sim.ProcID(i), N: n, T: 1, Seed: seed,
+		Codec: codec, Batching: true, Service: drv,
+	}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Bind(nd)
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return drv, nd
+}
+
+// TestPooledServiceRefillUnderChurn is the crash/restart-mid-refill
+// regression test for the coin pool: node 4 is crashed abruptly while
+// sessions (and their pipelined pool refills) are in flight, the
+// surviving quorum must finish every session with the one-shot handout
+// ledger clean and all pool state released, and a fresh incarnation of
+// node 4 must then serve a second wave on the same cluster — again
+// without double handouts or leaked supplies, and with every node's
+// protocol state back at baseline.
+func TestPooledServiceRefillUnderChurn(t *testing.T) {
+	const n = 4
+	mesh := transport.NewMesh(n)
+	codec := core.NewCodec()
+	drvs := make([]*acs.Driver, n+1)
+	nodes := make([]*node.Node, n+1)
+	decided := make([]*atomic.Int64, n+1)
+	eps := make([]transport.Transport, n+1)
+	for i := 1; i <= n; i++ {
+		ep, err := mesh.Endpoint(sim.ProcID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	for i := 1; i <= n; i++ {
+		decided[i] = &atomic.Int64{}
+		drvs[i], nodes[i] = newPooledServiceNode(t, i, n, int64(1000+i), codec, eps[i], decided[i])
+	}
+	t.Cleanup(func() {
+		for i := 1; i <= n; i++ {
+			nodes[i].Stop()
+		}
+	})
+
+	// Wave 1: every node submits; refills pipeline behind the window.
+	for i := 1; i <= n; i++ {
+		for k := 0; k < 2; k++ {
+			if err := drvs[i].Submit([]byte(fmt.Sprintf("w1-n%d-v%d", i, k))); err != nil {
+				t.Fatalf("node %d submit: %v", i, err)
+			}
+		}
+	}
+
+	// Crash node 4 as soon as the first decision lands — sessions are
+	// mid-flight, so dealings of later sessions are still refilling.
+	churnPoll(t, "first decision", func() bool { return decided[1].Load() >= 1 }, nil)
+	nodes[4].Crash()
+
+	// The surviving n-t quorum must drain its queues and converge on a
+	// common completed-session count.
+	survivorsQuiet := func() bool {
+		c1 := drvs[1].Completed()
+		for i := 1; i <= 3; i++ {
+			d := drvs[i]
+			if d.QueueLen() != 0 || d.InFlight() != 0 || d.Starting() != 0 || d.Completed() != c1 {
+				return false
+			}
+		}
+		return true
+	}
+	churnPoll(t, "survivors quiesce", survivorsQuiet, func() {
+		for i := 1; i <= 3; i++ {
+			t.Logf("node %d: queue=%d inflight=%d starting=%d completed=%d",
+				i, drvs[i].QueueLen(), drvs[i].InFlight(), drvs[i].Starting(), drvs[i].Completed())
+		}
+	})
+	assertChurnBaseline(t, "after crash", nodes[1:4], drvs[1:4])
+
+	// Restart node 4 as a fresh incarnation on a reset endpoint.
+	ep4, err := mesh.ResetEndpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep4.Start(); err != nil {
+		t.Fatal(err)
+	}
+	decided[4] = &atomic.Int64{}
+	drvs[4], nodes[4] = newPooledServiceNode(t, 4, n, 5004, codec, ep4, decided[4])
+
+	// Wave 2: the survivors submit first; the fresh incarnation joins
+	// their sessions on traffic, which also teaches its sid allocator the
+	// cluster's tombstoned range. Once it completed a joined session it
+	// submits a value of its own — a session it initiates itself.
+	for i := 1; i <= 3; i++ {
+		if err := drvs[i].Submit([]byte(fmt.Sprintf("w2-n%d", i))); err != nil {
+			t.Fatalf("node %d submit: %v", i, err)
+		}
+	}
+	churnPoll(t, "restarted node rejoins", func() bool { return decided[4].Load() >= 1 }, nil)
+	if err := drvs[4].Submit([]byte("w2-n4")); err != nil {
+		t.Fatal(err)
+	}
+	allQuiet := func() bool {
+		if drvs[4].Completed() < 2 {
+			return false
+		}
+		for i := 1; i <= n; i++ {
+			d := drvs[i]
+			if d.QueueLen() != 0 || d.InFlight() != 0 || d.Starting() != 0 {
+				return false
+			}
+		}
+		return survivorsQuiet()
+	}
+	churnPoll(t, "rebuilt cluster quiesce", allQuiet, func() {
+		for i := 1; i <= n; i++ {
+			t.Logf("node %d: queue=%d inflight=%d starting=%d completed=%d",
+				i, drvs[i].QueueLen(), drvs[i].InFlight(), drvs[i].Starting(), drvs[i].Completed())
+		}
+	})
+	assertChurnBaseline(t, "after restart", nodes[1:n+1], drvs[1:n+1])
+	for i := 1; i <= n; i++ {
+		if st, _ := drvs[i].PoolStats(); st.Refills == 0 || st.Handouts == 0 {
+			t.Errorf("node %d: pool unused across churn: %+v", i, st)
+		}
+	}
+}
+
+// assertChurnBaseline waits for every listed node's per-session state to
+// retire to zero, then asserts the pool invariants: no handout was ever
+// duplicated and no supply, depth or reservation outlived its session.
+func assertChurnBaseline(t *testing.T, phase string, nodes []*node.Node, drvs []*acs.Driver) {
+	t.Helper()
+	churnPoll(t, phase+" baseline", func() bool {
+		for _, nd := range nodes {
+			c, ok := nd.ServiceCounts()
+			if !ok || c.Live != 0 || c.State.Total() != 0 {
+				return false
+			}
+		}
+		return true
+	}, func() {
+		for _, nd := range nodes {
+			c, _ := nd.ServiceCounts()
+			t.Logf("node %d: live=%d retired=%d state=%d", nd.ID(), c.Live, c.Retired, c.State.Total())
+		}
+	})
+	for i, d := range drvs {
+		st, ok := d.PoolStats()
+		if !ok {
+			t.Fatalf("%s: node %d: pool off", phase, nodes[i].ID())
+		}
+		if st.DoubleHandouts != 0 {
+			t.Errorf("%s: node %d: %d double handouts (one-shot violated)", phase, nodes[i].ID(), st.DoubleHandouts)
+		}
+		if st.Live != 0 || st.Depth != 0 || st.Reserved != 0 {
+			t.Errorf("%s: node %d: pool state leaked: %+v", phase, nodes[i].ID(), st)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package svssba_test
+
+import (
+	"testing"
+
+	"svssba"
+	"svssba/internal/paritycells"
+)
+
+// TestCoinBatchAgreementEquivalence is the pooled-vs-unpooled proof of
+// equivalence over the shared parity-cell matrix: for every scheduler,
+// fault behaviour and scale in the matrix, a run with batched coin
+// dealing (the amortized machinery the service pool consumes) must
+// reach agreement among honest processes exactly like the classic
+// per-round-dealing run. Where the protocol pins the outcome —
+// unanimous honest inputs force the decision by validity — the decided
+// values must also coincide. Message-level schedules necessarily differ
+// (one wide dealing replaces many narrow ones), which is exactly why
+// the byte-identical digest guardrail applies only to CoinBatch == 0.
+func TestCoinBatchAgreementEquivalence(t *testing.T) {
+	for _, c := range paritycells.Agreement(false) {
+		if c.Cfg.Protocol != "" && c.Cfg.Protocol != svssba.ProtocolADH {
+			continue // baseline protocols have no coin dealing to batch
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(batch int) *svssba.Result {
+				cfg := c.Cfg
+				cfg.CoinBatch = batch
+				res, err := svssba.Run(cfg)
+				if err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				if res.TimedOut {
+					t.Fatalf("batch %d: timed out after %d steps", batch, res.Steps)
+				}
+				if !res.AllDecided || !res.Agreed {
+					t.Fatalf("batch %d: decided=%v agreed=%v decisions=%v",
+						batch, res.AllDecided, res.Agreed, res.Decisions)
+				}
+				return res
+			}
+			classic, batched := run(0), run(2)
+
+			// Validity pins the outcome when the honest inputs are
+			// unanimous; then the two modes must decide identically.
+			unanimous, first := true, -1
+			faulty := make(map[int]bool, len(c.Cfg.Faults))
+			for _, f := range c.Cfg.Faults {
+				faulty[f.Proc] = true
+			}
+			inputs := c.Cfg.Inputs
+			if len(inputs) == 0 {
+				unanimous = false // default alternating 0/1 inputs
+			}
+			for i, in := range inputs {
+				if faulty[i+1] {
+					continue
+				}
+				if first == -1 {
+					first = in
+				} else if in != first {
+					unanimous = false
+				}
+			}
+			if unanimous && first != -1 {
+				if classic.Value != first || batched.Value != first {
+					t.Fatalf("validity: unanimous input %d, classic decided %d, batched decided %d",
+						first, classic.Value, batched.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestCoinBatchCoinEquivalence asserts batched and classic dealing
+// produce agreed coin bits every round — including the round past the
+// batch's coverage, where the engine falls back to classic dealing —
+// and that the batch's one-shot handout ledger records no reuse.
+func TestCoinBatchCoinEquivalence(t *testing.T) {
+	cases := []svssba.CoinConfig{
+		{N: 4, Seed: 1, Rounds: 3},
+		{N: 4, Seed: 5, Rounds: 2, Faults: []svssba.Fault{{Proc: 4, Kind: svssba.FaultCrash}}},
+	}
+	for _, base := range cases {
+		var messages [2]int64
+		for i, batch := range []int{0, 2} {
+			cfg := base
+			cfg.CoinBatch = batch
+			res, err := svssba.RunCoin(cfg)
+			if err != nil {
+				t.Fatalf("batch %d: %v", batch, err)
+			}
+			if res.TimedOut {
+				t.Fatalf("batch %d: timed out", batch)
+			}
+			if len(res.RoundResults) != base.Rounds {
+				t.Fatalf("batch %d: %d rounds completed, want %d", batch, len(res.RoundResults), base.Rounds)
+			}
+			for r, rr := range res.RoundResults {
+				if !rr.Agreed {
+					t.Errorf("batch %d round %d: coin outputs disagree: %v", batch, r+1, rr.Bits)
+				}
+			}
+			if res.SlotReuses != 0 {
+				t.Errorf("batch %d: %d slot reuses (one-shot violated)", batch, res.SlotReuses)
+			}
+			if len(base.Faults) == 0 && len(res.Shuns) != 0 {
+				t.Errorf("batch %d: shuns in honest run: %v", batch, res.Shuns)
+			}
+			messages[i] = res.Messages
+		}
+		// The point of batching: rounds covered by the batch share one
+		// dealing setup, so the batched run must move fewer messages.
+		if messages[1] >= messages[0] {
+			t.Errorf("seed %d: batched run sent %d messages, classic %d — batching should reduce traffic",
+				base.Seed, messages[1], messages[0])
+		}
+	}
+}

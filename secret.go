@@ -6,6 +6,7 @@ import (
 	"svssba/internal/adversary"
 	"svssba/internal/core"
 	"svssba/internal/field"
+	"svssba/internal/mwsvss"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 	"svssba/internal/svss"
@@ -109,7 +110,7 @@ func RunSVSS(cfg SVSSConfig) (*SVSSResult, error) {
 			ShareComplete: func(_ sim.Context, _ proto.SessionID) {
 				shareDone[pid] = true
 			},
-			ReconComplete: func(_ sim.Context, _ proto.SessionID, out svss.Output) {
+			ReconComplete: func(_ sim.Context, _ proto.SessionID, _ int, out svss.Output) {
 				res.Outputs[pid] = SecretValue{Value: out.Value.Uint64(), Bottom: out.Bottom}
 			},
 		})
@@ -212,6 +213,10 @@ type CoinConfig struct {
 	// Wire selects the wire variant ("v1" default, "v2" burst
 	// coalescing); see Config.Wire.
 	Wire string
+	// CoinBatch > 0 switches coin rounds 1..CoinBatch to one batched
+	// dealing per process (see Config.CoinBatch); later rounds fall back
+	// to classic per-round dealing.
+	CoinBatch int
 }
 
 // CoinRound reports one coin invocation.
@@ -230,6 +235,9 @@ type CoinResult struct {
 	Messages, Bytes int64
 	Shuns           []Shun
 	TimedOut        bool
+	// SlotReuses sums the one-shot-handout violations every process's
+	// batch supply observed (CoinBatch > 0 only; must be zero).
+	SlotReuses uint64
 }
 
 // RunCoin executes cfg.Rounds sequential common-coin invocations.
@@ -252,6 +260,13 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 	case "v1", "v2":
 	default:
 		return nil, fmt.Errorf("svssba: unknown wire variant %q", cfg.Wire)
+	}
+	if cfg.CoinBatch < 0 {
+		return nil, fmt.Errorf("svssba: negative CoinBatch %d", cfg.CoinBatch)
+	}
+	if cfg.CoinBatch*cfg.N > mwsvss.MaxBatchSlots {
+		return nil, fmt.Errorf("svssba: CoinBatch %d exceeds %d slots at n=%d",
+			cfg.CoinBatch, mwsvss.MaxBatchSlots, cfg.N)
 	}
 
 	nw := sim.NewNetwork(cfg.N, cfg.T, cfg.Seed)
@@ -288,6 +303,9 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 		})
 		if cfg.Wire == "v2" {
 			st.EnableWireV2()
+		}
+		if cfg.CoinBatch > 0 {
+			st.EnableCoinBatch(cfg.CoinBatch)
 		}
 		if kind, bad := faults[i]; bad && kind != FaultCrash {
 			if b, ok := behaviorFor(kind, cfg.T); ok {
@@ -349,6 +367,9 @@ func RunCoin(cfg CoinConfig) (*CoinResult, error) {
 			}
 		}
 		res.RoundResults = append(res.RoundResults, cr)
+	}
+	for _, st := range stacks {
+		res.SlotReuses += st.Coin.SlotReuses()
 	}
 	st := nw.Stats()
 	res.Messages = st.Sent

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"svssba/internal/acs"
+	"svssba/internal/coinpool"
 	"svssba/internal/core"
 	"svssba/internal/node"
 	"svssba/internal/obs"
@@ -39,6 +40,16 @@ type ServiceConfig struct {
 	// Window bounds how many sessions each node initiates concurrently
 	// (default 8). Sessions joined on peer traffic bypass the window.
 	Window int
+	// Pool turns on the coin-dealing pool (internal/coinpool): every
+	// session's n agreements consume lottery sharings from one batched
+	// dealing round on the session's proposal plane instead of dealing
+	// per coin round, and the submission window refills as soon as a
+	// session's dealing share-completes (pipelined startup) rather than
+	// when its slowest agreement drains.
+	Pool bool
+	// PoolRounds is the coin-round coverage of each pooled dealing
+	// (default 4).
+	PoolRounds int
 	// DecisionBuffer bounds each node's decision queue handed to
 	// Decisions() consumers (default 1024; beyond it the oldest pending
 	// decisions are dropped — a service consumer that stops reading must
@@ -205,12 +216,14 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 		}
 		id := i
 		acfg := acs.Config{
-			N:        cfg.N,
-			T:        cfg.T,
-			Self:     sim.ProcID(i),
-			Wire:     cfg.Wire,
-			Window:   cfg.Window,
-			OnDecide: sn.push,
+			N:          cfg.N,
+			T:          cfg.T,
+			Self:       sim.ProcID(i),
+			Wire:       cfg.Wire,
+			Window:     cfg.Window,
+			Pool:       cfg.Pool,
+			PoolRounds: cfg.PoolRounds,
+			OnDecide:   sn.push,
 		}
 		if cfg.Tamper != nil {
 			acfg.Tamper = func(sid uint64, slot int, st *core.Stack) {
@@ -265,6 +278,15 @@ func (n *ServiceNode) registerMetrics(reg *obs.Registry) {
 		defer n.mu.Unlock()
 		return int64(len(n.pending))
 	})
+	if _, ok := n.drv.PoolStats(); ok {
+		reg.GaugeFunc(p+"starting", func() int64 { return int64(n.drv.Starting()) })
+		reg.GaugeFunc(p+"pool_depth", func() int64 { st, _ := n.drv.PoolStats(); return st.Depth })
+		reg.GaugeFunc(p+"pool_reserved", func() int64 { st, _ := n.drv.PoolStats(); return st.Reserved })
+		reg.GaugeFunc(p+"pool_refills", func() int64 { st, _ := n.drv.PoolStats(); return st.Refills })
+		reg.GaugeFunc(p+"pool_handouts", func() int64 { st, _ := n.drv.PoolStats(); return st.Handouts })
+		reg.GaugeFunc(p+"pool_double_handouts", func() int64 { st, _ := n.drv.PoolStats(); return st.DoubleHandouts })
+		reg.GaugeFunc(p+"pool_live_supplies", func() int64 { st, _ := n.drv.PoolStats(); return st.Live })
+	}
 }
 
 // N returns the cluster size.
@@ -312,6 +334,10 @@ func (n *ServiceNode) MaxInFlight() int { return n.drv.MaxInFlight() }
 
 // QueueLen returns submitted values not yet attached to a session.
 func (n *ServiceNode) QueueLen() int { return n.drv.QueueLen() }
+
+// PoolStats snapshots the node's coin-pool gauges; ok is false when
+// pooling is off.
+func (n *ServiceNode) PoolStats() (coinpool.Stats, bool) { return n.drv.PoolStats() }
 
 // Counts snapshots the node's session table: live/retired scopes and
 // the protocol-state sum over live stacks.

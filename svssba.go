@@ -27,6 +27,7 @@ import (
 	"svssba/internal/adversary"
 	"svssba/internal/baseline"
 	"svssba/internal/core"
+	"svssba/internal/mwsvss"
 	"svssba/internal/proto"
 	"svssba/internal/sim"
 )
@@ -159,6 +160,14 @@ type Config struct {
 	// differ, so it carries its own parity digest. Baseline protocols
 	// ignore Wire.
 	Wire string
+	// CoinBatch > 0 switches ProtocolADH coin rounds 1..CoinBatch to
+	// batched dealing: each process deals one CoinBatch*N-secret SVSS
+	// session up front instead of one N-session dealing storm per round,
+	// paying the MW quorum setup once. A declared protocol variant like
+	// Wire: decisions and agreement properties are preserved (see the
+	// batch equivalence test) but message schedules differ, so the v1
+	// parity digest applies only to CoinBatch == 0.
+	CoinBatch int
 }
 
 func (c *Config) normalize() error {
@@ -197,6 +206,13 @@ func (c *Config) normalize() error {
 	case "v1", "v2":
 	default:
 		return fmt.Errorf("svssba: unknown wire variant %q", c.Wire)
+	}
+	if c.CoinBatch < 0 {
+		return fmt.Errorf("svssba: negative CoinBatch %d", c.CoinBatch)
+	}
+	if c.CoinBatch*c.N > mwsvss.MaxBatchSlots {
+		return fmt.Errorf("svssba: CoinBatch %d exceeds %d slots at n=%d",
+			c.CoinBatch, mwsvss.MaxBatchSlots, c.N)
 	}
 	for _, f := range c.Faults {
 		if f.Proc < 1 || f.Proc > c.N {
@@ -370,6 +386,9 @@ func Run(cfg Config) (*Result, error) {
 			})
 			if cfg.Wire == "v2" {
 				st.EnableWireV2()
+			}
+			if cfg.CoinBatch > 0 {
+				st.EnableCoinBatch(cfg.CoinBatch)
 			}
 			if kind, bad := faults[i]; bad && kind != FaultCrash {
 				if b, ok := behaviorFor(kind, cfg.T); ok {
