@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke loadgen-smoke-pool service-check obs-smoke soak
+.PHONY: build test check vet bench sweep sweep-full scenario scenario-full cluster cluster-batch cluster-race fuzz-batch parity n13 loadgen-smoke loadgen-smoke-pool loadgen-smoke-lanes service-check obs-smoke soak
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,15 @@ loadgen-smoke:
 # (zero double handouts, zero leaked supplies after drain).
 loadgen-smoke-pool:
 	$(GO) run ./cmd/loadgen -n 4 -duration 30s -pool -minpeak 8 -minrate 0.5
+
+# loadgen-smoke-lanes is the multi-core leg: the same pooled service
+# workload sharded across 4 per-scope execution lanes per node. On top
+# of the pooled leg's contract it asserts the lane rings dropped zero
+# frames on the live run (drops are legal only at shutdown) — the
+# decisions/sec floor stays at the pooled leg's because single-core CI
+# runners gain no parallel speedup.
+loadgen-smoke-lanes:
+	$(GO) run ./cmd/loadgen -n 4 -duration 30s -pool -lanes 4 -minpeak 8 -minrate 0.5
 
 # service-check runs the scenario-style multi-session invariant cell:
 # agreement/validity/termination per session across the service nodes.

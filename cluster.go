@@ -122,6 +122,14 @@ type ClusterNodeStats struct {
 	DroppedLateFrames   int64
 	DroppedLatePayloads int64
 
+	// Lane runtime counters (multi-lane service nodes; see node.Stats).
+	// RingWaits is backpressure, not loss; RingDrops must be zero on a
+	// clean run (items are only ever discarded at shutdown).
+	Lanes         int
+	RingWaits     int64
+	RingDrops     int64
+	RingHighWater int
+
 	ByLayer map[string]ClusterLayerStats
 }
 
@@ -417,6 +425,10 @@ func clusterNodeStats(id int, nd *node.Node, crashed, dropper bool) ClusterNodeS
 		OversizedDropped:    st.OversizedDropped,
 		DroppedLateFrames:   st.DroppedLateFrames,
 		DroppedLatePayloads: st.DroppedLatePayloads,
+		Lanes:               st.Lanes,
+		RingWaits:           st.RingWaits,
+		RingDrops:           st.RingDrops,
+		RingHighWater:       st.RingHighWater,
 		ByLayer:             make(map[string]ClusterLayerStats),
 	}
 	if v, ok := nd.Decision(); ok {

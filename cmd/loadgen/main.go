@@ -56,6 +56,7 @@ type report struct {
 	Transport    string  `json:"transport"`
 	Wire         string  `json:"wire"`
 	Window       int     `json:"window"`
+	Lanes        int     `json:"lanes"`
 	ValueBytes   int     `json:"value_bytes"`
 	DurationSecs float64 `json:"duration_secs"`
 	DrainSecs    float64 `json:"drain_secs"`
@@ -95,6 +96,14 @@ type report struct {
 	LateFramesDropped   int64 `json:"late_frames_dropped"`
 	OversizedDropped    int64 `json:"oversized_dropped"`
 	DroppedDecisions    int   `json:"dropped_decisions"`
+
+	// Lane-runtime counters, summed across nodes. RingWaits measures
+	// router backpressure episodes (informational); RingDrops must be
+	// zero — a nonzero value means payloads were discarded outside
+	// shutdown and fails the run.
+	RingWaits     int64 `json:"ring_waits"`
+	RingDrops     int64 `json:"ring_drops"`
+	RingHighWater int   `json:"ring_high_water"`
 
 	// Coin-pool counters, summed across nodes (pooled runs only).
 	PoolRefills        int64 `json:"pool_refills,omitempty"`
@@ -136,6 +145,7 @@ func run() error {
 		transportK = flag.String("transport", "chan", "chan | tcp")
 		wire       = flag.String("wire", "v2", "wire variant for the scoped stacks: v1 | v2")
 		window     = flag.Int("window", 8, "per-node cap on self-initiated concurrent sessions")
+		lanes      = flag.Int("lanes", 1, "per-scope execution lanes per node (0 = min(GOMAXPROCS, 8); 1 = the single-goroutine runtime)")
 		pool       = flag.Bool("pool", false, "amortize coin setup through the shared dealing pool (batched MW-SVSS)")
 		poolRounds = flag.Int("poolrounds", 0, "coin-round coverage per pooled dealing (default 4)")
 		valBytes   = flag.Int("bytes", 64, "size of each submitted value")
@@ -175,6 +185,7 @@ func run() error {
 		Transport:  svssba.TransportKind(*transportK),
 		Wire:       *wire,
 		Window:     *window,
+		Lanes:      *lanes,
 		Pool:       *pool,
 		PoolRounds: *poolRounds,
 		// The verifier must see every decision; size the queue so the
@@ -385,6 +396,19 @@ func run() error {
 		}
 	}
 
+	// Snapshot the lane-ring counters while the cluster is still up:
+	// drops are legal only during shutdown, so anything visible now is a
+	// live-run loss and fails the contract below.
+	for i := 1; i <= *n; i++ {
+		st := cl.Node(i).Stats()
+		rep.Lanes = st.Lanes // resolved count (the flag may have asked for auto)
+		rep.RingWaits += st.RingWaits
+		rep.RingDrops += st.RingDrops
+		if st.RingHighWater > rep.RingHighWater {
+			rep.RingHighWater = st.RingHighWater
+		}
+	}
+
 	// Let the collectors finish, then verify the cross-node contract.
 	cl.Close()
 	wg.Wait()
@@ -519,8 +543,8 @@ func run() error {
 			return err
 		}
 	} else {
-		fmt.Printf("loadgen: n=%d t=%d transport=%s wire=%s window=%d bytes=%d pool=%v\n",
-			rep.N, rep.T, rep.Transport, rep.Wire, rep.Window, rep.ValueBytes, rep.Pool)
+		fmt.Printf("loadgen: n=%d t=%d transport=%s wire=%s window=%d lanes=%d bytes=%d pool=%v\n",
+			rep.N, rep.T, rep.Transport, rep.Wire, rep.Window, rep.Lanes, rep.ValueBytes, rep.Pool)
 		fmt.Printf("  %d sessions in %.1fs (+%.1fs drain) = %.1f decisions/sec (%d completed in drain, excluded)\n",
 			rep.Sessions, rep.DurationSecs, rep.DrainSecs, rep.DecisionsSec, rep.DrainCompleted)
 		fmt.Printf("  latency p50=%.0fms p95=%.0fms p99=%.0fms; peak concurrent sessions=%d\n",
@@ -529,6 +553,10 @@ func run() error {
 			rep.CoinMean, rep.CoinP50, rep.CoinP95, rep.CoinMax)
 		fmt.Printf("  frames sent=%d (%.1f MiB) recv=%d; late payloads dropped=%d\n",
 			rep.SentFrames, float64(rep.SentBytes)/(1<<20), rep.RecvFrames, rep.LatePayloadsDropped)
+		if rep.Lanes > 1 {
+			fmt.Printf("  lanes=%d ringWaits=%d ringDrops=%d ringHighWater=%d\n",
+				rep.Lanes, rep.RingWaits, rep.RingDrops, rep.RingHighWater)
+		}
 		if rep.Pool {
 			fmt.Printf("  pool: refills=%d handouts=%d doubleHandouts=%d leakedSupplies=%d\n",
 				rep.PoolRefills, rep.PoolHandouts, rep.PoolDoubleHandouts, rep.PoolLeakedSupplies)
@@ -548,6 +576,9 @@ func run() error {
 	}
 	if rep.PoolDoubleHandouts > 0 {
 		return fmt.Errorf("coin pool handed out %d sharings twice", rep.PoolDoubleHandouts)
+	}
+	if rep.RingDrops > 0 {
+		return fmt.Errorf("lane rings dropped %d payloads on a live run", rep.RingDrops)
 	}
 	if rep.PoolLeakedSupplies > 0 {
 		return fmt.Errorf("coin pool leaked %d live supplies after drain", rep.PoolLeakedSupplies)

@@ -42,6 +42,12 @@ func SplitScope(scope uint64) (sid uint64, slot int) {
 	return scope >> 8, int(scope & 0xff)
 }
 
+// LaneKey is the node.Config.LaneKey for ACS scopes: keying by session
+// id pins a session's proposal plane and all its ABA slots to one lane,
+// so the per-session composition state stays single-threaded and
+// same-session scopes may open each other synchronously (OpenPeer).
+func LaneKey(scope uint64) uint64 { return scope >> 8 }
+
 // Config describes one process's ACS driver.
 type Config struct {
 	// N, T mirror the cluster's agreement parameters (T defaults to
@@ -92,8 +98,10 @@ type Decision struct {
 	CoinRounds uint64
 }
 
-// session is the per-ACS-session composition state (delivery goroutine
-// only).
+// session is the per-ACS-session composition state. Every scope of one
+// session lives on the same node lane (see LaneKey), so these fields
+// are lane-confined: only the owning lane's goroutine touches them
+// after the record is published through d.mu.
 type session struct {
 	sid     uint64
 	started time.Time
@@ -132,7 +140,12 @@ type Driver struct {
 	qmu   sync.Mutex
 	queue [][]byte
 
-	// Delivery-goroutine state.
+	// mu guards the session/completion tables and the sid allocator —
+	// the only driver state shared across node lanes. Lock-ordering
+	// rule: never hold mu across a node call (OpenScope/StartScope/
+	// Touch/stack operations) or a pool call; mu may nest over qmu.
+	// The *session records themselves are lane-confined (see session).
+	mu        sync.Mutex
 	sessions  map[uint64]*session
 	completed map[uint64]bool
 	nextSid   uint64
@@ -232,27 +245,40 @@ func (d *Driver) QueueLen() int {
 }
 
 // pump starts new sessions while the window allows and values are
-// queued (delivery goroutine). Unpooled, the window counts every
-// in-flight session — it refills only when a whole session completes.
-// Pooled, it counts sessions still *starting* (own dealing not yet
-// share-complete), so the next session's setup pipelines behind the
-// previous ones' agreement phases; a hard cap of 4× the window on total
-// in-flight sessions bounds memory when agreements drain slowly.
+// queued. Unpooled, the window counts every in-flight session — it
+// refills only when a whole session completes. Pooled, it counts
+// sessions still *starting* (own dealing not yet share-complete), so
+// the next session's setup pipelines behind the previous ones'
+// agreement phases; a hard cap of 4× the window on total in-flight
+// sessions bounds memory when agreements drain slowly.
+//
+// pump may run on any lane (Inject thunks, ready callbacks, completion
+// paths), so window check, value pop and session creation form one
+// critical section; the new session's plane then starts on whichever
+// lane owns the fresh sid via StartScope.
 func (d *Driver) pump() {
-	for d.windowOpen() && d.QueueLen() > 0 {
+	for {
+		d.mu.Lock()
+		if !d.windowOpen() {
+			d.mu.Unlock()
+			return
+		}
+		v, ok := d.tryPopValue()
+		if !ok {
+			d.mu.Unlock()
+			return
+		}
 		for d.sessions[d.nextSid] != nil || d.completed[d.nextSid] {
 			d.nextSid++
 		}
 		sid := d.nextSid
 		d.nextSid++
-		s := d.newSession(sid)
-		if d.pool != nil {
-			s.pooledStarting = true
-			d.starting.Add(1)
-		}
+		d.newSessionLocked(sid, v, d.pool != nil)
+		d.mu.Unlock()
 		// Opening the plane scope runs Open+Opened, which broadcasts the
-		// proposal this session carries for us.
-		d.nd.OpenScope(ScopeOf(sid, 0))
+		// proposal this session carries for us. The open lands on the
+		// sid's owning lane (inline on a one-lane node).
+		d.nd.StartScope(ScopeOf(sid, 0))
 	}
 }
 
@@ -267,7 +293,7 @@ func (d *Driver) windowOpen() bool {
 
 // sessionReady clears a pooled session's starting mark (its dealing
 // share-completed locally, or its plane released) and refills the
-// window.
+// window. Owning-lane only: pooledStarting is lane-confined.
 func (d *Driver) sessionReady(s *session) {
 	if !s.pooledStarting {
 		return
@@ -277,29 +303,49 @@ func (d *Driver) sessionReady(s *session) {
 	d.pump()
 }
 
-// popValue takes the oldest queued value ([]byte{} when none — a
-// session joined on peer traffic still participates, with an empty
-// proposal).
-func (d *Driver) popValue() []byte {
+// tryPopValue takes the oldest queued value, reporting whether one
+// existed.
+func (d *Driver) tryPopValue() ([]byte, bool) {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
 	if len(d.queue) == 0 {
-		return []byte{}
+		return nil, false
 	}
 	v := d.queue[0]
 	d.queue = d.queue[1:]
-	return v
+	if v == nil {
+		// An empty submission copies to nil; keep the popped/absent
+		// distinction intact for newSessionLocked.
+		v = []byte{}
+	}
+	return v, true
 }
 
-// newSession creates the composition record for sid (delivery
-// goroutine). The scoped stacks open separately — lazily for sessions
-// joined on inbound traffic.
-func (d *Driver) newSession(sid uint64) *session {
+// popValue is tryPopValue with the joined-session fallback: []byte{}
+// when nothing is queued — a session joined on peer traffic still
+// participates, with an empty proposal.
+func (d *Driver) popValue() []byte {
+	if v, ok := d.tryPopValue(); ok {
+		return v
+	}
+	return []byte{}
+}
+
+// newSessionLocked creates the composition record for sid; the caller
+// holds d.mu. Everything lane-confined — including pooledStarting —
+// is set before the record is published into d.sessions, so the owning
+// lane (which looks the record up under d.mu) always sees it complete.
+// The scoped stacks open separately — lazily for sessions joined on
+// inbound traffic. ownValue nil means "pop on demand" (joined path).
+func (d *Driver) newSessionLocked(sid uint64, ownValue []byte, pooledStarting bool) *session {
 	n := d.cfg.N
+	if ownValue == nil {
+		ownValue = d.popValue()
+	}
 	s := &session{
 		sid:      sid,
 		started:  time.Now(),
-		ownValue: d.popValue(),
+		ownValue: ownValue,
 		aba:      make([]*node.Session, n+1),
 		has:      make([]bool, n+1),
 		values:   make([][]byte, n+1),
@@ -308,6 +354,10 @@ func (d *Driver) newSession(sid uint64) *session {
 	}
 	for j := range s.decided {
 		s.decided[j] = -1
+	}
+	if pooledStarting {
+		s.pooledStarting = true
+		d.starting.Add(1)
 	}
 	d.sessions[sid] = s
 	if sid >= d.nextSid {
@@ -328,25 +378,29 @@ func (d *Driver) newSession(sid uint64) *session {
 // Open implements node.ServiceDriver: build the scoped stack for one
 // (session, slot) pair. Rejects malformed slots and scopes of completed
 // sessions (the node tombstones them, so late traffic dies at the
-// envelope).
+// envelope). Runs on the sid's owning lane.
 func (d *Driver) Open(sess *node.Session) *core.Stack {
 	sid, slot := SplitScope(sess.Scope())
 	if slot > d.cfg.N || sid == 0 {
 		return nil
 	}
+	d.mu.Lock()
 	if d.completed[sid] {
+		d.mu.Unlock()
 		return nil
 	}
 	s := d.sessions[sid]
 	if s == nil {
 		// A peer reached this session first: join it.
-		s = d.newSession(sid)
+		s = d.newSessionLocked(sid, nil, false)
 	}
+	d.mu.Unlock()
 	if d.pool != nil && slot > 0 && s.plane == nil {
 		// The pooled agreement consumes the plane's dealing; make sure the
 		// plane scope (and with it the session's supply) exists first.
-		// OpenScope re-enters the driver for the plane scope only.
-		d.nd.OpenScope(ScopeOf(sid, 0))
+		// Same sid, same lane: open it synchronously through the session
+		// being built (this re-enters the driver for the plane only).
+		sess.OpenPeer(ScopeOf(sid, 0))
 	}
 	st := core.NewStack(d.cfg.Self, nil)
 	if d.cfg.Wire == "v2" {
@@ -371,7 +425,9 @@ func (d *Driver) Open(sess *node.Session) *core.Stack {
 // it into the session record and fire first sends.
 func (d *Driver) Opened(sess *node.Session) {
 	sid, slot := SplitScope(sess.Scope())
+	d.mu.Lock()
 	s := d.sessions[sid]
+	d.mu.Unlock()
 	if s == nil {
 		return
 	}
@@ -405,16 +461,19 @@ func (d *Driver) Opened(sess *node.Session) {
 func (d *Driver) MayRetire(sess *node.Session) bool {
 	sid, slot := SplitScope(sess.Scope())
 	if slot == 0 {
+		d.mu.Lock()
+		completed := d.completed[sid]
+		s := d.sessions[sid]
+		d.mu.Unlock()
 		if d.pool == nil {
-			return d.completed[sid]
+			return completed
 		}
 		// Pooled: the plane hosts the dealings the agreements consume, so
 		// it must outlive every agreement scope. By the time all have
 		// halted, DECIDE amplification finishes the cluster without
 		// further coin reconstructions from this process.
-		s := d.sessions[sid]
-		if !d.completed[sid] || s == nil {
-			return d.completed[sid] && s == nil
+		if !completed || s == nil {
+			return completed && s == nil
 		}
 		for j := 1; j <= d.cfg.N; j++ {
 			if ab := s.aba[j]; ab != nil && !ab.Retired() {
@@ -423,7 +482,9 @@ func (d *Driver) MayRetire(sess *node.Session) bool {
 		}
 		d.sessionReady(s) // never leave the window blocked on a dead plane
 		d.pool.Release(sid)
+		d.mu.Lock()
 		delete(d.sessions, sid)
+		d.mu.Unlock()
 		return true
 	}
 	st := sess.Stack()
@@ -434,7 +495,10 @@ func (d *Driver) MayRetire(sess *node.Session) bool {
 		if sup := d.pool.Supply(sid); sup != nil {
 			sup.Detach(slot)
 		}
-		if s := d.sessions[sid]; s != nil && s.plane != nil {
+		d.mu.Lock()
+		s := d.sessions[sid]
+		d.mu.Unlock()
+		if s != nil && s.plane != nil {
 			// Re-check the plane this burst: this may be the last agreement
 			// holding it open.
 			s.plane.Touch()
@@ -444,10 +508,12 @@ func (d *Driver) MayRetire(sess *node.Session) bool {
 }
 
 // abaSession returns the ABA scope for proposer j, opening it on first
-// use (delivery goroutine).
-func (d *Driver) abaSession(s *session, j int) *node.Session {
+// use through hop — any already-open session of the same sid (the
+// plane, or a decided agreement), which pins the open to the lane this
+// callback is already running on.
+func (d *Driver) abaSession(hop *node.Session, s *session, j int) *node.Session {
 	if s.aba[j] == nil {
-		d.nd.OpenScope(ScopeOf(s.sid, j)) // Opened fills s.aba[j]
+		hop.OpenPeer(ScopeOf(s.sid, j)) // Opened fills s.aba[j]
 	}
 	return s.aba[j]
 }
@@ -467,7 +533,7 @@ func (d *Driver) onProposal(s *session, origin sim.ProcID, value []byte) {
 	s.values[j] = append([]byte(nil), value...)
 	if !s.proposed[j] && s.decided[j] == -1 {
 		s.proposed[j] = true
-		ab := d.abaSession(s, j)
+		ab := d.abaSession(s.plane, s, j)
 		if st := ab.Stack(); st != nil {
 			ab.Touch()
 			_ = st.ABA.Propose(ab.Ctx(), 1)
@@ -495,7 +561,7 @@ func (d *Driver) onABADecide(s *session, j, v int) {
 					continue
 				}
 				s.proposed[k] = true
-				ab := d.abaSession(s, k)
+				ab := d.abaSession(s.aba[j], s, k)
 				if st := ab.Stack(); st != nil {
 					ab.Touch()
 					_ = st.ABA.Propose(ab.Ctx(), 0)
@@ -522,10 +588,13 @@ func (d *Driver) checkComplete(s *session) {
 		}
 	}
 	s.completed = true
+	d.mu.Lock()
 	d.completed[s.sid] = true
 	if d.pool == nil {
 		delete(d.sessions, s.sid)
-	} else {
+	}
+	d.mu.Unlock()
+	if d.pool != nil {
 		// Pooled: keep the record until the plane retires (MayRetire walks
 		// the agreement scopes through it), but free the window now.
 		d.sessionReady(s)

@@ -27,6 +27,7 @@ package coinpool
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"svssba/internal/coin"
@@ -96,10 +97,15 @@ type Stats struct {
 	Live int64
 }
 
-// Pool owns the per-session supplies of one service node. All methods
-// are delivery-goroutine only unless noted; Stats is safe anywhere.
+// Pool owns the per-session supplies of one service node. On a
+// multi-lane node each session's methods run on that session's lane:
+// a Supply's internals are lane-confined (every scope of one sid pins
+// to one lane via acs.LaneKey), so only the supplies map itself is
+// shared across lanes and needs the mutex. Stats is safe anywhere.
 type Pool struct {
-	cfg      Config
+	cfg Config
+
+	mu       sync.Mutex // guards supplies (the map only, not Supply state)
 	supplies map[uint64]*Supply
 
 	depth, reserved, refills, handouts, doubleHandouts, live atomic.Int64
@@ -126,7 +132,11 @@ func (p *Pool) Stats() Stats {
 }
 
 // Supply returns session sid's supply (nil when none).
-func (p *Pool) Supply(sid uint64) *Supply { return p.supplies[sid] }
+func (p *Pool) Supply(sid uint64) *Supply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.supplies[sid]
+}
 
 // Supply is one ACS session's slice of the pool: the batched dealings
 // hosted on that session's plane stack, the handout ledger, and the
@@ -159,9 +169,6 @@ type planeRef struct {
 // own dealing share-completes locally — the pipelined-startup signal.
 // Call from the plane scope's Opened hook.
 func (p *Pool) Open(sid uint64, st *core.Stack, ctx sim.Context, touch func(), onReady func()) *Supply {
-	if s := p.supplies[sid]; s != nil {
-		return s
-	}
 	s := &Supply{
 		pool:      p,
 		sid:       sid,
@@ -169,7 +176,13 @@ func (p *Pool) Open(sid uint64, st *core.Stack, ctx sim.Context, touch func(), o
 		consumers: make([]*Consumer, p.cfg.N+1),
 		onReady:   onReady,
 	}
+	p.mu.Lock()
+	if prev := p.supplies[sid]; prev != nil {
+		p.mu.Unlock()
+		return prev
+	}
 	p.supplies[sid] = s
+	p.mu.Unlock()
 	p.live.Add(1)
 	p.refills.Add(1)
 	p.reserved.Add(int64(p.cfg.N * p.cfg.Width()))
@@ -210,12 +223,15 @@ func (s *Supply) Detach(j int) {
 // Release drops the supply when its session's plane retires, returning
 // unconsumed state to the gauges. Idempotent.
 func (p *Pool) Release(sid uint64) {
+	p.mu.Lock()
 	s := p.supplies[sid]
 	if s == nil || s.released {
+		p.mu.Unlock()
 		return
 	}
 	s.released = true
 	delete(p.supplies, sid)
+	p.mu.Unlock()
 	p.live.Add(-1)
 	width := int64(p.cfg.Width())
 	completed := int64(s.done.Count())

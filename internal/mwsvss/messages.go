@@ -280,7 +280,8 @@ func EncodeElem(e field.Element) []byte {
 
 // DecodeElem decodes a single field element broadcast value.
 func DecodeElem(b []byte) (field.Element, bool) {
-	r := proto.NewReader(b)
+	r := proto.GetReader(b)
+	defer proto.PutReader(r)
 	e := r.Elem()
 	if r.Close() != nil {
 		return field.Zero, false
@@ -304,7 +305,8 @@ func DecodeElems(b []byte) ([]field.Element, bool) {
 	if len(b)%8 != 0 {
 		return nil, false
 	}
-	r := proto.NewReader(b)
+	r := proto.GetReader(b)
+	defer proto.PutReader(r)
 	es := readElemTail(r)
 	if r.Close() != nil {
 		return nil, false
@@ -332,7 +334,8 @@ func EncodeSlab(slots []int, rows []field.Element) []byte {
 // span of exactly len(slots)·n elements, so a Byzantine slab can neither
 // inflate per-slot state nor smuggle rows for slots it does not name.
 func DecodeSlab(b []byte, n int) ([]int, []field.Element, bool) {
-	r := proto.NewReader(b)
+	r := proto.GetReader(b)
+	defer proto.PutReader(r)
 	m := int(r.U32())
 	if r.Err() != nil || m < 1 || m > MaxBatchSlots {
 		return nil, nil, false

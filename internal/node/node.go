@@ -68,6 +68,18 @@ type Config struct {
 	// stack construction and decision routing. Service nodes do not
 	// support Restart.
 	Service ServiceDriver
+	// Lanes shards service-mode delivery across per-scope execution
+	// lanes (see lanes.go). 0 or 1 keeps the historical single delivery
+	// goroutine — byte-identical schedules; k > 1 runs k lane workers
+	// plus an ingress router and requires a lane-safe ServiceDriver.
+	// Only service mode may set Lanes > 1.
+	Lanes int
+	// LaneKey maps a scope to its lane-affinity key: scopes with equal
+	// keys always share a lane (and may open each other synchronously
+	// via Session.OpenPeer). Nil uses the scope itself. The acs driver
+	// keys by session id so a session's proposal plane and ABA slots
+	// stay mutually single-threaded.
+	LaneKey func(scope uint64) uint64
 	// Metrics attaches the node to an observability registry: the
 	// traffic, drop and protocol-state counters the node already keeps
 	// are exposed as pull-based gauges under the "node<ID>." prefix
@@ -133,6 +145,16 @@ type Stats struct {
 	RecvByKind, RecvBytesByKind map[string]int64
 	SentGroupsByKind            map[string]int64
 	RecvGroupsByKind            map[string]int64
+
+	// Lane runtime counters (service mode). Lanes is the configured lane
+	// count; RingWaits counts router wait episodes on a full lane ring
+	// (backpressure, not loss); RingDrops counts ring items discarded at
+	// shutdown — a live run must report zero; RingHighWater is the
+	// maximum ring occupancy any lane observed.
+	Lanes         int
+	RingWaits     int64
+	RingDrops     int64
+	RingHighWater int
 }
 
 // LayerOf maps a payload kind to its protocol layer: the segment before
@@ -210,34 +232,26 @@ type Node struct {
 
 	// Service-mode state (delivery goroutine only, except injectC which
 	// Inject sends on under the running-state check).
-	runC            *runCtx
-	injectC         chan func()
-	sessions        map[uint64]*Session
-	touchedSessions []*Session
+	runC    *runCtx
+	injectC chan func()
+	// lanes holds the service-mode execution lanes of the current
+	// incarnation (one entry when Lanes <= 1, driven by the legacy
+	// delivery loop; k entries plus a router goroutine otherwise). Nil
+	// in single-stack mode. Rebuilt under mu by startLocked.
+	lanes []*lane
 	// retiredGate short-circuits inbound frames once the (single-mode)
 	// stack retired: set on the delivery goroutine at retirement, read
 	// there on every frame, so late echo storms are dropped before any
 	// decoding.
 	retiredGate bool
 
-	// Traffic counters, interned by kind like sim.Network (smu keeps
-	// Stats() safe while the delivery goroutine counts). Payload counters
-	// are logical; frame counters are physical (see Stats).
-	smu                      sync.Mutex
-	sent, sentB              int64
-	recv, recvB              int64
-	sentF, sentFB            int64
-	recvF, recvFB            int64
-	decodeErrs               int64
-	oversizedDropped         int64
-	lateFrames, latePayloads int64
-	kindIDs                  map[string]int
-	kindNames                []string
-	sentByKind, sentBByKind  []int64
-	recvByKind, recvBByKind  []int64
-	sentGByKind, recvGByKind []int64
-	lastKind                 string
-	lastKindID               int
+	// Traffic counters, sharded per lane (shard i counts lane i's
+	// traffic; multi-lane, routerShard counts ingress frames). Shards
+	// live here — not on the per-incarnation lanes — so counters
+	// accumulate across restarts. Stats() merges them.
+	laneCount   int
+	shards      []*statShard
+	routerShard *statShard
 
 	// Observability state. The scope gauges are atomics (not smu) so
 	// metric snapshots never contend with the delivery goroutine's
@@ -282,13 +296,31 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if tr.Self() != cfg.ID {
 		return nil, fmt.Errorf("node: transport is endpoint %d, node is %d", tr.Self(), cfg.ID)
 	}
+	if cfg.Lanes < 0 {
+		return nil, fmt.Errorf("node: negative lane count %d", cfg.Lanes)
+	}
+	if cfg.Lanes > 1 && cfg.Service == nil {
+		return nil, fmt.Errorf("node: %d lanes require service mode (a single stack is inherently one lane)", cfg.Lanes)
+	}
+	if cfg.Lanes == 0 {
+		cfg.Lanes = 1
+	}
 	n := &Node{
-		cfg:        cfg,
-		codec:      cfg.Codec,
-		tr:         tr,
-		kindIDs:    make(map[string]int, 16),
-		lastKindID: -1,
-		decideC:    make(chan struct{}),
+		cfg:       cfg,
+		codec:     cfg.Codec,
+		tr:        tr,
+		laneCount: cfg.Lanes,
+		decideC:   make(chan struct{}),
+	}
+	n.shards = make([]*statShard, n.laneCount)
+	for i := range n.shards {
+		n.shards[i] = newStatShard()
+	}
+	if n.laneCount > 1 {
+		// Ingress frames are counted where they are decoded — on the
+		// router — in their own shard so lanes never contend with it.
+		n.routerShard = newStatShard()
+		n.shards = append(n.shards, n.routerShard)
 	}
 	if cfg.Metrics != nil {
 		n.registerMetrics(cfg.Metrics)
@@ -303,23 +335,27 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 // path beyond the event counters the trace hooks bump.
 func (n *Node) registerMetrics(reg *obs.Registry) {
 	p := fmt.Sprintf("node%d.", n.cfg.ID)
-	smuGauge := func(v *int64) func() int64 {
+	sumGauge := func(sel func(*statShard) int64) func() int64 {
 		return func() int64 {
-			n.smu.Lock()
-			defer n.smu.Unlock()
-			return *v
+			var t int64
+			for _, sh := range n.shards {
+				sh.mu.Lock()
+				t += sel(sh)
+				sh.mu.Unlock()
+			}
+			return t
 		}
 	}
-	reg.GaugeFunc(p+"sent_payloads", smuGauge(&n.sent))
-	reg.GaugeFunc(p+"recv_payloads", smuGauge(&n.recv))
-	reg.GaugeFunc(p+"sent_frames", smuGauge(&n.sentF))
-	reg.GaugeFunc(p+"recv_frames", smuGauge(&n.recvF))
-	reg.GaugeFunc(p+"sent_frame_bytes", smuGauge(&n.sentFB))
-	reg.GaugeFunc(p+"recv_frame_bytes", smuGauge(&n.recvFB))
-	reg.GaugeFunc(p+"decode_errs", smuGauge(&n.decodeErrs))
-	reg.GaugeFunc(p+"oversized_dropped", smuGauge(&n.oversizedDropped))
-	reg.GaugeFunc(p+"dropped_late_frames", smuGauge(&n.lateFrames))
-	reg.GaugeFunc(p+"dropped_late_payloads", smuGauge(&n.latePayloads))
+	reg.GaugeFunc(p+"sent_payloads", sumGauge(func(sh *statShard) int64 { return sh.sent }))
+	reg.GaugeFunc(p+"recv_payloads", sumGauge(func(sh *statShard) int64 { return sh.recv }))
+	reg.GaugeFunc(p+"sent_frames", sumGauge(func(sh *statShard) int64 { return sh.sentF }))
+	reg.GaugeFunc(p+"recv_frames", sumGauge(func(sh *statShard) int64 { return sh.recvF }))
+	reg.GaugeFunc(p+"sent_frame_bytes", sumGauge(func(sh *statShard) int64 { return sh.sentFB }))
+	reg.GaugeFunc(p+"recv_frame_bytes", sumGauge(func(sh *statShard) int64 { return sh.recvFB }))
+	reg.GaugeFunc(p+"decode_errs", sumGauge(func(sh *statShard) int64 { return sh.decodeErrs }))
+	reg.GaugeFunc(p+"oversized_dropped", sumGauge(func(sh *statShard) int64 { return sh.oversizedDropped }))
+	reg.GaugeFunc(p+"dropped_late_frames", sumGauge(func(sh *statShard) int64 { return sh.lateFrames }))
+	reg.GaugeFunc(p+"dropped_late_payloads", sumGauge(func(sh *statShard) int64 { return sh.latePayloads }))
 	reg.GaugeFunc(p+"coin_rounds", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -336,6 +372,22 @@ func (n *Node) registerMetrics(reg *obs.Registry) {
 	if n.cfg.Service != nil {
 		reg.GaugeFunc(p+"scopes_live", n.scopesLive.Load)
 		reg.GaugeFunc(p+"scopes_retired", n.scopesRetired.Load)
+		reg.GaugeFunc(p+"lanes", func() int64 { return int64(n.laneCount) })
+		laneGauge := func(sel func(waits, drops int64, hw int) int64) func() int64 {
+			return func() int64 {
+				n.mu.Lock()
+				lanes := n.lanes
+				n.mu.Unlock()
+				var t int64
+				for _, ln := range lanes {
+					w, d, hw := ln.ringStats()
+					t += sel(w, d, hw)
+				}
+				return t
+			}
+		}
+		reg.GaugeFunc(p+"lane_ring_waits", laneGauge(func(w, _ int64, _ int) int64 { return w }))
+		reg.GaugeFunc(p+"lane_ring_drops", laneGauge(func(_, d int64, _ int) int64 { return d }))
 	}
 	n.mRBAccepts = reg.Counter(p + "rb_accepts")
 	n.mCoinFlips = reg.Counter(p + "coin_flips")
@@ -431,20 +483,42 @@ func (n *Node) startLocked() error {
 	n.start = time.Now()
 	n.stop = make(chan struct{})
 	n.done = make(chan struct{})
-	ctx := &runCtx{
-		n:   n,
-		tr:  n.tr,
-		rnd: rand.New(rand.NewSource(n.cfg.Seed)),
-	}
-	if n.cfg.Batching {
-		ctx.ob = sim.NewCoalescer[sim.Payload](n.cfg.N)
-	}
+	ctx := n.newLaneCtx(0, n.shards[0])
 	n.runC = ctx
 	n.injectC = make(chan func())
 	n.retiredGate = false
 	if n.cfg.Service != nil {
-		n.sessions = make(map[uint64]*Session)
-		n.touchedSessions = n.touchedSessions[:0]
+		n.lanes = make([]*lane, n.laneCount)
+		for i := range n.lanes {
+			c := ctx
+			if i > 0 {
+				c = n.newLaneCtx(i, n.shards[i])
+			}
+			n.lanes[i] = newLane(n, i, n.shards[i], c)
+		}
+		if n.laneCount > 1 {
+			// Multi-lane: a router goroutine owns Recv, one worker per
+			// lane owns its sessions. Shutdown runs in ingress order —
+			// stop the router first so no one feeds the rings, then close
+			// the lanes and wait the workers out (they drain their control
+			// queues, so every accepted Inject thunk still runs).
+			var wg sync.WaitGroup
+			for _, ln := range n.lanes {
+				wg.Add(1)
+				go ln.loop(&wg)
+			}
+			stop, done, tr := n.stop, n.done, n.tr
+			lanes := n.lanes
+			go func() {
+				defer close(done)
+				n.routerLoop(tr, stop)
+				for _, ln := range lanes {
+					ln.close()
+				}
+				wg.Wait()
+			}()
+			return nil
+		}
 	}
 	go n.run(st, ctx, n.tr, n.stop, n.done)
 	return nil
@@ -576,21 +650,21 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 	if f.From < 1 || int(f.From) > n.cfg.N {
 		// A sender outside 1..N would count as a phantom voter
 		// in the protocol quorums; reject the frame outright.
-		n.noteDecodeErr(fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
+		n.noteDecodeErrSh(ctx.sh, fmt.Errorf("node %d: frame from unknown process %d", n.cfg.ID, f.From))
 		return
 	}
 	if n.retiredGate {
 		// The stack retired: nothing in this frame can affect any outcome.
 		// Drop it before decoding — a late echo storm must cost a counter
 		// bump, not a full batch/pack/bundle unpack.
-		n.countLateFrame()
+		ctx.sh.countLateFrame()
 		return
 	}
 	service := n.cfg.Service != nil
 	if proto.IsBatch(f.Data) {
 		bd, ok := n.codec.(batchDecoder)
 		if !ok {
-			n.noteDecodeErr(fmt.Errorf("node %d: from %d: batch frame but codec has no batch format", n.cfg.ID, f.From))
+			n.noteDecodeErrSh(ctx.sh, fmt.Errorf("node %d: from %d: batch frame but codec has no batch format", n.cfg.ID, f.From))
 			return
 		}
 		ps, err := bd.DecodeBatch(f.Data)
@@ -598,17 +672,17 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 			// A corrupt batch is discarded whole: partial delivery would
 			// let a Byzantine sender smuggle prefix payloads past the
 			// frame-level integrity check.
-			n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+			n.noteDecodeErrSh(ctx.sh, fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
 			return
 		}
 		if service {
-			n.countRecvFrameOnly(len(f.Data))
+			ctx.sh.countRecvFrameOnly(len(f.Data))
 			for _, p := range ps {
 				n.deliverScoped(ctx, f.From, p)
 			}
 			return
 		}
-		n.countRecvFrame(ps, len(f.Data))
+		ctx.sh.countRecvFrame(ps, len(f.Data))
 		for _, p := range ps {
 			st.Node.Deliver(ctx, sim.Message{
 				From:    f.From,
@@ -621,16 +695,16 @@ func (n *Node) handleFrame(st *core.Stack, ctx *runCtx, f transport.Frame) {
 	}
 	p, err := n.codec.Decode(f.Data)
 	if err != nil {
-		n.noteDecodeErr(fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
+		n.noteDecodeErrSh(ctx.sh, fmt.Errorf("node %d: from %d: %w", n.cfg.ID, f.From, err))
 		return
 	}
 	if service {
-		n.countRecvFrameOnly(len(f.Data))
+		ctx.sh.countRecvFrameOnly(len(f.Data))
 		n.deliverScoped(ctx, f.From, p)
 		return
 	}
 	ctx.one[0] = p
-	n.countRecvFrame(ctx.one[:1], len(f.Data))
+	ctx.sh.countRecvFrame(ctx.one[:1], len(f.Data))
 	st.Node.Deliver(ctx, sim.Message{
 		From:    f.From,
 		To:      n.cfg.ID,
@@ -759,34 +833,11 @@ func (n *Node) Errs() []error {
 	return out
 }
 
-func (n *Node) noteDecodeErr(err error) {
-	n.mu.Lock()
-	n.errs = append(n.errs, err)
-	n.mu.Unlock()
-	n.smu.Lock()
-	n.decodeErrs++
-	n.smu.Unlock()
-}
-
-// kindIDLocked interns a payload kind; the caller must hold smu.
-func (n *Node) kindIDLocked(kind string) int {
-	if kind == n.lastKind && n.lastKindID >= 0 {
-		return n.lastKindID
-	}
-	id, ok := n.kindIDs[kind]
-	if !ok {
-		id = len(n.kindNames)
-		n.kindIDs[kind] = id
-		n.kindNames = append(n.kindNames, kind)
-		n.sentByKind = append(n.sentByKind, 0)
-		n.sentBByKind = append(n.sentBByKind, 0)
-		n.recvByKind = append(n.recvByKind, 0)
-		n.recvBByKind = append(n.recvBByKind, 0)
-		n.sentGByKind = append(n.sentGByKind, 0)
-		n.recvGByKind = append(n.recvGByKind, 0)
-	}
-	n.lastKind, n.lastKindID = kind, id
-	return id
+// noteDecodeErrSh records a decode error in the error log and the
+// counting shard of whichever goroutine observed it.
+func (n *Node) noteDecodeErrSh(sh *statShard, err error) {
+	n.noteErr(err)
+	sh.countDecodeErr()
 }
 
 // standaloneSize is the encoded size of p as its own frame (kind header
@@ -796,101 +847,49 @@ func standaloneSize(p sim.Payload) int {
 	return 2 + len(p.Kind()) + p.Size()
 }
 
-// countSentFrame records one physical frame of frameBytes carrying ps:
-// every payload counts logically, every same-kind run counts as one wire
-// group.
-func (n *Node) countSentFrame(ps []sim.Payload, frameBytes int) {
-	n.smu.Lock()
-	defer n.smu.Unlock()
-	n.sentF++
-	n.sentFB += int64(frameBytes)
-	lastGroup := -1
-	for _, p := range ps {
-		n.sent++
-		sb := int64(standaloneSize(p))
-		n.sentB += sb
-		kind := p.Kind()
-		if sc, ok := p.(proto.Scoped); ok && sc.Inner != nil {
-			// Service mode: attribute the payload to the wrapped kind so
-			// per-kind and per-layer stats stay protocol-meaningful (the
-			// byte counters keep the envelope's full size).
-			kind = sc.Inner.Kind()
-		}
-		id := n.kindIDLocked(kind)
-		n.sentByKind[id]++
-		n.sentBByKind[id] += sb
-		if id != lastGroup {
-			n.sentGByKind[id]++
-			lastGroup = id
-		}
-	}
-}
-
-// countRecvFrame mirrors countSentFrame for the inbound direction.
-func (n *Node) countRecvFrame(ps []sim.Payload, frameBytes int) {
-	n.smu.Lock()
-	defer n.smu.Unlock()
-	n.recvF++
-	n.recvFB += int64(frameBytes)
-	lastGroup := -1
-	for _, p := range ps {
-		n.recv++
-		sb := int64(standaloneSize(p))
-		n.recvB += sb
-		id := n.kindIDLocked(p.Kind())
-		n.recvByKind[id]++
-		n.recvBByKind[id] += sb
-		if id != lastGroup {
-			n.recvGByKind[id]++
-			lastGroup = id
-		}
-	}
-}
-
-// Stats returns a snapshot of the traffic counters, materializing the
-// per-kind maps from the interned slices (the same layout trick as
-// sim.Network).
+// Stats returns a snapshot of the traffic counters, merging the
+// per-lane shards (one shard covers everything on a one-lane node).
 func (n *Node) Stats() Stats {
-	n.smu.Lock()
-	defer n.smu.Unlock()
 	s := Stats{
-		Sent: n.sent, SentBytes: n.sentB,
-		Recv: n.recv, RecvBytes: n.recvB,
-		SentFrames: n.sentF, SentFrameBytes: n.sentFB,
-		RecvFrames: n.recvF, RecvFrameBytes: n.recvFB,
-		DecodeErrs:          n.decodeErrs,
-		OversizedDropped:    n.oversizedDropped,
-		DroppedLateFrames:   n.lateFrames,
-		DroppedLatePayloads: n.latePayloads,
-		SentByKind:          make(map[string]int64, len(n.kindNames)),
-		SentBytesByKind:     make(map[string]int64, len(n.kindNames)),
-		RecvByKind:          make(map[string]int64, len(n.kindNames)),
-		RecvBytesByKind:     make(map[string]int64, len(n.kindNames)),
-		SentGroupsByKind:    make(map[string]int64, len(n.kindNames)),
-		RecvGroupsByKind:    make(map[string]int64, len(n.kindNames)),
+		Lanes:            n.laneCount,
+		SentByKind:       make(map[string]int64, 16),
+		SentBytesByKind:  make(map[string]int64, 16),
+		RecvByKind:       make(map[string]int64, 16),
+		RecvBytesByKind:  make(map[string]int64, 16),
+		SentGroupsByKind: make(map[string]int64, 16),
+		RecvGroupsByKind: make(map[string]int64, 16),
 	}
-	for id, name := range n.kindNames {
-		if n.sentByKind[id] > 0 {
-			s.SentByKind[name] = n.sentByKind[id]
-			s.SentBytesByKind[name] = n.sentBByKind[id]
-			s.SentGroupsByKind[name] = n.sentGByKind[id]
-		}
-		if n.recvByKind[id] > 0 {
-			s.RecvByKind[name] = n.recvByKind[id]
-			s.RecvBytesByKind[name] = n.recvBByKind[id]
-			s.RecvGroupsByKind[name] = n.recvGByKind[id]
+	for _, sh := range n.shards {
+		sh.addTo(&s)
+	}
+	n.mu.Lock()
+	lanes := n.lanes
+	n.mu.Unlock()
+	for _, ln := range lanes {
+		w, d, hw := ln.ringStats()
+		s.RingWaits += w
+		s.RingDrops += d
+		if hw > s.RingHighWater {
+			s.RingHighWater = hw
 		}
 	}
 	return s
 }
 
 // runCtx is the sim.Context one incarnation's stack sees. It is only
-// used from the node's delivery goroutine (Init and Deliver), matching
+// used from its lane's delivery goroutine (Init and Deliver), matching
 // the Context contract.
 type runCtx struct {
 	n   *Node
 	tr  transport.Transport
 	rnd *rand.Rand
+	sh  *statShard
+	// bw is the transport's borrowed-send capability (nil when absent,
+	// e.g. Mesh): with it, frames encode into enc — reused across every
+	// flush this lane performs — and ship without allocating; without
+	// it each frame gets its own buffer, which the transport keeps.
+	bw  transport.Borrower
+	enc []byte
 	// ob is the coalescing outbox (nil without Config.Batching); one is
 	// a scratch slot so single-payload frames count without allocating.
 	ob  *sim.Coalescer[sim.Payload]
@@ -909,6 +908,18 @@ type batchEncoder interface {
 
 type batchDecoder interface {
 	DecodeBatch(b []byte) ([]sim.Payload, error)
+}
+
+// appendEncoder/appendBatchEncoder are the buffer-reusing encode forms
+// (proto.Codec provides both). Together with transport.Borrower they
+// make the send hot path allocation-free: encode into the lane's
+// reusable buffer, let the transport copy it out of a pool.
+type appendEncoder interface {
+	AppendEncode(dst []byte, p sim.Payload) ([]byte, error)
+}
+
+type appendBatchEncoder interface {
+	AppendEncodeBatch(dst []byte, ps []sim.Payload) ([]byte, error)
 }
 
 var _ sim.Context = (*runCtx)(nil)
@@ -955,8 +966,22 @@ func (c *runCtx) sendOne(to sim.ProcID, p sim.Payload) {
 	if size := standaloneSize(p); size > maxBatchFrameBytes {
 		n.noteErr(fmt.Errorf("node %d: drop oversized %q to %d: %d bytes exceeds frame cap %d",
 			n.cfg.ID, p.Kind(), to, size, maxBatchFrameBytes))
-		n.countOversized()
+		c.sh.countOversized()
 		return
+	}
+	if c.bw != nil {
+		if ae, ok := n.codec.(appendEncoder); ok {
+			enc, err := ae.AppendEncode(c.enc[:0], p)
+			if err != nil {
+				n.noteErr(fmt.Errorf("node %d: encode %q: %w", n.cfg.ID, p.Kind(), err))
+				return
+			}
+			c.enc = enc
+			c.one[0] = p
+			c.shipBorrowed(to, c.one[:1], enc)
+			return
+		}
+		c.bw = nil // codec cannot append-encode; stay on owned buffers
 	}
 	enc, err := n.codec.Encode(p)
 	if err != nil {
@@ -967,11 +992,22 @@ func (c *runCtx) sendOne(to sim.ProcID, p sim.Payload) {
 	c.ship(to, c.one[:1], enc)
 }
 
-// ship counts one outbound frame and hands it to the transport.
+// ship counts one outbound frame and hands it to the transport, which
+// takes ownership of enc.
 func (c *runCtx) ship(to sim.ProcID, ps []sim.Payload, enc []byte) {
 	n := c.n
-	n.countSentFrame(ps, len(enc))
+	c.sh.countSentFrame(ps, len(enc))
 	if err := c.tr.Send(to, enc); err != nil {
+		n.noteErr(fmt.Errorf("node %d: send to %d: %w", n.cfg.ID, to, err))
+	}
+}
+
+// shipBorrowed is ship over the borrowed-buffer capability: enc stays
+// ours (it is c.enc) and is reusable the moment SendBorrowed returns.
+func (c *runCtx) shipBorrowed(to sim.ProcID, ps []sim.Payload, enc []byte) {
+	n := c.n
+	c.sh.countSentFrame(ps, len(enc))
+	if err := c.bw.SendBorrowed(to, enc); err != nil {
 		n.noteErr(fmt.Errorf("node %d: send to %d: %w", n.cfg.ID, to, err))
 	}
 }
@@ -1020,6 +1056,18 @@ func (c *runCtx) flushOutbox() {
 			if len(chunk) == 1 {
 				c.sendOne(to, chunk[0])
 				continue
+			}
+			if c.bw != nil {
+				if abe, ok := n.codec.(appendBatchEncoder); ok {
+					enc, err := abe.AppendEncodeBatch(c.enc[:0], chunk)
+					if err != nil {
+						n.noteErr(fmt.Errorf("node %d: encode batch of %d: %w", n.cfg.ID, len(chunk), err))
+						continue
+					}
+					c.enc = enc
+					c.shipBorrowed(to, chunk, enc)
+					continue
+				}
 			}
 			enc, err := be.EncodeBatch(chunk)
 			if err != nil {

@@ -42,7 +42,7 @@ func testSendPair(t *testing.T) (*runCtx, transport.Transport) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ep1.Close(); ep2.Close() })
-	return &runCtx{n: nd, tr: ep1, rnd: rand.New(rand.NewSource(1))}, ep2
+	return &runCtx{n: nd, tr: ep1, rnd: rand.New(rand.NewSource(1)), sh: nd.shards[0]}, ep2
 }
 
 // bigMsg is a payload whose standalone frame exceeds the cap — the

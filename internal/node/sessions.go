@@ -3,6 +3,7 @@ package node
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"svssba/internal/core"
 	"svssba/internal/obs"
@@ -22,8 +23,14 @@ import (
 // keeping a tombstone so late traffic for a finished scope is dropped
 // before its inner payload is even decoded.
 //
-// All driver callbacks run on the node's delivery goroutine — they may
-// touch sessions and stacks freely and must not block or call Inject.
+// All driver callbacks run on the goroutine of the lane owning the
+// scope (the node's single delivery goroutine when Lanes <= 1) — they
+// may touch that lane's sessions and stacks freely and must not block
+// or call Inject. With Lanes > 1, callbacks for different scopes run
+// concurrently: driver state shared across scopes needs its own
+// synchronization, and a sibling scope on another lane must be opened
+// through Node.StartScope (asynchronous) or kept on the same lane via
+// Config.LaneKey and opened with Session.OpenPeer.
 
 // ServiceDriver plugs a multi-session protocol composition into a
 // node's delivery loop.
@@ -44,10 +51,12 @@ type ServiceDriver interface {
 }
 
 // Session is one scoped protocol stack hosted by a service-mode node.
-// All methods are delivery-goroutine only.
+// All methods are owning-lane only (the delivery goroutine on a
+// one-lane node).
 type Session struct {
 	scope    uint64
 	n        *Node
+	ln       *lane
 	ctx      *scopedCtx
 	stack    *core.Stack
 	touched  bool
@@ -80,10 +89,10 @@ func (s *Session) Touch() {
 		return
 	}
 	s.touched = true
-	s.n.touchedSessions = append(s.n.touchedSessions, s)
+	s.ln.touchedSessions = append(s.ln.touchedSessions, s)
 }
 
-// scopedCtx wraps the node's runCtx so every send is wrapped in the
+// scopedCtx wraps the lane's runCtx so every send is wrapped in the
 // session's scope envelope. Batching and burst coalescing compose
 // underneath: envelopes from many scopes share one outbox group (they
 // all carry the proto.KindScoped kind) and leave as one batch frame.
@@ -110,14 +119,21 @@ func (c *scopedCtx) Send(to sim.ProcID, p sim.Payload) {
 }
 
 // OpenScope finds or creates the session for scope, driving the
-// ServiceDriver's Open/Opened on a miss. Delivery goroutine only —
-// drivers call it from callbacks, everyone else goes through Inject.
+// ServiceDriver's Open/Opened on a miss. Owning-lane goroutine only —
+// drivers call it from callbacks for scopes on the same lane; cross-
+// lane opens go through StartScope, everyone else through Inject.
 func (n *Node) OpenScope(scope uint64) *Session {
-	if s, ok := n.sessions[scope]; ok {
+	return n.openScopeOn(n.laneFor(scope), scope)
+}
+
+// openScopeOn is OpenScope pinned to the lane that owns the scope; it
+// must run on that lane's goroutine.
+func (n *Node) openScopeOn(ln *lane, scope uint64) *Session {
+	if s, ok := ln.sessions[scope]; ok {
 		return s
 	}
-	s := &Session{scope: scope, n: n, ctx: &scopedCtx{scope: scope, rc: n.runC}}
-	n.sessions[scope] = s
+	s := &Session{scope: scope, n: n, ln: ln, ctx: &scopedCtx{scope: scope, rc: ln.ctx}}
+	ln.sessions[scope] = s
 	st := n.cfg.Service.Open(s)
 	if st == nil {
 		s.rejected = true
@@ -137,16 +153,23 @@ func (n *Node) OpenScope(scope uint64) *Session {
 	return s
 }
 
-// Inject runs fn on the node's delivery goroutine, between bursts, with
-// a full outbox flush and retirement pass after it — the only safe way
-// into driver and session state from outside. It blocks until the loop
-// accepts fn (not until fn ran) and fails once the node stops. fn must
-// not call Inject (the loop runs one function at a time).
+// Inject runs fn on the node's delivery goroutine (lane 0 on a
+// multi-lane node), between bursts, with a full outbox flush and
+// retirement pass after it — the only safe way into driver and session
+// state from outside. It blocks until the loop accepts fn (not until
+// fn ran) and fails once the node stops; an accepted fn is guaranteed
+// to run, even if the node stops in between. fn must not call Inject
+// (the loop runs one function at a time).
 func (n *Node) Inject(fn func()) error {
 	n.mu.Lock()
 	if n.state != stateRunning || n.injectC == nil {
 		n.mu.Unlock()
 		return fmt.Errorf("node %d: not running", n.cfg.ID)
+	}
+	if n.laneCount > 1 {
+		ln := n.lanes[0]
+		n.mu.Unlock()
+		return ln.enqueueCtl(fn)
 	}
 	stop, inj := n.stop, n.injectC
 	n.mu.Unlock()
@@ -159,51 +182,63 @@ func (n *Node) Inject(fn func()) error {
 }
 
 // deliverScoped routes one decoded batch element (or single-frame
-// payload) in service mode: check the envelope, check the scope is
-// live, and only then pay for the inner decode.
+// payload) on the legacy one-lane path: check the envelope, then hand
+// it to lane 0.
 func (n *Node) deliverScoped(ctx *runCtx, from sim.ProcID, p sim.Payload) {
 	sc, ok := p.(proto.Scoped)
 	if !ok {
-		n.noteDecodeErr(fmt.Errorf("node %d: from %d: unscoped payload %q in service mode", n.cfg.ID, from, p.Kind()))
+		n.noteDecodeErrSh(ctx.sh, fmt.Errorf("node %d: from %d: unscoped payload %q in service mode", n.cfg.ID, from, p.Kind()))
 		return
 	}
-	sess := n.sessions[sc.Scope]
+	n.deliverScopedOn(n.lanes[0], from, sc)
+}
+
+// deliverScopedOn delivers one scope envelope on its owning lane: check
+// the scope is live, and only then pay for the inner decode.
+func (n *Node) deliverScopedOn(ln *lane, from sim.ProcID, sc proto.Scoped) {
+	sess := ln.sessions[sc.Scope]
 	if sess == nil {
-		sess = n.OpenScope(sc.Scope)
+		sess = n.openScopeOn(ln, sc.Scope)
 	}
 	if sess.retired {
-		n.countLatePayload()
+		ln.sh.countLatePayload()
 		return
 	}
 	inner, err := n.codec.Decode(sc.Raw)
 	if err != nil {
-		n.noteDecodeErr(fmt.Errorf("node %d: from %d: scope %d: %w", n.cfg.ID, from, sc.Scope, err))
+		n.noteDecodeErrSh(ln.sh, fmt.Errorf("node %d: from %d: scope %d: %w", n.cfg.ID, from, sc.Scope, err))
 		return
 	}
 	if _, nested := inner.(proto.Scoped); nested {
-		n.noteDecodeErr(fmt.Errorf("node %d: from %d: nested scope envelope in scope %d", n.cfg.ID, from, sc.Scope))
+		n.noteDecodeErrSh(ln.sh, fmt.Errorf("node %d: from %d: nested scope envelope in scope %d", n.cfg.ID, from, sc.Scope))
 		return
 	}
-	n.countRecvPayload(inner.Kind(), standaloneSize(sc))
+	ln.sh.countRecvPayload(inner.Kind(), standaloneSize(sc))
 	sess.Touch()
 	sess.stack.Node.Deliver(sess.ctx, sim.Message{
 		From:    from,
 		To:      n.cfg.ID,
 		Payload: inner,
-		SentAt:  ctx.Now(),
+		SentAt:  ln.ctx.Now(),
 	})
 }
 
-// processScopeRetirements ends a service-mode burst: every session the
-// burst touched is offered to the driver for retirement. Retiring keeps
-// the Session as a tombstone (late traffic for the scope must still be
-// counted and dropped) but releases the stack.
+// processScopeRetirements ends a one-lane service burst (legacy loop).
 func (n *Node) processScopeRetirements() {
+	n.processScopeRetirementsOn(n.lanes[0])
+}
+
+// processScopeRetirementsOn ends a service-mode burst on one lane:
+// every session the burst touched is offered to the driver for
+// retirement. Retiring keeps the Session as a tombstone (late traffic
+// for the scope must still be counted and dropped) but releases the
+// stack.
+func (n *Node) processScopeRetirementsOn(ln *lane) {
 	drv := n.cfg.Service
 	// Index loop: MayRetire may Touch further sessions (e.g. a completed
 	// composition touching its siblings), growing the slice mid-pass.
-	for i := 0; i < len(n.touchedSessions); i++ {
-		s := n.touchedSessions[i]
+	for i := 0; i < len(ln.touchedSessions); i++ {
+		s := ln.touchedSessions[i]
 		s.touched = false
 		if s.retired || s.stack == nil {
 			continue
@@ -217,7 +252,7 @@ func (n *Node) processScopeRetirements() {
 			n.cfg.Trace.Record(obs.KindScopeRetire, s.scope, 0, 0, 0, 0)
 		}
 	}
-	n.touchedSessions = n.touchedSessions[:0]
+	ln.touchedSessions = ln.touchedSessions[:0]
 }
 
 // ServiceCounts aggregates a service-mode node's session state.
@@ -230,38 +265,83 @@ type ServiceCounts struct {
 	State core.StateCounts
 }
 
-// ServiceCounts snapshots the session table. The snapshot runs on the
-// delivery goroutine (via Inject) so it is consistent with a burst
-// boundary; once the node stopped it reads directly. Returns false on a
-// non-service node.
+func (c *ServiceCounts) add(o ServiceCounts) {
+	c.Live += o.Live
+	c.Retired += o.Retired
+	c.State.Add(o.State)
+}
+
+// ServiceCounts snapshots the session tables. Each lane's slice of the
+// snapshot runs on that lane's goroutine (via an injected thunk) so it
+// is consistent with a burst boundary; once the node stopped it reads
+// directly. Returns false on a non-service node.
 func (n *Node) ServiceCounts() (ServiceCounts, bool) {
 	if n.cfg.Service == nil {
 		return ServiceCounts{}, false
 	}
+	n.mu.Lock()
+	lanes := n.lanes
+	n.mu.Unlock()
+	var mu sync.Mutex
 	var out ServiceCounts
-	done := make(chan struct{})
-	if err := n.Inject(func() {
-		out = n.serviceCountsNow()
-		close(done)
-	}); err != nil {
-		// Not running: wait out the delivery goroutine, then read directly.
+	var wg sync.WaitGroup
+	live := true
+	for _, ln := range lanes {
+		ln := ln
+		wg.Add(1)
+		err := n.injectOn(ln, func() {
+			c := ln.countsNow()
+			mu.Lock()
+			out.add(c)
+			mu.Unlock()
+			wg.Done()
+		})
+		if err != nil {
+			wg.Done()
+			live = false
+			break
+		}
+	}
+	if !live {
+		// Not (fully) running: wait out the delivery goroutines — any
+		// thunks that were accepted run before done closes — then read
+		// the tables directly.
 		n.mu.Lock()
 		nd := n.done
 		n.mu.Unlock()
 		if nd != nil {
 			<-nd
 		}
-		return n.serviceCountsNow(), true
+		var direct ServiceCounts
+		for _, ln := range lanes {
+			direct.add(ln.countsNow())
+		}
+		return direct, true
 	}
-	<-done
+	wg.Wait()
 	return out, true
 }
 
-// serviceCountsNow sums the session table (delivery goroutine, or
+// injectOn routes a thunk to one specific lane: the inject channel on
+// the legacy single-lane loop, the lane's control queue otherwise.
+func (n *Node) injectOn(ln *lane, fn func()) error {
+	if n.laneCount > 1 {
+		n.mu.Lock()
+		running := n.state == stateRunning
+		n.mu.Unlock()
+		if !running {
+			return fmt.Errorf("node %d: not running", n.cfg.ID)
+		}
+		return ln.enqueueCtl(fn)
+	}
+	return n.Inject(fn)
+}
+
+// countsNow sums one lane's session table (owning-lane goroutine, or
 // stopped node).
-func (n *Node) serviceCountsNow() ServiceCounts {
+func (ln *lane) countsNow() ServiceCounts {
 	var out ServiceCounts
-	for _, s := range n.sessions {
+	for _, s := range ln.sessions {
 		if s.retired {
 			out.Retired++
 			continue
@@ -272,51 +352,4 @@ func (n *Node) serviceCountsNow() ServiceCounts {
 		}
 	}
 	return out
-}
-
-// countRecvFrameOnly records one inbound physical frame whose payloads
-// are counted individually (the service-mode path, where each envelope
-// is inspected before its inner payload exists).
-func (n *Node) countRecvFrameOnly(frameBytes int) {
-	n.smu.Lock()
-	n.recvF++
-	n.recvFB += int64(frameBytes)
-	n.smu.Unlock()
-}
-
-// countRecvPayload records one logical inbound payload under kind.
-func (n *Node) countRecvPayload(kind string, size int) {
-	n.smu.Lock()
-	n.recv++
-	n.recvB += int64(size)
-	id := n.kindIDLocked(kind)
-	n.recvByKind[id]++
-	n.recvBByKind[id] += int64(size)
-	n.recvGByKind[id]++
-	n.smu.Unlock()
-}
-
-// countLateFrame records a frame dropped whole because the node (single
-// mode) already retired. Late frames are not counted as received — they
-// were never processed — only as dropped.
-func (n *Node) countLateFrame() {
-	n.smu.Lock()
-	n.lateFrames++
-	n.smu.Unlock()
-}
-
-// countLatePayload records a scoped payload dropped because its scope
-// already retired (service mode).
-func (n *Node) countLatePayload() {
-	n.smu.Lock()
-	n.latePayloads++
-	n.smu.Unlock()
-}
-
-// countOversized records an outbound payload dropped for exceeding the
-// frame cap.
-func (n *Node) countOversized() {
-	n.smu.Lock()
-	n.oversizedDropped++
-	n.smu.Unlock()
 }

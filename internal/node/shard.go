@@ -1,0 +1,196 @@
+package node
+
+import (
+	"sync"
+
+	"svssba/internal/proto"
+	"svssba/internal/sim"
+)
+
+// statShard is one lane's slice of the node's traffic counters, interned
+// by kind like sim.Network. Each lane (and, multi-lane, the router) owns
+// a shard and counts under its own mutex, so lanes never contend with
+// each other on the hot path; Stats() and the metric gauges merge the
+// shards at snapshot time. Shards live on the Node (not the per-
+// incarnation lane structs) so counters accumulate across restarts,
+// matching the single-shard behavior the node always had.
+type statShard struct {
+	mu                       sync.Mutex
+	sent, sentB              int64
+	recv, recvB              int64
+	sentF, sentFB            int64
+	recvF, recvFB            int64
+	decodeErrs               int64
+	oversizedDropped         int64
+	lateFrames, latePayloads int64
+	kindIDs                  map[string]int
+	kindNames                []string
+	sentByKind, sentBByKind  []int64
+	recvByKind, recvBByKind  []int64
+	sentGByKind, recvGByKind []int64
+	lastKind                 string
+	lastKindID               int
+}
+
+func newStatShard() *statShard {
+	return &statShard{
+		kindIDs:    make(map[string]int, 16),
+		lastKindID: -1,
+	}
+}
+
+// kindIDLocked interns a payload kind; the caller must hold sh.mu.
+func (sh *statShard) kindIDLocked(kind string) int {
+	if kind == sh.lastKind && sh.lastKindID >= 0 {
+		return sh.lastKindID
+	}
+	id, ok := sh.kindIDs[kind]
+	if !ok {
+		id = len(sh.kindNames)
+		sh.kindIDs[kind] = id
+		sh.kindNames = append(sh.kindNames, kind)
+		sh.sentByKind = append(sh.sentByKind, 0)
+		sh.sentBByKind = append(sh.sentBByKind, 0)
+		sh.recvByKind = append(sh.recvByKind, 0)
+		sh.recvBByKind = append(sh.recvBByKind, 0)
+		sh.sentGByKind = append(sh.sentGByKind, 0)
+		sh.recvGByKind = append(sh.recvGByKind, 0)
+	}
+	sh.lastKind, sh.lastKindID = kind, id
+	return id
+}
+
+// countSentFrame records one physical frame of frameBytes carrying ps:
+// every payload counts logically, every same-kind run counts as one wire
+// group.
+func (sh *statShard) countSentFrame(ps []sim.Payload, frameBytes int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sentF++
+	sh.sentFB += int64(frameBytes)
+	lastGroup := -1
+	for _, p := range ps {
+		sh.sent++
+		sb := int64(standaloneSize(p))
+		sh.sentB += sb
+		kind := p.Kind()
+		if sc, ok := p.(proto.Scoped); ok && sc.Inner != nil {
+			// Service mode: attribute the payload to the wrapped kind so
+			// per-kind and per-layer stats stay protocol-meaningful (the
+			// byte counters keep the envelope's full size).
+			kind = sc.Inner.Kind()
+		}
+		id := sh.kindIDLocked(kind)
+		sh.sentByKind[id]++
+		sh.sentBByKind[id] += sb
+		if id != lastGroup {
+			sh.sentGByKind[id]++
+			lastGroup = id
+		}
+	}
+}
+
+// countRecvFrame mirrors countSentFrame for the inbound direction.
+func (sh *statShard) countRecvFrame(ps []sim.Payload, frameBytes int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.recvF++
+	sh.recvFB += int64(frameBytes)
+	lastGroup := -1
+	for _, p := range ps {
+		sh.recv++
+		sb := int64(standaloneSize(p))
+		sh.recvB += sb
+		id := sh.kindIDLocked(p.Kind())
+		sh.recvByKind[id]++
+		sh.recvBByKind[id] += sb
+		if id != lastGroup {
+			sh.recvGByKind[id]++
+			lastGroup = id
+		}
+	}
+}
+
+// countRecvFrameOnly records one inbound physical frame whose payloads
+// are counted individually (the service-mode path, where each envelope
+// is inspected before its inner payload exists).
+func (sh *statShard) countRecvFrameOnly(frameBytes int) {
+	sh.mu.Lock()
+	sh.recvF++
+	sh.recvFB += int64(frameBytes)
+	sh.mu.Unlock()
+}
+
+// countRecvPayload records one logical inbound payload under kind.
+func (sh *statShard) countRecvPayload(kind string, size int) {
+	sh.mu.Lock()
+	sh.recv++
+	sh.recvB += int64(size)
+	id := sh.kindIDLocked(kind)
+	sh.recvByKind[id]++
+	sh.recvBByKind[id] += int64(size)
+	sh.recvGByKind[id]++
+	sh.mu.Unlock()
+}
+
+// countLateFrame records a frame dropped whole because the node (single
+// mode) already retired. Late frames are not counted as received — they
+// were never processed — only as dropped.
+func (sh *statShard) countLateFrame() {
+	sh.mu.Lock()
+	sh.lateFrames++
+	sh.mu.Unlock()
+}
+
+// countLatePayload records a scoped payload dropped because its scope
+// already retired (service mode).
+func (sh *statShard) countLatePayload() {
+	sh.mu.Lock()
+	sh.latePayloads++
+	sh.mu.Unlock()
+}
+
+// countOversized records an outbound payload dropped for exceeding the
+// frame cap.
+func (sh *statShard) countOversized() {
+	sh.mu.Lock()
+	sh.oversizedDropped++
+	sh.mu.Unlock()
+}
+
+func (sh *statShard) countDecodeErr() {
+	sh.mu.Lock()
+	sh.decodeErrs++
+	sh.mu.Unlock()
+}
+
+// addTo merges the shard into an aggregate snapshot whose maps are
+// already allocated.
+func (sh *statShard) addTo(s *Stats) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.Sent += sh.sent
+	s.SentBytes += sh.sentB
+	s.Recv += sh.recv
+	s.RecvBytes += sh.recvB
+	s.SentFrames += sh.sentF
+	s.SentFrameBytes += sh.sentFB
+	s.RecvFrames += sh.recvF
+	s.RecvFrameBytes += sh.recvFB
+	s.DecodeErrs += sh.decodeErrs
+	s.OversizedDropped += sh.oversizedDropped
+	s.DroppedLateFrames += sh.lateFrames
+	s.DroppedLatePayloads += sh.latePayloads
+	for id, name := range sh.kindNames {
+		if sh.sentByKind[id] > 0 {
+			s.SentByKind[name] += sh.sentByKind[id]
+			s.SentBytesByKind[name] += sh.sentBByKind[id]
+			s.SentGroupsByKind[name] += sh.sentGByKind[id]
+		}
+		if sh.recvByKind[id] > 0 {
+			s.RecvByKind[name] += sh.recvByKind[id]
+			s.RecvBytesByKind[name] += sh.recvBByKind[id]
+			s.RecvGroupsByKind[name] += sh.recvGByKind[id]
+		}
+	}
+}

@@ -148,12 +148,17 @@ func (c *Codec) DecodeBatch(b []byte) ([]sim.Payload, error) {
 	if !IsBatch(b) {
 		return nil, ErrNotBatch
 	}
-	r := NewReader(b)
+	r := getReader(b)
+	defer putReader(r)
 	r.U16() // magic
 	groups := r.Uvarint()
 	if r.Err() != nil {
 		return nil, fmt.Errorf("proto: batch header: %w", r.Err())
 	}
+	// One pooled reader serves every payload body: Reset repositions it
+	// per body, so a thousand-payload batch costs zero Reader headers.
+	pr := getReader(nil)
+	defer putReader(pr)
 	var out []sim.Payload
 	for g := uint64(0); g < groups; g++ {
 		kl := int(r.U16())
@@ -177,8 +182,7 @@ func (c *Codec) DecodeBatch(b []byte) ([]sim.Payload, error) {
 			if r.Err() != nil || bl > uint64(r.Remaining()) {
 				return nil, fmt.Errorf("proto: batch payload %q length: %w", kind, ErrShortBuffer)
 			}
-			body := r.take(int(bl))
-			pr := NewReader(body)
+			pr.Reset(r.take(int(bl)))
 			p, err := dec(pr)
 			if err != nil {
 				return nil, fmt.Errorf("proto: batch decode %q: %w", kind, err)

@@ -72,7 +72,8 @@ func EncodeBundle(tags []Tag, values [][]byte) []byte {
 // bodies containing a nested ProtoBundle tag, return an error and no
 // items — callers discard such bundles whole.
 func DecodeBundle(b []byte) ([]BundleItem, error) {
-	r := NewReader(b)
+	r := getReader(b)
+	defer putReader(r)
 	count := int(r.U32())
 	if r.Err() != nil {
 		return nil, fmt.Errorf("proto: bundle header: %w", r.Err())
@@ -173,13 +174,13 @@ func RegisterPackCodec(c *Codec) {
 			if r.Err() != nil || bl > r.Remaining() {
 				return nil, fmt.Errorf("proto: pack item %d length: %w", i, ErrShortBuffer)
 			}
-			body := r.take(bl)
-			pr := NewReader(body)
+			pr := getReader(r.take(bl))
 			p, err := dec(pr)
-			if err != nil {
-				return nil, fmt.Errorf("proto: pack decode %q: %w", kind, err)
+			if err == nil {
+				err = pr.Close()
 			}
-			if err := pr.Close(); err != nil {
+			putReader(pr)
+			if err != nil {
 				return nil, fmt.Errorf("proto: pack decode %q: %w", kind, err)
 			}
 			items = append(items, p)

@@ -50,6 +50,38 @@ func (c *Codec) Encode(p sim.Payload) ([]byte, error) {
 // so a stack Writer would escape and cost an allocation per message.
 var writerPool = sync.Pool{New: func() any { return new(Writer) }}
 
+// readerPool recycles Reader headers for the decode hot path: DecodeFunc
+// is an interface call, so a stack Reader escapes and would cost an
+// allocation per decoded payload (the "proto.NewReader escapes" hot spot
+// profiling surfaced). Decoded payloads never retain the Reader — only,
+// at most, subslices of the input buffer — so recycling the header is
+// safe.
+var readerPool = sync.Pool{New: func() any { return new(Reader) }}
+
+// getReader returns a pooled Reader positioned at the start of b.
+func getReader(b []byte) *Reader {
+	r := readerPool.Get().(*Reader)
+	r.Reset(b)
+	return r
+}
+
+// putReader recycles r. The buffer reference is dropped so a pooled
+// header never pins a frame.
+func putReader(r *Reader) {
+	r.Reset(nil)
+	readerPool.Put(r)
+}
+
+// GetReader returns a pooled Reader positioned at the start of b — the
+// exported recycling hook for decode helpers outside this package
+// (mwsvss value decoders, svss G-set decoding). Pair every GetReader
+// with a PutReader once decoding is done; the Reader must not be
+// retained past that point.
+func GetReader(b []byte) *Reader { return getReader(b) }
+
+// PutReader recycles a Reader obtained from GetReader.
+func PutReader(r *Reader) { putReader(r) }
+
 // AppendEncode appends the encoding of p to dst and returns the
 // extended buffer — the allocation-free variant of Encode for callers
 // that own a reusable buffer (the transport send path, the live
@@ -71,25 +103,28 @@ func (c *Codec) AppendEncode(dst []byte, p sim.Payload) ([]byte, error) {
 	return out, nil
 }
 
-// Decode implements sim.Codec.
+// Decode implements sim.Codec. Decoded payloads may alias b (see
+// Reader.VarBytes); callers hand over the buffer and must not mutate it
+// afterwards — the node runtime receives every frame buffer exclusively
+// from its transport, which guarantees exactly that.
 func (c *Codec) Decode(b []byte) (sim.Payload, error) {
-	r := NewReader(b)
+	r := getReader(b)
+	defer putReader(r)
 	kl := int(r.U16())
 	kb := r.take(kl)
 	if r.Err() != nil {
 		return nil, fmt.Errorf("proto: decode kind: %w", r.Err())
 	}
-	kind := string(kb)
-	dec, ok := c.decoders[kind]
+	dec, ok := c.decoders[string(kb)]
 	if !ok {
-		return nil, fmt.Errorf("proto: no decoder for kind %q", kind)
+		return nil, fmt.Errorf("proto: no decoder for kind %q", string(kb))
 	}
 	p, err := dec(r)
 	if err != nil {
-		return nil, fmt.Errorf("proto: decode %q: %w", kind, err)
+		return nil, fmt.Errorf("proto: decode %q: %w", string(kb), err)
 	}
 	if err := r.Close(); err != nil {
-		return nil, fmt.Errorf("proto: decode %q: %w", kind, err)
+		return nil, fmt.Errorf("proto: decode %q: %w", string(kb), err)
 	}
 	return p, nil
 }

@@ -24,7 +24,8 @@ func ValidProcs(ps []sim.ProcID, n int) bool {
 // sets decodes through this single helper so the validation rule
 // cannot diverge between layers.
 func DecodeProcSet(b []byte, n int) ([]sim.ProcID, bool) {
-	r := NewReader(b)
+	r := getReader(b)
+	defer putReader(r)
 	ps := r.Procs()
 	if r.Close() != nil || !ValidProcs(ps, n) {
 		return nil, false

@@ -201,7 +201,18 @@ func (r *Reader) Procs() []sim.ProcID {
 	return ps
 }
 
-// VarBytes reads a length-prefixed byte slice (copied).
+// VarBytes reads a length-prefixed byte slice. The returned slice
+// ALIASES the reader's buffer — zero-copy on purpose: the decode hot
+// path (echo storms of rb/wrb values, bundle items) would otherwise
+// copy every payload once per delivery. The aliasing contract:
+//
+//   - Inbound frame buffers are immutable once handed to a receiver
+//     (see transport.Frame), so an aliased value is stable for as long
+//     as any reference to it lives — the GC keeps the frame alive.
+//   - A consumer that STORES the value past its own delivery must
+//     either copy it (append([]byte(nil), v...), what the rb/wrb accept
+//     paths and intern.ValCounts already do) or take it through
+//     VarBytesCopy at decode time.
 func (r *Reader) VarBytes() []byte {
 	n := int(r.U32())
 	if r.err != nil || n > r.Remaining() {
@@ -210,8 +221,27 @@ func (r *Reader) VarBytes() []byte {
 		}
 		return nil
 	}
-	b := r.take(n)
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	return r.take(n)
+}
+
+// VarBytesCopy reads a length-prefixed byte slice into a fresh buffer —
+// the explicit copy-out for consumers that retain the value beyond the
+// life of the reader's buffer. Ownership of the returned slice is the
+// caller's alone; mutating the source buffer after decode cannot affect
+// it.
+func (r *Reader) VarBytesCopy() []byte {
+	b := r.VarBytes()
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Reset rewinds the reader onto a new buffer, clearing the sticky
+// error — the recycling hook behind readerPool, mirroring
+// Writer.Reset.
+func (r *Reader) Reset(b []byte) {
+	r.buf = b
+	r.off = 0
+	r.err = nil
 }

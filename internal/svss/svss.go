@@ -839,7 +839,8 @@ func encodeGSets(g []sim.ProcID, gSets [][]sim.ProcID) []byte {
 // decodeGSets decodes and validates a G announcement; the returned
 // gSets slice is indexed by process id (members of G only).
 func decodeGSets(b []byte, n int) ([]sim.ProcID, [][]sim.ProcID, bool) {
-	r := proto.NewReader(b)
+	r := proto.GetReader(b)
+	defer proto.PutReader(r)
 	g := r.Procs()
 	if r.Err() != nil || !proto.ValidProcs(g, n) {
 		return nil, nil, false

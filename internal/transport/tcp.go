@@ -140,9 +140,19 @@ func (t *TCP) Send(to sim.ProcID, data []byte) error {
 		}
 		return nil
 	}
+	d := t.dialerFor(to)
+	if d != nil {
+		d.push(outFrame{data: data})
+	}
+	return nil
+}
+
+// dialerFor returns (creating on first use) the outbound link to peer,
+// or nil once the transport closed.
+func (t *TCP) dialerFor(to sim.ProcID) *dialer {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil
 	}
 	d, ok := t.dialers[to]
@@ -152,8 +162,34 @@ func (t *TCP) Send(to sim.ProcID, data []byte) error {
 		t.wg.Add(1)
 		go d.run()
 	}
-	t.mu.Unlock()
-	d.push(data)
+	return d
+}
+
+// sendBufPool recycles SendBorrowed copies: the container returns to
+// the pool after the frame's socket write, so a warm sender pays a
+// memcpy but no allocation per frame.
+var sendBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var _ Borrower = (*TCP)(nil)
+
+// SendBorrowed implements Borrower: data's buffer stays with the caller
+// (reusable the moment this returns); the transport copies it into a
+// pooled buffer that is recycled once the frame has been written to a
+// live connection.
+func (t *TCP) SendBorrowed(to sim.ProcID, data []byte) error {
+	if to == t.self {
+		// Loopback frames reach the local receiver, which may alias the
+		// buffer indefinitely (zero-copy decode) — they need an immutable
+		// copy of their own, never a recycled one.
+		return t.Send(to, append([]byte(nil), data...))
+	}
+	d := t.dialerFor(to)
+	if d == nil {
+		return nil
+	}
+	bp := sendBufPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], data...)
+	d.push(outFrame{data: *bp, pooled: bp})
 	return nil
 }
 
@@ -291,6 +327,22 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
+// outFrame is one backlog entry: the encoded frame, plus the pooled
+// container to recycle after the write when the frame arrived through
+// SendBorrowed (nil for caller-owned Send buffers).
+type outFrame struct {
+	data   []byte
+	pooled *[]byte
+}
+
+// recycle returns a borrowed frame's buffer to the send pool.
+func (f *outFrame) recycle() {
+	if f.pooled != nil {
+		sendBufPool.Put(f.pooled)
+		f.pooled = nil
+	}
+}
+
 // dialer owns the outbound link to one peer: an unbounded backlog and a
 // writer goroutine that (re)connects with exponential backoff and only
 // drops a frame once it has been written to a live connection.
@@ -300,7 +352,7 @@ type dialer struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	backlog [][]byte
+	backlog []outFrame
 	closed  bool
 }
 
@@ -310,18 +362,25 @@ func newDialer(t *TCP, peer sim.ProcID) *dialer {
 	return d
 }
 
-func (d *dialer) push(data []byte) {
+func (d *dialer) push(f outFrame) {
 	d.mu.Lock()
-	if !d.closed {
-		if len(d.backlog) >= maxBacklog {
-			// Shed the oldest half in one compaction (amortized O(1)
-			// per push) so the array itself is reclaimed too.
-			keep := d.backlog[len(d.backlog)-maxBacklog/2:]
-			d.backlog = append(make([][]byte, 0, maxBacklog), keep...)
-		}
-		d.backlog = append(d.backlog, data)
-		d.cond.Signal()
+	if d.closed {
+		d.mu.Unlock()
+		f.recycle()
+		return
 	}
+	if len(d.backlog) >= maxBacklog {
+		// Shed the oldest half in one compaction (amortized O(1)
+		// per push) so the array itself is reclaimed too.
+		shed := d.backlog[:len(d.backlog)-maxBacklog/2]
+		keep := d.backlog[len(d.backlog)-maxBacklog/2:]
+		d.backlog = append(make([]outFrame, 0, maxBacklog), keep...)
+		for i := range shed {
+			shed[i].recycle()
+		}
+	}
+	d.backlog = append(d.backlog, f)
+	d.cond.Signal()
 	d.mu.Unlock()
 }
 
@@ -334,22 +393,26 @@ func (d *dialer) close() {
 
 // head blocks until a frame is available or the dialer is closed. The
 // frame stays at the head of the backlog until pop confirms the write.
-func (d *dialer) head() ([]byte, bool) {
+func (d *dialer) head() (outFrame, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for len(d.backlog) == 0 && !d.closed {
 		d.cond.Wait()
 	}
 	if d.closed {
-		return nil, false
+		return outFrame{}, false
 	}
 	return d.backlog[0], true
 }
 
+// pop dequeues the written head frame and recycles its pooled buffer.
 func (d *dialer) pop() {
 	d.mu.Lock()
+	f := d.backlog[0]
+	d.backlog[0] = outFrame{}
 	d.backlog = d.backlog[1:]
 	d.mu.Unlock()
+	f.recycle()
 }
 
 func (d *dialer) run() {
@@ -366,7 +429,7 @@ func (d *dialer) run() {
 	backoff := dialBackoffMin
 	var hdr [4]byte
 	for {
-		data, ok := d.head()
+		f, ok := d.head()
 		if !ok {
 			return
 		}
@@ -382,9 +445,9 @@ func (d *dialer) run() {
 			conn = c
 			backoff = dialBackoffMin
 		}
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(f.data)))
 		if _, err := conn.Write(hdr[:]); err == nil {
-			_, err = conn.Write(data)
+			_, err = conn.Write(f.data)
 			if err == nil {
 				d.pop()
 				continue

@@ -25,6 +25,12 @@ import "svssba/internal/sim"
 // payload. The transport owns Data after Send and until the receiver
 // takes the frame; callers must not retain or mutate buffers they pass
 // to Send.
+//
+// Inbound Data buffers are immutable: every backend hands the receiver
+// a buffer it will never touch again (TCP allocates one per frame, Mesh
+// transfers the sender's), so receivers may retain subslices of Data
+// indefinitely — the contract behind the node runtime's zero-copy
+// payload decode.
 type Frame struct {
 	From sim.ProcID
 	Data []byte
@@ -50,6 +56,22 @@ type Transport interface {
 	Recv() <-chan Frame
 	// Close tears the endpoint down and releases its resources. Idempotent.
 	Close() error
+}
+
+// Borrower is an optional Transport capability: SendBorrowed ships data
+// from a buffer the CALLER keeps — the transport copies (or fully
+// consumes) it before returning, so the caller may truncate and refill
+// the same buffer for its next frame. This is what lets the node
+// runtime's outbox reuse one encode buffer across flushes instead of
+// allocating a fresh frame per send.
+//
+// TCP implements it by copying into pooled buffers recycled after the
+// socket write. Mesh deliberately does NOT: its Send hands the very
+// slice to the receiving endpoint (which may alias it forever under
+// zero-copy decode), so borrowing is impossible there and callers fall
+// back to Send with an owned buffer.
+type Borrower interface {
+	SendBorrowed(to sim.ProcID, data []byte) error
 }
 
 // pump is an unbounded FIFO between producers (socket readers, local

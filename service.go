@@ -2,6 +2,7 @@ package svssba
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -37,6 +38,12 @@ type ServiceConfig struct {
 	NoBatching bool
 	// Wire selects the wire variant for every scoped stack ("" = "v2").
 	Wire string
+	// Lanes is the number of per-scope execution lanes each node runs
+	// (internal/node multi-lane runtime): sessions shard across lanes by
+	// sid, so a multi-core host works Window sessions concurrently.
+	// 1 runs the historical single-goroutine delivery loop
+	// (byte-identical schedules); 0 defaults to min(GOMAXPROCS, 8).
+	Lanes int
 	// Window bounds how many sessions each node initiates concurrently
 	// (default 8). Sessions joined on peer traffic bypass the window.
 	Window int
@@ -136,6 +143,15 @@ func (c *ServiceConfig) normalize() error {
 	}
 	if c.Window <= 0 {
 		c.Window = 8
+	}
+	if c.Lanes < 0 {
+		return fmt.Errorf("svssba: negative lane count %d", c.Lanes)
+	}
+	if c.Lanes == 0 {
+		c.Lanes = runtime.GOMAXPROCS(0)
+		if c.Lanes > 8 {
+			c.Lanes = 8
+		}
 	}
 	if c.DecisionBuffer <= 0 {
 		c.DecisionBuffer = 1024
@@ -243,6 +259,8 @@ func StartService(cfg ServiceConfig) (*ServiceCluster, error) {
 			Codec:    codec,
 			Batching: !cfg.NoBatching,
 			Service:  drv,
+			Lanes:    cfg.Lanes,
+			LaneKey:  acs.LaneKey,
 			Metrics:  cfg.Metrics,
 			Trace:    sn.tracer,
 		}, trs[i])
